@@ -1,0 +1,57 @@
+//! Table III microbenchmark: context-switch latency vs task count.
+//!
+//! Measures the real cost of the custom context switch (resume + yield
+//! pair) while varying how many coroutine tasks a worker multiplexes —
+//! the cache effects of more live contexts are exactly what the paper's
+//! Table III quantifies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gmt_context::{Coroutine, Resume};
+
+fn bench_switch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ctx_switch");
+    for &tasks in &[1usize, 8, 64, 1024] {
+        g.throughput(Throughput::Elements(2 * tasks as u64)); // 2 switches per resume
+        g.bench_with_input(BenchmarkId::new("round_robin", tasks), &tasks, |b, &tasks| {
+            let mut coros: Vec<Coroutine<()>> = (0..tasks)
+                .map(|_| {
+                    Coroutine::new(16 * 1024, |y| loop {
+                        y.yield_now();
+                    })
+                    .unwrap()
+                })
+                .collect();
+            // Warm-up pass so every context is bootstrapped.
+            for co in &mut coros {
+                assert_eq!(co.resume(), Resume::Yielded);
+            }
+            b.iter(|| {
+                for co in &mut coros {
+                    std::hint::black_box(co.resume());
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_create_destroy(c: &mut Criterion) {
+    c.bench_function("coroutine_create_run_destroy", |b| {
+        b.iter(|| {
+            let mut co = Coroutine::new(16 * 1024, |_y| 1u64).unwrap();
+            assert_eq!(co.resume(), Resume::Finished);
+            std::hint::black_box(co.take_result())
+        });
+    });
+    c.bench_function("coroutine_create_with_recycled_stack", |b| {
+        let mut stack = Some(gmt_context::Stack::new(16 * 1024).unwrap());
+        b.iter(|| {
+            let mut co = Coroutine::with_stack(stack.take().unwrap(), |_y| 1u64);
+            assert_eq!(co.resume(), Resume::Finished);
+            stack = Some(co.into_stack());
+        });
+    });
+}
+
+criterion_group!(benches, bench_switch, bench_create_destroy);
+criterion_main!(benches);

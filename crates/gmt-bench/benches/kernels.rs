@@ -1,0 +1,102 @@
+//! End-to-end kernel benchmarks on the *real* runtime (in-process
+//! clusters): GMT vs the MPI-style baselines on small instances of the
+//! paper's three kernels. The big-cluster scaling figures come from the
+//! DES (`figures` binary); these benches exercise the actual code paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gmt_core::{Cluster, Config};
+use gmt_graph::{uniform_random, DistGraph, GraphSpec};
+use gmt_kernels::bfs::gmt_bfs;
+use gmt_kernels::bfs_mpi::{mpi_bfs, BaselineMode};
+use gmt_kernels::chma::{gmt_chma_access, gmt_chma_populate, ChmaConfig, GmtHashMap};
+use gmt_kernels::chma_mpi::mpi_chma;
+use gmt_kernels::grw::gmt_grw;
+use gmt_kernels::grw_mpi::{mpi_grw, GrwMode};
+
+fn small_graph() -> gmt_graph::Csr {
+    uniform_random(GraphSpec { vertices: 400, avg_degree: 6, seed: 1234 })
+}
+
+fn bench_bfs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bfs_400v_2nodes");
+    g.sample_size(10);
+    let csr = small_graph();
+    let csr2 = csr.clone();
+    g.bench_function("gmt", move |b| {
+        let cluster = Cluster::start(2, Config::small()).unwrap();
+        let csr = csr2.clone();
+        let graph = cluster.node(0).run(move |ctx| DistGraph::from_csr(ctx, &csr));
+        b.iter(|| {
+            cluster
+                .node(0)
+                .run(move |ctx| std::hint::black_box(gmt_bfs(ctx, &graph, 0).visited))
+        });
+        cluster.node(0).run(move |ctx| graph.free(ctx));
+        cluster.shutdown();
+    });
+    let csr2 = csr.clone();
+    g.bench_function("mpi_fine_grained", move |b| {
+        b.iter(|| std::hint::black_box(mpi_bfs(&csr2, 2, 0, BaselineMode::FineGrained)))
+    });
+    let csr2 = csr.clone();
+    g.bench_function("mpi_aggregated", move |b| {
+        b.iter(|| std::hint::black_box(mpi_bfs(&csr2, 2, 0, BaselineMode::Aggregated)))
+    });
+    g.finish();
+}
+
+fn bench_grw(c: &mut Criterion) {
+    let mut g = c.benchmark_group("grw_200walkers_len8_2nodes");
+    g.sample_size(10);
+    let csr = small_graph();
+    let csr2 = csr.clone();
+    g.bench_function("gmt", move |b| {
+        let cluster = Cluster::start(2, Config::small()).unwrap();
+        let csr = csr2.clone();
+        let graph = cluster.node(0).run(move |ctx| DistGraph::from_csr(ctx, &csr));
+        b.iter(|| {
+            cluster
+                .node(0)
+                .run(move |ctx| std::hint::black_box(gmt_grw(ctx, &graph, 200, 8, 5).checksum))
+        });
+        cluster.node(0).run(move |ctx| graph.free(ctx));
+        cluster.shutdown();
+    });
+    let csr2 = csr.clone();
+    g.bench_function("mpi_fine_grained", move |b| {
+        b.iter(|| std::hint::black_box(mpi_grw(&csr2, 2, 200, 8, 5, GrwMode::FineGrained)))
+    });
+    let csr2 = csr.clone();
+    g.bench_function("mpi_aggregated", move |b| {
+        b.iter(|| std::hint::black_box(mpi_grw(&csr2, 2, 200, 8, 5, GrwMode::Aggregated)))
+    });
+    g.finish();
+}
+
+fn bench_chma(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chma_2nodes");
+    g.sample_size(10);
+    let cfg = ChmaConfig { entries: 512, pool: 256, tasks: 16, steps: 32, seed: 77 };
+    g.bench_function("gmt", move |b| {
+        let cluster = Cluster::start(2, Config::small()).unwrap();
+        let map = cluster.node(0).run(move |ctx| {
+            let map = GmtHashMap::alloc(ctx, cfg.entries);
+            gmt_chma_populate(ctx, &map, &cfg);
+            map
+        });
+        b.iter(|| {
+            cluster
+                .node(0)
+                .run(move |ctx| std::hint::black_box(gmt_chma_access(ctx, &map, &cfg).hits))
+        });
+        cluster.node(0).run(move |ctx| map.free(ctx));
+        cluster.shutdown();
+    });
+    g.bench_function("mpi_fine_grained", move |b| {
+        b.iter(|| std::hint::black_box(mpi_chma(&cfg, 2)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_bfs, bench_grw, bench_chma);
+criterion_main!(benches);

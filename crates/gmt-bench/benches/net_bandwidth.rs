@@ -1,0 +1,45 @@
+//! Table II / Figure 2 microbenchmark: fabric message throughput vs
+//! message size (the in-process analogue of the paper's OSU runs), plus
+//! the calibrated cost-model rates for reference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gmt_net::{DeliveryMode, Fabric, NetworkModel};
+
+fn bench_fabric_stream(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fabric_stream");
+    for &size in &[8usize, 128, 4096, 65536] {
+        g.throughput(Throughput::Bytes(64 * size as u64));
+        g.bench_with_input(BenchmarkId::new("send_recv_64msgs", size), &size, |b, &size| {
+            let fabric = Fabric::new(2, DeliveryMode::Instant);
+            let tx = fabric.endpoint(0);
+            let rx = fabric.endpoint(1);
+            b.iter(|| {
+                for _ in 0..64 {
+                    tx.send(1, 0, vec![0u8; size]).unwrap();
+                }
+                for _ in 0..64 {
+                    std::hint::black_box(rx.recv().unwrap());
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_model_math(c: &mut Criterion) {
+    // The closed-form rates are cheap; benching them documents them in
+    // the criterion report alongside the real fabric numbers.
+    let model = NetworkModel::olympus();
+    c.bench_function("model_windowed_bandwidth_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for size in [8usize, 128, 4096, 65536] {
+                acc += std::hint::black_box(model.windowed_bandwidth(size, 4));
+            }
+            std::hint::black_box(acc)
+        });
+    });
+}
+
+criterion_group!(benches, bench_fabric_stream, bench_model_math);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p gmt-bench --bin figures -- all
+//! cargo run --release -p gmt-bench --bin figures -- table3 fig5
+//! ```
+
+use gmt_bench::experiments as exp;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        vec![
+            "table2", "table3", "table4", "fig2", "fig5", "fig6", "fig7", "fig8", "fig9",
+            "fig10", "fig11", "ablations",
+        ]
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+    for name in wanted {
+        match name {
+            "table2" => drop(exp::table2()),
+            "table3" => drop(exp::table3()),
+            "table4" => exp::table4(),
+            "fig2" => drop(exp::fig2()),
+            "fig5" => drop(exp::fig5()),
+            "fig6" => drop(exp::fig6()),
+            "fig7" => drop(exp::fig7()),
+            "fig8" => drop(exp::fig8()),
+            "fig9" => drop(exp::fig9()),
+            "fig10" => drop(exp::fig10()),
+            "fig11" => drop(exp::fig11()),
+            "ablations" => drop(exp::ablations()),
+            other => {
+                eprintln!("unknown experiment '{other}'");
+                eprintln!(
+                    "available: table2 table3 table4 fig2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 ablations all"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+}

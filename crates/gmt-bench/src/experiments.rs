@@ -1,0 +1,497 @@
+//! Implementations of every table/figure experiment.
+//!
+//! Each function prints a paper-style table to stdout and returns the
+//! series it printed so tests can assert on shapes. Paper-reported
+//! reference values appear in the column headers where the paper states
+//! them; EXPERIMENTS.md records the comparison.
+
+use gmt_context::{cycles_now, Coroutine, Resume};
+use gmt_net::NetworkModel;
+use gmt_sim::analytic::{fig2_gmt_bandwidth_mb_s, table2_rate_mb_s, MpiConfig};
+use gmt_sim::workload::{bfs_phases, bfs_trace, trace_edges};
+use gmt_sim::{simulate, MachineParams, OpPattern, Phase};
+
+const NET: NetworkModel = NetworkModel::olympus();
+
+/// Scales per-point simulated work so big sweeps stay tractable: enough
+/// ops per task to reach steady state, bounded total events.
+fn ops_per_task_for(nodes: usize, tasks_per_node: u64, budget: u64) -> u64 {
+    (budget / (nodes as u64 * tasks_per_node)).clamp(4, 4096)
+}
+
+/// Steady-state extrapolation for cluster sizes / op counts too large to
+/// simulate event-by-event.
+///
+/// * Node count is capped (identical statistical behaviour per node); the
+///   per-destination aggregation-buffer capacity is scaled down by the
+///   destination-count ratio so buffers fill after the same number of
+///   commands per destination as on the real cluster — this preserves the
+///   fill-vs-timeout dynamics *and* the smaller-wire-message penalty that
+///   causes Figure 6's slight degradation at 128 nodes.
+/// * Tasks and ops per task are capped; the simulated per-node operation
+///   rate is then applied to the full per-node work to obtain the phase
+///   time.
+///
+/// Returns (extrapolated phase time ns, per-node op throughput ops/s).
+fn scaled_phase_time(
+    params: MachineParams,
+    nodes: usize,
+    phase: Phase,
+    task_cap: u64,
+    seed: u64,
+) -> (u64, f64) {
+    const MAX_SIM_NODES: usize = 16;
+    const OPS_CAP: u64 = 24;
+    let sim_nodes = nodes.min(MAX_SIM_NODES);
+    let mut p = params;
+    if nodes > sim_nodes {
+        if let Some(agg) = &mut p.aggregation {
+            let scaled =
+                agg.buffer_bytes as u64 * (sim_nodes as u64 - 1) / (nodes as u64 - 1);
+            agg.buffer_bytes = scaled.max(4 * agg.cmd_header_bytes as u64) as u32;
+        }
+    }
+    let reduced = Phase {
+        tasks_per_node: phase.tasks_per_node.min(task_cap),
+        ops_per_task: phase.ops_per_task.min(OPS_CAP),
+        ..phase
+    };
+    let r = gmt_sim::simulate(p, sim_nodes, reduced, seed);
+    let senders = reduced.senders.unwrap_or(sim_nodes).min(sim_nodes) as f64;
+    let rate_per_node = r.ops_completed as f64 / senders / (r.elapsed_ns.max(1) as f64 / 1e9);
+    let work_per_node = (phase.tasks_per_node * phase.ops_per_task) as f64;
+    let elapsed = (work_per_node / rate_per_node * 1e9) as u64;
+    (elapsed.max(1), rate_per_node)
+}
+
+// ---------------------------------------------------------------------
+// Table II — MPI transfer rates between two nodes
+// ---------------------------------------------------------------------
+
+/// Table II: transfer rate (MB/s) for MPI with 32 processes and with
+/// 1/2/4 threads, across message sizes.
+pub fn table2() -> Vec<(usize, [f64; 4])> {
+    println!("\n=== Table II: MPI transfer rates between 2 nodes (MB/s) ===");
+    println!("(paper anchors: 128 B -> 72.26 MB/s, 64 KiB -> 2815.01 MB/s with 32 processes)");
+    println!("{:>10} {:>12} {:>12} {:>12} {:>12}", "size", "32 procs", "1 thread", "2 threads", "4 threads");
+    let mut rows = Vec::new();
+    for size in [128usize, 512, 2048, 8192, 32768, 65536] {
+        let row = [
+            table2_rate_mb_s(&NET, size, MpiConfig::Processes(32)),
+            table2_rate_mb_s(&NET, size, MpiConfig::Threads(1)),
+            table2_rate_mb_s(&NET, size, MpiConfig::Threads(2)),
+            table2_rate_mb_s(&NET, size, MpiConfig::Threads(4)),
+        ];
+        println!(
+            "{:>10} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
+            size, row[0], row[1], row[2], row[3]
+        );
+        rows.push((size, row));
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// Table III — context switch latency (measured for real)
+// ---------------------------------------------------------------------
+
+/// Measures the average one-way context-switch cost in cycles for
+/// `tasks` coroutines doing `switches` yields each (the paper's Table III
+/// experiment, reproduced with our actual switch).
+pub fn measure_ctx_switch(tasks: usize, switches: usize) -> f64 {
+    let mut coros: Vec<Coroutine<()>> = (0..tasks)
+        .map(|_| {
+            Coroutine::new(16 * 1024, move |y| {
+                loop {
+                    y.yield_now();
+                }
+            })
+            .unwrap()
+        })
+        .collect();
+    // Warm up one round.
+    for co in &mut coros {
+        assert_eq!(co.resume(), Resume::Yielded);
+    }
+    let start = cycles_now();
+    for _ in 0..switches {
+        for co in &mut coros {
+            let _ = co.resume();
+        }
+    }
+    let cycles = cycles_now().saturating_sub(start);
+    // Each resume is a switch in plus a switch out.
+    cycles as f64 / (switches * tasks * 2) as f64
+}
+
+/// Table III: switch latency (cycles) across task counts and switch
+/// counts. Paper: 495–591 cycles.
+pub fn table3() -> Vec<(usize, usize, f64)> {
+    println!("\n=== Table III: context switch latency (clock cycles), measured ===");
+    println!("(paper: 494.56 - 590.91 cycles on 2.1 GHz Opteron 6272)");
+    println!("{:>12} {:>8} {:>8} {:>8} {:>10}", "ctx switches", "1 task", "8", "64", "1024");
+    let mut out = Vec::new();
+    for &switches in &[100usize, 1000] {
+        let mut row = Vec::new();
+        for &tasks in &[1usize, 8, 64, 1024] {
+            let c = measure_ctx_switch(tasks, switches);
+            row.push(c);
+            out.push((tasks, switches, c));
+        }
+        println!(
+            "{:>12} {:>8.1} {:>8.1} {:>8.1} {:>10.1}",
+            switches, row[0], row[1], row[2], row[3]
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Table IV — configuration
+// ---------------------------------------------------------------------
+
+/// Table IV: the Olympus configuration parameters.
+pub fn table4() {
+    let c = gmt_core::Config::olympus();
+    println!("\n=== Table IV: GMT configuration parameters for Olympus ===");
+    println!("{:<28} {}", "NUM_WORKERS", c.num_workers);
+    println!("{:<28} {}", "NUM_HELPERS", c.num_helpers);
+    println!("{:<28} {}", "NUM_BUF_PER_CHANNEL", c.num_buf_per_channel);
+    println!("{:<28} {}", "MAX_NUM_TASKS_PER_WORKER", c.max_tasks_per_worker);
+    println!("{:<28} {}", "SIZE_BUFFERS", c.buffer_size);
+}
+
+// ---------------------------------------------------------------------
+// Figure 2 — GMT bandwidth vs message size, 1 worker, 2 nodes
+// ---------------------------------------------------------------------
+
+/// Figure 2: bandwidth between two nodes with one worker and one
+/// communication server while varying message size. Paper: up to
+/// 2630 MB/s at 64 KiB (vs raw MPI 2815 MB/s).
+pub fn fig2() -> Vec<(usize, f64, f64)> {
+    println!("\n=== Figure 2: GMT 1-worker bandwidth between 2 nodes (MB/s) ===");
+    println!("(paper: 2630 MB/s at 64 KiB vs 2815 MB/s raw MPI)");
+    println!("{:>10} {:>14} {:>14}", "size", "model MB/s", "DES MB/s");
+    let mut one_worker = MachineParams::gmt();
+    one_worker.workers_per_node = 1;
+    one_worker.helpers_per_node = 1;
+    // Figure 2 streams data as fast as one worker can: the per-command
+    // cost here is encode+copy only (no blocked-task switching).
+    one_worker.worker_op_ns = 300;
+    let mut rows = Vec::new();
+    for size in [64usize, 256, 1024, 4096, 16384, 65536] {
+        let model = fig2_gmt_bandwidth_mb_s(&NET, size, 65536, 32, 300);
+        // DES: enough concurrent "streaming" chunks to keep the pipe full.
+        let tasks = 512u64;
+        let ops = ops_per_task_for(2, tasks, 1 << 20);
+        let r = simulate(
+            one_worker,
+            2,
+            Phase::one_sender(tasks, ops, OpPattern::remote_put(size as u32)),
+            42,
+        );
+        println!("{:>10} {:>14.1} {:>14.1}", size, model, r.payload_mb_s());
+        rows.push((size, model, r.payload_mb_s()));
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// Figures 5/6 — put transfer rates vs concurrency
+// ---------------------------------------------------------------------
+
+fn put_sweep(nodes: usize, label: &str) -> Vec<(u64, u32, f64)> {
+    println!("\n=== {label}: put transfer rates, {nodes} nodes, increasing tasks (MB/s) ===");
+    print!("{:>8}", "tasks");
+    let sizes = [8u32, 16, 32, 64, 128];
+    for s in sizes {
+        print!(" {:>9}B", s);
+    }
+    println!();
+    let mut rows = Vec::new();
+    for tasks in [1024u64, 2048, 4096, 8192, 15360] {
+        print!("{tasks:>8}");
+        for size in sizes {
+            let phase = Phase::one_sender(tasks, 4096, OpPattern::remote_put(size));
+            let (_, rate) = scaled_phase_time(MachineParams::gmt(), nodes, phase, u64::MAX, 7);
+            let bw = rate * size as f64 / 1e6;
+            print!(" {bw:>10.2}");
+            rows.push((tasks, size, bw));
+        }
+        println!();
+    }
+    // MPI reference line (fine-grained sends, 32 processes).
+    print!("{:>8}", "MPI-32p");
+    for size in sizes {
+        let phase = Phase::one_sender(32, 4096, OpPattern::remote_put(size));
+        let (_, rate) = scaled_phase_time(MachineParams::mpi(), nodes, phase, u64::MAX, 7);
+        print!(" {:>10.2}", rate * size as f64 / 1e6);
+    }
+    println!();
+    rows
+}
+
+/// Figure 5: put transfer rates between 2 nodes while increasing
+/// concurrency. Paper anchors: 8 B — 8.55 MB/s at 1024 tasks,
+/// 72.48 MB/s at 15360; 128 B at 15360 tasks ≈ 1 GB/s vs MPI 72.26 MB/s.
+pub fn fig5() -> Vec<(u64, u32, f64)> {
+    put_sweep(2, "Figure 5")
+}
+
+/// Figure 6: the same sweep on 128 nodes (slight degradation; 16 B:
+/// 139.78 MB/s vs MPI 9.63 MB/s).
+pub fn fig6() -> Vec<(u64, u32, f64)> {
+    put_sweep(128, "Figure 6")
+}
+
+// ---------------------------------------------------------------------
+// Figures 7/8 — BFS scaling
+// ---------------------------------------------------------------------
+
+/// Shared BFS trace: a real traversal of a scaled-down proxy graph whose
+/// level structure is then scaled up (trace-driven simulation).
+fn proxy_trace(vertices: u64, degree: u64) -> Vec<gmt_sim::workload::BfsLevel> {
+    let csr = gmt_graph::uniform_random(gmt_graph::GraphSpec {
+        vertices,
+        avg_degree: degree,
+        seed: 20140519, // IPDPS'14 started May 19 2014; any fixed seed works
+    });
+    bfs_trace(&csr, 0)
+}
+
+/// Figure 7: GMT BFS weak scaling — 1M vertices (≈2000 avg degree in the
+/// paper's largest run) per node; y-axis MTEPS.
+pub fn fig7() -> Vec<(usize, f64)> {
+    println!("\n=== Figure 7: GMT BFS weak scaling (MTEPS) ===");
+    println!("(paper: flat-to-rising MTEPS as nodes and graph grow together)");
+    println!("{:>6} {:>14} {:>12}", "nodes", "vertices", "MTEPS");
+    // Proxy: 64k vertices, degree 64; scaled so each node contributes
+    // ~1M vertices and the paper's ~2000 average degree.
+    let trace = proxy_trace(65_536, 64);
+    let degree_scale = 2000 / 64;
+    let mut rows = Vec::new();
+    for nodes in [1usize, 2, 4, 8, 16, 32, 64, 128] {
+        let vertex_scale = (1_000_000 / 65_536 + 1) * nodes as u64;
+        let scale = vertex_scale * degree_scale;
+        let phases = bfs_phases(&trace, scale, nodes, 2000, 15 * 1024);
+        let total_ns: u64 = phases
+            .iter()
+            .map(|&ph| scaled_phase_time(MachineParams::gmt(), nodes, ph, 4096, 3).0)
+            .sum();
+        let edges = trace_edges(&trace) * scale;
+        let mteps = edges as f64 * 1e3 / total_ns as f64;
+        println!("{:>6} {:>14} {:>12.1}", nodes, 65_536 * vertex_scale, mteps);
+        rows.push((nodes, mteps));
+    }
+    rows
+}
+
+/// Figure 8: BFS strong scaling on a fixed 10M-vertex / 2.5B-edge graph:
+/// GMT vs UPC vs Cray XMT.
+pub fn fig8() -> Vec<(usize, f64, f64, f64)> {
+    println!("\n=== Figure 8: BFS strong scaling, 10M vertices / 2.5B edges (MTEPS) ===");
+    println!("(paper: GMT highest on commodity cluster; XMT competitive; UPC flat, stops >16 nodes)");
+    println!("{:>6} {:>12} {:>12} {:>12}", "nodes", "GMT", "UPC", "XMT");
+    let trace = proxy_trace(65_536, 64);
+    // Scale to 10M vertices, degree 250: vertices x152, degree x ~3.9.
+    let scale = 152 * 4;
+    let edges = trace_edges(&trace) * scale;
+    let mut rows = Vec::new();
+    for nodes in [1usize, 2, 4, 8, 16, 32, 64, 128] {
+        let mteps = |params: MachineParams, cap: u64| -> f64 {
+            let phases = bfs_phases(&trace, scale, nodes, 250, cap);
+            let total_ns: u64 = phases
+                .iter()
+                .map(|&ph| scaled_phase_time(params, nodes, ph, 4096, 5).0)
+                .sum();
+            edges as f64 * 1e3 / total_ns as f64
+        };
+        let gmt = mteps(MachineParams::gmt(), 15 * 1024);
+        let upc = mteps(MachineParams::upc(), 32);
+        let xmt = mteps(MachineParams::xmt(), 128);
+        println!("{:>6} {:>12.1} {:>12.1} {:>12.1}", nodes, gmt, upc, xmt);
+        rows.push((nodes, gmt, upc, xmt));
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// Figure 9 — Graph Random Walk weak scaling
+// ---------------------------------------------------------------------
+
+/// Figure 9: GRW weak scaling, GMT vs MPI (log scale in the paper; GMT
+/// is one or more orders of magnitude faster).
+pub fn fig9() -> Vec<(usize, f64, f64)> {
+    println!("\n=== Figure 9: Graph Random Walk weak scaling (MTEPS) ===");
+    println!("(paper: GMT one or more orders of magnitude above MPI)");
+    println!("{:>6} {:>12} {:>12} {:>8}", "nodes", "GMT", "MPI", "ratio");
+    let mut rows = Vec::new();
+    for nodes in [2usize, 4, 8, 16, 32, 64, 128] {
+        // V/2 walkers per the paper; scaled-down per-node counts keep the
+        // event counts tractable while preserving steady state.
+        let walkers_per_node = 4096u64;
+        let length = 16u64;
+        let phase = gmt_sim::workload::grw_phase(walkers_per_node * nodes as u64, length, nodes);
+        let work = (phase.tasks_per_node * phase.ops_per_task) as f64;
+        let (g_ns, _) = scaled_phase_time(MachineParams::gmt(), nodes, phase, 4096, 9);
+        // MPI: 32 blocking processes per node walk with fine-grained
+        // delegation (one request/reply per remote hop).
+        let mpi_phase =
+            Phase::all_nodes(32, (work as u64 / 32).max(1), phase.pattern);
+        let (m_ns, _) = scaled_phase_time(MachineParams::mpi(), nodes, mpi_phase, 4096, 9);
+        // MTEPS per cluster: each walker step = 1 edge; ops = 2 per step.
+        let edges = work * nodes as f64 / 2.0;
+        let g_mteps = edges * 1e3 / g_ns as f64;
+        let m_mteps = edges * 1e3 / m_ns as f64;
+        println!("{:>6} {:>12.1} {:>12.1} {:>8.1}", nodes, g_mteps, m_mteps, g_mteps / m_mteps);
+        rows.push((nodes, g_mteps, m_mteps));
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// Figures 10/11 — CHMA throughput
+// ---------------------------------------------------------------------
+
+/// Figure 10: CHMA throughput for GMT (millions of accesses/s) while
+/// varying nodes, concurrent tasks W and steps L.
+pub fn fig10() -> Vec<(usize, u64, u64, f64)> {
+    println!("\n=== Figure 10: CHMA GMT throughput (M accesses/s) ===");
+    println!("{:>6} {:>8} {:>6} {:>14}", "nodes", "W", "L", "Maccesses/s");
+    let mut rows = Vec::new();
+    for nodes in [2usize, 8, 32, 128] {
+        for (w, l) in [(2048u64, 32u64), (8192, 32), (8192, 128)] {
+            let phase = gmt_sim::workload::chma_phase(w * nodes as u64, l, 0.5, nodes);
+            let (ns, _) = scaled_phase_time(MachineParams::gmt(), nodes, phase, 4096, 11);
+            // Accesses = steps; ops per step = 2.5 at 50% hit rate.
+            let accesses = (w * nodes as u64 * l) as f64;
+            let maccess = accesses * 1e3 / ns as f64;
+            println!("{:>6} {:>8} {:>6} {:>14.2}", nodes, w, l, maccess);
+            rows.push((nodes, w, l, maccess));
+        }
+    }
+    rows
+}
+
+/// Figure 11: CHMA throughput for MPI — two or more orders of magnitude
+/// below GMT (fine-grained blocking request/reply per access).
+pub fn fig11() -> Vec<(usize, u64, f64)> {
+    println!("\n=== Figure 11: CHMA MPI throughput (M accesses/s) ===");
+    println!("(paper: 2+ orders of magnitude below GMT)");
+    println!("{:>6} {:>8} {:>6} {:>14}", "nodes", "W", "L", "Maccesses/s");
+    let mut rows = Vec::new();
+    for nodes in [2usize, 8, 32, 128] {
+        let (w, l) = (32u64, 128u64); // one process per core
+        let phase = gmt_sim::workload::chma_phase(w * nodes as u64, l, 0.5, nodes);
+        let (ns, _) = scaled_phase_time(MachineParams::mpi(), nodes, phase, 4096, 13);
+        let accesses = (w * nodes as u64 * l) as f64;
+        let maccess = accesses * 1e3 / ns as f64;
+        println!("{:>6} {:>8} {:>6} {:>14.2}", nodes, w, l, maccess);
+        rows.push((nodes, w, maccess));
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_switch_measurement_is_plausible() {
+        // A few hundred cycles, like the paper's Table III; virtualized
+        // hosts can be slower, so accept a generous window.
+        let c = measure_ctx_switch(8, 200);
+        assert!(c > 20.0, "implausibly fast switch: {c} cycles");
+        assert!(c < 20_000.0, "implausibly slow switch: {c} cycles");
+    }
+
+    #[test]
+    fn table2_anchor_points() {
+        let rows = table2();
+        let (_, r128) = rows[0];
+        assert!((r128[0] - 72.26).abs() / 72.26 < 0.15, "128B 32-proc: {}", r128[0]);
+        let (_, r64k) = rows[rows.len() - 1];
+        assert!((r64k[0] - 2815.0).abs() / 2815.0 < 0.15, "64KiB 32-proc: {}", r64k[0]);
+    }
+
+    #[test]
+    fn fig5_shape_small_scale() {
+        // Shape assertions on a reduced sweep (full sweep runs in the
+        // figures binary): more tasks => more bandwidth; saturation near
+        // the paper's 72 MB/s for 8-byte puts.
+        let bw = |tasks: u64| {
+            simulate(
+                MachineParams::gmt(),
+                2,
+                Phase::one_sender(tasks, 16, OpPattern::remote_put(8)),
+                7,
+            )
+            .payload_mb_s()
+        };
+        let low = bw(1024);
+        let high = bw(15360);
+        assert!(high > low * 3.0, "no concurrency gain: {low} -> {high}");
+        assert!((5.0..30.0).contains(&low), "1024-task point: {low} MB/s (paper 8.55)");
+        assert!((40.0..110.0).contains(&high), "15360-task point: {high} MB/s (paper 72.48)");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ablations (DESIGN.md §9) — design choices the paper fixed, swept
+// ---------------------------------------------------------------------
+
+/// Ablation studies over the GMT machine model:
+/// aggregation on/off, buffer size, flush timeout, worker/helper split.
+pub fn ablations() -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let phase = |tasks: u64| Phase::one_sender(tasks, 24, OpPattern::remote_put(8));
+
+    println!("\n=== Ablation A: aggregation on/off (8 B puts, 2 nodes, MB/s) ===");
+    println!("{:>8} {:>14} {:>14} {:>8}", "tasks", "aggregated", "per-message", "gain");
+    for tasks in [256u64, 4096, 15360] {
+        let on = simulate(MachineParams::gmt(), 2, phase(tasks), 3).payload_mb_s();
+        let off =
+            simulate(MachineParams::gmt_no_aggregation(), 2, phase(tasks), 3).payload_mb_s();
+        println!("{:>8} {:>14.2} {:>14.2} {:>7.1}x", tasks, on, off, on / off);
+        out.push((format!("agg_on_{tasks}"), on));
+        out.push((format!("agg_off_{tasks}"), off));
+    }
+
+    println!("\n=== Ablation B: aggregation buffer size (8 B puts, 4096 tasks, MB/s) ===");
+    println!("(Table IV fixes 64 KiB)");
+    println!("{:>10} {:>14} {:>12}", "buffer", "MB/s", "messages");
+    for buf in [1024u32, 4096, 16384, 65536, 262144] {
+        let mut p = MachineParams::gmt();
+        p.aggregation.as_mut().unwrap().buffer_bytes = buf;
+        let r = simulate(p, 2, phase(4096), 3);
+        println!("{:>10} {:>14.2} {:>12}", buf, r.payload_mb_s(), r.messages);
+        out.push((format!("buffer_{buf}"), r.payload_mb_s()));
+    }
+
+    println!("\n=== Ablation C: flush timeout (8 B puts, MB/s) ===");
+    println!("{:>12} {:>14} {:>14}", "timeout us", "256 tasks", "15360 tasks");
+    for timeout_us in [50u64, 150, 450, 1350, 4050] {
+        let mut p = MachineParams::gmt();
+        p.aggregation.as_mut().unwrap().timeout_ns = timeout_us * 1000;
+        let low = simulate(p, 2, phase(256), 3).payload_mb_s();
+        let high = simulate(p, 2, phase(15360), 3).payload_mb_s();
+        println!("{:>12} {:>14.2} {:>14.2}", timeout_us, low, high);
+        out.push((format!("timeout_{timeout_us}_low"), low));
+        out.push((format!("timeout_{timeout_us}_high"), high));
+    }
+
+    println!("\n=== Ablation D: worker/helper split, 30 specialized threads (MB/s) ===");
+    println!("(Table IV fixes 15/15; symmetric traffic needs symmetric service)");
+    println!("{:>14} {:>14}", "workers/helpers", "MB/s");
+    for workers in [5usize, 10, 15, 20, 25] {
+        let mut p = MachineParams::gmt();
+        p.workers_per_node = workers;
+        p.helpers_per_node = 30 - workers;
+        // Symmetric all-nodes traffic so helpers matter.
+        let ph = Phase::all_nodes(4096, 24, OpPattern::remote_put(8));
+        let r = simulate(p, 2, ph, 3);
+        println!("{:>7}/{:<6} {:>14.2}", workers, 30 - workers, r.payload_mb_s());
+        out.push((format!("split_{workers}"), r.payload_mb_s()));
+    }
+    out
+}

@@ -1,0 +1,24 @@
+//! # gmt-bench — experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation:
+//!
+//! | Experiment | Function | Method |
+//! |---|---|---|
+//! | Table II | [`experiments::table2`] | closed-form network model |
+//! | Table III | [`experiments::table3`] | real cycle measurement (`gmt-context`) |
+//! | Table IV | [`experiments::table4`] | configuration dump |
+//! | Figure 2 | [`experiments::fig2`] | closed form + DES cross-check |
+//! | Figure 5 | [`experiments::fig5`] | DES, 2 nodes, task sweep |
+//! | Figure 6 | [`experiments::fig6`] | DES, 128 nodes |
+//! | Figure 7 | [`experiments::fig7`] | trace-driven DES, BFS weak scaling |
+//! | Figure 8 | [`experiments::fig8`] | trace-driven DES, BFS strong scaling |
+//! | Figure 9 | [`experiments::fig9`] | DES, GRW weak scaling (GMT vs MPI) |
+//! | Figure 10 | [`experiments::fig10`] | DES, CHMA GMT throughput |
+//! | Figure 11 | [`experiments::fig11`] | DES, CHMA MPI throughput |
+//!
+//! Run `cargo run --release -p gmt-bench --bin figures -- <exp|all>`.
+//! Criterion benches (`cargo bench`) cover the real-runtime
+//! microbenchmarks (context switch, fabric bandwidth, aggregation
+//! pipeline, in-process kernels).
+
+pub mod experiments;

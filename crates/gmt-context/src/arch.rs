@@ -1,0 +1,199 @@
+//! Architecture-specific context switch.
+//!
+//! The switch saves only what the System V x86_64 ABI requires a callee to
+//! preserve — `rbx`, `rbp`, `r12`–`r15` — plus the stack pointer; the
+//! instruction pointer travels implicitly through the `ret` at the end of
+//! the switch. There is deliberately no floating-point state, no segment
+//! state and, unlike `swapcontext(3)`, **no signal-mask save/restore** —
+//! that system call is what makes the libc path two orders of magnitude
+//! slower than this one.
+//!
+//! Safety model: a context is a raw stack pointer ([`StackPointer`]) that
+//! must point either at a frame previously written by [`switch`] or at a
+//! frame produced by [`init_stack`]. The safe wrapper in [`crate::coro`]
+//! maintains this invariant.
+
+use core::arch::naked_asm;
+
+/// An opaque saved execution context: the stack pointer of a suspended
+/// coroutine (or of a suspended scheduler). The six callee-saved registers
+/// live on the stack just below this address.
+pub type StackPointer = *mut u8;
+
+/// Entry function invoked on a fresh coroutine stack.
+///
+/// Receives the two data words planted in the initial frame by
+/// [`init_stack`] (conventionally: closure environment and control block).
+pub type EntryFn = unsafe extern "sysv64" fn(*mut u8, *mut u8) -> !;
+
+#[cfg(target_arch = "x86_64")]
+mod imp {
+    use super::*;
+
+    /// Saves the current context into `*save` and resumes the context in
+    /// `restore`.
+    ///
+    /// Layout of a saved frame, from the saved stack pointer upward:
+    /// `[r15][r14][r13][r12][rbx][rbp][return address]`.
+    ///
+    /// # Safety
+    ///
+    /// * `save` must be valid for a write of one pointer.
+    /// * `restore` must be a context produced by a previous `switch` save
+    ///   or by [`init_stack`], whose stack is still alive and not currently
+    ///   executing on any thread.
+    #[unsafe(naked)]
+    pub unsafe extern "sysv64" fn switch(save: *mut StackPointer, restore: StackPointer) {
+        naked_asm!(
+            // Save callee-saved registers on the current stack.
+            "push rbp",
+            "push rbx",
+            "push r12",
+            "push r13",
+            "push r14",
+            "push r15",
+            // Publish the suspended context.
+            "mov [rdi], rsp",
+            // Adopt the target context.
+            "mov rsp, rsi",
+            "pop r15",
+            "pop r14",
+            "pop r13",
+            "pop r12",
+            "pop rbx",
+            "pop rbp",
+            "ret",
+        )
+    }
+
+    /// First instructions ever executed on a fresh coroutine stack.
+    ///
+    /// [`init_stack`] plants the two data words in `r12`/`r13`; this shim
+    /// moves them into the first two argument registers and tail-jumps into
+    /// the Rust entry point. `jmp` (not `call`) keeps the stack layout
+    /// exactly as a normal function prologue expects (`rsp % 16 == 8`).
+    #[unsafe(naked)]
+    pub unsafe extern "sysv64" fn bootstrap_trampoline() {
+        naked_asm!(
+            "mov rdi, r12",
+            "mov rsi, r13",
+            "mov rax, rbx", // entry function pointer
+            "jmp rax",
+        )
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+compile_error!(
+    "gmt-context currently implements its custom context switch for x86_64 only \
+     (the reproduction host); port `arch.rs` to add another architecture"
+);
+
+pub use imp::{bootstrap_trampoline, switch};
+
+/// Number of machine words in the bootstrap frame:
+/// `r15 r14 r13 r12 rbx rbp` + return address + one alignment pad word.
+///
+/// The pad keeps the stack pointer congruent to `8 (mod 16)` when control
+/// arrives in the entry function, exactly as if it had been entered by a
+/// `call` — compilers rely on that for aligned SSE spills, and getting it
+/// wrong only blows up when something (e.g. the panic machinery) issues a
+/// `movaps` relative to `rsp`.
+const FRAME_WORDS: usize = 8;
+
+/// Prepares a fresh stack so that the first [`switch`] into the returned
+/// [`StackPointer`] lands in `entry(data0, data1)`.
+///
+/// `stack_top` must be the one-past-the-end address of a live stack
+/// allocation, 16-byte aligned.
+///
+/// # Safety
+///
+/// `stack_top` must point at least `FRAME_WORDS * 8` writable bytes *below*
+/// it, owned by the caller for the lifetime of the coroutine, and `entry`
+/// must never return (it must `switch` away instead).
+pub unsafe fn init_stack(
+    stack_top: *mut u8,
+    entry: EntryFn,
+    data0: *mut u8,
+    data1: *mut u8,
+) -> StackPointer {
+    debug_assert_eq!(stack_top as usize % 16, 0, "stack top must be 16-byte aligned");
+    let top = stack_top.cast::<usize>();
+    // Frame grows downward from the top; index FRAME_WORDS-1 is the pad.
+    //
+    // After `switch` pops the six registers, `ret` consumes the return
+    // address word and jumps into `bootstrap_trampoline` with
+    // `rsp == stack_top - 8`, i.e. `rsp % 16 == 8` — the alignment every
+    // function entered via `call` expects. The trampoline `jmp`s (does not
+    // push), so `entry` observes the same call-style alignment.
+    let frame = top.sub(FRAME_WORDS);
+    frame.add(0).write(0); // r15
+    frame.add(1).write(0); // r14
+    frame.add(2).write(data1 as usize); // r13
+    frame.add(3).write(data0 as usize); // r12
+    frame.add(4).write(entry as usize); // rbx: real entry, read by trampoline
+    frame.add(5).write(0); // rbp: terminate backtraces
+    frame.add(6).write(bootstrap_trampoline as *const () as usize); // return address
+    frame.add(7).write(0); // alignment pad (see FRAME_WORDS)
+    frame.cast::<u8>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stack::Stack;
+    use std::cell::Cell;
+
+    thread_local! {
+        static SEEN: Cell<usize> = const { Cell::new(0) };
+    }
+
+    /// One-shot entry: records `value`, then switches back to the caller.
+    ///
+    /// `main_slot` points at the variable the starting `switch` saved the
+    /// caller's context into — `switch` publishes `*save` before it
+    /// transfers control, so the slot is already filled when we run.
+    unsafe extern "sysv64" fn entry_once(value: *mut u8, main_slot: *mut u8) -> ! {
+        SEEN.with(|s| s.set(value as usize));
+        let main_ctx = unsafe { *main_slot.cast::<StackPointer>() };
+        let mut dead: StackPointer = core::ptr::null_mut();
+        unsafe { switch(&mut dead, main_ctx) };
+        unreachable!("resumed a finished raw context");
+    }
+
+    #[test]
+    fn raw_switch_roundtrip() {
+        let stack = Stack::new(32 * 1024).unwrap();
+        let mut main_ctx: StackPointer = core::ptr::null_mut();
+        let ctx = unsafe {
+            init_stack(
+                stack.top(),
+                entry_once,
+                42usize as *mut u8,
+                (&mut main_ctx as *mut StackPointer).cast(),
+            )
+        };
+        unsafe { switch(&mut main_ctx, ctx) };
+        assert_eq!(SEEN.with(|s| s.get()), 42);
+    }
+
+    #[test]
+    fn raw_switch_many_stacks() {
+        // Start a handful of one-shot contexts back to back on one thread.
+        for i in 0..32usize {
+            let stack = Stack::new(32 * 1024).unwrap();
+            let mut main_ctx: StackPointer = core::ptr::null_mut();
+            let ctx = unsafe {
+                init_stack(
+                    stack.top(),
+                    entry_once,
+                    i as *mut u8,
+                    (&mut main_ctx as *mut StackPointer).cast(),
+                )
+            };
+            unsafe { switch(&mut main_ctx, ctx) };
+            assert_eq!(SEEN.with(|s| s.get()), i);
+        }
+    }
+}

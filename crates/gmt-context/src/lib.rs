@@ -1,0 +1,48 @@
+//! Lightweight stackful coroutines for the GMT runtime.
+//!
+//! GMT hides remote-memory latency by multiplexing up to 1024 user-level
+//! tasks on every worker thread. Whenever a task issues a blocking remote
+//! operation the worker switches to another ready task; the switch must
+//! therefore be *much* cheaper than the network round trip it hides
+//! (~500 cycles vs ~10^6 cycles in the paper, Table III).
+//!
+//! The paper achieves this with custom context-switch primitives that skip
+//! the expensive parts of the libc `swapcontext` path (most notably the
+//! `sigprocmask` system call). This crate reproduces that design:
+//!
+//! * [`arch`] — a hand-written context switch that saves/restores only the
+//!   callee-saved register set and the stack pointer (x86_64 System V),
+//! * [`stack`] — heap-allocated coroutine stacks with debug-mode canaries,
+//! * [`coro`] — the safe [`Coroutine`]/[`Yielder`] API on top,
+//! * [`time`] — cycle counters used to reproduce Table III.
+//!
+//! # Example
+//!
+//! ```
+//! use gmt_context::{Coroutine, Resume};
+//!
+//! let mut co = Coroutine::new(16 * 1024, |y| {
+//!     let mut acc = 0u64;
+//!     for i in 0..3 {
+//!         acc += i;
+//!         y.yield_now();
+//!     }
+//!     acc
+//! })
+//! .unwrap();
+//!
+//! assert_eq!(co.resume(), Resume::Yielded); // i = 0
+//! assert_eq!(co.resume(), Resume::Yielded); // i = 1
+//! assert_eq!(co.resume(), Resume::Yielded); // i = 2
+//! assert_eq!(co.resume(), Resume::Finished);
+//! assert_eq!(co.take_result(), Some(3));
+//! ```
+
+pub mod arch;
+pub mod coro;
+pub mod stack;
+pub mod time;
+
+pub use coro::{Coroutine, CoroutineState, Resume, Yielder};
+pub use stack::{Stack, StackError, DEFAULT_STACK_SIZE, MIN_STACK_SIZE};
+pub use time::{cycles_now, CycleTimer};

@@ -1,0 +1,83 @@
+//! Cycle-accurate timing used to reproduce the paper's Table III
+//! (context-switch latency in clock cycles).
+
+/// Reads the processor timestamp counter.
+///
+/// On the paper's measurement methodology the switch cost is reported in
+/// clock cycles; `rdtsc` is the natural counter on x86_64 (constant-rate on
+/// every CPU of the last decade).
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+pub fn cycles_now() -> u64 {
+    // Safety: RDTSC is unprivileged and has no memory effects.
+    unsafe { core::arch::x86_64::_rdtsc() }
+}
+
+/// A simple elapsed-cycles timer.
+#[derive(Debug, Clone, Copy)]
+pub struct CycleTimer {
+    start: u64,
+}
+
+impl CycleTimer {
+    /// Starts the timer.
+    #[inline(always)]
+    pub fn start() -> Self {
+        CycleTimer { start: cycles_now() }
+    }
+
+    /// Cycles elapsed since [`CycleTimer::start`].
+    #[inline(always)]
+    pub fn elapsed(&self) -> u64 {
+        cycles_now().saturating_sub(self.start)
+    }
+}
+
+/// Estimates the TSC frequency in Hz by spinning for ~50 ms.
+///
+/// Used only for converting cycle measurements to human-readable rates in
+/// benchmark reports; the paper's tables stay in cycles.
+pub fn estimate_tsc_hz() -> u64 {
+    use std::time::{Duration, Instant};
+    let wall = Instant::now();
+    let c0 = cycles_now();
+    let target = Duration::from_millis(50);
+    while wall.elapsed() < target {
+        std::hint::spin_loop();
+    }
+    let cycles = cycles_now().saturating_sub(c0);
+    let nanos = wall.elapsed().as_nanos().max(1) as u64;
+    cycles.saturating_mul(1_000_000_000) / nanos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_are_monotonic_enough() {
+        let a = cycles_now();
+        let b = cycles_now();
+        // rdtsc is constant-rate and monotonic on a single core.
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn timer_measures_work() {
+        let t = CycleTimer::start();
+        let mut x = 0u64;
+        for i in 0..10_000u64 {
+            x = x.wrapping_add(i * i);
+        }
+        std::hint::black_box(x);
+        assert!(t.elapsed() > 0);
+    }
+
+    #[test]
+    fn tsc_frequency_is_plausible() {
+        let hz = estimate_tsc_hz();
+        // Any machine this runs on is between 100 MHz and 10 GHz.
+        assert!(hz > 100_000_000, "TSC estimate too low: {hz}");
+        assert!(hz < 10_000_000_000, "TSC estimate too high: {hz}");
+    }
+}

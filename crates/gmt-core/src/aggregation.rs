@@ -1,0 +1,539 @@
+//! Multi-level command aggregation (the paper's Figure 3 and §IV-C).
+//!
+//! The pipeline, exactly as in the paper:
+//!
+//! 1. Each worker/helper thread owns per-destination **command blocks**
+//!    (pre-aggregation): commands are encoded into the block without any
+//!    synchronization.
+//! 2. A block is pushed into the node-wide, per-destination **aggregation
+//!    queue** when it is full (entries or bytes) or older than a timeout.
+//! 3. When an aggregation queue holds a buffer's worth of commands (or
+//!    times out), the noticing thread pops blocks and packs them into a
+//!    pooled **aggregation buffer**.
+//! 4. The filled buffer goes into the thread's **channel queue** (SPSC to
+//!    the communication server), which sends it over the fabric and
+//!    recycles the buffer.
+//!
+//! Blocks and buffers come from fixed pools and are recycled "to save
+//! memory space and eliminate allocation overhead".
+
+use crate::command::Command;
+use crate::NodeId;
+use crossbeam::queue::{ArrayQueue, SegQueue};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Per-destination aggregation queue: command blocks from all threads of a
+/// node, bound for one remote node.
+pub struct AggQueue {
+    blocks: SegQueue<Vec<u8>>,
+    /// Total encoded bytes currently queued.
+    bytes: AtomicUsize,
+    /// Monotonic ns timestamp of the oldest unaggregated push (0 = none).
+    oldest_push_ns: AtomicU64,
+}
+
+impl AggQueue {
+    fn new() -> Self {
+        AggQueue {
+            blocks: SegQueue::new(),
+            bytes: AtomicUsize::new(0),
+            oldest_push_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Bytes of commands waiting in this queue.
+    pub fn queued_bytes(&self) -> usize {
+        self.bytes.load(Ordering::Relaxed)
+    }
+}
+
+/// SPSC-style channel between one worker/helper thread and the
+/// communication server, with its fixed buffer pool.
+pub struct ChannelQueue {
+    /// Filled aggregation buffers awaiting transmission.
+    filled: ArrayQueue<(NodeId, Vec<u8>)>,
+    /// Recycled empty buffers.
+    free: ArrayQueue<Vec<u8>>,
+}
+
+impl ChannelQueue {
+    fn new(num_buffers: usize, buffer_size: usize) -> Self {
+        let free = ArrayQueue::new(num_buffers);
+        for _ in 0..num_buffers {
+            free.push(Vec::with_capacity(buffer_size)).expect("pool fits");
+        }
+        ChannelQueue { filled: ArrayQueue::new(num_buffers), free }
+    }
+
+    /// Communication-server side: takes the next filled buffer.
+    pub fn pop_filled(&self) -> Option<(NodeId, Vec<u8>)> {
+        self.filled.pop()
+    }
+
+    /// Communication-server side: returns an empty buffer to the pool.
+    pub fn return_buffer(&self, mut buf: Vec<u8>) {
+        buf.clear();
+        // Pool capacity equals the number of buffers in circulation, so
+        // this cannot fail unless a foreign buffer is returned.
+        self.free.push(buf).expect("buffer pool overflow");
+    }
+
+    /// Number of filled buffers waiting.
+    pub fn backlog(&self) -> usize {
+        self.filled.len()
+    }
+}
+
+/// Counters exposed for tests, benchmarks and ablations.
+#[derive(Debug, Default)]
+pub struct AggStats {
+    pub commands: AtomicU64,
+    pub blocks_pushed: AtomicU64,
+    pub buffers_filled: AtomicU64,
+    /// Buffers dispatched due to timeout rather than being full.
+    pub timeout_flushes: AtomicU64,
+}
+
+/// Node-wide shared aggregation state.
+pub struct AggShared {
+    buffer_size: usize,
+    cmd_block_entries: usize,
+    cmd_block_timeout_ns: u64,
+    aggregation_timeout_ns: u64,
+    start: Instant,
+    queues: Vec<AggQueue>,
+    block_pool: ArrayQueue<Vec<u8>>,
+    channels: Vec<ChannelQueue>,
+    pub stats: AggStats,
+}
+
+impl AggShared {
+    /// `destinations` = number of nodes in the cluster (the self entry
+    /// exists but stays unused); `threads` = workers + helpers.
+    pub fn new(
+        destinations: usize,
+        threads: usize,
+        num_buf_per_channel: usize,
+        buffer_size: usize,
+        cmd_block_entries: usize,
+        cmd_block_timeout_ns: u64,
+        aggregation_timeout_ns: u64,
+    ) -> Arc<Self> {
+        // Enough recycled blocks for every thread to have one per
+        // destination, plus slack while blocks sit in aggregation queues.
+        let pool_cap = (threads * destinations * 2).max(16);
+        let block_pool = ArrayQueue::new(pool_cap);
+        Arc::new(AggShared {
+            buffer_size,
+            cmd_block_entries,
+            cmd_block_timeout_ns,
+            aggregation_timeout_ns,
+            start: Instant::now(),
+            queues: (0..destinations).map(|_| AggQueue::new()).collect(),
+            block_pool,
+            channels: (0..threads)
+                .map(|_| ChannelQueue::new(num_buf_per_channel, buffer_size))
+                .collect(),
+            stats: AggStats::default(),
+        })
+    }
+
+    #[inline]
+    fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    /// The channel queue of thread `idx` (communication-server side).
+    pub fn channel(&self, idx: usize) -> &ChannelQueue {
+        &self.channels[idx]
+    }
+
+    /// Number of channel queues (== worker + helper threads).
+    pub fn channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// The aggregation queue for destination `dst` (introspection).
+    pub fn queue(&self, dst: NodeId) -> &AggQueue {
+        &self.queues[dst]
+    }
+
+    fn take_block(&self) -> Vec<u8> {
+        self.block_pool.pop().unwrap_or_else(|| Vec::with_capacity(self.buffer_size / 4))
+    }
+
+    fn recycle_block(&self, mut block: Vec<u8>) {
+        block.clear();
+        let _ = self.block_pool.push(block); // drop if pool is full
+    }
+}
+
+/// A thread-local command block being filled for one destination.
+struct ActiveBlock {
+    buf: Vec<u8>,
+    entries: usize,
+    born_ns: u64,
+}
+
+/// Per-thread front end of the aggregation pipeline.
+///
+/// Owned by exactly one worker or helper thread; `emit` requires `&mut`
+/// and touches only thread-local state until a block is handed off.
+pub struct CommandSink {
+    shared: Arc<AggShared>,
+    /// This thread's channel-queue index.
+    chan: usize,
+    active: Vec<Option<ActiveBlock>>,
+}
+
+impl CommandSink {
+    pub fn new(shared: Arc<AggShared>, chan: usize) -> Self {
+        let dests = shared.queues.len();
+        CommandSink { shared, chan, active: (0..dests).map(|_| None).collect() }
+    }
+
+    /// Appends `cmd` to the command block for `dst` (step 2 of Figure 3),
+    /// handing the block to the aggregation queue if it fills up.
+    pub fn emit(&mut self, dst: NodeId, cmd: &Command<'_>) {
+        let size = cmd.encoded_len();
+        assert!(
+            size <= self.shared.buffer_size,
+            "command of {size} bytes exceeds aggregation buffer size {}",
+            self.shared.buffer_size
+        );
+        self.shared.stats.commands.fetch_add(1, Ordering::Relaxed);
+        // A command never splits across blocks: push the block first if
+        // this one would overflow it.
+        if let Some(active) = &self.active[dst] {
+            if active.buf.len() + size > self.shared.buffer_size {
+                self.push_block(dst);
+            }
+        }
+        let now = self.shared.now_ns();
+        let active = self.active[dst].get_or_insert_with(|| ActiveBlock {
+            buf: self.shared.take_block(),
+            entries: 0,
+            born_ns: now,
+        });
+        cmd.encode(&mut active.buf);
+        active.entries += 1;
+        if active.entries >= self.shared.cmd_block_entries
+            || active.buf.len() >= self.shared.buffer_size
+        {
+            self.push_block(dst);
+        }
+    }
+
+    /// Moves the active block for `dst` into the aggregation queue
+    /// (step 3), triggering aggregation if a buffer's worth is ready.
+    fn push_block(&mut self, dst: NodeId) {
+        let Some(active) = self.active[dst].take() else { return };
+        if active.buf.is_empty() {
+            self.shared.recycle_block(active.buf);
+            return;
+        }
+        let shared = &self.shared;
+        let q = &shared.queues[dst];
+        let len = active.buf.len();
+        q.blocks.push(active.buf);
+        q.bytes.fetch_add(len, Ordering::AcqRel);
+        // Stamp *after* the push, unconditionally. Invariant: a non-empty
+        // queue eventually has a non-zero stamp — only `aggregate` stores
+        // zero, and it rechecks emptiness afterwards. (A CAS-if-zero here
+        // loses against a concurrent drain: the CAS fails on the stale
+        // stamp, the drain misses our block and resets to zero, and the
+        // block would never time out.)
+        q.oldest_push_ns.store(shared.now_ns().max(1), Ordering::Release);
+        shared.stats.blocks_pushed.fetch_add(1, Ordering::Relaxed);
+        if q.bytes.load(Ordering::Acquire) >= shared.buffer_size {
+            self.aggregate(dst, false);
+        }
+    }
+
+    /// Packs queued blocks for `dst` into one aggregation buffer and hands
+    /// it to this thread's channel queue (steps 4–8 of Figure 3).
+    fn aggregate(&self, dst: NodeId, timeout_flush: bool) {
+        let shared = &self.shared;
+        let chan = &shared.channels[self.chan];
+        let q = &shared.queues[dst];
+        // Acquire a pooled buffer; the communication server recycles them,
+        // so spin-yield until one is free (bounded by send latency).
+        let mut buf = loop {
+            if let Some(b) = chan.free.pop() {
+                break b;
+            }
+            std::thread::yield_now();
+        };
+        debug_assert!(buf.is_empty());
+        while buf.len() < shared.buffer_size {
+            match q.blocks.pop() {
+                Some(block) => {
+                    if buf.len() + block.len() <= shared.buffer_size {
+                        q.bytes.fetch_sub(block.len(), Ordering::AcqRel);
+                        buf.extend_from_slice(&block);
+                        shared.recycle_block(block);
+                    } else {
+                        // Does not fit: requeue and stop. Reordering is
+                        // fine — GMT does not order independent commands.
+                        let len = block.len();
+                        q.blocks.push(block);
+                        // The queue is still non-empty; keep its timestamp.
+                        let _ = len;
+                        break;
+                    }
+                }
+                None => break,
+            }
+        }
+        if q.blocks.is_empty() {
+            q.oldest_push_ns.store(0, Ordering::Release);
+            // Close the race with a producer that pushed between the
+            // emptiness check and the reset: restore a stamp if anything
+            // is queued now (see the invariant note in `push_block`).
+            if !q.blocks.is_empty() {
+                q.oldest_push_ns.store(shared.now_ns().max(1), Ordering::Release);
+            }
+        } else {
+            q.oldest_push_ns.store(shared.now_ns().max(1), Ordering::Release);
+        }
+        if buf.is_empty() {
+            chan.free.push(buf).expect("buffer pool overflow");
+            return;
+        }
+        shared.stats.buffers_filled.fetch_add(1, Ordering::Relaxed);
+        if timeout_flush {
+            shared.stats.timeout_flushes.fetch_add(1, Ordering::Relaxed);
+        }
+        // Hand to the communication server. The pool bounds in-flight
+        // buffers, so this cannot overflow unless buffers leak.
+        let mut item = (dst, buf);
+        loop {
+            match chan.filled.push(item) {
+                Ok(()) => break,
+                Err(back) => {
+                    item = back;
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Periodic maintenance, called from the owning thread's main loop:
+    /// pushes aged command blocks and drains aged aggregation queues.
+    pub fn pump(&mut self) {
+        let now = self.shared.now_ns();
+        for dst in 0..self.active.len() {
+            let aged = matches!(&self.active[dst], Some(a) if a.entries > 0
+                && now.saturating_sub(a.born_ns) >= self.shared.cmd_block_timeout_ns);
+            if aged {
+                self.push_block(dst);
+            }
+            let q = &self.shared.queues[dst];
+            let oldest = q.oldest_push_ns.load(Ordering::Acquire);
+            if oldest != 0 && now.saturating_sub(oldest) >= self.shared.aggregation_timeout_ns {
+                self.aggregate(dst, true);
+            }
+        }
+    }
+
+    /// Pushes every active block and drains every queue this thread can
+    /// see — used at shutdown and by tests.
+    pub fn flush_all(&mut self) {
+        for dst in 0..self.active.len() {
+            self.push_block(dst);
+            while self.shared.queues[dst].queued_bytes() > 0 {
+                self.aggregate(dst, true);
+            }
+        }
+    }
+
+    /// Immediately pushes the active block for `dst` (no aggregation).
+    pub fn flush_block(&mut self, dst: NodeId) {
+        self.push_block(dst);
+    }
+
+    pub fn shared(&self) -> &Arc<AggShared> {
+        &self.shared
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_shared(buffer_size: usize, entries: usize) -> Arc<AggShared> {
+        AggShared::new(3, 2, 4, buffer_size, entries, u64::MAX / 2, u64::MAX / 2)
+    }
+
+    fn ack(token: u64) -> Command<'static> {
+        Command::Ack { token }
+    }
+
+    /// Drains one channel like the communication server would, returning
+    /// (dst, decoded command count) per buffer.
+    fn drain(shared: &AggShared, chan: usize) -> Vec<(NodeId, usize)> {
+        let mut out = Vec::new();
+        while let Some((dst, buf)) = shared.channel(chan).pop_filled() {
+            let n = crate::command::CommandIter::new(&buf).count();
+            out.push((dst, n));
+            shared.channel(chan).return_buffer(buf);
+        }
+        out
+    }
+
+    #[test]
+    fn commands_accumulate_in_thread_local_block() {
+        let shared = test_shared(1024, 100);
+        let mut sink = CommandSink::new(Arc::clone(&shared), 0);
+        for i in 0..10 {
+            sink.emit(1, &ack(i));
+        }
+        // Nothing pushed yet: block not full, no timeout.
+        assert_eq!(shared.queue(1).queued_bytes(), 0);
+        assert_eq!(shared.stats.commands.load(Ordering::Relaxed), 10);
+        assert_eq!(shared.stats.blocks_pushed.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn full_block_moves_to_aggregation_queue() {
+        let shared = test_shared(4096, 4);
+        let mut sink = CommandSink::new(Arc::clone(&shared), 0);
+        for i in 0..4 {
+            sink.emit(2, &ack(i));
+        }
+        assert_eq!(shared.stats.blocks_pushed.load(Ordering::Relaxed), 1);
+        // 4 acks × 9 bytes each, below buffer size: no aggregation yet.
+        assert_eq!(shared.queue(2).queued_bytes(), 36);
+        assert!(drain(&shared, 0).is_empty());
+    }
+
+    #[test]
+    fn buffer_threshold_triggers_aggregation() {
+        // Buffer of 64 bytes; each ack is 9 bytes; blocks of 2 commands.
+        let shared = test_shared(64, 2);
+        let mut sink = CommandSink::new(Arc::clone(&shared), 0);
+        for i in 0..8 {
+            sink.emit(1, &ack(i));
+        }
+        // 4 blocks × 18 bytes = 72 ≥ 64 → aggregation fired.
+        let drained = drain(&shared, 0);
+        assert_eq!(drained.len(), 1);
+        let (dst, n) = drained[0];
+        assert_eq!(dst, 1);
+        // 64-byte buffer fits 3 blocks (54 bytes) = 6 commands.
+        assert_eq!(n, 6);
+        // The 4th block was requeued.
+        assert_eq!(shared.queue(1).queued_bytes(), 18);
+    }
+
+    #[test]
+    fn flush_all_delivers_every_command() {
+        let shared = test_shared(128, 5);
+        let mut sink = CommandSink::new(Arc::clone(&shared), 1);
+        let mut emitted = 0;
+        for dst in [0usize, 1, 2] {
+            for i in 0..13 {
+                sink.emit(dst, &ack(i));
+                emitted += 1;
+            }
+        }
+        sink.flush_all();
+        let mut total = 0;
+        for (_, n) in drain(&shared, 1) {
+            total += n;
+        }
+        assert_eq!(total, emitted);
+        for dst in 0..3 {
+            assert_eq!(shared.queue(dst).queued_bytes(), 0);
+        }
+    }
+
+    #[test]
+    fn pump_flushes_aged_blocks_and_queues() {
+        let shared = AggShared::new(2, 1, 4, 1024, 100, /*block timeout*/ 0, /*agg timeout*/ 0);
+        let mut sink = CommandSink::new(Arc::clone(&shared), 0);
+        sink.emit(1, &ack(42));
+        // Timeouts of zero: the next pump must push and aggregate.
+        sink.pump();
+        let drained = drain(&shared, 0);
+        assert_eq!(drained, vec![(1, 1)]);
+        assert_eq!(shared.stats.timeout_flushes.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn large_commands_get_their_own_blocks() {
+        let shared = test_shared(256, 1000);
+        let mut sink = CommandSink::new(Arc::clone(&shared), 0);
+        let data = vec![7u8; 200];
+        let cmd = Command::Put { token: 0, array: 1, offset: 0, data: &data };
+        sink.emit(1, &cmd); // 229 bytes: nearly fills a block
+        sink.emit(1, &cmd); // would overflow: first block pushed
+        sink.flush_all();
+        let total: usize = drain(&shared, 0).iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds aggregation buffer")]
+    fn oversized_command_is_rejected() {
+        let shared = test_shared(256, 10);
+        let mut sink = CommandSink::new(Arc::clone(&shared), 0);
+        let data = vec![0u8; 1000];
+        sink.emit(1, &Command::Put { token: 0, array: 1, offset: 0, data: &data });
+    }
+
+    #[test]
+    fn buffers_are_recycled_not_leaked() {
+        let shared = test_shared(64, 1);
+        let mut sink = CommandSink::new(Arc::clone(&shared), 0);
+        // Many rounds; each round drains like the comm server.
+        for round in 0..50 {
+            for i in 0..8 {
+                sink.emit(1, &ack(round * 8 + i));
+            }
+            sink.flush_all();
+            let n: usize = drain(&shared, 0).iter().map(|&(_, n)| n).sum();
+            assert_eq!(n, 8, "round {round}");
+        }
+        assert_eq!(shared.stats.commands.load(Ordering::Relaxed), 400);
+    }
+
+    #[test]
+    fn multiple_threads_share_aggregation_queue() {
+        let shared = test_shared(100_000, 1); // every command becomes a block
+        let s1 = Arc::clone(&shared);
+        let s2 = Arc::clone(&shared);
+        let t1 = std::thread::spawn(move || {
+            let mut sink = CommandSink::new(s1, 0);
+            for i in 0..500 {
+                sink.emit(1, &Command::Ack { token: i });
+            }
+        });
+        let t2 = std::thread::spawn(move || {
+            let mut sink = CommandSink::new(s2, 1);
+            for i in 500..1000 {
+                sink.emit(1, &Command::Ack { token: i });
+            }
+        });
+        t1.join().unwrap();
+        t2.join().unwrap();
+        // 1000 blocks of 9 bytes queued; drain via a third sink.
+        let mut sink = CommandSink::new(Arc::clone(&shared), 0);
+        sink.flush_all();
+        let mut tokens: Vec<u64> = Vec::new();
+        for chan in 0..shared.channels() {
+            while let Some((_, buf)) = shared.channel(chan).pop_filled() {
+                for cmd in crate::command::CommandIter::new(&buf) {
+                    if let Command::Ack { token } = cmd {
+                        tokens.push(token);
+                    }
+                }
+                shared.channel(chan).return_buffer(buf);
+            }
+        }
+        tokens.sort_unstable();
+        assert_eq!(tokens, (0..1000).collect::<Vec<_>>());
+    }
+}

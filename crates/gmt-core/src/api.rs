@@ -1,0 +1,532 @@
+//! The GMT application programming interface (the paper's Table I).
+//!
+//! Every GMT primitive is a method on [`TaskCtx`], the context handed to
+//! each task. Blocking primitives suspend the *task* (never the worker
+//! thread): the task registers its expected completions, yields, and is
+//! re-readied when the last reply arrives. Non-blocking primitives return
+//! immediately; [`TaskCtx::wait_commands`] drains them (per §III-D it
+//! waits for *all* pending operations of the task, not a specific one).
+//!
+//! | Paper primitive | Here |
+//! |---|---|
+//! | `gmt_alloc` / `gmt_free` | [`TaskCtx::alloc`] / [`TaskCtx::free`] |
+//! | `gmt_put` / `gmt_get` | [`TaskCtx::put`] / [`TaskCtx::get`] |
+//! | `gmt_putNB` / `gmt_getNB` | [`TaskCtx::put_nb`] / [`TaskCtx::get_nb`] |
+//! | `gmt_putValue(NB)` / `gmt_getValue` | [`TaskCtx::put_value`]`(_nb)` / [`TaskCtx::get_value`] |
+//! | `gmt_atomicAdd` / `gmt_atomicCAS` | [`TaskCtx::atomic_add`] / [`TaskCtx::atomic_cas`] |
+//! | `gmt_waitCommands` | [`TaskCtx::wait_commands`] |
+//! | `gmt_parFor` | [`TaskCtx::parfor`] / [`TaskCtx::parfor_args`] |
+
+use crate::command::Command;
+use crate::handle::{Distribution, GmtArray, Layout};
+use crate::runtime::NodeShared;
+use crate::task::{token_from, Itb, ParForBody, ParentRef, TaskControl};
+use crate::tls;
+use crate::value::Scalar;
+use crate::NodeId;
+use gmt_context::Yielder;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Task-creation locality policy (§III-C): where the tasks of a parallel
+/// loop are spawned, mirroring the data-distribution policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpawnPolicy {
+    /// Spread iterations across all nodes (`GMT_SPAWN_PARTITION`).
+    Partition,
+    /// Keep all iterations on the calling node (`GMT_SPAWN_LOCAL`).
+    Local,
+    /// Spread iterations across all *other* nodes (`GMT_SPAWN_REMOTE`);
+    /// degenerates to `Local` on a 1-node cluster.
+    Remote,
+}
+
+/// Execution context of a GMT task.
+///
+/// Obtained from [`NodeHandle::run`](crate::runtime::NodeHandle::run) or
+/// inside a [`TaskCtx::parfor`] body; borrows the worker-side state of the
+/// current task, so it cannot be sent anywhere — exactly like the
+/// implicit task context of the C API.
+pub struct TaskCtx<'a> {
+    node: &'a Arc<NodeShared>,
+    ctl: &'a Arc<TaskControl>,
+    yielder: &'a Yielder,
+}
+
+impl<'a> TaskCtx<'a> {
+    pub(crate) fn new(
+        node: &'a Arc<NodeShared>,
+        ctl: &'a Arc<TaskControl>,
+        yielder: &'a Yielder,
+    ) -> Self {
+        TaskCtx { node, ctl, yielder }
+    }
+
+    /// Id of the node this task is executing on.
+    pub fn node_id(&self) -> NodeId {
+        self.node.node_id
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn nodes(&self) -> usize {
+        self.node.nodes
+    }
+
+    /// The node's runtime configuration.
+    pub fn config(&self) -> &crate::config::Config {
+        &self.node.config
+    }
+
+    fn layout(&self, arr: &GmtArray) -> Layout {
+        arr.layout(self.node.nodes)
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation
+    // ------------------------------------------------------------------
+
+    /// Allocates `nbytes` of zero-initialized global memory with the given
+    /// distribution (the paper's `gmt_alloc`). Blocks until every node has
+    /// installed its segment.
+    pub fn alloc(&self, nbytes: u64, dist: Distribution) -> GmtArray {
+        let me = self.node.node_id;
+        let id = self.node.cluster.next_alloc_id.fetch_add(1, Ordering::Relaxed);
+        let arr = GmtArray::new(id, nbytes, dist, me);
+        let layout = self.layout(&arr);
+        self.node.memory.alloc(id, &layout, me);
+        for dst in 0..self.node.nodes {
+            if dst == me {
+                continue;
+            }
+            self.ctl.add_pending(1);
+            let token = token_from(self.ctl);
+            self.emit(
+                dst,
+                &Command::Alloc { token, id, nbytes, dist: dist.to_u8(), origin: me as u32 },
+            );
+        }
+        self.wait_commands();
+        arr
+    }
+
+    /// Releases a global array on every node (the paper's `gmt_free`).
+    pub fn free(&self, arr: GmtArray) {
+        let me = self.node.node_id;
+        self.node.memory.free(arr.id);
+        for dst in 0..self.node.nodes {
+            if dst == me {
+                continue;
+            }
+            self.ctl.add_pending(1);
+            let token = token_from(self.ctl);
+            self.emit(dst, &Command::Free { token, id: arr.id });
+        }
+        self.wait_commands();
+    }
+
+    // ------------------------------------------------------------------
+    // Data movement
+    // ------------------------------------------------------------------
+
+    /// Non-blocking put: copies `data` into the array starting at byte
+    /// `offset` (the paper's `gmt_putNB`). `data` is captured into the
+    /// command immediately, so the buffer can be reused on return; use
+    /// [`TaskCtx::wait_commands`] to await completion.
+    pub fn put_nb(&self, arr: &GmtArray, offset: u64, data: &[u8]) {
+        if data.is_empty() {
+            return;
+        }
+        let layout = self.layout(arr);
+        let me = self.node.node_id;
+        let max = self.node.config.max_inline_payload() as u64;
+        for ext in layout.extents(offset, data.len() as u64) {
+            let base = (ext.global_offset - offset) as usize;
+            let slice = &data[base..base + ext.len as usize];
+            if ext.node == me {
+                self.node
+                    .memory
+                    .with(arr.id, |s| s.write(ext.segment_offset as usize, slice));
+                continue;
+            }
+            // Split oversized transfers so each command fits one buffer.
+            let mut done = 0u64;
+            while done < ext.len {
+                let take = (ext.len - done).min(max) as usize;
+                self.ctl.add_pending(1);
+                let token = token_from(self.ctl);
+                self.emit(
+                    ext.node,
+                    &Command::Put {
+                        token,
+                        array: arr.id,
+                        offset: ext.segment_offset + done,
+                        data: &slice[done as usize..done as usize + take],
+                    },
+                );
+                done += take as u64;
+            }
+        }
+    }
+
+    /// Blocking put (the paper's `gmt_put`): on return the data is
+    /// globally visible.
+    pub fn put(&self, arr: &GmtArray, offset: u64, data: &[u8]) {
+        self.put_nb(arr, offset, data);
+        self.wait_commands();
+    }
+
+    /// Blocking get (the paper's `gmt_get`): fills `dest` from the array
+    /// starting at byte `offset`.
+    pub fn get(&self, arr: &GmtArray, offset: u64, dest: &mut [u8]) {
+        // Safety: we wait for completion below, so the raw destination
+        // pointers die only after the last reply wrote through them.
+        unsafe { self.get_nb(arr, offset, dest) };
+        self.wait_commands();
+    }
+
+    /// Non-blocking get (the paper's `gmt_getNB`).
+    ///
+    /// # Safety
+    ///
+    /// `dest` must stay valid and untouched until a subsequent
+    /// [`TaskCtx::wait_commands`] on this task returns — replies write
+    /// into it from helper threads. (The C API has the same contract,
+    /// just without the keyword.)
+    pub unsafe fn get_nb(&self, arr: &GmtArray, offset: u64, dest: &mut [u8]) {
+        if dest.is_empty() {
+            return;
+        }
+        let layout = self.layout(arr);
+        let me = self.node.node_id;
+        let max = self.node.config.max_inline_payload() as u64;
+        for ext in layout.extents(offset, dest.len() as u64) {
+            let base = (ext.global_offset - offset) as usize;
+            if ext.node == me {
+                let slice = &mut dest[base..base + ext.len as usize];
+                self.node
+                    .memory
+                    .with(arr.id, |s| s.read(ext.segment_offset as usize, slice));
+                continue;
+            }
+            let mut done = 0u64;
+            while done < ext.len {
+                let take = (ext.len - done).min(max);
+                let dst_ptr = dest[base + done as usize..].as_mut_ptr() as u64;
+                self.ctl.add_pending(1);
+                let token = token_from(self.ctl);
+                self.emit(
+                    ext.node,
+                    &Command::Get {
+                        token,
+                        array: arr.id,
+                        offset: ext.segment_offset + done,
+                        len: take as u32,
+                        dest: dst_ptr,
+                    },
+                );
+                done += take;
+            }
+        }
+    }
+
+    /// Blocking typed store of element `index` (the paper's
+    /// `gmt_putValue`).
+    pub fn put_value<T: Scalar>(&self, arr: &GmtArray, index: u64, value: T) {
+        self.put_value_nb(arr, index, value);
+        self.wait_commands();
+    }
+
+    /// Non-blocking typed store (the paper's `gmt_putValueNB`).
+    pub fn put_value_nb<T: Scalar>(&self, arr: &GmtArray, index: u64, value: T) {
+        let mut buf = [0u8; 16];
+        let buf = &mut buf[..T::SIZE];
+        value.write_le(buf);
+        self.put_nb(arr, index * T::SIZE as u64, buf);
+    }
+
+    /// Blocking typed load of element `index` (the paper's
+    /// `gmt_getValue`).
+    pub fn get_value<T: Scalar>(&self, arr: &GmtArray, index: u64) -> T {
+        let mut buf = [0u8; 16];
+        let buf = &mut buf[..T::SIZE];
+        self.get(arr, index * T::SIZE as u64, buf);
+        T::read_le(buf)
+    }
+
+    // ------------------------------------------------------------------
+    // Synchronization
+    // ------------------------------------------------------------------
+
+    /// Atomically adds `delta` to the 64-bit word at byte `offset`,
+    /// returning the previous value (the paper's `gmt_atomicAdd`).
+    /// `offset` must be 8-byte aligned.
+    pub fn atomic_add(&self, arr: &GmtArray, offset: u64, delta: i64) -> i64 {
+        assert_eq!(offset % 8, 0, "atomic_add requires 8-byte alignment");
+        let layout = self.layout(arr);
+        let (owner, seg_off) = layout.locate(offset);
+        if owner == self.node.node_id {
+            return self.node.memory.with(arr.id, |s| s.atomic_add(seg_off as usize, delta));
+        }
+        let mut old: i64 = 0;
+        let dest = &mut old as *mut i64 as u64;
+        self.ctl.add_pending(1);
+        let token = token_from(self.ctl);
+        self.emit(owner, &Command::Add { token, array: arr.id, offset: seg_off, delta, dest });
+        self.wait_commands();
+        old
+    }
+
+    /// Fire-and-forget atomic add: like [`TaskCtx::atomic_add`] but
+    /// non-blocking and without returning the old value — the natural
+    /// primitive for histogram-style concurrent accumulation. Completion
+    /// is awaited by [`TaskCtx::wait_commands`].
+    pub fn atomic_add_nb(&self, arr: &GmtArray, offset: u64, delta: i64) {
+        assert_eq!(offset % 8, 0, "atomic_add_nb requires 8-byte alignment");
+        let layout = self.layout(arr);
+        let (owner, seg_off) = layout.locate(offset);
+        if owner == self.node.node_id {
+            self.node.memory.with(arr.id, |s| {
+                s.atomic_add(seg_off as usize, delta);
+            });
+            return;
+        }
+        self.ctl.add_pending(1);
+        let token = token_from(self.ctl);
+        // dest = 0: the reply acknowledges completion but stores nothing.
+        self.emit(owner, &Command::Add { token, array: arr.id, offset: seg_off, delta, dest: 0 });
+    }
+
+    /// Atomic compare-and-swap on the 64-bit word at byte `offset`,
+    /// returning the previous value (the paper's `gmt_atomicCAS`); the
+    /// swap happened iff the return equals `expected`.
+    pub fn atomic_cas(&self, arr: &GmtArray, offset: u64, expected: i64, new: i64) -> i64 {
+        assert_eq!(offset % 8, 0, "atomic_cas requires 8-byte alignment");
+        let layout = self.layout(arr);
+        let (owner, seg_off) = layout.locate(offset);
+        if owner == self.node.node_id {
+            return self
+                .node
+                .memory
+                .with(arr.id, |s| s.atomic_cas(seg_off as usize, expected, new));
+        }
+        let mut old: i64 = 0;
+        let dest = &mut old as *mut i64 as u64;
+        self.ctl.add_pending(1);
+        let token = token_from(self.ctl);
+        self.emit(
+            owner,
+            &Command::Cas { token, array: arr.id, offset: seg_off, expected, new, dest },
+        );
+        self.wait_commands();
+        old
+    }
+
+    /// Gathers the elements at `indices` with one non-blocking get per
+    /// element, overlapping all of them (this is the access pattern GMT's
+    /// aggregation was built for: a large batch of fine-grained reads at
+    /// unpredictable offsets becomes a few network buffers).
+    pub fn gather<T: Scalar>(&self, arr: &GmtArray, indices: &[u64]) -> Vec<T> {
+        let mut raw = vec![0u8; indices.len() * T::SIZE];
+        for (slot, &i) in indices.iter().enumerate() {
+            // Safety: `raw` outlives the wait below and is not read until
+            // every reply has landed.
+            unsafe {
+                self.get_nb(arr, i * T::SIZE as u64, &mut raw[slot * T::SIZE..(slot + 1) * T::SIZE]);
+            }
+        }
+        self.wait_commands();
+        raw.chunks_exact(T::SIZE).map(T::read_le).collect()
+    }
+
+    /// Scatters `(index, value)` pairs with non-blocking puts, then waits
+    /// for global visibility.
+    pub fn scatter<T: Scalar>(&self, arr: &GmtArray, pairs: &[(u64, T)]) {
+        for &(i, v) in pairs {
+            self.put_value_nb(arr, i, v);
+        }
+        self.wait_commands();
+    }
+
+    /// Suspends the task until every previously issued operation of this
+    /// task has completed (the paper's `gmt_waitCommands`).
+    pub fn wait_commands(&self) {
+        while self.ctl.pending() != 0 {
+            // The worker runs the park protocol after the yield; the
+            // intent flag tells it this is a blocking yield. Spurious
+            // wakeups are tolerated by the re-check.
+            self.ctl.set_park_intent();
+            self.yielder.yield_now();
+        }
+    }
+
+    /// Cooperatively yields to other tasks on this worker.
+    pub fn yield_now(&self) {
+        self.yielder.yield_now();
+    }
+
+    // ------------------------------------------------------------------
+    // Parallelism
+    // ------------------------------------------------------------------
+
+    /// Parallel loop (the paper's `gmt_parFor`): executes `f(ctx, i)` for
+    /// every `i in 0..iters`, `chunk` iterations per task, with tasks
+    /// placed per `policy`. Suspends the calling task until all
+    /// iterations complete (§III-B). Nesting is allowed.
+    pub fn parfor<F>(&self, policy: SpawnPolicy, iters: u64, chunk: u32, f: F)
+    where
+        F: Fn(&TaskCtx<'_>, u64) + Send + Sync + 'static,
+    {
+        self.parfor_args(policy, iters, chunk, &[], move |ctx, i, _| f(ctx, i));
+    }
+
+    /// Parallel loop with an explicit argument buffer, exactly like the C
+    /// `gmt_parFor(it, chunk, func, args, locality)`: `args` is copied
+    /// once per destination node and passed to every iteration.
+    pub fn parfor_args<F>(&self, policy: SpawnPolicy, iters: u64, chunk: u32, args: &[u8], f: F)
+    where
+        F: Fn(&TaskCtx<'_>, u64, &[u8]) + Send + Sync + 'static,
+    {
+        if iters == 0 {
+            return;
+        }
+        let chunk = chunk.max(1);
+        let me = self.node.node_id;
+        let body = Arc::new(ParForBody { f: Box::new(f) });
+        let args_arc: Arc<[u8]> = Arc::from(args);
+        for (dst, start, count) in split_iterations(policy, iters, self.node.nodes, me) {
+            debug_assert!(count > 0);
+            self.ctl.add_pending(1);
+            let token = token_from(self.ctl);
+            if dst == me {
+                self.node.itb_queue.push(Itb::new(
+                    Arc::clone(&body),
+                    Arc::clone(&args_arc),
+                    start,
+                    count,
+                    chunk,
+                    ParentRef { node: me, token },
+                ));
+            } else {
+                self.emit(
+                    dst,
+                    &Command::Spawn {
+                        token,
+                        body: ParForBody::to_wire(&body),
+                        start,
+                        count,
+                        chunk,
+                        args,
+                    },
+                );
+            }
+        }
+        self.wait_commands();
+    }
+
+    #[inline]
+    fn emit(&self, dst: NodeId, cmd: &Command<'_>) {
+        debug_assert_ne!(dst, self.node.node_id, "local ops never become commands");
+        tls::with_sink(|s| s.emit(dst, cmd));
+    }
+}
+
+impl std::fmt::Debug for TaskCtx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskCtx").field("node", &self.node.node_id).finish()
+    }
+}
+
+/// Splits `iters` iterations across nodes per the spawn policy, returning
+/// `(node, start, count)` triples with `count > 0`.
+pub(crate) fn split_iterations(
+    policy: SpawnPolicy,
+    iters: u64,
+    nodes: usize,
+    me: NodeId,
+) -> Vec<(NodeId, u64, u64)> {
+    match policy {
+        SpawnPolicy::Local => vec![(me, 0, iters)],
+        SpawnPolicy::Partition => {
+            let block = iters.div_ceil(nodes as u64);
+            (0..nodes)
+                .filter_map(|n| {
+                    let start = n as u64 * block;
+                    if start >= iters {
+                        None
+                    } else {
+                        Some((n, start, (iters - start).min(block)))
+                    }
+                })
+                .collect()
+        }
+        SpawnPolicy::Remote => {
+            if nodes == 1 {
+                return vec![(me, 0, iters)];
+            }
+            let others: Vec<NodeId> = (0..nodes).filter(|&n| n != me).collect();
+            let block = iters.div_ceil(others.len() as u64);
+            others
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &n)| {
+                    let start = i as u64 * block;
+                    if start >= iters {
+                        None
+                    } else {
+                        Some((n, start, (iters - start).min(block)))
+                    }
+                })
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_partition_covers_all_iterations() {
+        for nodes in [1usize, 2, 3, 7] {
+            for iters in [1u64, 5, 100, 1001] {
+                let parts = split_iterations(SpawnPolicy::Partition, iters, nodes, 0);
+                let total: u64 = parts.iter().map(|&(_, _, c)| c).sum();
+                assert_eq!(total, iters);
+                let mut expected_start = 0;
+                for &(_, start, count) in &parts {
+                    assert_eq!(start, expected_start);
+                    assert!(count > 0);
+                    expected_start += count;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_local_stays_home() {
+        let parts = split_iterations(SpawnPolicy::Local, 42, 8, 3);
+        assert_eq!(parts, vec![(3, 0, 42)]);
+    }
+
+    #[test]
+    fn split_remote_avoids_me() {
+        let parts = split_iterations(SpawnPolicy::Remote, 100, 4, 2);
+        let total: u64 = parts.iter().map(|&(_, _, c)| c).sum();
+        assert_eq!(total, 100);
+        assert!(parts.iter().all(|&(n, _, _)| n != 2));
+        assert_eq!(parts.len(), 3);
+    }
+
+    #[test]
+    fn split_remote_single_node_degenerates() {
+        assert_eq!(split_iterations(SpawnPolicy::Remote, 9, 1, 0), vec![(0, 0, 9)]);
+    }
+
+    #[test]
+    fn split_fewer_iters_than_nodes() {
+        let parts = split_iterations(SpawnPolicy::Partition, 2, 5, 0);
+        let total: u64 = parts.iter().map(|&(_, _, c)| c).sum();
+        assert_eq!(total, 2);
+        assert!(parts.iter().all(|&(_, _, c)| c > 0));
+    }
+}

@@ -1,0 +1,252 @@
+//! Synchronization and reduction utilities built on the GMT primitives.
+//!
+//! The paper's API is deliberately lean: "GMT provides atomic operations
+//! such as gmt_atomicCAS() or gmt_atomicAdd(), enabling implementation of
+//! global synchronization constructs" (§III-E). This module is that
+//! sentence made concrete — counters, barriers and reducers composed from
+//! the Table I primitives, with no new runtime machinery.
+
+use crate::api::TaskCtx;
+use crate::handle::{Distribution, GmtArray};
+
+/// A global 64-bit counter (one word of global memory).
+#[derive(Debug, Clone, Copy)]
+pub struct GlobalCounter {
+    word: GmtArray,
+}
+
+impl GlobalCounter {
+    /// Allocates a counter initialized to zero.
+    pub fn new(ctx: &TaskCtx<'_>, dist: Distribution) -> Self {
+        GlobalCounter { word: ctx.alloc(8, dist) }
+    }
+
+    /// Atomically adds `delta`, returning the previous value.
+    pub fn add(&self, ctx: &TaskCtx<'_>, delta: i64) -> i64 {
+        ctx.atomic_add(&self.word, 0, delta)
+    }
+
+    /// Current value (a racy read, like any concurrent counter).
+    pub fn get(&self, ctx: &TaskCtx<'_>) -> i64 {
+        ctx.atomic_add(&self.word, 0, 0)
+    }
+
+    /// Resets to `value` (callers must ensure quiescence).
+    pub fn set(&self, ctx: &TaskCtx<'_>, value: i64) {
+        ctx.put_value::<i64>(&self.word, 0, value);
+    }
+
+    pub fn free(self, ctx: &TaskCtx<'_>) {
+        ctx.free(self.word);
+    }
+}
+
+/// A sense-reversing barrier for a *fixed* number of participating tasks.
+///
+/// Works across nodes: both words live in global memory and are accessed
+/// with atomics. Participants must all call [`GlobalBarrier::wait`]
+/// the same number of times.
+#[derive(Debug, Clone, Copy)]
+pub struct GlobalBarrier {
+    /// word 0: arrival count; word 1: generation.
+    state: GmtArray,
+    parties: i64,
+}
+
+impl GlobalBarrier {
+    pub fn new(ctx: &TaskCtx<'_>, parties: u64) -> Self {
+        assert!(parties > 0);
+        GlobalBarrier { state: ctx.alloc(16, Distribution::Partition), parties: parties as i64 }
+    }
+
+    /// Blocks the calling task until all `parties` tasks have arrived.
+    pub fn wait(&self, ctx: &TaskCtx<'_>) {
+        let generation = ctx.atomic_add(&self.state, 8, 0);
+        let arrived = ctx.atomic_add(&self.state, 0, 1) + 1;
+        if arrived == self.parties {
+            // Last arrival: reset the count, then advance the generation
+            // (release order matters: count first).
+            ctx.put_value::<i64>(&self.state, 0, 0);
+            ctx.atomic_add(&self.state, 8, 1);
+        } else {
+            while ctx.atomic_add(&self.state, 8, 0) == generation {
+                ctx.yield_now();
+            }
+        }
+    }
+
+    pub fn free(self, ctx: &TaskCtx<'_>) {
+        ctx.free(self.state);
+    }
+}
+
+/// Cluster-wide sum reduction over a slice of a global i64 array,
+/// computed with a partitioned parallel loop (each task accumulates a
+/// chunk locally and contributes one atomic add).
+pub fn reduce_sum(ctx: &TaskCtx<'_>, arr: &GmtArray, elements: u64) -> i64 {
+    if elements == 0 {
+        return 0;
+    }
+    let acc = GlobalCounter::new(ctx, Distribution::Local);
+    let arr = *arr;
+    // Chunked accumulation: one atomic add per task, not per element.
+    let chunk = 64u32;
+    ctx.parfor_args(
+        crate::api::SpawnPolicy::Partition,
+        elements.div_ceil(chunk as u64),
+        4,
+        &[],
+        move |ctx, task_idx, _| {
+            let lo = task_idx * chunk as u64;
+            let hi = (lo + chunk as u64).min(elements);
+            let mut local = 0i64;
+            for i in lo..hi {
+                local = local.wrapping_add(ctx.get_value::<i64>(&arr, i));
+            }
+            if local != 0 {
+                ctx.atomic_add(&acc.word, 0, local);
+            }
+        },
+    );
+    let total = acc.get(ctx);
+    acc.free(ctx);
+    total
+}
+
+/// Cluster-wide max reduction (CAS loop), same structure as
+/// [`reduce_sum`].
+pub fn reduce_max(ctx: &TaskCtx<'_>, arr: &GmtArray, elements: u64) -> i64 {
+    assert!(elements > 0, "max of an empty range");
+    let best = ctx.alloc(8, Distribution::Local);
+    ctx.put_value::<i64>(&best, 0, i64::MIN);
+    let arr = *arr;
+    let chunk = 64u32;
+    ctx.parfor(
+        crate::api::SpawnPolicy::Partition,
+        elements.div_ceil(chunk as u64),
+        4,
+        move |ctx, task_idx| {
+            let lo = task_idx * chunk as u64;
+            let hi = (lo + chunk as u64).min(elements);
+            let mut local = i64::MIN;
+            for i in lo..hi {
+                local = local.max(ctx.get_value::<i64>(&arr, i));
+            }
+            loop {
+                let cur = ctx.atomic_add(&best, 0, 0);
+                if local <= cur || ctx.atomic_cas(&best, 0, cur, local) == cur {
+                    break;
+                }
+            }
+        },
+    );
+    let m = ctx.get_value::<i64>(&best, 0);
+    ctx.free(best);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cluster, Config, SpawnPolicy};
+
+    #[test]
+    fn counter_accumulates_across_nodes() {
+        let cluster = Cluster::start(2, Config::small()).unwrap();
+        let v = cluster.node(0).run(|ctx| {
+            let c = GlobalCounter::new(ctx, Distribution::Remote);
+            ctx.parfor(SpawnPolicy::Partition, 100, 5, move |ctx, _| {
+                c.add(ctx, 2);
+            });
+            let v = c.get(ctx);
+            c.free(ctx);
+            v
+        });
+        cluster.shutdown();
+        assert_eq!(v, 200);
+    }
+
+    #[test]
+    fn barrier_synchronizes_phases() {
+        // Each of 8 tasks increments phase-1 counter, waits, then checks
+        // that every phase-1 increment is visible before phase 2 starts.
+        let cluster = Cluster::start(2, Config::small()).unwrap();
+        let violations = cluster.node(0).run(|ctx| {
+            let parties = 8u64;
+            let bar = GlobalBarrier::new(ctx, parties);
+            let c = GlobalCounter::new(ctx, Distribution::Partition);
+            let bad = GlobalCounter::new(ctx, Distribution::Local);
+            ctx.parfor(SpawnPolicy::Partition, parties, 1, move |ctx, _| {
+                c.add(ctx, 1);
+                bar.wait(ctx);
+                if c.get(ctx) < parties as i64 {
+                    bad.add(ctx, 1);
+                }
+            });
+            let v = bad.get(ctx);
+            bar.free(ctx);
+            c.free(ctx);
+            bad.free(ctx);
+            v
+        });
+        cluster.shutdown();
+        assert_eq!(violations, 0);
+    }
+
+    #[test]
+    fn barrier_is_reusable_across_generations() {
+        let cluster = Cluster::start(2, Config::small()).unwrap();
+        let v = cluster.node(0).run(|ctx| {
+            let parties = 4u64;
+            let bar = GlobalBarrier::new(ctx, parties);
+            let c = GlobalCounter::new(ctx, Distribution::Partition);
+            ctx.parfor(SpawnPolicy::Partition, parties, 1, move |ctx, _| {
+                for _round in 0..3 {
+                    c.add(ctx, 1);
+                    bar.wait(ctx);
+                }
+            });
+            let v = c.get(ctx);
+            bar.free(ctx);
+            c.free(ctx);
+            v
+        });
+        cluster.shutdown();
+        assert_eq!(v, 12);
+    }
+
+    #[test]
+    fn reductions_match_sequential() {
+        let cluster = Cluster::start(3, Config::small()).unwrap();
+        let (sum, max) = cluster.node(0).run(|ctx| {
+            let n = 500u64;
+            let arr = ctx.alloc(n * 8, Distribution::Partition);
+            ctx.parfor(SpawnPolicy::Partition, n, 16, move |ctx, i| {
+                let v = (i as i64 - 250) * 3;
+                ctx.put_value_nb::<i64>(&arr, i, v);
+                ctx.wait_commands();
+            });
+            let s = reduce_sum(ctx, &arr, n);
+            let m = reduce_max(ctx, &arr, n);
+            ctx.free(arr);
+            (s, m)
+        });
+        cluster.shutdown();
+        let expected_sum: i64 = (0..500).map(|i| (i - 250) * 3).sum();
+        assert_eq!(sum, expected_sum);
+        assert_eq!(max, (499 - 250) * 3);
+    }
+
+    #[test]
+    fn reduce_sum_of_empty_range_is_zero() {
+        let cluster = Cluster::start(1, Config::small()).unwrap();
+        let s = cluster.node(0).run(|ctx| {
+            let arr = ctx.alloc(8, Distribution::Local);
+            let s = reduce_sum(ctx, &arr, 0);
+            ctx.free(arr);
+            s
+        });
+        cluster.shutdown();
+        assert_eq!(s, 0);
+    }
+}

@@ -1,0 +1,68 @@
+//! The communication server: a node's single endpoint on the network
+//! (§IV-A, §IV-B).
+//!
+//! It continuously polls every worker/helper channel queue for filled
+//! aggregation buffers, transmits them, recycles the buffers, and funnels
+//! incoming buffers to the helpers. One communication server per node is
+//! a deliberate design point of the paper: multi-threaded MPI performed
+//! poorly (Table II), so GMT relies on aggregation — not endpoint
+//! parallelism — for bandwidth.
+
+use crate::runtime::NodeShared;
+use gmt_net::{Endpoint, Tag};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Fabric tag used for aggregation buffers.
+pub const TAG_AGG: Tag = 1;
+
+/// Entry point of the communication-server thread.
+pub fn comm_main(node: Arc<NodeShared>, endpoint: Endpoint) {
+    let mut idle: u32 = 0;
+    loop {
+        let mut progressed = false;
+        // Outgoing: drain every channel queue.
+        for c in 0..node.agg.channels() {
+            let chan = node.agg.channel(c);
+            while let Some((dst, buf)) = chan.pop_filled() {
+                // The copy models the NIC reading the send buffer; the
+                // pooled buffer itself is recycled immediately, as in the
+                // paper ("returns the aggregation buffer into the pool").
+                let payload = buf.clone();
+                chan.return_buffer(buf);
+                if endpoint.send(dst, TAG_AGG, payload).is_err() {
+                    node.net_errors.fetch_add(1, Ordering::Relaxed);
+                }
+                progressed = true;
+            }
+        }
+        // Incoming: hand received buffers to the helpers.
+        while let Some(pkt) = endpoint.try_recv() {
+            node.helper_in.push((pkt.src, pkt.payload));
+            progressed = true;
+        }
+        if progressed {
+            idle = 0;
+        } else {
+            if node.stopping() {
+                break;
+            }
+            idle = idle.saturating_add(1);
+            if idle < 64 {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        }
+    }
+    // Best-effort final drain so peers unblock during shutdown.
+    for c in 0..node.agg.channels() {
+        let chan = node.agg.channel(c);
+        while let Some((dst, buf)) = chan.pop_filled() {
+            let payload = buf.clone();
+            chan.return_buffer(buf);
+            let _ = endpoint.send(dst, TAG_AGG, payload);
+        }
+    }
+}

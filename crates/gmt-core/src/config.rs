@@ -1,0 +1,169 @@
+//! Runtime configuration (the paper's Table IV).
+
+use gmt_net::NetworkModel;
+
+/// Configuration of one GMT node instance.
+///
+/// The defaults of [`Config::olympus`] mirror Table IV of the paper; the
+/// reproduction host has a single core, so [`Config::small`] scales the
+/// thread counts down while keeping every mechanism (aggregation levels,
+/// task multiplexing, timeouts) in play.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Config {
+    /// Worker threads per node (Table IV: 15).
+    pub num_workers: usize,
+    /// Helper threads per node (Table IV: 15).
+    pub num_helpers: usize,
+    /// Aggregation buffers pre-allocated per channel queue (Table IV: 4).
+    pub num_buf_per_channel: usize,
+    /// Maximum concurrently live tasks per worker (Table IV: 1024).
+    pub max_tasks_per_worker: usize,
+    /// Aggregation buffer size in bytes (Table IV: 65536).
+    pub buffer_size: usize,
+    /// Maximum commands collected in one command block before it is pushed
+    /// to the aggregation queue.
+    pub cmd_block_entries: usize,
+    /// Age (ns) after which a non-empty command block is pushed to the
+    /// aggregation queue even if not full (the paper flushes blocks that
+    /// "have been waiting longer than a predetermined time interval").
+    pub cmd_block_timeout_ns: u64,
+    /// Age (ns) after which an aggregation queue is drained into a buffer
+    /// and sent even if a full buffer's worth has not accumulated.
+    pub aggregation_timeout_ns: u64,
+    /// Stack size for user-level tasks, bytes.
+    pub task_stack_size: usize,
+    /// Network cost model enforced by the fabric, or `None` for instant
+    /// delivery (functional testing).
+    pub network: Option<NetworkModel>,
+}
+
+impl Config {
+    /// The paper's Olympus configuration (Table IV).
+    pub fn olympus() -> Self {
+        Config {
+            num_workers: 15,
+            num_helpers: 15,
+            num_buf_per_channel: 4,
+            max_tasks_per_worker: 1024,
+            buffer_size: 65_536,
+            cmd_block_entries: 64,
+            cmd_block_timeout_ns: 10_000,
+            aggregation_timeout_ns: 30_000,
+            task_stack_size: 64 * 1024,
+            network: Some(NetworkModel::olympus()),
+        }
+    }
+
+    /// A configuration sized for a single-core test host: every mechanism
+    /// enabled, thread counts minimal, instant network delivery.
+    pub fn small() -> Self {
+        Config {
+            num_workers: 2,
+            num_helpers: 1,
+            num_buf_per_channel: 4,
+            max_tasks_per_worker: 64,
+            buffer_size: 8 * 1024,
+            cmd_block_entries: 16,
+            cmd_block_timeout_ns: 5_000,
+            aggregation_timeout_ns: 10_000,
+            task_stack_size: 64 * 1024,
+            network: None,
+        }
+    }
+
+    /// Like [`Config::small`] but with the Olympus network model enforced
+    /// in wall time, for latency-tolerance experiments.
+    pub fn small_throttled() -> Self {
+        Config { network: Some(NetworkModel::olympus()), ..Config::small() }
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_workers == 0 {
+            return Err("num_workers must be at least 1".into());
+        }
+        if self.num_helpers == 0 {
+            return Err("num_helpers must be at least 1".into());
+        }
+        if self.max_tasks_per_worker == 0 {
+            return Err("max_tasks_per_worker must be at least 1".into());
+        }
+        if self.num_buf_per_channel == 0 {
+            return Err("num_buf_per_channel must be at least 1".into());
+        }
+        if self.buffer_size < 256 {
+            return Err(format!("buffer_size {} too small (min 256)", self.buffer_size));
+        }
+        if self.cmd_block_entries == 0 {
+            return Err("cmd_block_entries must be at least 1".into());
+        }
+        if self.task_stack_size < gmt_context::MIN_STACK_SIZE {
+            return Err(format!(
+                "task_stack_size {} below minimum {}",
+                self.task_stack_size,
+                gmt_context::MIN_STACK_SIZE
+            ));
+        }
+        Ok(())
+    }
+
+    /// Largest payload a single put/get command may carry so the command
+    /// still fits in one aggregation buffer; larger transfers are split.
+    pub fn max_inline_payload(&self) -> usize {
+        // Leave generous room for the largest command header.
+        self.buffer_size - 64
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config::small()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn olympus_matches_table_iv() {
+        let c = Config::olympus();
+        assert_eq!(c.num_workers, 15);
+        assert_eq!(c.num_helpers, 15);
+        assert_eq!(c.num_buf_per_channel, 4);
+        assert_eq!(c.max_tasks_per_worker, 1024);
+        assert_eq!(c.buffer_size, 65_536);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn presets_validate() {
+        Config::small().validate().unwrap();
+        Config::small_throttled().validate().unwrap();
+        Config::default().validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        for f in [
+            |c: &mut Config| c.num_workers = 0,
+            |c: &mut Config| c.num_helpers = 0,
+            |c: &mut Config| c.max_tasks_per_worker = 0,
+            |c: &mut Config| c.num_buf_per_channel = 0,
+            |c: &mut Config| c.buffer_size = 16,
+            |c: &mut Config| c.cmd_block_entries = 0,
+            |c: &mut Config| c.task_stack_size = 64,
+        ] {
+            let mut c = Config::small();
+            f(&mut c);
+            assert!(c.validate().is_err(), "accepted bad config {c:?}");
+        }
+    }
+
+    #[test]
+    fn max_inline_payload_fits_buffer() {
+        let c = Config::small();
+        assert!(c.max_inline_payload() < c.buffer_size);
+        assert!(c.max_inline_payload() > c.buffer_size / 2);
+    }
+}

@@ -1,0 +1,333 @@
+//! Global-array handles and data placement.
+//!
+//! A [`GmtArray`] is an opaque handle to memory allocated in the cluster's
+//! global address space (the paper's `gmt_array`). The handle carries
+//! everything any node needs to locate a byte: the allocation id, the total
+//! size and the distribution policy. Programmers never see physical
+//! locations — they address the array by byte offset and the runtime
+//! resolves the owning node (§III-C).
+
+use crate::NodeId;
+
+/// Data-distribution policy for a global allocation (§III-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Distribution {
+    /// Block-distributed uniformly across all nodes
+    /// (`GMT_ALLOC_PARTITION`).
+    Partition,
+    /// Entirely on the allocating node (`GMT_ALLOC_LOCAL`).
+    Local,
+    /// Block-distributed across all nodes *except* the allocating node
+    /// (`GMT_ALLOC_REMOTE`); degenerates to `Local` on a 1-node cluster.
+    Remote,
+}
+
+impl Distribution {
+    pub(crate) fn to_u8(self) -> u8 {
+        match self {
+            Distribution::Partition => 0,
+            Distribution::Local => 1,
+            Distribution::Remote => 2,
+        }
+    }
+
+    pub(crate) fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(Distribution::Partition),
+            1 => Some(Distribution::Local),
+            2 => Some(Distribution::Remote),
+            _ => None,
+        }
+    }
+}
+
+/// A contiguous piece of a global array owned by one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Extent {
+    pub node: NodeId,
+    /// Offset within the global array where this extent starts.
+    pub global_offset: u64,
+    /// Offset within the owning node's segment.
+    pub segment_offset: u64,
+    pub len: u64,
+}
+
+/// Handle to a global array. Cheap to copy; valid on every node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GmtArray {
+    pub(crate) id: u64,
+    pub(crate) nbytes: u64,
+    pub(crate) dist: Distribution,
+    /// Node that performed the allocation (placement anchor for
+    /// `Local`/`Remote`).
+    pub(crate) origin: NodeId,
+}
+
+impl GmtArray {
+    pub(crate) fn new(id: u64, nbytes: u64, dist: Distribution, origin: NodeId) -> Self {
+        GmtArray { id, nbytes, dist, origin }
+    }
+
+    /// Allocation id (unique within a cluster's lifetime).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Total size in bytes.
+    pub fn len(&self) -> u64 {
+        self.nbytes
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nbytes == 0
+    }
+
+    /// Distribution policy this array was allocated with.
+    pub fn distribution(&self) -> Distribution {
+        self.dist
+    }
+
+    /// The layout of this array on a cluster of `nodes` nodes.
+    pub fn layout(&self, nodes: usize) -> Layout {
+        Layout::new(self.nbytes, self.dist, self.origin, nodes)
+    }
+}
+
+/// Resolved placement of an allocation on a concrete cluster size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Layout {
+    nbytes: u64,
+    dist: Distribution,
+    origin: NodeId,
+    nodes: usize,
+    /// Bytes per owning node (block size); 0 for empty arrays.
+    block: u64,
+}
+
+impl Layout {
+    pub fn new(nbytes: u64, dist: Distribution, origin: NodeId, nodes: usize) -> Self {
+        assert!(nodes > 0);
+        assert!(origin < nodes, "origin node out of range");
+        let owners = match dist {
+            Distribution::Partition => nodes as u64,
+            Distribution::Local => 1,
+            Distribution::Remote => (nodes as u64 - 1).max(1),
+        };
+        // Blocks are rounded up to 8-byte multiples so that any aligned
+        // 64-bit word — the granularity of gmt_atomicAdd/CAS — lives
+        // entirely on one node.
+        let block = if nbytes == 0 { 0 } else { nbytes.div_ceil(owners).next_multiple_of(8) };
+        Layout { nbytes, dist, origin, nodes, block }
+    }
+
+    /// Number of owner slots (nodes that may hold a non-empty segment).
+    fn owners(&self) -> u64 {
+        match self.dist {
+            Distribution::Partition => self.nodes as u64,
+            Distribution::Local => 1,
+            Distribution::Remote => (self.nodes as u64 - 1).max(1),
+        }
+    }
+
+    /// Maps an owner slot index to the physical node id.
+    fn slot_to_node(&self, slot: u64) -> NodeId {
+        match self.dist {
+            Distribution::Partition => slot as NodeId,
+            Distribution::Local => self.origin,
+            Distribution::Remote => {
+                if self.nodes == 1 {
+                    self.origin
+                } else {
+                    // Skip the origin node.
+                    let n = slot as NodeId;
+                    if n >= self.origin {
+                        n + 1
+                    } else {
+                        n
+                    }
+                }
+            }
+        }
+    }
+
+    /// Size in bytes of the segment `node` must allocate for this array.
+    pub fn segment_size(&self, node: NodeId) -> u64 {
+        if self.nbytes == 0 {
+            return 0;
+        }
+        let owners = self.owners();
+        // Which slot is this node?
+        let slot = match self.dist {
+            Distribution::Partition => node as u64,
+            Distribution::Local => {
+                if node == self.origin {
+                    0
+                } else {
+                    return 0;
+                }
+            }
+            Distribution::Remote => {
+                if self.nodes == 1 {
+                    if node == self.origin {
+                        0
+                    } else {
+                        return 0;
+                    }
+                } else if node == self.origin {
+                    return 0;
+                } else if node > self.origin {
+                    node as u64 - 1
+                } else {
+                    node as u64
+                }
+            }
+        };
+        if slot >= owners {
+            return 0;
+        }
+        let start = slot * self.block;
+        if start >= self.nbytes {
+            0
+        } else {
+            (self.nbytes - start).min(self.block)
+        }
+    }
+
+    /// Owning node and segment offset for a global byte offset.
+    pub fn locate(&self, offset: u64) -> (NodeId, u64) {
+        assert!(offset < self.nbytes, "offset {offset} out of bounds ({})", self.nbytes);
+        let slot = offset / self.block;
+        (self.slot_to_node(slot), offset % self.block)
+    }
+
+    /// Splits the byte range `[offset, offset + len)` into per-node
+    /// extents, in ascending global-offset order.
+    pub fn extents(&self, offset: u64, len: u64) -> Vec<Extent> {
+        assert!(
+            offset.checked_add(len).is_some_and(|end| end <= self.nbytes),
+            "range [{offset}, {offset}+{len}) out of bounds ({} bytes)",
+            self.nbytes
+        );
+        let mut out = Vec::new();
+        let mut cur = offset;
+        let end = offset + len;
+        while cur < end {
+            let (node, seg_off) = self.locate(cur);
+            let slot_end = (cur / self.block + 1) * self.block;
+            let take = (end - cur).min(slot_end - cur);
+            out.push(Extent { node, global_offset: cur, segment_offset: seg_off, len: take });
+            cur += take;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_blocks_cover_everything_once() {
+        for nodes in [1usize, 2, 3, 5, 8] {
+            for nbytes in [1u64, 7, 64, 100, 1024, 4097] {
+                let l = Layout::new(nbytes, Distribution::Partition, 0, nodes);
+                let total: u64 = (0..nodes).map(|n| l.segment_size(n)).sum();
+                assert_eq!(total, nbytes, "nodes={nodes} nbytes={nbytes}");
+                // Every byte resolves to a node with a valid segment offset.
+                for off in 0..nbytes {
+                    let (node, seg) = l.locate(off);
+                    assert!(node < nodes);
+                    assert!(seg < l.segment_size(node), "off={off}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn local_puts_everything_on_origin() {
+        let l = Layout::new(1000, Distribution::Local, 2, 4);
+        assert_eq!(l.segment_size(2), 1000);
+        for n in [0usize, 1, 3] {
+            assert_eq!(l.segment_size(n), 0);
+        }
+        for off in [0u64, 1, 999] {
+            assert_eq!(l.locate(off), (2, off));
+        }
+    }
+
+    #[test]
+    fn remote_avoids_origin() {
+        let l = Layout::new(999, Distribution::Remote, 1, 4);
+        assert_eq!(l.segment_size(1), 0);
+        let total: u64 = (0..4).map(|n| l.segment_size(n)).sum();
+        assert_eq!(total, 999);
+        for off in 0..999u64 {
+            let (node, _) = l.locate(off);
+            assert_ne!(node, 1, "offset {off} landed on origin");
+        }
+    }
+
+    #[test]
+    fn remote_on_single_node_degenerates_to_local() {
+        let l = Layout::new(64, Distribution::Remote, 0, 1);
+        assert_eq!(l.segment_size(0), 64);
+        assert_eq!(l.locate(63), (0, 63));
+    }
+
+    #[test]
+    fn extents_split_ranges_at_block_boundaries() {
+        // 100 bytes over 3 nodes: ceil(100/3)=34 rounds up to 40-byte
+        // blocks, so segments are 40/40/20.
+        let l = Layout::new(100, Distribution::Partition, 0, 3);
+        assert_eq!(l.segment_size(0), 40);
+        assert_eq!(l.segment_size(1), 40);
+        assert_eq!(l.segment_size(2), 20);
+        let ex = l.extents(30, 40);
+        assert_eq!(ex.len(), 2);
+        assert_eq!(ex[0], Extent { node: 0, global_offset: 30, segment_offset: 30, len: 10 });
+        assert_eq!(ex[1], Extent { node: 1, global_offset: 40, segment_offset: 0, len: 30 });
+        // Whole-array extent walk covers every byte exactly once.
+        let all = l.extents(0, 100);
+        let covered: u64 = all.iter().map(|e| e.len).sum();
+        assert_eq!(covered, 100);
+        for w in all.windows(2) {
+            assert_eq!(w[0].global_offset + w[0].len, w[1].global_offset);
+        }
+    }
+
+    #[test]
+    fn blocks_are_word_aligned_so_atomics_never_straddle_nodes() {
+        for nodes in [2usize, 3, 5, 7] {
+            for nbytes in [64u64, 100, 1000, 4096, 10_001] {
+                let l = Layout::new(nbytes, Distribution::Partition, 0, nodes);
+                for word in 0..(nbytes / 8) {
+                    let ex = l.extents(word * 8, 8);
+                    assert_eq!(ex.len(), 1, "word {word} straddles nodes ({nodes}/{nbytes})");
+                    assert_eq!(ex[0].segment_offset % 8, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn locate_rejects_out_of_bounds() {
+        let l = Layout::new(10, Distribution::Partition, 0, 2);
+        l.locate(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn extents_reject_overflowing_range() {
+        let l = Layout::new(10, Distribution::Partition, 0, 2);
+        l.extents(8, 3);
+    }
+
+    #[test]
+    fn distribution_round_trips_through_wire_encoding() {
+        for d in [Distribution::Partition, Distribution::Local, Distribution::Remote] {
+            assert_eq!(Distribution::from_u8(d.to_u8()), Some(d));
+        }
+        assert_eq!(Distribution::from_u8(77), None);
+    }
+}

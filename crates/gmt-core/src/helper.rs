@@ -1,0 +1,131 @@
+//! Helper threads: manage the global address space and synchronization
+//! (§IV-A). Helpers parse incoming aggregation buffers, execute each
+//! command against local segments, and generate reply commands that flow
+//! back through the same aggregation pipeline.
+
+use crate::aggregation::CommandSink;
+use crate::command::{Command, CommandIter};
+use crate::handle::{Distribution, Layout};
+use crate::runtime::NodeShared;
+use crate::task::{complete_token, Itb, ParForBody, ParentRef};
+use crate::tls;
+use crate::NodeId;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Executes every command in one received aggregation buffer.
+///
+/// `src` is the node the buffer came from (replies go back there).
+fn process_buffer(node: &Arc<NodeShared>, src: NodeId, buf: &[u8], scratch: &mut Vec<u8>) {
+    for cmd in CommandIter::new(buf) {
+        match cmd {
+            // ---- requests: execute against local memory, reply --------
+            Command::Put { token, array, offset, data } => {
+                node.memory.with(array, |s| s.write(offset as usize, data));
+                reply(src, &Command::Ack { token });
+            }
+            Command::Get { token, array, offset, len, dest } => {
+                scratch.clear();
+                scratch.resize(len as usize, 0);
+                node.memory.with(array, |s| s.read(offset as usize, scratch));
+                reply(src, &Command::GetReply { token, dest, data: scratch });
+            }
+            Command::Add { token, array, offset, delta, dest } => {
+                let old = node.memory.with(array, |s| s.atomic_add(offset as usize, delta));
+                reply(src, &Command::AtomicReply { token, dest, old });
+            }
+            Command::Cas { token, array, offset, expected, new, dest } => {
+                let old =
+                    node.memory.with(array, |s| s.atomic_cas(offset as usize, expected, new));
+                reply(src, &Command::AtomicReply { token, dest, old });
+            }
+            Command::Alloc { token, id, nbytes, dist, origin } => {
+                let dist = Distribution::from_u8(dist).expect("valid distribution on wire");
+                let layout = Layout::new(nbytes, dist, origin as NodeId, node.nodes);
+                node.memory.alloc(id, &layout, node.node_id);
+                reply(src, &Command::Ack { token });
+            }
+            Command::Free { token, id } => {
+                node.memory.free(id);
+                reply(src, &Command::Ack { token });
+            }
+            Command::Spawn { token, body, start, count, chunk, args } => {
+                // Safety: the wire pointer carries one strong reference,
+                // minted by the issuing parFor.
+                let body = unsafe { ParForBody::from_wire(body) };
+                node.itb_queue.push(Itb::new(
+                    body,
+                    Arc::from(args),
+                    start,
+                    count,
+                    chunk,
+                    ParentRef { node: src, token },
+                ));
+                // The Ack is sent by whichever worker completes the last
+                // iteration of the block.
+            }
+
+            // ---- replies: complete operations of local tasks ----------
+            Command::Ack { token } => {
+                // Safety: token minted by the issuing task, completed once.
+                unsafe { complete_token(token) };
+            }
+            Command::GetReply { token, dest, data } => {
+                // Safety: `dest` points into the buffer registered by the
+                // issuing task, which stays parked (and its stack alive)
+                // until this completion.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(data.as_ptr(), dest as *mut u8, data.len());
+                    complete_token(token);
+                }
+            }
+            Command::AtomicReply { token, dest, old } => {
+                // Safety: as above; `dest` is an aligned i64 slot on the
+                // parked task's stack (0 = fire-and-forget).
+                unsafe {
+                    if dest != 0 {
+                        (dest as *mut i64).write(old);
+                    }
+                    complete_token(token);
+                }
+            }
+        }
+    }
+}
+
+#[inline]
+fn reply(dst: NodeId, cmd: &Command<'_>) {
+    tls::with_sink(|s| s.emit(dst, cmd));
+}
+
+/// Entry point of a helper thread. `chan` is the index of this helper's
+/// channel queue to the communication server.
+pub fn helper_main(node: Arc<NodeShared>, chan: usize) {
+    tls::install(CommandSink::new(Arc::clone(&node.agg), chan));
+    let mut scratch = Vec::new();
+    let mut idle: u32 = 0;
+    loop {
+        let mut progressed = false;
+        while let Some((src, buf)) = node.helper_in.pop() {
+            process_buffer(&node, src, &buf, &mut scratch);
+            progressed = true;
+        }
+        tls::with_sink(|s| s.pump());
+        if progressed {
+            idle = 0;
+        } else {
+            if node.stopping() {
+                break;
+            }
+            idle = idle.saturating_add(1);
+            if idle < 64 {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        }
+    }
+    if let Some(mut sink) = tls::uninstall() {
+        sink.flush_all();
+    }
+}

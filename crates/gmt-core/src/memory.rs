@@ -1,0 +1,298 @@
+//! Per-node global-memory segments.
+//!
+//! Each node stores its share of every global array in a [`Segment`]. The
+//! paper's helpers "manage the global address space"; here any helper (and,
+//! for node-local accesses, any worker-side task) may touch a segment
+//! concurrently, so all access goes through relaxed atomic loads/stores —
+//! racy GMT programs observe the same word-level outcomes they would on
+//! real shared memory instead of Rust-level undefined behaviour.
+//! Word-width atomics (`atomic_add`, `atomic_cas`) require 8-byte-aligned
+//! offsets, like the hardware they model.
+
+use crate::handle::Layout;
+use crate::NodeId;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+/// One node's storage for one global array.
+pub struct Segment {
+    /// Backing store, 8-byte aligned by construction (`Vec<u64>` words).
+    words: Box<[AtomicU64]>,
+    len: usize,
+}
+
+impl Segment {
+    /// Allocates a zero-initialized segment of `len` bytes.
+    pub fn new(len: usize) -> Self {
+        let nwords = len.div_ceil(8);
+        let words: Box<[AtomicU64]> = (0..nwords).map(|_| AtomicU64::new(0)).collect();
+        Segment { words, len }
+    }
+
+    /// Size in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn byte_ptr(&self) -> *const AtomicU8 {
+        self.words.as_ptr().cast::<AtomicU8>()
+    }
+
+    /// Copies `dst.len()` bytes starting at `offset` into `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the segment.
+    pub fn read(&self, offset: usize, dst: &mut [u8]) {
+        assert!(
+            offset.checked_add(dst.len()).is_some_and(|e| e <= self.len),
+            "segment read [{offset}, {offset}+{}) out of bounds ({} bytes)",
+            dst.len(),
+            self.len
+        );
+        let base = self.byte_ptr();
+        for (i, d) in dst.iter_mut().enumerate() {
+            // Relaxed per-byte atomics: defined behaviour under races, and
+            // word-copy performance is irrelevant next to modeled network
+            // costs.
+            *d = unsafe { &*base.add(offset + i) }.load(Ordering::Relaxed);
+        }
+    }
+
+    /// Copies `src` into the segment starting at `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the segment.
+    pub fn write(&self, offset: usize, src: &[u8]) {
+        assert!(
+            offset.checked_add(src.len()).is_some_and(|e| e <= self.len),
+            "segment write [{offset}, {offset}+{}) out of bounds ({} bytes)",
+            src.len(),
+            self.len
+        );
+        let base = self.byte_ptr();
+        for (i, s) in src.iter().enumerate() {
+            unsafe { &*base.add(offset + i) }.store(*s, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    fn word_at(&self, offset: usize) -> &AtomicU64 {
+        assert_eq!(offset % 8, 0, "atomic access requires 8-byte alignment (offset {offset})");
+        assert!(offset + 8 <= self.len, "atomic access at {offset} out of bounds ({})", self.len);
+        &self.words[offset / 8]
+    }
+
+    /// Atomically adds `delta` to the i64 at `offset`; returns the old
+    /// value (the paper's `gmt_atomicAdd`).
+    pub fn atomic_add(&self, offset: usize, delta: i64) -> i64 {
+        self.word_at(offset).fetch_add(delta as u64, Ordering::AcqRel) as i64
+    }
+
+    /// Atomic compare-and-swap on the i64 at `offset`; returns the old
+    /// value (the paper's `gmt_atomicCAS`).
+    pub fn atomic_cas(&self, offset: usize, expected: i64, new: i64) -> i64 {
+        match self.word_at(offset).compare_exchange(
+            expected as u64,
+            new as u64,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(old) => old as i64,
+            Err(old) => old as i64,
+        }
+    }
+}
+
+impl std::fmt::Debug for Segment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Segment").field("len", &self.len).finish()
+    }
+}
+
+/// All segments owned by one node, keyed by allocation id.
+#[derive(Debug, Default)]
+pub struct NodeMemory {
+    segments: RwLock<HashMap<u64, Segment>>,
+}
+
+impl NodeMemory {
+    pub fn new() -> Self {
+        NodeMemory::default()
+    }
+
+    /// Allocates this node's share of array `id` according to `layout`.
+    /// Zero-sized shares still insert an entry so frees stay symmetric.
+    pub fn alloc(&self, id: u64, layout: &Layout, node: NodeId) {
+        let size = layout.segment_size(node) as usize;
+        let mut map = self.segments.write();
+        let prev = map.insert(id, Segment::new(size));
+        debug_assert!(prev.is_none(), "allocation id {id} reused");
+    }
+
+    /// Frees this node's share of array `id`. Returns whether it existed.
+    pub fn free(&self, id: u64) -> bool {
+        self.segments.write().remove(&id).is_some()
+    }
+
+    /// Runs `f` with the segment for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array is unknown on this node (use-after-free or
+    /// never-allocated — both programming errors in GMT as well).
+    pub fn with<R>(&self, id: u64, f: impl FnOnce(&Segment) -> R) -> R {
+        let map = self.segments.read();
+        let seg = map
+            .get(&id)
+            .unwrap_or_else(|| panic!("global array {id} is not allocated on this node"));
+        f(seg)
+    }
+
+    /// Number of live allocations.
+    pub fn live_allocations(&self) -> usize {
+        self.segments.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handle::Distribution;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let s = Segment::new(64);
+        s.write(5, &[1, 2, 3, 4]);
+        let mut buf = [0u8; 6];
+        s.read(4, &mut buf);
+        assert_eq!(buf, [0, 1, 2, 3, 4, 0]);
+    }
+
+    #[test]
+    fn zero_initialized() {
+        let s = Segment::new(33);
+        let mut buf = vec![0xFFu8; 33];
+        s.read(0, &mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn odd_sized_segment_edges_work() {
+        let s = Segment::new(13);
+        s.write(12, &[9]);
+        let mut b = [0u8];
+        s.read(12, &mut b);
+        assert_eq!(b, [9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn read_past_end_panics() {
+        let s = Segment::new(8);
+        let mut b = [0u8; 4];
+        s.read(6, &mut b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn write_past_end_panics() {
+        let s = Segment::new(8);
+        s.write(7, &[1, 2]);
+    }
+
+    #[test]
+    fn atomic_add_returns_old_value() {
+        let s = Segment::new(16);
+        assert_eq!(s.atomic_add(8, 5), 0);
+        assert_eq!(s.atomic_add(8, -2), 5);
+        assert_eq!(s.atomic_add(8, 0), 3);
+    }
+
+    #[test]
+    fn atomic_cas_success_and_failure() {
+        let s = Segment::new(8);
+        assert_eq!(s.atomic_cas(0, 0, 42), 0); // success: old was 0
+        assert_eq!(s.atomic_cas(0, 0, 99), 42); // failure: old is 42
+        assert_eq!(s.atomic_cas(0, 42, 7), 42); // success
+        let mut b = [0u8; 8];
+        s.read(0, &mut b);
+        assert_eq!(i64::from_le_bytes(b), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "alignment")]
+    fn atomic_requires_alignment() {
+        let s = Segment::new(16);
+        s.atomic_add(3, 1);
+    }
+
+    #[test]
+    fn atomics_and_byte_views_agree_on_le_layout() {
+        let s = Segment::new(8);
+        s.atomic_add(0, 0x0102_0304);
+        let mut b = [0u8; 8];
+        s.read(0, &mut b);
+        assert_eq!(i64::from_le_bytes(b), 0x0102_0304);
+        // Byte-written values are visible to atomics.
+        s.write(0, &(-1i64).to_le_bytes());
+        assert_eq!(s.atomic_add(0, 1), -1);
+    }
+
+    #[test]
+    fn concurrent_atomic_adds_do_not_lose_updates() {
+        let s = std::sync::Arc::new(Segment::new(8));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = std::sync::Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        s.atomic_add(0, 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.atomic_add(0, 0), 40_000);
+    }
+
+    #[test]
+    fn node_memory_alloc_free_lifecycle() {
+        let m = NodeMemory::new();
+        let layout = Layout::new(100, Distribution::Partition, 0, 2);
+        m.alloc(1, &layout, 0);
+        assert_eq!(m.live_allocations(), 1);
+        // ceil(100/2)=50 rounds up to the 56-byte word-aligned block.
+        m.with(1, |s| assert_eq!(s.len(), 56));
+        assert!(m.free(1));
+        assert!(!m.free(1));
+        assert_eq!(m.live_allocations(), 0);
+    }
+
+    #[test]
+    fn non_owner_gets_zero_sized_segment() {
+        let m = NodeMemory::new();
+        let layout = Layout::new(100, Distribution::Local, 1, 2);
+        m.alloc(7, &layout, 0); // node 0 owns nothing
+        m.with(7, |s| assert!(s.is_empty()));
+    }
+
+    #[test]
+    #[should_panic(expected = "not allocated")]
+    fn access_after_free_panics() {
+        let m = NodeMemory::new();
+        let layout = Layout::new(8, Distribution::Partition, 0, 1);
+        m.alloc(3, &layout, 0);
+        m.free(3);
+        m.with(3, |_| ());
+    }
+}

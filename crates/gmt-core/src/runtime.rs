@@ -1,0 +1,257 @@
+//! Node bring-up, thread specialization and the cluster facade.
+//!
+//! "Each node executes an instance of GMT, and the various instances
+//! communicate through commands" (§IV-A). Here a [`Cluster`] hosts all
+//! node instances in one process, wired through a [`gmt_net::Fabric`];
+//! every node runs its configured worker threads, helper threads and the
+//! single communication server, exactly as in Figure 1.
+
+use crate::aggregation::{AggShared, AggStats};
+use crate::commserver;
+use crate::config::Config;
+use crate::helper;
+use crate::task::{Itb, RootTask};
+use crate::worker;
+use crate::{memory::NodeMemory, NodeId};
+use crossbeam::queue::SegQueue;
+use gmt_net::{DeliveryMode, Fabric, TrafficStats};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// State shared by every node of one cluster.
+#[derive(Debug)]
+pub struct ClusterShared {
+    /// Allocation-id source. The real GMT derives unique ids from a
+    /// collective allocation protocol; a process-wide counter is the
+    /// in-process equivalent.
+    pub next_alloc_id: AtomicU64,
+}
+
+/// Everything the threads of one node share.
+pub struct NodeShared {
+    pub node_id: NodeId,
+    pub nodes: usize,
+    pub config: Config,
+    pub memory: NodeMemory,
+    pub agg: Arc<AggShared>,
+    /// Iteration blocks awaiting workers (§IV-D).
+    pub itb_queue: SegQueue<Arc<Itb>>,
+    /// Root tasks submitted from outside the runtime.
+    pub root_queue: SegQueue<RootTask>,
+    /// Received aggregation buffers awaiting helpers: (source node, bytes).
+    pub helper_in: SegQueue<(NodeId, Vec<u8>)>,
+    /// Set once at shutdown.
+    pub stop: AtomicBool,
+    pub cluster: Arc<ClusterShared>,
+    /// Transport failures observed by the communication server.
+    pub net_errors: AtomicU64,
+}
+
+impl NodeShared {
+    pub fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for NodeShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeShared").field("node_id", &self.node_id).finish()
+    }
+}
+
+/// Handle to one node of a running cluster.
+pub struct NodeHandle {
+    shared: Arc<NodeShared>,
+}
+
+impl NodeHandle {
+    /// Submits a root task ("task zero") to this node and blocks the
+    /// calling (external) thread until it completes, returning its result.
+    ///
+    /// The closure runs as a GMT task on one of this node's workers, with
+    /// full access to the GMT API through the provided [`TaskCtx`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task panicked or the runtime shut down under it.
+    ///
+    /// [`TaskCtx`]: crate::api::TaskCtx
+    pub fn run<R, F>(&self, f: F) -> R
+    where
+        R: Send + 'static,
+        F: FnOnce(&crate::api::TaskCtx<'_>) -> R + Send + 'static,
+    {
+        let (tx, rx) = std::sync::mpsc::channel();
+        self.shared.root_queue.push(RootTask {
+            f: Box::new(move |ctx| {
+                let _ = tx.send(f(ctx));
+            }),
+        });
+        rx.recv().expect("GMT root task did not complete (panic or shutdown)")
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.shared.node_id
+    }
+
+    /// Aggregation counters of this node.
+    pub fn agg_stats(&self) -> &AggStats {
+        &self.shared.agg.stats
+    }
+
+    /// Transport failures the communication server observed.
+    pub fn net_errors(&self) -> u64 {
+        self.shared.net_errors.load(Ordering::Relaxed)
+    }
+
+    /// Live global allocations on this node.
+    pub fn live_allocations(&self) -> usize {
+        self.shared.memory.live_allocations()
+    }
+
+    /// Low-level access to the node's shared state (benchmark harness and
+    /// tests; not part of the paper's API surface).
+    pub fn shared(&self) -> &Arc<NodeShared> {
+        &self.shared
+    }
+}
+
+impl std::fmt::Debug for NodeHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeHandle").field("node", &self.shared.node_id).finish()
+    }
+}
+
+/// A running in-process GMT cluster.
+pub struct Cluster {
+    nodes: Vec<NodeHandle>,
+    fabric: Fabric,
+    threads: Vec<JoinHandle<()>>,
+    stopped: bool,
+}
+
+impl Cluster {
+    /// Starts `nodes` GMT node instances with the given per-node config.
+    pub fn start(nodes: usize, config: Config) -> Result<Cluster, String> {
+        if nodes == 0 {
+            return Err("a cluster needs at least one node".into());
+        }
+        config.validate()?;
+        let mode = match config.network {
+            Some(model) => DeliveryMode::Throttled(model),
+            None => DeliveryMode::Instant,
+        };
+        let fabric = Fabric::new(nodes, mode);
+        let cluster_shared = Arc::new(ClusterShared { next_alloc_id: AtomicU64::new(1) });
+        let mut handles = Vec::with_capacity(nodes);
+        let mut threads = Vec::new();
+        for node_id in 0..nodes {
+            let agg = AggShared::new(
+                nodes,
+                config.num_workers + config.num_helpers,
+                config.num_buf_per_channel,
+                config.buffer_size,
+                config.cmd_block_entries,
+                config.cmd_block_timeout_ns,
+                config.aggregation_timeout_ns,
+            );
+            let shared = Arc::new(NodeShared {
+                node_id,
+                nodes,
+                config: config.clone(),
+                memory: NodeMemory::new(),
+                agg,
+                itb_queue: SegQueue::new(),
+                root_queue: SegQueue::new(),
+                helper_in: SegQueue::new(),
+                stop: AtomicBool::new(false),
+                cluster: Arc::clone(&cluster_shared),
+                net_errors: AtomicU64::new(0),
+            });
+            for w in 0..config.num_workers {
+                let s = Arc::clone(&shared);
+                threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("gmt-n{node_id}-w{w}"))
+                        .spawn(move || worker::worker_main(s, w))
+                        .map_err(|e| format!("spawning worker: {e}"))?,
+                );
+            }
+            for h in 0..config.num_helpers {
+                let s = Arc::clone(&shared);
+                let chan = config.num_workers + h;
+                threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("gmt-n{node_id}-h{h}"))
+                        .spawn(move || helper::helper_main(s, chan))
+                        .map_err(|e| format!("spawning helper: {e}"))?,
+                );
+            }
+            let s = Arc::clone(&shared);
+            let ep = fabric.endpoint(node_id);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("gmt-n{node_id}-comm"))
+                    .spawn(move || commserver::comm_main(s, ep))
+                    .map_err(|e| format!("spawning comm server: {e}"))?,
+            );
+            handles.push(NodeHandle { shared });
+        }
+        Ok(Cluster { nodes: handles, fabric, threads, stopped: false })
+    }
+
+    /// Handle to node `i`.
+    pub fn node(&self, i: NodeId) -> &NodeHandle {
+        &self.nodes[i]
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Network traffic counters (messages/bytes per node).
+    pub fn net_stats(&self) -> &TrafficStats {
+        self.fabric.stats()
+    }
+
+    /// The underlying fabric (fault injection in tests).
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Stops every node and joins all runtime threads.
+    ///
+    /// Outstanding root tasks are not awaited: callers own their joins via
+    /// [`NodeHandle::run`]'s blocking behaviour.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.stopped {
+            return;
+        }
+        self.stopped = true;
+        for n in &self.nodes {
+            n.shared.stop.store(true, Ordering::SeqCst);
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster").field("nodes", &self.nodes.len()).finish()
+    }
+}

@@ -1,0 +1,389 @@
+//! Task bookkeeping: completion tokens, parking protocol, iteration blocks.
+//!
+//! A GMT *task* is a coroutine multiplexed on a worker. When a task issues
+//! remote operations it registers how many completions it expects in its
+//! [`TaskControl`], yields, and is re-readied by whichever helper processes
+//! the final reply. The park/wake handshake is the classic two-flag
+//! protocol: the worker publishes "parked" before its final pending check;
+//! the completer decrements pending before its parked check; the single
+//! winner of `parked.swap(false)` requeues the task, so wakeups are
+//! exactly-once even when a reply races the park.
+
+use crate::NodeId;
+use crossbeam::queue::SegQueue;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared handle to a task used for wakeups from any thread of the node.
+pub struct TaskControl {
+    /// Completions still outstanding.
+    pending: AtomicU32,
+    /// Task is suspended waiting for `pending` to reach zero.
+    parked: AtomicBool,
+    /// The next yield is a *blocking* yield (set by `wait_commands` right
+    /// before suspending); distinguishes it from cooperative yields, which
+    /// must simply requeue the task.
+    park_intent: AtomicBool,
+    /// The owning worker's ready queue (slot indices).
+    ready: Arc<SegQueue<usize>>,
+    /// Slot of this task in the owning worker's task table.
+    slot: usize,
+}
+
+impl TaskControl {
+    pub fn new(ready: Arc<SegQueue<usize>>, slot: usize) -> Arc<Self> {
+        Arc::new(TaskControl {
+            pending: AtomicU32::new(0),
+            parked: AtomicBool::new(false),
+            park_intent: AtomicBool::new(false),
+            ready,
+            slot,
+        })
+    }
+
+    /// Task side, right before a blocking yield: the upcoming suspension
+    /// waits on pending completions (as opposed to a cooperative yield).
+    pub fn set_park_intent(&self) {
+        self.park_intent.store(true, Ordering::Relaxed);
+    }
+
+    /// Worker side, after the task yielded: consumes the intent flag.
+    /// (Task and worker share a thread, so relaxed ordering suffices.)
+    pub fn take_park_intent(&self) -> bool {
+        self.park_intent.swap(false, Ordering::Relaxed)
+    }
+
+    /// Slot in the owning worker's task table.
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+
+    /// Registers `n` more expected completions. Called by the issuing task
+    /// *before* the commands become visible to any other thread.
+    pub fn add_pending(&self, n: u32) {
+        self.pending.fetch_add(n, Ordering::AcqRel);
+    }
+
+    /// Outstanding completions right now.
+    pub fn pending(&self) -> u32 {
+        self.pending.load(Ordering::Acquire)
+    }
+
+    /// Completer side: one operation finished. Wakes the task if this was
+    /// the last outstanding operation and the task is parked.
+    pub fn op_completed(&self) {
+        let prev = self.pending.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "op_completed without matching add_pending");
+        if prev == 1 && self.parked.swap(false, Ordering::AcqRel) {
+            self.ready.push(self.slot);
+        }
+    }
+
+    /// Worker side, before suspending: publishes the parked flag and
+    /// re-checks. Returns `true` if the task must actually suspend;
+    /// `false` if every operation already completed (no yield needed, or
+    /// the task should be re-run immediately).
+    pub fn prepare_park(&self) -> bool {
+        if self.pending.load(Ordering::Acquire) == 0 {
+            return false;
+        }
+        self.parked.store(true, Ordering::Release);
+        if self.pending.load(Ordering::Acquire) == 0 {
+            // A completer may have missed the flag; whoever wins the swap
+            // owns the wakeup.
+            if self.parked.swap(false, Ordering::AcqRel) {
+                return false; // we reclaimed the park: run on
+            }
+            // The completer beat us to the swap and already pushed the
+            // slot; we must still yield so the queued wakeup is consumed
+            // by the scheduler, not duplicated.
+        }
+        true
+    }
+}
+
+impl std::fmt::Debug for TaskControl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskControl")
+            .field("slot", &self.slot)
+            .field("pending", &self.pending.load(Ordering::Relaxed))
+            .field("parked", &self.parked.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Mints a wire token carrying one strong reference to `ctl`.
+///
+/// The matching [`complete_token`] consumes the reference, so every minted
+/// token must be completed exactly once.
+pub fn token_from(ctl: &Arc<TaskControl>) -> u64 {
+    Arc::into_raw(Arc::clone(ctl)) as u64
+}
+
+/// Completes one operation for the task identified by `token`.
+///
+/// # Safety
+///
+/// `token` must come from [`token_from`] and not have been completed yet.
+pub unsafe fn complete_token(token: u64) {
+    let ctl = unsafe { Arc::from_raw(token as *const TaskControl) };
+    ctl.op_completed();
+}
+
+/// Type-erased body of a parallel loop, shared by every node executing it.
+///
+/// The real GMT ships a raw function pointer plus an argument buffer
+/// between ranks of one SPMD binary; in-process we ship a raw
+/// `Arc<ParForBody>` pointer, which is the same trust model.
+pub struct ParForBody {
+    #[allow(clippy::type_complexity)]
+    pub f: Box<dyn Fn(&crate::api::TaskCtx<'_>, u64, &[u8]) + Send + Sync>,
+}
+
+impl ParForBody {
+    /// Leaks one strong reference as a wire pointer for a Spawn command.
+    pub fn to_wire(body: &Arc<ParForBody>) -> u64 {
+        Arc::into_raw(Arc::clone(body)) as u64
+    }
+
+    /// Reclaims a wire pointer minted by [`ParForBody::to_wire`].
+    ///
+    /// # Safety
+    ///
+    /// Must be called exactly once per minted pointer.
+    pub unsafe fn from_wire(ptr: u64) -> Arc<ParForBody> {
+        unsafe { Arc::from_raw(ptr as *const ParForBody) }
+    }
+}
+
+/// Where an iteration block reports completion.
+#[derive(Debug, Clone, Copy)]
+pub struct ParentRef {
+    pub node: NodeId,
+    /// Completion token of the parent task (one per Spawn command).
+    pub token: u64,
+}
+
+/// An *iteration block* (§IV-D, Figure 4): a set of loop iterations one
+/// node must execute, peeled chunk by chunk by idle workers.
+pub struct Itb {
+    pub body: Arc<ParForBody>,
+    pub args: Arc<[u8]>,
+    /// Next unclaimed iteration.
+    next: AtomicU64,
+    /// One past the last iteration of this block.
+    end: u64,
+    /// Iterations per spawned task.
+    chunk: u32,
+    /// Iterations not yet completed.
+    remaining: AtomicU64,
+    pub parent: ParentRef,
+}
+
+impl Itb {
+    pub fn new(
+        body: Arc<ParForBody>,
+        args: Arc<[u8]>,
+        start: u64,
+        count: u64,
+        chunk: u32,
+        parent: ParentRef,
+    ) -> Arc<Self> {
+        assert!(chunk > 0, "chunk size must be at least 1");
+        assert!(count > 0, "empty iteration blocks must not be created");
+        Arc::new(Itb {
+            body,
+            args,
+            next: AtomicU64::new(start),
+            end: start + count,
+            chunk,
+            remaining: AtomicU64::new(count),
+            parent,
+        })
+    }
+
+    /// Claims the next chunk of iterations; `None` when exhausted.
+    pub fn claim(&self) -> Option<std::ops::Range<u64>> {
+        loop {
+            let cur = self.next.load(Ordering::Relaxed);
+            if cur >= self.end {
+                return None;
+            }
+            let hi = (cur + self.chunk as u64).min(self.end);
+            if self
+                .next
+                .compare_exchange_weak(cur, hi, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                return Some(cur..hi);
+            }
+        }
+    }
+
+    /// `true` while unclaimed iterations remain.
+    pub fn has_unclaimed(&self) -> bool {
+        self.next.load(Ordering::Acquire) < self.end
+    }
+
+    /// Reports `n` iterations finished; returns `true` exactly once, when
+    /// the whole block is done (caller then notifies the parent).
+    pub fn complete(&self, n: u64) -> bool {
+        let prev = self.remaining.fetch_sub(n, Ordering::AcqRel);
+        debug_assert!(prev >= n, "over-completed iteration block");
+        prev == n
+    }
+}
+
+impl std::fmt::Debug for Itb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Itb")
+            .field("next", &self.next.load(Ordering::Relaxed))
+            .field("end", &self.end)
+            .field("chunk", &self.chunk)
+            .field("remaining", &self.remaining.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// A root task submitted from outside the runtime
+/// (the "task zero" of §IV-D).
+pub struct RootTask {
+    pub f: Box<dyn FnOnce(&crate::api::TaskCtx<'_>) + Send + 'static>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctl() -> (Arc<TaskControl>, Arc<SegQueue<usize>>) {
+        let q = Arc::new(SegQueue::new());
+        (TaskControl::new(Arc::clone(&q), 7), q)
+    }
+
+    #[test]
+    fn completion_without_park_does_not_wake() {
+        let (c, q) = ctl();
+        c.add_pending(1);
+        c.op_completed();
+        assert!(q.pop().is_none());
+        assert_eq!(c.pending(), 0);
+    }
+
+    #[test]
+    fn park_then_complete_wakes_once() {
+        let (c, q) = ctl();
+        c.add_pending(2);
+        assert!(c.prepare_park());
+        c.op_completed();
+        assert!(q.pop().is_none(), "woke before last completion");
+        c.op_completed();
+        assert_eq!(q.pop(), Some(7));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn complete_before_park_skips_suspension() {
+        let (c, q) = ctl();
+        c.add_pending(1);
+        c.op_completed();
+        assert!(!c.prepare_park(), "should not park with nothing pending");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn token_roundtrip_completes() {
+        let (c, q) = ctl();
+        c.add_pending(3);
+        assert!(c.prepare_park());
+        let tokens = [token_from(&c), token_from(&c), token_from(&c)];
+        for t in tokens {
+            unsafe { complete_token(t) };
+        }
+        assert_eq!(q.pop(), Some(7));
+        assert_eq!(c.pending(), 0);
+        // All token references were consumed: only `c` remains.
+        assert_eq!(Arc::strong_count(&c), 1);
+    }
+
+    #[test]
+    fn racing_completers_wake_exactly_once() {
+        for _ in 0..200 {
+            let (c, q) = ctl();
+            c.add_pending(4);
+            assert!(c.prepare_park());
+            let threads: Vec<_> = (0..4)
+                .map(|_| {
+                    let c = Arc::clone(&c);
+                    std::thread::spawn(move || c.op_completed())
+                })
+                .collect();
+            for t in threads {
+                t.join().unwrap();
+            }
+            assert_eq!(q.pop(), Some(7));
+            assert!(q.pop().is_none(), "duplicate wakeup");
+        }
+    }
+
+    #[test]
+    fn itb_claims_cover_range_without_overlap() {
+        let body = Arc::new(ParForBody { f: Box::new(|_, _, _| {}) });
+        let itb = Itb::new(body, Arc::from(&[][..]), 10, 25, 4, ParentRef { node: 0, token: 0 });
+        let mut seen = Vec::new();
+        while let Some(r) = itb.claim() {
+            assert!(r.end - r.start <= 4);
+            seen.extend(r);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (10..35).collect::<Vec<_>>());
+        assert!(!itb.has_unclaimed());
+    }
+
+    #[test]
+    fn itb_completion_fires_exactly_once() {
+        let body = Arc::new(ParForBody { f: Box::new(|_, _, _| {}) });
+        let itb = Itb::new(body, Arc::from(&[][..]), 0, 10, 3, ParentRef { node: 0, token: 0 });
+        assert!(!itb.complete(3));
+        assert!(!itb.complete(3));
+        assert!(!itb.complete(3));
+        assert!(itb.complete(1));
+    }
+
+    #[test]
+    fn concurrent_itb_claims_are_disjoint() {
+        let body = Arc::new(ParForBody { f: Box::new(|_, _, _| {}) });
+        let itb =
+            Itb::new(body, Arc::from(&[][..]), 0, 10_000, 7, ParentRef { node: 0, token: 0 });
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let itb = Arc::clone(&itb);
+                std::thread::spawn(move || {
+                    let mut mine = Vec::new();
+                    while let Some(r) = itb.claim() {
+                        mine.extend(r);
+                    }
+                    mine
+                })
+            })
+            .collect();
+        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parfor_body_wire_roundtrip() {
+        let called = Arc::new(AtomicU64::new(0));
+        let c2 = Arc::clone(&called);
+        let body = Arc::new(ParForBody {
+            f: Box::new(move |_, i, _| {
+                c2.fetch_add(i, Ordering::Relaxed);
+            }),
+        });
+        let wire = ParForBody::to_wire(&body);
+        let back = unsafe { ParForBody::from_wire(wire) };
+        assert_eq!(Arc::strong_count(&body), 2);
+        drop(back);
+        assert_eq!(Arc::strong_count(&body), 1);
+    }
+}

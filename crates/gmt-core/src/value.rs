@@ -1,0 +1,77 @@
+//! Plain-old-data scalars storable in global arrays.
+
+/// A fixed-size value with a defined little-endian wire representation,
+/// usable with the typed `put_value`/`get_value` primitives.
+pub trait Scalar: Copy + 'static {
+    /// Encoded size in bytes.
+    const SIZE: usize;
+    /// Writes the little-endian encoding into `out` (`out.len() == SIZE`).
+    fn write_le(&self, out: &mut [u8]);
+    /// Reads a value from its little-endian encoding.
+    fn read_le(bytes: &[u8]) -> Self;
+}
+
+macro_rules! impl_scalar {
+    ($($t:ty),*) => {$(
+        impl Scalar for $t {
+            const SIZE: usize = std::mem::size_of::<$t>();
+            #[inline]
+            fn write_le(&self, out: &mut [u8]) {
+                out.copy_from_slice(&self.to_le_bytes());
+            }
+            #[inline]
+            fn read_le(bytes: &[u8]) -> Self {
+                <$t>::from_le_bytes(bytes.try_into().expect("scalar size mismatch"))
+            }
+        }
+    )*};
+}
+
+impl_scalar!(u8, u16, u32, u64, i8, i16, i32, i64, f32, f64);
+
+impl Scalar for bool {
+    const SIZE: usize = 1;
+    #[inline]
+    fn write_le(&self, out: &mut [u8]) {
+        out[0] = *self as u8;
+    }
+    #[inline]
+    fn read_le(bytes: &[u8]) -> Self {
+        bytes[0] != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Scalar + PartialEq + std::fmt::Debug>(v: T) {
+        let mut buf = vec![0u8; T::SIZE];
+        v.write_le(&mut buf);
+        assert_eq!(T::read_le(&buf), v);
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(u16::MAX);
+        roundtrip(123456789u32);
+        roundtrip(u64::MAX);
+        roundtrip(-1i8);
+        roundtrip(i16::MIN);
+        roundtrip(-123456789i32);
+        roundtrip(i64::MIN);
+        roundtrip(3.5f32);
+        roundtrip(-2.25e300f64);
+        roundtrip(true);
+        roundtrip(false);
+    }
+
+    #[test]
+    fn encoding_is_little_endian() {
+        let mut buf = [0u8; 4];
+        0x0102_0304u32.write_le(&mut buf);
+        assert_eq!(buf, [4, 3, 2, 1]);
+    }
+}

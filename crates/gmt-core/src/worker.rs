@@ -1,0 +1,281 @@
+//! Worker threads: execute application tasks (§IV-A, §IV-D).
+//!
+//! Each worker multiplexes up to `max_tasks_per_worker` coroutine tasks.
+//! It prefers resuming re-readied tasks, then locally runnable ones, then
+//! peels chunks from iteration blocks / root tasks. Between scheduling
+//! steps it pumps its command sink so aged command blocks and aggregation
+//! queues drain (the paper's time-interval flush triggers).
+
+use crate::aggregation::CommandSink;
+use crate::api::TaskCtx;
+use crate::command::Command;
+use crate::runtime::NodeShared;
+use crate::task::{complete_token, Itb, ParentRef, RootTask, TaskControl};
+use crate::tls;
+use crossbeam::queue::SegQueue;
+use gmt_context::{Coroutine, Resume, Stack};
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One live task: its coroutine plus the shared wake handle.
+struct Task {
+    coro: Coroutine<()>,
+    ctl: Arc<TaskControl>,
+}
+
+struct Worker {
+    node: Arc<NodeShared>,
+    /// Wakeups from helpers (slot indices), MPSC onto this worker.
+    ready: Arc<SegQueue<usize>>,
+    /// Task table; slot indices are stable for a task's lifetime.
+    tasks: Vec<Option<Task>>,
+    free_slots: Vec<usize>,
+    /// Locally runnable slots.
+    runnable: VecDeque<usize>,
+    /// Recycled coroutine stacks.
+    stacks: Vec<Stack>,
+    live: usize,
+}
+
+impl Worker {
+    fn new(node: Arc<NodeShared>) -> Self {
+        Worker {
+            node,
+            ready: Arc::new(SegQueue::new()),
+            tasks: Vec::new(),
+            free_slots: Vec::new(),
+            runnable: VecDeque::new(),
+            stacks: Vec::new(),
+            live: 0,
+        }
+    }
+
+    fn take_stack(&mut self) -> Stack {
+        self.stacks
+            .pop()
+            .unwrap_or_else(|| Stack::new(self.node.config.task_stack_size).expect("task stack"))
+    }
+
+    fn alloc_slot(&mut self) -> usize {
+        if let Some(s) = self.free_slots.pop() {
+            s
+        } else {
+            self.tasks.push(None);
+            self.tasks.len() - 1
+        }
+    }
+
+    fn install(&mut self, slot: usize, task: Task) {
+        debug_assert!(self.tasks[slot].is_none());
+        self.tasks[slot] = Some(task);
+        self.runnable.push_back(slot);
+        self.live += 1;
+    }
+
+    /// Spawns a task executing `count` iterations claimed from `itb`.
+    fn spawn_chunk(&mut self, itb: Arc<Itb>, range: std::ops::Range<u64>) {
+        let slot = self.alloc_slot();
+        let ctl = TaskControl::new(Arc::clone(&self.ready), slot);
+        let node = Arc::clone(&self.node);
+        let ctl2 = Arc::clone(&ctl);
+        let stack = self.take_stack();
+        let coro = Coroutine::with_stack(stack, move |y| {
+            let ctx = TaskCtx::new(&node, &ctl2, y);
+            let n = range.end - range.start;
+            for i in range {
+                (itb.body.f)(&ctx, i, &itb.args);
+            }
+            if itb.complete(n) {
+                notify_parent(&node, itb.parent);
+            }
+        });
+        self.install(slot, Task { coro, ctl });
+    }
+
+    /// Spawns a root task ("task zero").
+    fn spawn_root(&mut self, root: RootTask) {
+        let slot = self.alloc_slot();
+        let ctl = TaskControl::new(Arc::clone(&self.ready), slot);
+        let node = Arc::clone(&self.node);
+        let ctl2 = Arc::clone(&ctl);
+        let stack = self.take_stack();
+        let f = root.f;
+        let coro = Coroutine::with_stack(stack, move |y| {
+            let ctx = TaskCtx::new(&node, &ctl2, y);
+            f(&ctx);
+        });
+        self.install(slot, Task { coro, ctl });
+    }
+
+    /// Resumes the task in `slot` until it yields or finishes.
+    fn step(&mut self, slot: usize) {
+        let Some(task) = self.tasks[slot].as_mut() else {
+            // Stale wakeup: a late completion of an abandoned operation
+            // re-readied a slot that was already retired (and possibly
+            // reused). Ignore — `wait_commands` re-checks on wake, so
+            // spurious resumes are harmless and missing ones impossible.
+            return;
+        };
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| task.coro.resume()));
+        match outcome {
+            Ok(Resume::Yielded) => {
+                let task = self.tasks[slot].as_ref().unwrap();
+                if task.ctl.take_park_intent() {
+                    // Blocking yield: run the park handshake; a helper
+                    // will push the slot into `ready` on the last reply.
+                    if !task.ctl.prepare_park() {
+                        self.runnable.push_back(slot);
+                    }
+                } else {
+                    // Cooperative yield: round-robin requeue.
+                    self.runnable.push_back(slot);
+                }
+            }
+            Ok(Resume::Finished) => self.retire(slot, false),
+            Err(payload) => {
+                // A panicking task must not take the worker down: report
+                // and retire. Root-task panics additionally surface at the
+                // submitter through the dropped result channel.
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic payload>".into());
+                eprintln!(
+                    "[gmt] task panicked on node {} and was retired: {msg}",
+                    self.node.node_id
+                );
+                self.retire(slot, true);
+            }
+        }
+    }
+
+    fn retire(&mut self, slot: usize, panicked: bool) {
+        let task = self.tasks[slot].take().expect("retiring live slot");
+        if task.ctl.pending() > 0 {
+            // The task finished with operations still in flight (it never
+            // awaited them — possible with `put_nb`/`get_nb` misuse, or a
+            // dead link). Late replies may still write through raw
+            // pointers into this stack, so leak it rather than recycle.
+            eprintln!(
+                "[gmt] node {}: task retired with {} operation(s) still pending; leaking its stack",
+                self.node.node_id,
+                task.ctl.pending()
+            );
+            std::mem::forget(task.coro);
+        } else if !panicked {
+            // Recycle the stack (bounded pool).
+            if self.stacks.len() < 64 {
+                self.stacks.push(task.coro.into_stack());
+            }
+        }
+        self.free_slots.push(slot);
+        self.live -= 1;
+    }
+
+    /// Whether this worker may take on new work right now. The cap is
+    /// soft: when every live task is blocked we admit more work anyway,
+    /// which keeps nested parFors deadlock-free (parents waiting on
+    /// children must not starve the children of task slots).
+    fn can_admit(&self) -> bool {
+        self.live < self.node.config.max_tasks_per_worker
+            || (self.runnable.is_empty() && self.ready.is_empty())
+    }
+
+    /// Tries to create one task from the node's pending work sources.
+    fn acquire_work(&mut self) -> bool {
+        if !self.can_admit() {
+            return false;
+        }
+        if let Some(root) = self.node.root_queue.pop() {
+            self.spawn_root(root);
+            return true;
+        }
+        if let Some(itb) = self.node.itb_queue.pop() {
+            if let Some(range) = itb.claim() {
+                if itb.has_unclaimed() {
+                    // Let other workers keep peeling this block.
+                    self.node.itb_queue.push(Arc::clone(&itb));
+                }
+                self.spawn_chunk(itb, range);
+                return true;
+            }
+            // Fully claimed: drop our reference.
+        }
+        false
+    }
+}
+
+/// Reports a finished iteration block to its parent task.
+pub(crate) fn notify_parent(node: &Arc<NodeShared>, parent: ParentRef) {
+    if parent.node == node.node_id {
+        // Safety: the token was minted by the parFor issuer and is
+        // completed exactly once, here.
+        unsafe { complete_token(parent.token) };
+    } else {
+        tls::with_sink(|s| s.emit(parent.node, &Command::Ack { token: parent.token }));
+    }
+}
+
+/// Entry point of a worker thread. `chan` doubles as the index of this
+/// worker's channel queue to the communication server.
+pub fn worker_main(node: Arc<NodeShared>, chan: usize) {
+    tls::install(CommandSink::new(Arc::clone(&node.agg), chan));
+    let mut w = Worker::new(node);
+    let mut idle: u32 = 0;
+    loop {
+        let mut progressed = false;
+        // 1. Wakeups from helpers.
+        while let Some(slot) = w.ready.pop() {
+            w.runnable.push_back(slot);
+        }
+        // 2. Run one task step.
+        if let Some(slot) = w.runnable.pop_front() {
+            w.step(slot);
+            progressed = true;
+        } else if w.acquire_work() {
+            progressed = true;
+        }
+        // 3. Flush aged command blocks / aggregation queues.
+        tls::with_sink(|s| s.pump());
+        if progressed {
+            idle = 0;
+        } else {
+            if w.node.stopping() {
+                break;
+            }
+            idle = idle.saturating_add(1);
+            if idle < 64 {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        }
+    }
+    // Flush whatever is left so in-flight protocols can drain elsewhere.
+    if let Some(mut sink) = tls::uninstall() {
+        sink.flush_all();
+    }
+    // Tasks still waiting on replies at shutdown are *leaked*, not
+    // cancelled: a late reply writes through raw pointers into the task's
+    // stack, so freeing that stack while helpers may still run would be a
+    // use-after-free. Orderly programs (every `run` joined before
+    // `shutdown`) never hit this path.
+    let mut leaked = 0usize;
+    for slot in 0..w.tasks.len() {
+        if let Some(task) = w.tasks[slot].take() {
+            if task.ctl.pending() > 0 {
+                std::mem::forget(task);
+                leaked += 1;
+            }
+        }
+    }
+    if leaked > 0 {
+        eprintln!(
+            "[gmt] node {}: leaked {leaked} task(s) still blocked on remote replies at shutdown",
+            w.node.node_id
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! Stress and soak tests: tiny buffer pools (backpressure), the full
+//! Olympus thread configuration, task floods, and alloc/free churn.
+
+use gmt_core::{Cluster, Config, Distribution, SpawnPolicy};
+
+/// Backpressure: with a single aggregation buffer per channel and tiny
+/// buffers, workers must spin-wait for the communication server to
+/// recycle buffers — the pool bound must never deadlock or lose data.
+#[test]
+fn tiny_buffer_pool_backpressure() {
+    let mut config = Config::small();
+    config.num_buf_per_channel = 1;
+    config.buffer_size = 512;
+    config.cmd_block_entries = 4;
+    let cluster = Cluster::start(2, config).unwrap();
+    let sum = cluster.node(0).run(|ctx| {
+        let arr = ctx.alloc(2048 * 8, Distribution::Remote);
+        ctx.parfor(SpawnPolicy::Local, 32, 1, move |ctx, t| {
+            for k in 0..64u64 {
+                ctx.put_value_nb::<u64>(&arr, t * 64 + k, t * 64 + k + 1);
+            }
+            ctx.wait_commands();
+        });
+        let mut sum = 0u64;
+        for i in 0..2048 {
+            sum += ctx.get_value::<u64>(&arr, i);
+        }
+        ctx.free(arr);
+        sum
+    });
+    cluster.shutdown();
+    assert_eq!(sum, (1..=2048u64).sum());
+}
+
+/// The full Table IV thread configuration boots, works and shuts down —
+/// 15 workers + 15 helpers + 1 comm server per node, 62 threads total on
+/// this host.
+#[test]
+fn olympus_configuration_smoke() {
+    let mut config = Config::olympus();
+    // Keep the Olympus thread structure but drop the wall-clock network
+    // model: this host has one core and the test only checks
+    // functionality.
+    config.network = None;
+    let cluster = Cluster::start(2, config).unwrap();
+    let v = cluster.node(0).run(|ctx| {
+        let arr = ctx.alloc(128 * 8, Distribution::Partition);
+        ctx.parfor(SpawnPolicy::Partition, 128, 4, move |ctx, i| {
+            ctx.atomic_add(&arr, (i % 16) * 8, 1);
+        });
+        let mut total = 0;
+        for s in 0..16 {
+            total += ctx.atomic_add(&arr, s * 8, 0);
+        }
+        ctx.free(arr);
+        total
+    });
+    cluster.shutdown();
+    assert_eq!(v, 128);
+}
+
+/// Task flood: far more tasks than the per-worker cap, exercising the
+/// soft-cap admission logic and itb chunk cycling.
+#[test]
+fn task_flood_beyond_worker_cap() {
+    let mut config = Config::small();
+    config.max_tasks_per_worker = 8; // tiny cap, 2 workers
+    let cluster = Cluster::start(2, config).unwrap();
+    let total = cluster.node(0).run(|ctx| {
+        let acc = ctx.alloc(8, Distribution::Partition);
+        // 2000 tasks of 1 iteration each.
+        ctx.parfor(SpawnPolicy::Partition, 2000, 1, move |ctx, _| {
+            ctx.atomic_add(&acc, 0, 1);
+        });
+        let v = ctx.atomic_add(&acc, 0, 0);
+        ctx.free(acc);
+        v
+    });
+    cluster.shutdown();
+    assert_eq!(total, 2000);
+}
+
+/// Allocation churn: many small arrays allocated and freed across nodes;
+/// no leaks (live_allocations returns to zero everywhere).
+#[test]
+fn alloc_free_churn() {
+    let cluster = Cluster::start(3, Config::small()).unwrap();
+    cluster.node(0).run(|ctx| {
+        for round in 0..40u64 {
+            let dist = match round % 3 {
+                0 => Distribution::Partition,
+                1 => Distribution::Local,
+                _ => Distribution::Remote,
+            };
+            let arr = ctx.alloc(64 + round * 8, dist);
+            ctx.put_value::<u64>(&arr, 0, round);
+            assert_eq!(ctx.get_value::<u64>(&arr, 0), round);
+            ctx.free(arr);
+        }
+    });
+    for n in 0..3 {
+        assert_eq!(cluster.node(n).live_allocations(), 0, "leak on node {n}");
+    }
+    cluster.shutdown();
+}
+
+/// Deep nesting: parFors four levels deep complete and count correctly.
+#[test]
+fn deeply_nested_parfor() {
+    let cluster = Cluster::start(2, Config::small()).unwrap();
+    let total = cluster.node(0).run(|ctx| {
+        let acc = ctx.alloc(8, Distribution::Partition);
+        ctx.parfor(SpawnPolicy::Partition, 2, 1, move |ctx, _| {
+            ctx.parfor(SpawnPolicy::Partition, 2, 1, move |ctx, _| {
+                ctx.parfor(SpawnPolicy::Partition, 2, 1, move |ctx, _| {
+                    ctx.parfor(SpawnPolicy::Partition, 4, 1, move |ctx, _| {
+                        ctx.atomic_add(&acc, 0, 1);
+                    });
+                });
+            });
+        });
+        let v = ctx.atomic_add(&acc, 0, 0);
+        ctx.free(acc);
+        v
+    });
+    cluster.shutdown();
+    assert_eq!(total, 2 * 2 * 2 * 4);
+}
+
+/// Soak: repeated cluster lifecycles must not leak OS threads or wedge.
+#[test]
+fn repeated_cluster_lifecycles() {
+    for round in 0..10 {
+        let cluster = Cluster::start(2, Config::small()).unwrap();
+        let v = cluster.node(round % 2).run(move |ctx| {
+            let arr = ctx.alloc(64, Distribution::Partition);
+            ctx.put_value::<u32>(&arr, 0, round as u32);
+            let v = ctx.get_value::<u32>(&arr, 0);
+            ctx.free(arr);
+            v
+        });
+        assert_eq!(v, round as u32);
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,198 @@
+//! Compressed-sparse-row graphs.
+
+/// A directed graph in CSR form: vertex `v`'s out-neighbors are
+/// `targets[offsets[v] .. offsets[v+1]]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    offsets: Vec<u64>,
+    targets: Vec<u64>,
+}
+
+impl Csr {
+    /// Builds a CSR from an edge list (unsorted; duplicates preserved).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= n`.
+    pub fn from_edges(n: u64, edges: &[(u64, u64)]) -> Self {
+        let mut degree = vec![0u64; n as usize];
+        for &(s, t) in edges {
+            assert!(s < n && t < n, "edge ({s},{t}) out of range (n={n})");
+            degree[s as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n as usize + 1);
+        let mut acc = 0u64;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0u64; edges.len()];
+        for &(s, t) in edges {
+            let c = &mut cursor[s as usize];
+            targets[*c as usize] = t;
+            *c += 1;
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Builds directly from adjacency lists.
+    pub fn from_adjacency(adj: &[Vec<u64>]) -> Self {
+        let n = adj.len() as u64;
+        let mut offsets = Vec::with_capacity(adj.len() + 1);
+        let mut targets = Vec::new();
+        let mut acc = 0u64;
+        offsets.push(0);
+        for list in adj {
+            for &t in list {
+                assert!(t < n, "target {t} out of range (n={n})");
+            }
+            acc += list.len() as u64;
+            offsets.push(acc);
+            targets.extend_from_slice(list);
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Number of vertices.
+    pub fn vertices(&self) -> u64 {
+        self.offsets.len() as u64 - 1
+    }
+
+    /// Number of (directed) edges.
+    pub fn edges(&self) -> u64 {
+        self.targets.len() as u64
+    }
+
+    /// Out-degree of `v`.
+    pub fn degree(&self, v: u64) -> u64 {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Out-neighbors of `v`.
+    pub fn neighbors(&self, v: u64) -> &[u64] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// The offsets array (length `vertices() + 1`).
+    pub fn offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// The concatenated target array.
+    pub fn targets(&self) -> &[u64] {
+        &self.targets
+    }
+
+    /// Single-source shortest-path levels by sequential BFS; `u64::MAX`
+    /// for unreachable vertices. Reference implementation for validating
+    /// the distributed kernels.
+    pub fn bfs_levels(&self, source: u64) -> Vec<u64> {
+        let n = self.vertices() as usize;
+        let mut level = vec![u64::MAX; n];
+        let mut frontier = std::collections::VecDeque::new();
+        level[source as usize] = 0;
+        frontier.push_back(source);
+        while let Some(v) = frontier.pop_front() {
+            let next = level[v as usize] + 1;
+            for &t in self.neighbors(v) {
+                if level[t as usize] == u64::MAX {
+                    level[t as usize] = next;
+                    frontier.push_back(t);
+                }
+            }
+        }
+        level
+    }
+
+    /// Checks structural invariants (used by property tests).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.offsets.is_empty() {
+            return Err("offsets must have at least one entry".into());
+        }
+        if self.offsets[0] != 0 {
+            return Err("offsets[0] must be 0".into());
+        }
+        for w in self.offsets.windows(2) {
+            if w[0] > w[1] {
+                return Err("offsets must be non-decreasing".into());
+            }
+        }
+        if *self.offsets.last().unwrap() != self.targets.len() as u64 {
+            return Err("last offset must equal edge count".into());
+        }
+        let n = self.vertices();
+        if let Some(&bad) = self.targets.iter().find(|&&t| t >= n) {
+            return Err(format!("target {bad} out of range (n={n})"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Csr {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        Csr::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn from_edges_builds_correct_adjacency() {
+        let g = diamond();
+        assert_eq!(g.vertices(), 4);
+        assert_eq!(g.edges(), 4);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[3]);
+        assert_eq!(g.neighbors(2), &[3]);
+        assert_eq!(g.neighbors(3), &[] as &[u64]);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn from_adjacency_matches_from_edges() {
+        let a = Csr::from_adjacency(&[vec![1, 2], vec![3], vec![3], vec![]]);
+        assert_eq!(a, diamond());
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs() {
+        let g = Csr::from_edges(0, &[]);
+        assert_eq!(g.vertices(), 0);
+        g.check_invariants().unwrap();
+        let g = Csr::from_edges(5, &[]);
+        assert_eq!(g.vertices(), 5);
+        assert_eq!(g.edges(), 0);
+        assert_eq!(g.degree(4), 0);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn duplicate_and_self_edges_are_preserved() {
+        let g = Csr::from_edges(2, &[(0, 0), (0, 1), (0, 1)]);
+        assert_eq!(g.neighbors(0), &[0, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_edges() {
+        Csr::from_edges(2, &[(0, 5)]);
+    }
+
+    #[test]
+    fn bfs_levels_diamond() {
+        let g = diamond();
+        assert_eq!(g.bfs_levels(0), vec![0, 1, 1, 2]);
+        assert_eq!(g.bfs_levels(3), vec![u64::MAX, u64::MAX, u64::MAX, 0]);
+    }
+
+    #[test]
+    fn bfs_levels_cycle() {
+        let g = Csr::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(g.bfs_levels(1), vec![2, 0, 1]);
+    }
+}

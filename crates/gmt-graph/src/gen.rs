@@ -1,0 +1,137 @@
+//! Graph generators.
+
+use crate::csr::Csr;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a generated graph, kept alongside results for
+//  reproducibility in EXPERIMENTS.md.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphSpec {
+    pub vertices: u64,
+    pub avg_degree: u64,
+    pub seed: u64,
+}
+
+/// The paper's workload (§V-B/V-C): a random graph where every vertex
+/// connects to `avg_degree` uniformly random vertices. Every vertex has
+/// out-degree ≥ 1 (walkers must never strand, §V-C).
+pub fn uniform_random(spec: GraphSpec) -> Csr {
+    assert!(spec.vertices > 0, "graph needs at least one vertex");
+    let n = spec.vertices;
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    let d = spec.avg_degree.max(1);
+    let mut edges = Vec::with_capacity((n * d) as usize);
+    for v in 0..n {
+        for _ in 0..d {
+            edges.push((v, rng.gen_range(0..n)));
+        }
+    }
+    Csr::from_edges(n, &edges)
+}
+
+/// RMAT (Graph500-style) power-law generator with the standard
+/// (a,b,c,d) = (0.57, 0.19, 0.19, 0.05) partition probabilities. Produces
+/// `vertices * avg_degree` edges over `vertices` (rounded up to a power of
+/// two internally, then clamped).
+///
+/// Power-law graphs are the motivating case for GMT: they are "difficult
+/// to partition without generating imbalance" (§I).
+pub fn rmat(spec: GraphSpec) -> Csr {
+    assert!(spec.vertices > 0, "graph needs at least one vertex");
+    let n = spec.vertices;
+    let scale = 64 - (n - 1).leading_zeros() as u64; // ceil(log2(n))
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    let m = n * spec.avg_degree.max(1);
+    let (a, b, c) = (0.57, 0.19, 0.19);
+    let mut edges = Vec::with_capacity(m as usize);
+    while (edges.len() as u64) < m {
+        let (mut s, mut t) = (0u64, 0u64);
+        for _ in 0..scale {
+            s <<= 1;
+            t <<= 1;
+            let r: f64 = rng.gen();
+            if r < a {
+                // top-left: no bits set
+            } else if r < a + b {
+                t |= 1;
+            } else if r < a + b + c {
+                s |= 1;
+            } else {
+                s |= 1;
+                t |= 1;
+            }
+        }
+        if s < n && t < n {
+            edges.push((s, t));
+        }
+    }
+    Csr::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_random_has_requested_shape() {
+        let g = uniform_random(GraphSpec { vertices: 500, avg_degree: 8, seed: 1 });
+        assert_eq!(g.vertices(), 500);
+        assert_eq!(g.edges(), 4000);
+        g.check_invariants().unwrap();
+        for v in 0..500 {
+            assert_eq!(g.degree(v), 8);
+        }
+    }
+
+    #[test]
+    fn uniform_random_is_deterministic_per_seed() {
+        let spec = GraphSpec { vertices: 100, avg_degree: 4, seed: 9 };
+        assert_eq!(uniform_random(spec), uniform_random(spec));
+        let other = GraphSpec { seed: 10, ..spec };
+        assert_ne!(uniform_random(spec), uniform_random(other));
+    }
+
+    #[test]
+    fn uniform_random_targets_spread_out() {
+        let g = uniform_random(GraphSpec { vertices: 1000, avg_degree: 16, seed: 3 });
+        // Distinct targets should cover a large share of the vertex set.
+        let mut seen = vec![false; 1000];
+        for &t in g.targets() {
+            seen[t as usize] = true;
+        }
+        let covered = seen.iter().filter(|&&b| b).count();
+        assert!(covered > 900, "only {covered}/1000 vertices are targets");
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let g = rmat(GraphSpec { vertices: 1024, avg_degree: 16, seed: 7 });
+        g.check_invariants().unwrap();
+        assert_eq!(g.edges(), 1024 * 16);
+        // Power law: the top 1% of vertices own far more than 1% of edges.
+        let mut degrees: Vec<u64> = (0..1024).map(|v| g.degree(v)).collect();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        let top: u64 = degrees[..10].iter().sum();
+        assert!(
+            top as f64 > 0.05 * g.edges() as f64,
+            "top-10 vertices hold only {top} of {} edges",
+            g.edges()
+        );
+    }
+
+    #[test]
+    fn rmat_deterministic_per_seed() {
+        let spec = GraphSpec { vertices: 256, avg_degree: 8, seed: 42 };
+        assert_eq!(rmat(spec), rmat(spec));
+    }
+
+    #[test]
+    fn generators_handle_tiny_graphs() {
+        let g = uniform_random(GraphSpec { vertices: 1, avg_degree: 4, seed: 0 });
+        assert_eq!(g.vertices(), 1);
+        assert_eq!(g.neighbors(0), &[0, 0, 0, 0]);
+        let g = rmat(GraphSpec { vertices: 2, avg_degree: 2, seed: 0 });
+        assert_eq!(g.vertices(), 2);
+    }
+}

@@ -1,0 +1,19 @@
+//! # gmt-graph — graph structures for the GMT kernels
+//!
+//! The paper evaluates GMT on graph kernels (BFS, random walks) over
+//! randomly generated graphs "with at most 4000 edges per vertex
+//! connecting to random vertices" (§V-B). This crate provides:
+//!
+//! * [`csr`] — an in-memory compressed-sparse-row graph and its builder,
+//! * [`gen`] — graph generators: uniform-random (the paper's workload)
+//!   and RMAT power-law (Graph500-style, for skew experiments),
+//! * [`dist`] — the same CSR laid out in GMT global arrays, block
+//!   distributed across the cluster, with task-side accessors.
+
+pub mod csr;
+pub mod dist;
+pub mod gen;
+
+pub use csr::Csr;
+pub use dist::DistGraph;
+pub use gen::{rmat, uniform_random, GraphSpec};

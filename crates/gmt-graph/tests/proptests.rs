@@ -1,0 +1,102 @@
+//! Property-based tests for graph structures.
+
+use gmt_graph::{rmat, uniform_random, Csr, GraphSpec};
+use proptest::prelude::*;
+use std::collections::{HashSet, VecDeque};
+
+/// Independent BFS reference (set-based, no queue reuse) to check
+/// `Csr::bfs_levels` against.
+fn bfs_reference(csr: &Csr, source: u64) -> Vec<u64> {
+    let n = csr.vertices() as usize;
+    let mut level = vec![u64::MAX; n];
+    let mut seen = HashSet::new();
+    let mut q = VecDeque::new();
+    seen.insert(source);
+    level[source as usize] = 0;
+    q.push_back(source);
+    while let Some(v) = q.pop_front() {
+        for &t in csr.neighbors(v) {
+            if seen.insert(t) {
+                level[t as usize] = level[v as usize] + 1;
+                q.push_back(t);
+            }
+        }
+    }
+    level
+}
+
+fn arb_edges(max_n: u64) -> impl Strategy<Value = (u64, Vec<(u64, u64)>)> {
+    (1..max_n).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n), 0..200);
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    /// CSR construction from arbitrary edge lists keeps every edge,
+    /// satisfies the structural invariants, and `degree` is consistent.
+    #[test]
+    fn csr_from_arbitrary_edges((n, edges) in arb_edges(100)) {
+        let csr = Csr::from_edges(n, &edges);
+        csr.check_invariants().unwrap();
+        prop_assert_eq!(csr.vertices(), n);
+        prop_assert_eq!(csr.edges(), edges.len() as u64);
+        // Multiset of edges is preserved.
+        let mut built: Vec<(u64, u64)> = (0..n)
+            .flat_map(|v| csr.neighbors(v).iter().map(move |&t| (v, t)))
+            .collect();
+        let mut given = edges.clone();
+        built.sort_unstable();
+        given.sort_unstable();
+        prop_assert_eq!(built, given);
+        let total_degree: u64 = (0..n).map(|v| csr.degree(v)).sum();
+        prop_assert_eq!(total_degree, csr.edges());
+    }
+
+    /// Two BFS implementations agree on arbitrary graphs; levels are
+    /// "triangle consistent": a level-l vertex has no neighbor below
+    /// level l-1 pointing at it... (checked as: every edge (u,v) gives
+    /// level(v) <= level(u) + 1 when u is reached).
+    #[test]
+    fn bfs_levels_properties((n, edges) in arb_edges(80), src_seed in any::<u64>()) {
+        let csr = Csr::from_edges(n, &edges);
+        let source = src_seed % n;
+        let levels = csr.bfs_levels(source);
+        prop_assert_eq!(&levels, &bfs_reference(&csr, source));
+        prop_assert_eq!(levels[source as usize], 0);
+        for u in 0..n {
+            if levels[u as usize] == u64::MAX {
+                continue;
+            }
+            for &v in csr.neighbors(u) {
+                prop_assert!(levels[v as usize] <= levels[u as usize] + 1);
+            }
+        }
+        // Levels are contiguous: if some vertex has level l > 0, another
+        // has level l-1.
+        let reached: Vec<u64> =
+            levels.iter().copied().filter(|&l| l != u64::MAX).collect();
+        if let Some(&max) = reached.iter().max() {
+            for l in 0..max {
+                prop_assert!(reached.contains(&l), "gap below level {max} at {l}");
+            }
+        }
+    }
+
+    /// Generators honor their specs for arbitrary parameters.
+    #[test]
+    fn generators_honor_spec(vertices in 1u64..400, degree in 1u64..16, seed in any::<u64>()) {
+        let spec = GraphSpec { vertices, avg_degree: degree, seed };
+        let u = uniform_random(spec);
+        u.check_invariants().unwrap();
+        prop_assert_eq!(u.vertices(), vertices);
+        prop_assert_eq!(u.edges(), vertices * degree);
+        let r = rmat(spec);
+        r.check_invariants().unwrap();
+        prop_assert_eq!(r.vertices(), vertices);
+        prop_assert_eq!(r.edges(), vertices * degree);
+        // Determinism.
+        prop_assert_eq!(uniform_random(spec), u);
+        prop_assert_eq!(rmat(spec), r);
+    }
+}

@@ -1,0 +1,279 @@
+//! Concurrent Hash Map Access on GMT (§V-D).
+//!
+//! W concurrent tasks stream strings against a hash map in global memory:
+//! probe a string; on a hit, reverse it and store the reversed string back
+//! at its own hash slot; on a miss, move on to the next input string. The
+//! behaviour models streaming workloads (virus scanning, spam filtering,
+//! NLP) that "store, filter and manipulate large amounts of streaming
+//! data".
+//!
+//! Map layout: open-addressed table of fixed 32-byte entries
+//! `[state:u64][len:u64][data:16B]`, one slot per hash bucket (no
+//! probing — collisions count as misses, as in a synthetic kernel).
+//! Insertions claim a slot by CAS on `state` (0 = empty, 1 = busy,
+//! 2 = full), write the payload, then publish with a blocking put of
+//! the final state.
+
+use gmt_core::{Distribution, GmtArray, SpawnPolicy, TaskCtx};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Entry states.
+const EMPTY: i64 = 0;
+const BUSY: i64 = 1;
+const FULL: i64 = 2;
+
+/// Bytes per table entry.
+pub const ENTRY_BYTES: u64 = 32;
+/// Maximum string length storable in an entry.
+pub const MAX_STR: usize = 16;
+
+/// Workload parameters (scaled-down defaults of the paper's 100M-string /
+/// 10M-entry configuration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChmaConfig {
+    /// Hash-map entries (paper: 10M).
+    pub entries: u64,
+    /// Input string pool size (paper: 100M).
+    pub pool: u64,
+    /// Concurrent tasks W.
+    pub tasks: u64,
+    /// Steps L per task.
+    pub steps: u64,
+    pub seed: u64,
+}
+
+impl ChmaConfig {
+    /// A configuration small enough for unit tests.
+    pub fn tiny() -> Self {
+        ChmaConfig { entries: 256, pool: 128, tasks: 8, steps: 16, seed: 12345 }
+    }
+}
+
+/// Outcome counters of a CHMA run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChmaResult {
+    /// Probes that found their string (then reversed + stored it).
+    pub hits: u64,
+    /// Probes that missed.
+    pub misses: u64,
+    /// Reversed strings successfully stored back.
+    pub inserts: u64,
+    /// Total accesses performed (`tasks * steps`) — the numerator of the
+    /// paper's "Millions of accesses/s".
+    pub accesses: u64,
+}
+
+/// FNV-1a, the classic short-string hash.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Deterministic pool string `i` (lowercase ASCII, 4..=MAX_STR chars).
+pub fn pool_string(seed: u64, i: u64) -> Vec<u8> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ i.wrapping_mul(0xA24B_AED4_963E_E407));
+    let len = rng.gen_range(4..=MAX_STR);
+    (0..len).map(|_| rng.gen_range(b'a'..=b'z')).collect()
+}
+
+/// The global hash map handle (Copy, shareable across tasks).
+#[derive(Debug, Clone, Copy)]
+pub struct GmtHashMap {
+    table: GmtArray,
+    entries: u64,
+}
+
+impl GmtHashMap {
+    /// Allocates an empty map, block-distributed over the cluster.
+    pub fn alloc(ctx: &TaskCtx<'_>, entries: u64) -> Self {
+        let table = ctx.alloc(entries * ENTRY_BYTES, Distribution::Partition);
+        GmtHashMap { table, entries }
+    }
+
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    fn slot(&self, s: &[u8]) -> u64 {
+        fnv1a(s) % self.entries
+    }
+
+    /// Attempts to insert `s`; returns `false` if the slot was taken.
+    pub fn insert(&self, ctx: &TaskCtx<'_>, s: &[u8]) -> bool {
+        assert!(s.len() <= MAX_STR);
+        let base = self.slot(s) * ENTRY_BYTES;
+        if ctx.atomic_cas(&self.table, base, EMPTY, BUSY) != EMPTY {
+            return false;
+        }
+        let mut payload = [0u8; 24];
+        payload[..8].copy_from_slice(&(s.len() as u64).to_le_bytes());
+        payload[8..8 + s.len()].copy_from_slice(s);
+        ctx.put(&self.table, base + 8, &payload);
+        // Publish: blocking put guarantees the payload landed first.
+        ctx.put_value::<i64>(&self.table, base / 8, FULL);
+        true
+    }
+
+    /// Probes for `s`: `true` if the slot is FULL and holds exactly `s`.
+    pub fn contains(&self, ctx: &TaskCtx<'_>, s: &[u8]) -> bool {
+        let base = self.slot(s) * ENTRY_BYTES;
+        let mut entry = [0u8; 32];
+        ctx.get(&self.table, base, &mut entry);
+        let state = i64::from_le_bytes(entry[..8].try_into().unwrap());
+        if state != FULL {
+            return false;
+        }
+        let len = u64::from_le_bytes(entry[8..16].try_into().unwrap()) as usize;
+        len == s.len() && &entry[16..16 + len] == s
+    }
+
+    /// Frees the table.
+    pub fn free(self, ctx: &TaskCtx<'_>) {
+        ctx.free(self.table);
+    }
+}
+
+/// Populates the map from the string pool using a parallel loop;
+/// returns the number of strings actually inserted.
+pub fn gmt_chma_populate(ctx: &TaskCtx<'_>, map: &GmtHashMap, cfg: &ChmaConfig) -> u64 {
+    let inserted = ctx.alloc(8, Distribution::Partition);
+    let map = *map;
+    let (pool, seed) = (cfg.pool, cfg.seed);
+    ctx.parfor(SpawnPolicy::Partition, pool, 8, move |ctx, i| {
+        let s = pool_string(seed, i);
+        if map.insert(ctx, &s) {
+            ctx.atomic_add(&inserted, 0, 1);
+        }
+    });
+    let n = ctx.atomic_add(&inserted, 0, 0) as u64;
+    ctx.free(inserted);
+    n
+}
+
+/// The timed access phase: W tasks × L steps of probe / reverse / store.
+pub fn gmt_chma_access(ctx: &TaskCtx<'_>, map: &GmtHashMap, cfg: &ChmaConfig) -> ChmaResult {
+    // hits, misses, inserts.
+    let counters = ctx.alloc(24, Distribution::Partition);
+    let map = *map;
+    let cfg = *cfg;
+    ctx.parfor(SpawnPolicy::Partition, cfg.tasks, 1, move |ctx, t| {
+        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ t.wrapping_mul(0x2545_F491_4F6C_DD1D));
+        let (mut hits, mut misses, mut inserts) = (0i64, 0i64, 0i64);
+        let mut s = pool_string(cfg.seed, rng.gen_range(0..cfg.pool));
+        for _ in 0..cfg.steps {
+            if map.contains(ctx, &s) {
+                hits += 1;
+                s.reverse();
+                if map.insert(ctx, &s) {
+                    inserts += 1;
+                }
+                // Continue the stream with a fresh input either way.
+                s = pool_string(cfg.seed, rng.gen_range(0..cfg.pool));
+            } else {
+                misses += 1;
+                s = pool_string(cfg.seed, rng.gen_range(0..cfg.pool));
+            }
+        }
+        ctx.atomic_add(&counters, 0, hits);
+        ctx.atomic_add(&counters, 8, misses);
+        ctx.atomic_add(&counters, 16, inserts);
+    });
+    let hits = ctx.atomic_add(&counters, 0, 0) as u64;
+    let misses = ctx.atomic_add(&counters, 8, 0) as u64;
+    let inserts = ctx.atomic_add(&counters, 16, 0) as u64;
+    ctx.free(counters);
+    ChmaResult { hits, misses, inserts, accesses: cfg.tasks * cfg.steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmt_core::{Cluster, Config};
+
+    #[test]
+    fn hash_and_pool_strings_are_deterministic() {
+        assert_eq!(pool_string(1, 5), pool_string(1, 5));
+        assert_ne!(pool_string(1, 5), pool_string(1, 6));
+        let s = pool_string(7, 0);
+        assert!(s.len() >= 4 && s.len() <= MAX_STR);
+        assert!(s.iter().all(|b| b.is_ascii_lowercase()));
+        assert_eq!(fnv1a(b"abc"), fnv1a(b"abc"));
+        assert_ne!(fnv1a(b"abc"), fnv1a(b"abd"));
+    }
+
+    #[test]
+    fn insert_then_contains() {
+        let cluster = Cluster::start(2, Config::small()).unwrap();
+        cluster.node(0).run(|ctx| {
+            let map = GmtHashMap::alloc(ctx, 64);
+            assert!(!map.contains(ctx, b"hello"));
+            assert!(map.insert(ctx, b"hello"));
+            assert!(map.contains(ctx, b"hello"));
+            // Same slot: second insert fails.
+            assert!(!map.insert(ctx, b"hello"));
+            // Different string hashing elsewhere works.
+            assert!(map.insert(ctx, b"world"));
+            assert!(map.contains(ctx, b"world"));
+            map.free(ctx);
+        });
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn collision_in_slot_reads_as_miss() {
+        let cluster = Cluster::start(1, Config::small()).unwrap();
+        cluster.node(0).run(|ctx| {
+            // 1-entry table: everything collides.
+            let map = GmtHashMap::alloc(ctx, 1);
+            assert!(map.insert(ctx, b"first"));
+            assert!(map.contains(ctx, b"first"));
+            assert!(!map.contains(ctx, b"other"));
+            assert!(!map.insert(ctx, b"other"));
+            map.free(ctx);
+        });
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn populate_and_access_run_to_completion() {
+        let cluster = Cluster::start(2, Config::small()).unwrap();
+        let (populated, result) = cluster.node(0).run(|ctx| {
+            let cfg = ChmaConfig::tiny();
+            let map = GmtHashMap::alloc(ctx, cfg.entries);
+            let populated = gmt_chma_populate(ctx, &map, &cfg);
+            let result = gmt_chma_access(ctx, &map, &cfg);
+            map.free(ctx);
+            (populated, result)
+        });
+        cluster.shutdown();
+        assert!(populated > 0 && populated <= 128);
+        assert_eq!(result.accesses, 8 * 16);
+        assert_eq!(result.hits + result.misses, result.accesses);
+        assert!(result.inserts <= result.hits);
+    }
+
+    #[test]
+    fn concurrent_inserts_of_same_slot_elect_one_winner() {
+        let cluster = Cluster::start(2, Config::small()).unwrap();
+        let winners = cluster.node(0).run(|ctx| {
+            let map = GmtHashMap::alloc(ctx, 1);
+            let wins = ctx.alloc(8, Distribution::Local);
+            ctx.parfor(SpawnPolicy::Partition, 32, 2, move |ctx, _| {
+                if map.insert(ctx, b"same") {
+                    ctx.atomic_add(&wins, 0, 1);
+                }
+            });
+            let w = ctx.atomic_add(&wins, 0, 0);
+            ctx.free(wins);
+            map.free(ctx);
+            w
+        });
+        cluster.shutdown();
+        assert_eq!(winners, 1);
+    }
+}

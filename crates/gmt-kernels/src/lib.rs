@@ -1,0 +1,36 @@
+//! # gmt-kernels — the paper's irregular-application kernels
+//!
+//! §V of the paper evaluates GMT on three kernels; this crate implements
+//! each one twice, mirroring the paper's comparisons:
+//!
+//! * [`bfs`] — queue-based level-synchronous **Breadth First Search**
+//!   (§V-B, Figures 7/8), the Graph500 building block. The GMT version is
+//!   the ~80-line queue code of the paper; [`bfs_mpi`] is the owner-compute
+//!   message-passing baseline (with and without application-level
+//!   aggregation, standing in for the hand-optimized MPI/UPC codes).
+//! * [`grw`] — **Graph Random Walk** (§V-C, Figure 9): V/2 concurrent
+//!   walkers of length L. [`grw_mpi`] implements the paper's MPI baseline,
+//!   which buffers walk delegations per destination rank and exchanges
+//!   them in bulk-synchronous rounds.
+//! * [`chma`] — **Concurrent Hash Map Access** (§V-D, Figures 10/11):
+//!   streaming tasks probing/reversing/re-inserting strings in a global
+//!   hash map. [`chma_mpi`] is the owner-compute baseline where every
+//!   remote probe is a blocking request/reply message.
+//!
+//! Beyond the paper's three kernels, [`cc`] (connected components by
+//! label propagation) and [`pagerank`] (fixed-point atomics) extend the
+//! suite to the wider irregular-algorithm class the paper argues GMT
+//! targets.
+//!
+//! [`mpi_util`] hosts the rank-per-thread harness the baselines run on
+//! (directly on the `gmt-net` fabric, no GMT runtime involved).
+
+pub mod bfs;
+pub mod bfs_mpi;
+pub mod cc;
+pub mod chma;
+pub mod chma_mpi;
+pub mod grw;
+pub mod grw_mpi;
+pub mod mpi_util;
+pub mod pagerank;

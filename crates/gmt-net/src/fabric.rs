@@ -1,0 +1,520 @@
+//! The in-process interconnect fabric.
+//!
+//! A [`Fabric`] connects `n` nodes; each node holds an [`Endpoint`] with
+//! MPI-like semantics: non-blocking `send`, polled `try_recv`, blocking
+//! `recv`/`recv_timeout`. Messages between a given (source, destination)
+//! pair are delivered in send order, like MPI point-to-point messages on
+//! one communicator.
+//!
+//! Two delivery modes:
+//!
+//! * [`DeliveryMode::Instant`] — messages become receivable immediately.
+//!   Used by functional tests and by benchmarks that account time through
+//!   the cost model instead of wall clock.
+//! * [`DeliveryMode::Throttled`] — a wire thread enforces the
+//!   [`NetworkModel`] in wall-clock time: each source's injection port
+//!   serializes its messages (`overhead + bytes/bandwidth`) and delivery
+//!   happens one wire latency later. This makes latency-tolerance effects
+//!   (the whole point of GMT's multithreading) observable for real inside
+//!   one process.
+
+use crate::model::NetworkModel;
+use crate::stats::TrafficStats;
+use crate::NodeId;
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+use std::fmt;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Message tag, like an MPI tag: lets receivers classify traffic.
+pub type Tag = u32;
+
+/// A message in flight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    pub src: NodeId,
+    pub dst: NodeId,
+    pub tag: Tag,
+    pub payload: Vec<u8>,
+}
+
+/// Errors surfaced by the fabric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The destination is out of range.
+    NoSuchNode { dst: NodeId, nodes: usize },
+    /// A fault was injected on this link (failure-injection tests).
+    LinkDown { src: NodeId, dst: NodeId },
+    /// The fabric has been shut down.
+    Closed,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::NoSuchNode { dst, nodes } => {
+                write!(f, "destination node {dst} out of range (fabric has {nodes} nodes)")
+            }
+            NetError::LinkDown { src, dst } => write!(f, "link {src} -> {dst} is down"),
+            NetError::Closed => write!(f, "fabric closed"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// How messages travel from sender to receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryMode {
+    /// Immediate delivery; the cost model is not enforced in wall time.
+    Instant,
+    /// A wire thread enforces the embedded [`NetworkModel`] in wall time.
+    Throttled(NetworkModel),
+}
+
+/// Per-source injection-port state for throttled delivery.
+struct Port {
+    /// Wall-clock time until which the port is busy serializing.
+    busy_until: Instant,
+}
+
+struct Shared {
+    nodes: usize,
+    mode: DeliveryMode,
+    /// Inboxes, one per node.
+    inbox_tx: Vec<Sender<Packet>>,
+    /// Wire-thread input (throttled mode only).
+    wire_tx: Option<Sender<(Instant, Packet)>>,
+    ports: Vec<Mutex<Port>>,
+    stats: TrafficStats,
+    /// Links currently failed by fault injection.
+    faults: RwLock<HashSet<(NodeId, NodeId)>>,
+}
+
+/// An in-process cluster interconnect between `n` nodes.
+pub struct Fabric {
+    shared: Arc<Shared>,
+    inbox_rx: Vec<Receiver<Packet>>,
+    wire_thread: Option<JoinHandle<()>>,
+}
+
+impl Fabric {
+    /// Builds a fabric connecting `nodes` nodes.
+    pub fn new(nodes: usize, mode: DeliveryMode) -> Self {
+        assert!(nodes > 0, "a fabric needs at least one node");
+        let (inbox_tx, inbox_rx): (Vec<_>, Vec<_>) =
+            (0..nodes).map(|_| channel::unbounded::<Packet>()).unzip();
+        let now = Instant::now();
+        let (wire_tx, wire_thread) = match mode {
+            DeliveryMode::Instant => (None, None),
+            DeliveryMode::Throttled(_) => {
+                let (tx, rx) = channel::unbounded::<(Instant, Packet)>();
+                let inboxes = inbox_tx.clone();
+                let handle = std::thread::Builder::new()
+                    .name("gmt-net-wire".into())
+                    .spawn(move || wire_loop(rx, inboxes))
+                    .expect("spawn wire thread");
+                (Some(tx), Some(handle))
+            }
+        };
+        let shared = Arc::new(Shared {
+            nodes,
+            mode,
+            inbox_tx,
+            wire_tx,
+            ports: (0..nodes).map(|_| Mutex::new(Port { busy_until: now })).collect(),
+            stats: TrafficStats::new(nodes),
+            faults: RwLock::new(HashSet::new()),
+        });
+        Fabric { shared, inbox_rx, wire_thread }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.shared.nodes
+    }
+
+    /// The cost model in effect (for [`DeliveryMode::Throttled`]), if any.
+    pub fn model(&self) -> Option<NetworkModel> {
+        match self.shared.mode {
+            DeliveryMode::Instant => None,
+            DeliveryMode::Throttled(m) => Some(m),
+        }
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> &TrafficStats {
+        &self.shared.stats
+    }
+
+    /// Creates the endpoint for `node`. May be called repeatedly; all
+    /// clones of a node's endpoint share (and compete for) one inbox.
+    pub fn endpoint(&self, node: NodeId) -> Endpoint {
+        assert!(node < self.shared.nodes, "node {node} out of range");
+        Endpoint {
+            node,
+            shared: Arc::clone(&self.shared),
+            rx: self.inbox_rx[node].clone(),
+        }
+    }
+
+    /// All endpoints, index = node id.
+    pub fn endpoints(&self) -> Vec<Endpoint> {
+        (0..self.shared.nodes).map(|n| self.endpoint(n)).collect()
+    }
+
+    /// Fails or restores the directed link `src -> dst`
+    /// (failure-injection tests; sends then return [`NetError::LinkDown`]).
+    pub fn set_link(&self, src: NodeId, dst: NodeId, up: bool) {
+        let mut faults = self.shared.faults.write();
+        if up {
+            faults.remove(&(src, dst));
+        } else {
+            faults.insert((src, dst));
+        }
+    }
+}
+
+impl Drop for Fabric {
+    fn drop(&mut self) {
+        // Disconnect the wire thread's input so it drains and exits.
+        // (Endpoints keep `shared` alive, but their wire_tx clone lives in
+        // `shared`; dropping the fabric alone does not stop deliveries.
+        // Joining here only blocks until in-flight packets drain.)
+        if let Some(handle) = self.wire_thread.take() {
+            // Take the sender out so the channel disconnects once all
+            // endpoints are gone too. We cannot mutate Arc contents, so the
+            // wire thread also exits when every sender clone is dropped.
+            drop(handle); // detach: endpoints may still be sending
+        }
+    }
+}
+
+impl fmt::Debug for Fabric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Fabric")
+            .field("nodes", &self.shared.nodes)
+            .field("mode", &self.shared.mode)
+            .finish()
+    }
+}
+
+/// Wire thread: delivers packets at their deadline, in deadline order.
+fn wire_loop(rx: Receiver<(Instant, Packet)>, inboxes: Vec<Sender<Packet>>) {
+    // (deadline, seq) orders simultaneous deliveries by submission.
+    let mut heap: BinaryHeap<Reverse<(Instant, u64)>> = BinaryHeap::new();
+    let mut payloads: std::collections::HashMap<u64, Packet> = std::collections::HashMap::new();
+    let mut seq = 0u64;
+    loop {
+        // Deliver everything due.
+        let now = Instant::now();
+        while let Some(&Reverse((deadline, s))) = heap.peek() {
+            if deadline > now {
+                break;
+            }
+            heap.pop();
+            let pkt = payloads.remove(&s).expect("packet for heap entry");
+            // Receiver may be gone during shutdown; ignore.
+            let _ = inboxes[pkt.dst].send(pkt);
+        }
+        // Wait for new input until the next deadline (or forever).
+        let wait = heap
+            .peek()
+            .map(|Reverse((d, _))| d.saturating_duration_since(Instant::now()));
+        let received = match wait {
+            Some(d) => rx.recv_timeout(d).map_err(|e| match e {
+                channel::RecvTimeoutError::Timeout => None,
+                channel::RecvTimeoutError::Disconnected => Some(()),
+            }),
+            None => rx.recv().map_err(|_| Some(())),
+        };
+        match received {
+            Ok((deadline, pkt)) => {
+                heap.push(Reverse((deadline, seq)));
+                payloads.insert(seq, pkt);
+                seq += 1;
+            }
+            Err(Some(())) => {
+                // Input disconnected: flush what is queued, then exit.
+                let mut rest: Vec<_> = heap.into_sorted_vec();
+                rest.reverse(); // into_sorted_vec on Reverse puts latest first
+                rest.sort_by_key(|Reverse(k)| *k);
+                for Reverse((deadline, s)) in rest {
+                    let pkt = payloads.remove(&s).expect("packet for heap entry");
+                    let now = Instant::now();
+                    if deadline > now {
+                        std::thread::sleep(deadline - now);
+                    }
+                    let _ = inboxes[pkt.dst].send(pkt);
+                }
+                return;
+            }
+            Err(None) => { /* timeout: loop to deliver due packets */ }
+        }
+    }
+}
+
+/// One node's attachment to the fabric.
+#[derive(Clone)]
+pub struct Endpoint {
+    node: NodeId,
+    shared: Arc<Shared>,
+    rx: Receiver<Packet>,
+}
+
+impl Endpoint {
+    /// This endpoint's node id (MPI rank).
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Number of nodes in the fabric.
+    pub fn nodes(&self) -> usize {
+        self.shared.nodes
+    }
+
+    /// The cost model in effect, if delivery is throttled.
+    pub fn model(&self) -> Option<NetworkModel> {
+        match self.shared.mode {
+            DeliveryMode::Instant => None,
+            DeliveryMode::Throttled(m) => Some(m),
+        }
+    }
+
+    /// Non-blocking send (like `MPI_Isend` whose buffer is handed off).
+    ///
+    /// Messages to the same destination arrive in send order. Sending to
+    /// self is allowed and loops back through the same machinery.
+    pub fn send(&self, dst: NodeId, tag: Tag, payload: Vec<u8>) -> Result<(), NetError> {
+        let shared = &*self.shared;
+        if dst >= shared.nodes {
+            return Err(NetError::NoSuchNode { dst, nodes: shared.nodes });
+        }
+        if !shared.faults.read().is_empty() && shared.faults.read().contains(&(self.node, dst)) {
+            return Err(NetError::LinkDown { src: self.node, dst });
+        }
+        let bytes = payload.len();
+        shared.stats.record_send(self.node, bytes);
+        shared.stats.record_recv(dst, bytes);
+        let pkt = Packet { src: self.node, dst, tag, payload };
+        match shared.mode {
+            DeliveryMode::Instant => {
+                shared.inbox_tx[dst].send(pkt).map_err(|_| NetError::Closed)
+            }
+            DeliveryMode::Throttled(model) => {
+                let deadline = {
+                    let mut port = shared.ports[self.node].lock();
+                    let now = Instant::now();
+                    let start = port.busy_until.max(now);
+                    let busy = Duration::from_nanos(model.serialization_ns(bytes));
+                    port.busy_until = start + busy;
+                    port.busy_until + Duration::from_nanos(model.wire_latency_ns)
+                };
+                shared
+                    .wire_tx
+                    .as_ref()
+                    .expect("throttled fabric has a wire thread")
+                    .send((deadline, pkt))
+                    .map_err(|_| NetError::Closed)
+            }
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Packet> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Blocking receive.
+    pub fn recv(&self) -> Result<Packet, NetError> {
+        self.rx.recv().map_err(|_| NetError::Closed)
+    }
+
+    /// Blocking receive with timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Packet> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Number of packets currently queued for this node.
+    pub fn pending(&self) -> usize {
+        self.rx.len()
+    }
+}
+
+impl fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Endpoint").field("node", &self.node).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_and_receive_instant() {
+        let fabric = Fabric::new(2, DeliveryMode::Instant);
+        let eps = fabric.endpoints();
+        eps[0].send(1, 7, vec![1, 2, 3]).unwrap();
+        let pkt = eps[1].recv().unwrap();
+        assert_eq!(pkt.src, 0);
+        assert_eq!(pkt.dst, 1);
+        assert_eq!(pkt.tag, 7);
+        assert_eq!(pkt.payload, vec![1, 2, 3]);
+        assert!(eps[0].try_recv().is_none());
+    }
+
+    #[test]
+    fn self_send_loops_back() {
+        let fabric = Fabric::new(1, DeliveryMode::Instant);
+        let ep = fabric.endpoint(0);
+        ep.send(0, 0, vec![9]).unwrap();
+        assert_eq!(ep.recv().unwrap().payload, vec![9]);
+    }
+
+    #[test]
+    fn per_pair_ordering_is_fifo() {
+        let fabric = Fabric::new(2, DeliveryMode::Instant);
+        let eps = fabric.endpoints();
+        for i in 0..100u8 {
+            eps[0].send(1, 0, vec![i]).unwrap();
+        }
+        for i in 0..100u8 {
+            assert_eq!(eps[1].recv().unwrap().payload, vec![i]);
+        }
+    }
+
+    #[test]
+    fn out_of_range_destination_is_an_error() {
+        let fabric = Fabric::new(2, DeliveryMode::Instant);
+        let ep = fabric.endpoint(0);
+        assert_eq!(
+            ep.send(5, 0, vec![]),
+            Err(NetError::NoSuchNode { dst: 5, nodes: 2 })
+        );
+    }
+
+    #[test]
+    fn fault_injection_downs_a_link_directionally() {
+        let fabric = Fabric::new(3, DeliveryMode::Instant);
+        let eps = fabric.endpoints();
+        fabric.set_link(0, 1, false);
+        assert_eq!(eps[0].send(1, 0, vec![1]), Err(NetError::LinkDown { src: 0, dst: 1 }));
+        // Reverse direction and other links unaffected.
+        eps[1].send(0, 0, vec![2]).unwrap();
+        eps[0].send(2, 0, vec![3]).unwrap();
+        fabric.set_link(0, 1, true);
+        eps[0].send(1, 0, vec![4]).unwrap();
+        assert_eq!(eps[1].recv().unwrap().payload, vec![4]);
+    }
+
+    #[test]
+    fn stats_track_messages_and_bytes() {
+        let fabric = Fabric::new(2, DeliveryMode::Instant);
+        let eps = fabric.endpoints();
+        eps[0].send(1, 0, vec![0; 100]).unwrap();
+        eps[0].send(1, 0, vec![0; 28]).unwrap();
+        let s = fabric.stats();
+        assert_eq!(s.node(0).sent_msgs, 2);
+        assert_eq!(s.node(0).sent_bytes, 128);
+        assert_eq!(s.node(1).recv_bytes, 128);
+    }
+
+    #[test]
+    fn throttled_mode_delivers_everything_in_order() {
+        // A fast model so the test stays quick, but nonzero so the wire
+        // thread path is exercised.
+        let model = NetworkModel {
+            per_msg_overhead_ns: 10_000, // 10 µs
+            bandwidth_bytes_per_sec: 1 << 32,
+            wire_latency_ns: 5_000,
+        };
+        let fabric = Fabric::new(2, DeliveryMode::Throttled(model));
+        let eps = fabric.endpoints();
+        let start = Instant::now();
+        for i in 0..50u8 {
+            eps[0].send(1, 0, vec![i]).unwrap();
+        }
+        for i in 0..50u8 {
+            let pkt = eps[1].recv_timeout(Duration::from_secs(5)).expect("delivery");
+            assert_eq!(pkt.payload, vec![i]);
+        }
+        // 50 messages × 10 µs serialization ≥ 500 µs of port time.
+        assert!(start.elapsed() >= Duration::from_micros(500));
+    }
+
+    #[test]
+    fn throttled_mode_enforces_serialization_rate() {
+        let model = NetworkModel {
+            per_msg_overhead_ns: 1_000_000, // 1 ms per message
+            bandwidth_bytes_per_sec: u64::MAX,
+            wire_latency_ns: 0,
+        };
+        let fabric = Fabric::new(2, DeliveryMode::Throttled(model));
+        let eps = fabric.endpoints();
+        let start = Instant::now();
+        for _ in 0..5 {
+            eps[0].send(1, 0, vec![1]).unwrap();
+        }
+        for _ in 0..5 {
+            eps[1].recv_timeout(Duration::from_secs(5)).expect("delivery");
+        }
+        let elapsed = start.elapsed();
+        assert!(elapsed >= Duration::from_millis(5), "too fast: {elapsed:?}");
+    }
+
+    #[test]
+    fn distinct_sources_do_not_serialize_against_each_other() {
+        let model = NetworkModel {
+            per_msg_overhead_ns: 30_000_000, // 30 ms
+            bandwidth_bytes_per_sec: u64::MAX,
+            wire_latency_ns: 0,
+        };
+        let fabric = Fabric::new(3, DeliveryMode::Throttled(model));
+        let eps = fabric.endpoints();
+        let start = Instant::now();
+        eps[0].send(2, 0, vec![0]).unwrap();
+        eps[1].send(2, 0, vec![1]).unwrap();
+        let mut got = Vec::new();
+        for _ in 0..2 {
+            got.push(eps[2].recv_timeout(Duration::from_secs(5)).unwrap().payload[0]);
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1]);
+        // Two ports in parallel: total ≈ 30 ms, not 60 ms.
+        assert!(start.elapsed() < Duration::from_millis(55));
+    }
+
+    #[test]
+    fn many_to_one_concurrent_senders() {
+        let fabric = Fabric::new(5, DeliveryMode::Instant);
+        let eps = fabric.endpoints();
+        let sink = eps[4].clone();
+        let handles: Vec<_> = (0..4)
+            .map(|src| {
+                let ep = eps[src].clone();
+                std::thread::spawn(move || {
+                    for i in 0..250u32 {
+                        ep.send(4, src as Tag, i.to_le_bytes().to_vec()).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut per_src = vec![0u32; 4];
+        for _ in 0..1000 {
+            let pkt = sink.recv().unwrap();
+            // FIFO per source: payload value must equal count seen so far.
+            let v = u32::from_le_bytes(pkt.payload.as_slice().try_into().unwrap());
+            assert_eq!(v, per_src[pkt.src]);
+            per_src[pkt.src] += 1;
+        }
+        assert_eq!(per_src, vec![250; 4]);
+    }
+}

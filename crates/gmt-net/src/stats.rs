@@ -1,0 +1,130 @@
+//! Per-node traffic accounting.
+//!
+//! The benchmark harness computes effective bandwidths from these counters
+//! plus the cost model, so results reflect *modeled* network behaviour
+//! rather than host scheduling noise (the reproduction host has one core;
+//! the paper's Olympus nodes had 32).
+
+use crossbeam::utils::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One node's counters.
+#[derive(Debug, Default)]
+struct NodeCounters {
+    sent_msgs: AtomicU64,
+    sent_bytes: AtomicU64,
+    recv_msgs: AtomicU64,
+    recv_bytes: AtomicU64,
+}
+
+/// Traffic counters for every node of a fabric.
+#[derive(Debug)]
+pub struct TrafficStats {
+    nodes: Vec<CachePadded<NodeCounters>>,
+}
+
+/// A point-in-time copy of one node's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NodeTraffic {
+    pub sent_msgs: u64,
+    pub sent_bytes: u64,
+    pub recv_msgs: u64,
+    pub recv_bytes: u64,
+}
+
+impl TrafficStats {
+    pub fn new(nodes: usize) -> Self {
+        TrafficStats {
+            nodes: (0..nodes).map(|_| CachePadded::new(NodeCounters::default())).collect(),
+        }
+    }
+
+    #[inline]
+    pub fn record_send(&self, node: usize, bytes: usize) {
+        let c = &self.nodes[node];
+        c.sent_msgs.fetch_add(1, Ordering::Relaxed);
+        c.sent_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn record_recv(&self, node: usize, bytes: usize) {
+        let c = &self.nodes[node];
+        c.recv_msgs.fetch_add(1, Ordering::Relaxed);
+        c.recv_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Snapshot of one node's counters.
+    pub fn node(&self, node: usize) -> NodeTraffic {
+        let c = &self.nodes[node];
+        NodeTraffic {
+            sent_msgs: c.sent_msgs.load(Ordering::Relaxed),
+            sent_bytes: c.sent_bytes.load(Ordering::Relaxed),
+            recv_msgs: c.recv_msgs.load(Ordering::Relaxed),
+            recv_bytes: c.recv_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Sum over all nodes.
+    pub fn total(&self) -> NodeTraffic {
+        let mut t = NodeTraffic::default();
+        for i in 0..self.nodes.len() {
+            let n = self.node(i);
+            t.sent_msgs += n.sent_msgs;
+            t.sent_bytes += n.sent_bytes;
+            t.recv_msgs += n.recv_msgs;
+            t.recv_bytes += n.recv_bytes;
+        }
+        t
+    }
+
+    /// Number of nodes tracked.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate() {
+        let s = TrafficStats::new(3);
+        s.record_send(0, 100);
+        s.record_send(0, 28);
+        s.record_recv(2, 128);
+        assert_eq!(
+            s.node(0),
+            NodeTraffic { sent_msgs: 2, sent_bytes: 128, recv_msgs: 0, recv_bytes: 0 }
+        );
+        assert_eq!(s.node(1), NodeTraffic::default());
+        let t = s.total();
+        assert_eq!(t.sent_bytes, 128);
+        assert_eq!(t.recv_bytes, 128);
+        assert_eq!(t.recv_msgs, 1);
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_counts() {
+        let s = std::sync::Arc::new(TrafficStats::new(1));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let s = std::sync::Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        s.record_send(0, 8);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(s.node(0).sent_msgs, 4000);
+        assert_eq!(s.node(0).sent_bytes, 32000);
+    }
+}

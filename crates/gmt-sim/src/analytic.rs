@@ -1,0 +1,132 @@
+//! Closed-form models for the point-to-point tables/figures.
+//!
+//! Table II and Figure 2 are direct functions of the network cost model;
+//! computing them in closed form (and validating the DES against these
+//! numbers in tests) keeps the simulator honest.
+
+use gmt_net::NetworkModel;
+
+/// One row configuration of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MpiConfig {
+    /// N single-threaded MPI processes per node (OpenMPI in the paper).
+    Processes(usize),
+    /// One process with N threads (MVAPICH, `MPI_THREAD_MULTIPLE`).
+    Threads(usize),
+}
+
+/// Transfer rate (MB/s) between two nodes for the paper's modified OSU
+/// benchmark: a stream of `size`-byte messages with an acknowledgement
+/// every 4 messages (§IV-B).
+///
+/// Processes inject independently until the NIC saturates. Threads share
+/// one MPI endpoint; `MPI_THREAD_MULTIPLE` serializes the injection path
+/// and adds lock overhead per message — the paper measured multithreaded
+/// MPI to be far slower, which this term models.
+pub fn table2_rate_mb_s(net: &NetworkModel, size: usize, config: MpiConfig) -> f64 {
+    const WINDOW: usize = 4;
+    const MB: f64 = 1_000_000.0;
+    match config {
+        MpiConfig::Processes(n) => {
+            let single = net.windowed_bandwidth(size, WINDOW);
+            let nic_cap = net.stream_bandwidth(size);
+            (single * n as f64).min(nic_cap) / MB
+        }
+        MpiConfig::Threads(n) => {
+            // `MPI_THREAD_MULTIPLE` serializes the injection path of the
+            // single shared endpoint, so extra threads add lock overhead
+            // per message without adding injection concurrency — the
+            // paper's finding that multithreaded MPI "exhibits low
+            // transfer-rates".
+            let lock_ns = 600 * n.saturating_sub(1) as u64;
+            let contended = NetworkModel {
+                per_msg_overhead_ns: net.per_msg_overhead_ns + lock_ns,
+                ..*net
+            };
+            contended.windowed_bandwidth(size, WINDOW) / MB
+        }
+    }
+}
+
+/// Figure 2: GMT bandwidth between two nodes with one worker and one
+/// communication server, as a function of the put payload size.
+///
+/// The worker encodes commands (`encode_ns` each, pipelined with the
+/// NIC); full 64 KiB aggregation buffers are then streamed. Bandwidth is
+/// the payload fraction of whichever stage is the bottleneck.
+pub fn fig2_gmt_bandwidth_mb_s(
+    net: &NetworkModel,
+    payload: usize,
+    buffer_bytes: usize,
+    cmd_header: usize,
+    encode_ns: u64,
+) -> f64 {
+    let wire_per_cmd = payload + cmd_header;
+    let cmds_per_buffer = (buffer_bytes / wire_per_cmd).max(1);
+    let buffer_wire = cmds_per_buffer * wire_per_cmd;
+    // Time to produce one buffer (worker) vs transmit it (NIC).
+    let produce = encode_ns * cmds_per_buffer as u64;
+    let transmit = net.serialization_ns(buffer_wire);
+    let per_buffer = produce.max(transmit);
+    (cmds_per_buffer * payload) as f64 * 1e3 / per_buffer as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NET: NetworkModel = NetworkModel::olympus();
+
+    #[test]
+    fn processes_beat_threads_at_every_size() {
+        for size in [128usize, 1024, 16 * 1024, 64 * 1024] {
+            let p32 = table2_rate_mb_s(&NET, size, MpiConfig::Processes(32));
+            for t in [1usize, 2, 4] {
+                let thr = table2_rate_mb_s(&NET, size, MpiConfig::Threads(t));
+                assert!(
+                    p32 >= thr,
+                    "threads({t}) beat processes at {size}B: {thr} > {p32}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rates_grow_with_message_size() {
+        for cfg in [MpiConfig::Processes(32), MpiConfig::Threads(2)] {
+            let mut last = 0.0;
+            for size in [128usize, 1024, 8192, 65536] {
+                let r = table2_rate_mb_s(&NET, size, cfg);
+                assert!(r > last);
+                last = r;
+            }
+        }
+    }
+
+    #[test]
+    fn table2_peak_matches_paper() {
+        // 32 processes with 64 KiB messages ≈ the measured 2815 MB/s NIC
+        // peak (the windowed ack is amortized by concurrency).
+        let r = table2_rate_mb_s(&NET, 65536, MpiConfig::Processes(32));
+        assert!((r - 2815.0).abs() / 2815.0 < 0.1, "{r} MB/s");
+    }
+
+    #[test]
+    fn fig2_shape_matches_paper() {
+        // Rising curve saturating near (but below) the raw MPI peak:
+        // 2630 MB/s at 64 KiB messages vs 2815 raw (§IV-B).
+        let bw64k = fig2_gmt_bandwidth_mb_s(&NET, 65536, 65536, 32, 300);
+        assert!(bw64k > 2400.0 && bw64k < 2815.0, "{bw64k} MB/s at 64 KiB");
+        let bw8 = fig2_gmt_bandwidth_mb_s(&NET, 8, 65536, 32, 300);
+        assert!(bw8 < 100.0, "{bw8} MB/s at 8 B should be far from peak");
+        // Growing overall; small sawtooth dips are real (a payload of
+        // half-a-buffer-plus-headers packs only once per buffer).
+        let mut max = 0.0f64;
+        for s in [8usize, 64, 512, 4096, 32768, 65536] {
+            let b = fig2_gmt_bandwidth_mb_s(&NET, s, 65536, 32, 300);
+            assert!(b > max * 0.9, "dropped too far at {s}: {b} vs max {max}");
+            max = max.max(b);
+        }
+        assert!(max > 2500.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # gmt-sim — discrete-event cluster simulator
+//!
+//! The paper's evaluation ran on a 604-node InfiniBand cluster, a 128-
+//! processor Cray XMT and a UPC/GASNet stack — none available here. This
+//! crate reproduces the *multi-node scaling* experiments in simulation:
+//!
+//! * [`engine`] — a discrete-event simulator of nodes running blocking
+//!   fine-grained global operations through (optionally) GMT's
+//!   aggregation pipeline, a serializing NIC, and helper service streams;
+//! * [`params`] — machine models: GMT (Table IV configuration), GMT
+//!   without aggregation (ablation), fine-grained MPI, UPC-style blocking
+//!   PGAS, and the Cray XMT, all as parameter sets over one engine;
+//! * [`workload`] — the kernels (BFS/GRW/CHMA) as phase sequences whose
+//!   operation mixes are traced from the real `gmt-kernels` code;
+//! * [`analytic`] — closed-form models for the point-to-point
+//!   table/figures (Table II, Figure 2), used to cross-validate the DES.
+//!
+//! Calibration constants and their provenance are documented in
+//! [`params`] and DESIGN.md §2; EXPERIMENTS.md records paper-vs-simulated
+//! values for every figure.
+
+pub mod analytic;
+pub mod engine;
+pub mod params;
+pub mod workload;
+
+pub use engine::{simulate, simulate_phases, OpPattern, Phase, Sim, SimReport};
+pub use params::{AggParams, MachineParams};

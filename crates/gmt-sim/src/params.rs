@@ -1,0 +1,202 @@
+//! Machine models: parameter sets for the discrete-event simulator.
+//!
+//! One simulator models every system the paper compares (§V): the four
+//! machines differ only in their parameters — whether commands aggregate,
+//! how many execution streams a node has, what a context switch costs,
+//! and what the network charges per message.
+//!
+//! ## Calibration (documented per DESIGN.md §2)
+//!
+//! * **Network** — `NetworkModel::olympus()`: fitted to the paper's MPI
+//!   measurements (72.26 MB/s @128 B, 2815 MB/s @64 KiB ⇒ overhead
+//!   1.73 µs, link 3.04 GB/s).
+//! * **GMT worker op cost** — Figure 5 saturates at ≈72.48 MB/s for 8-byte
+//!   puts with 15 workers ⇒ ≈9.1 M commands/s ⇒ ≈1.65 µs of worker time
+//!   per blocking operation (issue + two context switches + scheduling).
+//! * **GMT aggregation round time** — at 1024 tasks Figure 5 reports
+//!   8.55 MB/s for 8-byte puts ⇒ a blocked-task round trip of
+//!   ≈958 µs ⇒ flush timeouts of ≈450 µs per direction.
+//! * **Context switch** — Table III: ~500 cycles at 2.1 GHz ≈ 238 ns
+//!   (measured for real by `gmt-context`'s benchmark).
+//! * **Cray XMT** — 500 MHz barrel processors, 128 hardware streams,
+//!   fine-grained (8-byte) network references, no software overhead per
+//!   reference; memory latency ~600 cycles fully pipelined.
+//! * **UPC/GASNet** — one-sided puts/gets over InfiniBand: lower
+//!   per-message software overhead than two-sided MPI (no matching), but
+//!   blocking ops and one stream per core ⇒ no latency tolerance.
+
+use gmt_net::NetworkModel;
+
+/// Aggregation machinery parameters (present = GMT-style coalescing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AggParams {
+    /// Aggregation buffer capacity in bytes (Table IV: 64 KiB).
+    pub buffer_bytes: u32,
+    /// Flush timeout for a non-full buffer, ns.
+    pub timeout_ns: u64,
+    /// Wire overhead per command (opcode, token, addresses).
+    pub cmd_header_bytes: u32,
+}
+
+/// Full parameter set of one simulated machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineParams {
+    pub name: &'static str,
+    /// Execution streams per node that run application operations
+    /// (GMT workers / MPI ranks / UPC threads / XMT hardware streams).
+    pub workers_per_node: usize,
+    /// Streams per node that serve incoming requests (GMT helpers; for
+    /// MPI/UPC this models the target-side progress engine).
+    pub helpers_per_node: usize,
+    /// Time the issuing stream is busy per operation (issue cost plus, for
+    /// software multithreading, the context switches around the block).
+    pub worker_op_ns: u64,
+    /// Service time per incoming command at the target.
+    pub helper_cmd_ns: u64,
+    /// Cost to execute an operation that turns out to be node-local.
+    pub local_op_ns: u64,
+    /// `Some` = commands coalesce into buffers (GMT); `None` = every
+    /// operation is its own network message (MPI/UPC/XMT).
+    pub aggregation: Option<AggParams>,
+    pub net: NetworkModel,
+    /// Cray-XMT-style scrambled global memory: every reference crosses
+    /// the network regardless of software data placement, so the
+    /// workload's `local_fraction` is ignored.
+    pub scrambled_memory: bool,
+}
+
+impl MachineParams {
+    /// GMT on Olympus (Table IV configuration).
+    pub fn gmt() -> Self {
+        MachineParams {
+            name: "GMT",
+            workers_per_node: 15,
+            helpers_per_node: 15,
+            worker_op_ns: 1_650,
+            helper_cmd_ns: 400,
+            local_op_ns: 300,
+            aggregation: Some(AggParams {
+                buffer_bytes: 65_536,
+                timeout_ns: 450_000,
+                cmd_header_bytes: 32,
+            }),
+            net: NetworkModel::olympus(),
+            scrambled_memory: false,
+        }
+    }
+
+    /// GMT with aggregation disabled (ablation: one message per command).
+    pub fn gmt_no_aggregation() -> Self {
+        MachineParams { name: "GMT-noagg", aggregation: None, ..Self::gmt() }
+    }
+
+    /// Plain MPI: 32 ranks per node (one per integer core), blocking
+    /// request/reply per fine-grained access, two-sided overhead.
+    pub fn mpi() -> Self {
+        MachineParams {
+            name: "MPI",
+            workers_per_node: 32,
+            helpers_per_node: 32,
+            worker_op_ns: 300,
+            helper_cmd_ns: 300,
+            local_op_ns: 100,
+            aggregation: None,
+            net: NetworkModel::olympus(),
+            scrambled_memory: false,
+        }
+    }
+
+    /// UPC over GASNet: one thread per core, blocking one-sided accesses.
+    /// Lower per-message overhead than MPI (RDMA put/get, no matching) but
+    /// zero latency tolerance.
+    pub fn upc() -> Self {
+        MachineParams {
+            name: "UPC",
+            workers_per_node: 32,
+            helpers_per_node: 32,
+            // UPC shared-pointer arithmetic and runtime checks cost
+            // several hundred ns per access even before the network.
+            worker_op_ns: 600,
+            helper_cmd_ns: 150,
+            local_op_ns: 400,
+            aggregation: None,
+            net: NetworkModel {
+                per_msg_overhead_ns: 1_100,
+                bandwidth_bytes_per_sec: 3_200_000_000,
+                wire_latency_ns: 1_900,
+            },
+            scrambled_memory: false,
+        }
+    }
+
+    /// Cray XMT: a 500 MHz Threadstorm *barrel* processor — one shared
+    /// instruction pipeline multiplexing 128 hardware streams (so one
+    /// issue server, zero-cost switching), scrambled uniform memory, and
+    /// a word-granular pipelined network. The streams appear as the task
+    /// count of the workload, not as parallel issue servers.
+    pub fn xmt() -> Self {
+        MachineParams {
+            name: "XMT",
+            workers_per_node: 1, // the barrel pipeline
+            helpers_per_node: 1, // pipelined memory/network controller
+            // ~a dozen 500 MHz instructions of issue work per reference.
+            worker_op_ns: 240,
+            helper_cmd_ns: 120,
+            local_op_ns: 240, // scrambled memory: "local" is not faster
+            aggregation: None,
+            net: NetworkModel {
+                // SeaStar-2 with word-granularity hardware messaging: no
+                // software per-message cost, modest per-reference cost.
+                per_msg_overhead_ns: 15,
+                bandwidth_bytes_per_sec: 3_000_000_000,
+                wire_latency_ns: 1_200,
+            },
+            scrambled_memory: true,
+        }
+    }
+
+    /// Effective wire size of one command/message carrying `payload`.
+    pub fn wire_bytes(&self, payload: u32) -> u32 {
+        match self.aggregation {
+            Some(a) => payload + a.cmd_header_bytes,
+            // Un-aggregated messages still carry their envelope.
+            None => payload + 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_distinct_and_sane() {
+        for p in [
+            MachineParams::gmt(),
+            MachineParams::gmt_no_aggregation(),
+            MachineParams::mpi(),
+            MachineParams::upc(),
+            MachineParams::xmt(),
+        ] {
+            assert!(p.workers_per_node > 0);
+            assert!(p.helpers_per_node > 0);
+            assert!(p.worker_op_ns > 0);
+            assert!(p.net.per_msg_overhead_ns < 10_000);
+        }
+        assert!(MachineParams::gmt().aggregation.is_some());
+        assert!(MachineParams::mpi().aggregation.is_none());
+        assert!(MachineParams::xmt().net.per_msg_overhead_ns < 100);
+        assert!(MachineParams::xmt().scrambled_memory);
+        assert!(!MachineParams::upc().scrambled_memory);
+    }
+
+    #[test]
+    fn gmt_worker_rate_matches_paper_saturation() {
+        // 15 workers at 1.65 µs/op ≈ 9.1 M ops/s; at 8-byte payloads that
+        // is ≈72 MB/s — the Figure 5 saturation point.
+        let p = MachineParams::gmt();
+        let ops_per_sec = p.workers_per_node as f64 * 1e9 / p.worker_op_ns as f64;
+        let mb_s = ops_per_sec * 8.0 / 1e6;
+        assert!((mb_s - 72.48).abs() / 72.48 < 0.05, "{mb_s} MB/s");
+    }
+}

@@ -1,0 +1,175 @@
+//! Kernel workloads as phase sequences for the simulator.
+//!
+//! The kernels' per-task *operation mixes* come from the real
+//! implementations in `gmt-kernels` (trace-driven simulation): BFS level
+//! structure is extracted by running the actual algorithm on a
+//! proportionally scaled graph, then each level becomes one
+//! bulk-synchronous [`Phase`] whose operation counts follow the real
+//! code's access pattern (documented per experiment in EXPERIMENTS.md).
+
+use crate::engine::{OpPattern, Phase};
+use gmt_graph::Csr;
+
+/// Per-level structure of a BFS traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BfsLevel {
+    /// Vertices expanded this level.
+    pub frontier: u64,
+    /// Edges examined (sum of frontier out-degrees).
+    pub edges: u64,
+    /// Vertices discovered (next frontier).
+    pub discovered: u64,
+}
+
+/// Extracts the level structure of a real BFS on `csr` from `source`.
+pub fn bfs_trace(csr: &Csr, source: u64) -> Vec<BfsLevel> {
+    let levels = csr.bfs_levels(source);
+    let max_level = levels.iter().filter(|&&l| l != u64::MAX).max().copied().unwrap_or(0);
+    let mut out = vec![BfsLevel { frontier: 0, edges: 0, discovered: 0 }; max_level as usize + 1];
+    for (v, &l) in levels.iter().enumerate() {
+        if l == u64::MAX {
+            continue;
+        }
+        let entry = &mut out[l as usize];
+        entry.frontier += 1;
+        entry.edges += csr.degree(v as u64);
+    }
+    for l in 0..out.len() - 1 {
+        out[l].discovered = out[l + 1].frontier;
+    }
+    out
+}
+
+/// Total edges traversed by a traced BFS (the MTEPS numerator).
+pub fn trace_edges(trace: &[BfsLevel]) -> u64 {
+    trace.iter().map(|l| l.edges).sum()
+}
+
+/// Builds the simulator phases for the paper's queue-based BFS
+/// (§V-B): per frontier vertex a 16-byte edge-range get and one bulk
+/// neighbor get; per examined edge an atomicCAS; per discovered vertex an
+/// atomicAdd and a queue put. Counts can be scaled by `scale` to model a
+/// larger graph with the same shape (weak scaling).
+///
+/// `tasks_cap` bounds concurrent tasks per node (GMT: workers × 1024).
+pub fn bfs_phases(
+    trace: &[BfsLevel],
+    scale: u64,
+    nodes: usize,
+    avg_degree: u64,
+    tasks_cap: u64,
+) -> Vec<Phase> {
+    let mut phases = Vec::new();
+    for l in trace {
+        let frontier = l.frontier * scale;
+        let edges = l.edges * scale;
+        let discovered = l.discovered * scale;
+        if frontier == 0 {
+            continue;
+        }
+        // Operations per level, all fine-grained against partitioned
+        // arrays: 2 gets per vertex + 1 CAS per edge + 2 ops per
+        // discovery.
+        let ops_total = 2 * frontier + edges + 2 * discovered;
+        let ops_per_node = ops_total.div_ceil(nodes as u64);
+        // Tasks available: one per frontier vertex, capped.
+        let tasks_per_node = frontier.div_ceil(nodes as u64).clamp(1, tasks_cap);
+        let ops_per_task = ops_per_node.div_ceil(tasks_per_node).max(1);
+        // Average payloads: requests are small (8–16 B addresses/words);
+        // replies average a neighbor-list share: edges/frontier words for
+        // the bulk get, 8 B for CAS/add replies.
+        let avg_reply =
+            ((edges / frontier.max(1)) * 8).clamp(8, 4096).min(avg_degree * 8) as u32;
+        let pattern = OpPattern {
+            req_bytes: 16,
+            reply_bytes: avg_reply / 2, // half the ops return words, half lists
+            local_fraction: 1.0 / nodes as f64,
+        };
+        phases.push(Phase::all_nodes(tasks_per_node, ops_per_task, pattern));
+    }
+    phases
+}
+
+/// Graph Random Walk (§V-C): each walker issues two fine-grained reads
+/// per step (edge range, then one neighbor word).
+pub fn grw_phase(walkers: u64, length: u64, nodes: usize) -> Phase {
+    Phase::all_nodes(
+        walkers.div_ceil(nodes as u64),
+        2 * length,
+        OpPattern { req_bytes: 16, reply_bytes: 12, local_fraction: 1.0 / nodes as f64 },
+    )
+}
+
+/// Concurrent Hash Map Access (§V-D): per step one 32-byte entry get,
+/// plus (on the ~hit fraction) a CAS and two puts.
+pub fn chma_phase(tasks: u64, steps: u64, hit_rate: f64, nodes: usize) -> Phase {
+    let ops_per_step = 1.0 + hit_rate * 3.0;
+    Phase::all_nodes(
+        tasks.div_ceil(nodes as u64),
+        ((steps as f64 * ops_per_step).ceil() as u64).max(1),
+        OpPattern { req_bytes: 24, reply_bytes: 16, local_fraction: 1.0 / nodes as f64 },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmt_graph::{uniform_random, GraphSpec};
+
+    #[test]
+    fn trace_counts_match_graph() {
+        let csr = uniform_random(GraphSpec { vertices: 300, avg_degree: 4, seed: 51 });
+        let trace = bfs_trace(&csr, 0);
+        let total_frontier: u64 = trace.iter().map(|l| l.frontier).sum();
+        let reached =
+            csr.bfs_levels(0).iter().filter(|&&l| l != u64::MAX).count() as u64;
+        assert_eq!(total_frontier, reached);
+        // Discovered chains to the next level's frontier.
+        for w in trace.windows(2) {
+            assert_eq!(w[0].discovered, w[1].frontier);
+        }
+        // Edges examined = sum of reached vertices' degrees.
+        let expected: u64 = csr
+            .bfs_levels(0)
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l != u64::MAX)
+            .map(|(v, _)| csr.degree(v as u64))
+            .sum();
+        assert_eq!(trace_edges(&trace), expected);
+    }
+
+    #[test]
+    fn trace_on_chain_is_one_vertex_per_level() {
+        let edges: Vec<(u64, u64)> = (0..9).map(|i| (i, i + 1)).collect();
+        let csr = Csr::from_edges(10, &edges);
+        let trace = bfs_trace(&csr, 0);
+        assert_eq!(trace.len(), 10);
+        assert!(trace.iter().all(|l| l.frontier == 1));
+    }
+
+    #[test]
+    fn phases_scale_with_graph_size() {
+        let csr = uniform_random(GraphSpec { vertices: 200, avg_degree: 4, seed: 52 });
+        let trace = bfs_trace(&csr, 0);
+        let small = bfs_phases(&trace, 1, 4, 4, 1024);
+        let large = bfs_phases(&trace, 10, 4, 4, 1024);
+        assert_eq!(small.len(), large.len());
+        let ops = |ps: &[Phase]| -> u64 {
+            ps.iter().map(|p| p.tasks_per_node * p.ops_per_task).sum()
+        };
+        let (s, l) = (ops(&small), ops(&large));
+        assert!(l > s * 5, "scaling had little effect: {s} -> {l}");
+    }
+
+    #[test]
+    fn kernel_phases_have_sane_parameters() {
+        let g = grw_phase(1000, 64, 8);
+        assert_eq!(g.ops_per_task, 128);
+        assert_eq!(g.tasks_per_node, 125);
+        assert!(g.pattern.local_fraction > 0.1 && g.pattern.local_fraction < 0.13);
+        let c = chma_phase(64, 100, 0.5, 4);
+        assert_eq!(c.tasks_per_node, 16);
+        assert_eq!(c.ops_per_task, 250);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the discrete-event simulator: conservation,
+//! determinism and monotonicity laws that must hold for any machine.
+
+use gmt_sim::{simulate, MachineParams, OpPattern, Phase};
+use proptest::prelude::*;
+
+fn arb_machine() -> impl Strategy<Value = MachineParams> {
+    prop_oneof![
+        Just(MachineParams::gmt()),
+        Just(MachineParams::gmt_no_aggregation()),
+        Just(MachineParams::mpi()),
+        Just(MachineParams::upc()),
+        Just(MachineParams::xmt()),
+    ]
+}
+
+fn arb_phase() -> impl Strategy<Value = Phase> {
+    (1u64..64, 1u64..16, 1u32..256, 0u32..64, 0.0f64..1.0).prop_map(
+        |(tasks, ops, req, reply, local)| {
+            Phase::all_nodes(
+                tasks,
+                ops,
+                OpPattern { req_bytes: req, reply_bytes: reply, local_fraction: local },
+            )
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Conservation: every installed op completes, exactly once, on any
+    /// machine, any workload, any cluster size — the simulation never
+    /// stalls or double-counts.
+    #[test]
+    fn all_ops_complete(params in arb_machine(), phase in arb_phase(), nodes in 1usize..6, seed in any::<u64>()) {
+        let r = simulate(params, nodes, phase, seed);
+        prop_assert_eq!(r.ops_completed, phase.tasks_per_node * phase.ops_per_task * nodes as u64);
+        prop_assert!(r.elapsed_ns > 0);
+    }
+
+    /// Determinism: same seed, same outcome — bit for bit.
+    #[test]
+    fn deterministic(params in arb_machine(), phase in arb_phase(), seed in any::<u64>()) {
+        let a = simulate(params, 3, phase, seed);
+        let b = simulate(params, 3, phase, seed);
+        prop_assert_eq!(a, b);
+    }
+
+    /// More work never takes less simulated time — *exactly* for fully
+    /// local workloads (deterministic, no network), and within a factor
+    /// of two in general. Strict monotonicity is genuinely false for
+    /// mixed workloads: extra traffic can fill aggregation buffers before
+    /// the flush timeout fires, shortening rounds (a real property of
+    /// timeout-based coalescing, found by this very test — see the
+    /// checked-in proptest regression).
+    #[test]
+    fn time_monotone_in_work(params in arb_machine(), phase in arb_phase(), seed in any::<u64>()) {
+        let local = Phase {
+            pattern: OpPattern { local_fraction: 1.0, ..phase.pattern },
+            ..phase
+        };
+        let bigger_local = Phase { ops_per_task: local.ops_per_task * 2, ..local };
+        if !params.scrambled_memory {
+            let t1 = simulate(params, 2, local, seed).elapsed_ns;
+            let t2 = simulate(params, 2, bigger_local, seed).elapsed_ns;
+            prop_assert!(t2 >= t1, "doubling local ops shortened time: {t1} -> {t2}");
+        }
+        let bigger = Phase { ops_per_task: phase.ops_per_task * 2, ..phase };
+        let t1 = simulate(params, 2, phase, seed).elapsed_ns;
+        let t2 = simulate(params, 2, bigger, seed).elapsed_ns;
+        prop_assert!(
+            2 * t2 >= t1,
+            "doubling ops more than halved time: {t1} -> {t2}"
+        );
+    }
+
+    /// Wire accounting: headers make wire bytes exceed pure payload for
+    /// all-remote traffic; all-local traffic touches the wire not at all.
+    #[test]
+    fn wire_accounting(params in arb_machine(), phase in arb_phase(), seed in any::<u64>()) {
+        let all_remote = Phase {
+            pattern: OpPattern { local_fraction: 0.0, ..phase.pattern },
+            ..phase
+        };
+        let r = simulate(params, 3, all_remote, seed);
+        prop_assert!(r.messages > 0);
+        prop_assert!(
+            r.wire_bytes > r.payload_bytes,
+            "headers unaccounted: wire {} <= payload {}",
+            r.wire_bytes,
+            r.payload_bytes
+        );
+        if !params.scrambled_memory {
+            let all_local = Phase {
+                pattern: OpPattern { local_fraction: 1.0, ..phase.pattern },
+                ..phase
+            };
+            let r = simulate(params, 3, all_local, seed);
+            prop_assert_eq!(r.messages, 0);
+            prop_assert_eq!(r.wire_bytes, 0);
+        }
+    }
+
+    /// Aggregation dominates: for any fine-grained workload, GMT with
+    /// aggregation sends no more messages than GMT without.
+    #[test]
+    fn aggregation_never_increases_messages(phase in arb_phase(), seed in any::<u64>()) {
+        let with = simulate(MachineParams::gmt(), 3, phase, seed);
+        let without = simulate(MachineParams::gmt_no_aggregation(), 3, phase, seed);
+        prop_assert!(with.messages <= without.messages);
+    }
+}

@@ -1,0 +1,51 @@
+//! Simulated machine shoot-out: what the paper's Figure 8 looks like as
+//! an API.
+//!
+//! Runs the same fine-grained workload (a blocking-put stream, the
+//! paper's Figure 5 microbenchmark) through the discrete-event simulator
+//! on every machine model — GMT, GMT without aggregation, MPI, UPC and
+//! the Cray XMT — and prints modeled bandwidth and message counts.
+//!
+//! ```text
+//! cargo run --release --example cluster_sim
+//! ```
+
+use gmt::sim::{simulate, MachineParams, OpPattern, Phase};
+
+fn main() {
+    let nodes = 4;
+    let machines = [
+        MachineParams::gmt(),
+        MachineParams::gmt_no_aggregation(),
+        MachineParams::mpi(),
+        MachineParams::upc(),
+        MachineParams::xmt(),
+    ];
+    println!("workload: 4096 tasks/node x 64 blocking 8-byte puts, {nodes} nodes\n");
+    println!(
+        "{:<10} {:>14} {:>12} {:>14} {:>12}",
+        "machine", "payload MB/s", "messages", "wire bytes", "sim ms"
+    );
+    for params in machines {
+        // Same task-level workload for every machine; the machines differ
+        // in how many tasks they can keep in flight and what messages
+        // cost them.
+        let tasks = match params.name {
+            "MPI" | "UPC" => 32, // one blocking stream per core
+            "XMT" => 128,        // hardware streams
+            _ => 4096,           // GMT software multithreading
+        };
+        let ops = 4096 * 64 / tasks; // same total ops per node
+        let phase = Phase::all_nodes(tasks, ops, OpPattern::remote_put(8));
+        let r = simulate(params, nodes, phase, 99);
+        println!(
+            "{:<10} {:>14.2} {:>12} {:>14} {:>12.2}",
+            params.name,
+            r.payload_mb_s(),
+            r.messages,
+            r.wire_bytes,
+            r.elapsed_ns as f64 / 1e6
+        );
+    }
+    println!("\n(run `cargo run --release -p gmt-bench --bin figures -- all` for the full paper reproduction)");
+}

@@ -1,0 +1,36 @@
+//! # GMT — Global Memory and Threading (Rust reproduction)
+//!
+//! Umbrella crate re-exporting the whole GMT workspace:
+//!
+//! - [`context`] — lightweight stackful coroutines with a custom context switch,
+//! - [`net`] — the simulated MPI-like interconnect and its cost model,
+//! - [`core`] — the GMT runtime (PGAS arrays, aggregation, workers/helpers/comm server),
+//! - [`graph`] — graph generators and distributed CSR structures,
+//! - [`kernels`] — BFS / Graph Random Walk / Concurrent Hash Map Access kernels,
+//! - [`sim`] — the discrete-event cluster simulator and machine models (MPI, UPC, XMT).
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every table and figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gmt::core::{Cluster, Config, Distribution};
+//!
+//! // A two-node in-process "cluster".
+//! let cluster = Cluster::start(2, Config::small()).unwrap();
+//! cluster.node(0).run(|ctx| {
+//!     let arr = ctx.alloc(1024 * 8, Distribution::Partition);
+//!     ctx.put_value::<u64>(&arr, 7, 42);
+//!     assert_eq!(ctx.get_value::<u64>(&arr, 7), 42);
+//!     ctx.free(arr);
+//! });
+//! cluster.shutdown();
+//! ```
+
+pub use gmt_context as context;
+pub use gmt_core as core;
+pub use gmt_graph as graph;
+pub use gmt_kernels as kernels;
+pub use gmt_net as net;
+pub use gmt_sim as sim;
