@@ -27,9 +27,7 @@ fn bench_bfs(c: &mut Criterion) {
         let csr = csr2.clone();
         let graph = cluster.node(0).run(move |ctx| DistGraph::from_csr(ctx, &csr));
         b.iter(|| {
-            cluster
-                .node(0)
-                .run(move |ctx| std::hint::black_box(gmt_bfs(ctx, &graph, 0).visited))
+            cluster.node(0).run(move |ctx| std::hint::black_box(gmt_bfs(ctx, &graph, 0).visited))
         });
         cluster.node(0).run(move |ctx| graph.free(ctx));
         cluster.shutdown();

@@ -11,8 +11,18 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
-            "table2", "table3", "table4", "fig2", "fig5", "fig6", "fig7", "fig8", "fig9",
-            "fig10", "fig11", "ablations",
+            "table2",
+            "table3",
+            "table4",
+            "fig2",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "ablations",
         ]
     } else {
         args.iter().map(|s| s.as_str()).collect()

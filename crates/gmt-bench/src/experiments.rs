@@ -46,8 +46,7 @@ fn scaled_phase_time(
     let mut p = params;
     if nodes > sim_nodes {
         if let Some(agg) = &mut p.aggregation {
-            let scaled =
-                agg.buffer_bytes as u64 * (sim_nodes as u64 - 1) / (nodes as u64 - 1);
+            let scaled = agg.buffer_bytes as u64 * (sim_nodes as u64 - 1) / (nodes as u64 - 1);
             agg.buffer_bytes = scaled.max(4 * agg.cmd_header_bytes as u64) as u32;
         }
     }
@@ -73,7 +72,10 @@ fn scaled_phase_time(
 pub fn table2() -> Vec<(usize, [f64; 4])> {
     println!("\n=== Table II: MPI transfer rates between 2 nodes (MB/s) ===");
     println!("(paper anchors: 128 B -> 72.26 MB/s, 64 KiB -> 2815.01 MB/s with 32 processes)");
-    println!("{:>10} {:>12} {:>12} {:>12} {:>12}", "size", "32 procs", "1 thread", "2 threads", "4 threads");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>12}",
+        "size", "32 procs", "1 thread", "2 threads", "4 threads"
+    );
     let mut rows = Vec::new();
     for size in [128usize, 512, 2048, 8192, 32768, 65536] {
         let row = [
@@ -101,10 +103,8 @@ pub fn table2() -> Vec<(usize, [f64; 4])> {
 pub fn measure_ctx_switch(tasks: usize, switches: usize) -> f64 {
     let mut coros: Vec<Coroutine<()>> = (0..tasks)
         .map(|_| {
-            Coroutine::new(16 * 1024, move |y| {
-                loop {
-                    y.yield_now();
-                }
+            Coroutine::new(16 * 1024, move |y| loop {
+                y.yield_now();
             })
             .unwrap()
         })
@@ -290,7 +290,9 @@ pub fn fig7() -> Vec<(usize, f64)> {
 /// GMT vs UPC vs Cray XMT.
 pub fn fig8() -> Vec<(usize, f64, f64, f64)> {
     println!("\n=== Figure 8: BFS strong scaling, 10M vertices / 2.5B edges (MTEPS) ===");
-    println!("(paper: GMT highest on commodity cluster; XMT competitive; UPC flat, stops >16 nodes)");
+    println!(
+        "(paper: GMT highest on commodity cluster; XMT competitive; UPC flat, stops >16 nodes)"
+    );
     println!("{:>6} {:>12} {:>12} {:>12}", "nodes", "GMT", "UPC", "XMT");
     let trace = proxy_trace(65_536, 64);
     // Scale to 10M vertices, degree 250: vertices x152, degree x ~3.9.
@@ -300,10 +302,8 @@ pub fn fig8() -> Vec<(usize, f64, f64, f64)> {
     for nodes in [1usize, 2, 4, 8, 16, 32, 64, 128] {
         let mteps = |params: MachineParams, cap: u64| -> f64 {
             let phases = bfs_phases(&trace, scale, nodes, 250, cap);
-            let total_ns: u64 = phases
-                .iter()
-                .map(|&ph| scaled_phase_time(params, nodes, ph, 4096, 5).0)
-                .sum();
+            let total_ns: u64 =
+                phases.iter().map(|&ph| scaled_phase_time(params, nodes, ph, 4096, 5).0).sum();
             edges as f64 * 1e3 / total_ns as f64
         };
         let gmt = mteps(MachineParams::gmt(), 15 * 1024);
@@ -336,8 +336,7 @@ pub fn fig9() -> Vec<(usize, f64, f64)> {
         let (g_ns, _) = scaled_phase_time(MachineParams::gmt(), nodes, phase, 4096, 9);
         // MPI: 32 blocking processes per node walk with fine-grained
         // delegation (one request/reply per remote hop).
-        let mpi_phase =
-            Phase::all_nodes(32, (work as u64 / 32).max(1), phase.pattern);
+        let mpi_phase = Phase::all_nodes(32, (work as u64 / 32).max(1), phase.pattern);
         let (m_ns, _) = scaled_phase_time(MachineParams::mpi(), nodes, mpi_phase, 4096, 9);
         // MTEPS per cluster: each walker step = 1 edge; ops = 2 per step.
         let edges = work * nodes as f64 / 2.0;
@@ -392,50 +391,6 @@ pub fn fig11() -> Vec<(usize, u64, f64)> {
     rows
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn ctx_switch_measurement_is_plausible() {
-        // A few hundred cycles, like the paper's Table III; virtualized
-        // hosts can be slower, so accept a generous window.
-        let c = measure_ctx_switch(8, 200);
-        assert!(c > 20.0, "implausibly fast switch: {c} cycles");
-        assert!(c < 20_000.0, "implausibly slow switch: {c} cycles");
-    }
-
-    #[test]
-    fn table2_anchor_points() {
-        let rows = table2();
-        let (_, r128) = rows[0];
-        assert!((r128[0] - 72.26).abs() / 72.26 < 0.15, "128B 32-proc: {}", r128[0]);
-        let (_, r64k) = rows[rows.len() - 1];
-        assert!((r64k[0] - 2815.0).abs() / 2815.0 < 0.15, "64KiB 32-proc: {}", r64k[0]);
-    }
-
-    #[test]
-    fn fig5_shape_small_scale() {
-        // Shape assertions on a reduced sweep (full sweep runs in the
-        // figures binary): more tasks => more bandwidth; saturation near
-        // the paper's 72 MB/s for 8-byte puts.
-        let bw = |tasks: u64| {
-            simulate(
-                MachineParams::gmt(),
-                2,
-                Phase::one_sender(tasks, 16, OpPattern::remote_put(8)),
-                7,
-            )
-            .payload_mb_s()
-        };
-        let low = bw(1024);
-        let high = bw(15360);
-        assert!(high > low * 3.0, "no concurrency gain: {low} -> {high}");
-        assert!((5.0..30.0).contains(&low), "1024-task point: {low} MB/s (paper 8.55)");
-        assert!((40.0..110.0).contains(&high), "15360-task point: {high} MB/s (paper 72.48)");
-    }
-}
-
 // ---------------------------------------------------------------------
 // Ablations (DESIGN.md §9) — design choices the paper fixed, swept
 // ---------------------------------------------------------------------
@@ -450,8 +405,7 @@ pub fn ablations() -> Vec<(String, f64)> {
     println!("{:>8} {:>14} {:>14} {:>8}", "tasks", "aggregated", "per-message", "gain");
     for tasks in [256u64, 4096, 15360] {
         let on = simulate(MachineParams::gmt(), 2, phase(tasks), 3).payload_mb_s();
-        let off =
-            simulate(MachineParams::gmt_no_aggregation(), 2, phase(tasks), 3).payload_mb_s();
+        let off = simulate(MachineParams::gmt_no_aggregation(), 2, phase(tasks), 3).payload_mb_s();
         println!("{:>8} {:>14.2} {:>14.2} {:>7.1}x", tasks, on, off, on / off);
         out.push((format!("agg_on_{tasks}"), on));
         out.push((format!("agg_off_{tasks}"), off));
@@ -494,4 +448,48 @@ pub fn ablations() -> Vec<(String, f64)> {
         out.push((format!("split_{workers}"), r.payload_mb_s()));
     }
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_switch_measurement_is_plausible() {
+        // A few hundred cycles, like the paper's Table III; virtualized
+        // hosts can be slower, so accept a generous window.
+        let c = measure_ctx_switch(8, 200);
+        assert!(c > 20.0, "implausibly fast switch: {c} cycles");
+        assert!(c < 20_000.0, "implausibly slow switch: {c} cycles");
+    }
+
+    #[test]
+    fn table2_anchor_points() {
+        let rows = table2();
+        let (_, r128) = rows[0];
+        assert!((r128[0] - 72.26).abs() / 72.26 < 0.15, "128B 32-proc: {}", r128[0]);
+        let (_, r64k) = rows[rows.len() - 1];
+        assert!((r64k[0] - 2815.0).abs() / 2815.0 < 0.15, "64KiB 32-proc: {}", r64k[0]);
+    }
+
+    #[test]
+    fn fig5_shape_small_scale() {
+        // Shape assertions on a reduced sweep (full sweep runs in the
+        // figures binary): more tasks => more bandwidth; saturation near
+        // the paper's 72 MB/s for 8-byte puts.
+        let bw = |tasks: u64| {
+            simulate(
+                MachineParams::gmt(),
+                2,
+                Phase::one_sender(tasks, 16, OpPattern::remote_put(8)),
+                7,
+            )
+            .payload_mb_s()
+        };
+        let low = bw(1024);
+        let high = bw(15360);
+        assert!(high > low * 3.0, "no concurrency gain: {low} -> {high}");
+        assert!((5.0..30.0).contains(&low), "1024-task point: {low} MB/s (paper 8.55)");
+        assert!((40.0..110.0).contains(&high), "15360-task point: {high} MB/s (paper 72.48)");
+    }
 }

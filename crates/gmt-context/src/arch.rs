@@ -72,6 +72,12 @@ mod imp {
     /// moves them into the first two argument registers and tail-jumps into
     /// the Rust entry point. `jmp` (not `call`) keeps the stack layout
     /// exactly as a normal function prologue expects (`rsp % 16 == 8`).
+    ///
+    /// # Safety
+    ///
+    /// Never call this from Rust. It must only be entered by `switch`
+    /// returning into a frame planted by `init_stack`, with `rbx` holding
+    /// the entry function pointer and `r12`/`r13` its two arguments.
     #[unsafe(naked)]
     pub unsafe extern "sysv64" fn bootstrap_trampoline() {
         naked_asm!(

@@ -149,10 +149,8 @@ impl<T: 'static> Coroutine<T> {
             cancelling: Cell::new(false),
         });
         let mut result: Box<Option<T>> = Box::new(None);
-        let mut start: Box<StartPack<F, T>> = Box::new(StartPack {
-            f: Some(f),
-            result: &mut *result as *mut Option<T>,
-        });
+        let mut start: Box<StartPack<F, T>> =
+            Box::new(StartPack { f: Some(f), result: &mut *result as *mut Option<T> });
         let init_sp = unsafe {
             arch::init_stack(
                 stack.top(),
@@ -162,13 +160,7 @@ impl<T: 'static> Coroutine<T> {
             )
         };
         shared.coro_sp.set(init_sp);
-        Coroutine {
-            stack,
-            shared,
-            _start: Some(start),
-            result,
-            state: CoroutineState::Suspended,
-        }
+        Coroutine { stack, shared, _start: Some(start), result, state: CoroutineState::Suspended }
     }
 
     /// Runs the coroutine until it yields or finishes.
@@ -202,11 +194,7 @@ impl<T: 'static> Coroutine<T> {
             Status::Panicked => {
                 self.state = CoroutineState::Finished;
                 self._start = None;
-                let payload = self
-                    .shared
-                    .panic
-                    .take()
-                    .expect("panicked coroutine without payload");
+                let payload = self.shared.panic.take().expect("panicked coroutine without payload");
                 panic::resume_unwind(payload);
             }
         }
@@ -246,13 +234,9 @@ impl<T: 'static> Coroutine<T> {
     ///
     /// Panics if the coroutine has not finished.
     pub fn into_stack(mut self) -> Stack {
-        assert!(
-            self.is_finished(),
-            "cannot recycle the stack of an unfinished coroutine"
-        );
+        assert!(self.is_finished(), "cannot recycle the stack of an unfinished coroutine");
         self.state = CoroutineState::Finished; // keep drop from cancelling
-        let stack = std::mem::replace(&mut self.stack, Stack::new(crate::MIN_STACK_SIZE).unwrap());
-        stack
+        std::mem::replace(&mut self.stack, Stack::new(crate::MIN_STACK_SIZE).unwrap())
     }
 }
 
@@ -527,6 +511,6 @@ mod tests {
         assert_eq!(co.resume(), Resume::Yielded);
         assert_eq!(co.resume(), Resume::Yielded);
         assert_eq!(co.resume(), Resume::Finished);
-        assert_eq!(co.take_result(), Some(0 + 1 + 2 + 3));
+        assert_eq!(co.take_result(), Some(1 + 2 + 3));
     }
 }

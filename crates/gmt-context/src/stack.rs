@@ -131,10 +131,7 @@ impl Drop for Stack {
 
 impl fmt::Debug for Stack {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Stack")
-            .field("base", &self.base)
-            .field("size", &self.size)
-            .finish()
+        f.debug_struct("Stack").field("base", &self.base).field("size", &self.size).finish()
     }
 }
 
@@ -144,14 +141,8 @@ mod tests {
 
     #[test]
     fn rejects_tiny_stacks() {
-        assert!(matches!(
-            Stack::new(128),
-            Err(StackError::TooSmall { requested: 128 })
-        ));
-        assert!(matches!(
-            Stack::new(MIN_STACK_SIZE - 1),
-            Err(StackError::TooSmall { .. })
-        ));
+        assert!(matches!(Stack::new(128), Err(StackError::TooSmall { requested: 128 })));
+        assert!(matches!(Stack::new(MIN_STACK_SIZE - 1), Err(StackError::TooSmall { .. })));
     }
 
     #[test]
@@ -167,7 +158,7 @@ mod tests {
     fn size_rounds_up_to_alignment() {
         let s = Stack::new(MIN_STACK_SIZE + 1).unwrap();
         assert_eq!(s.size() % STACK_ALIGN, 0);
-        assert!(s.size() >= MIN_STACK_SIZE + 1);
+        assert!(s.size() > MIN_STACK_SIZE);
     }
 
     #[test]

@@ -11,18 +11,42 @@
 //!    times out), the noticing thread pops blocks and packs them into a
 //!    pooled **aggregation buffer**.
 //! 4. The filled buffer goes into the thread's **channel queue** (SPSC to
-//!    the communication server), which sends it over the fabric and
-//!    recycles the buffer.
+//!    the communication server), which hands it to the fabric **without
+//!    copying**: the buffer travels as a pooled [`gmt_net::Payload`] whose
+//!    drop — after the receiving node's helper processed it — returns it
+//!    to this channel's pool ([`ChannelPool`] implements
+//!    [`gmt_net::BufRelease`]). This models a NIC sending straight from a
+//!    registered buffer and completing it back to the sender.
 //!
 //! Blocks and buffers come from fixed pools and are recycled "to save
 //! memory space and eliminate allocation overhead".
+//!
+//! Two further hot-path design points (measured in
+//! `gmt-bench/benches/aggregation.rs`):
+//!
+//! * **Coarse clock** — block ages are stamped from a node-wide
+//!   [`AtomicU64`] ticked by [`AggShared::tick`] (called from `pump()` and
+//!   the communication-server sweep), so [`CommandSink::emit`] never calls
+//!   `Instant::now()`. Timeout precision degrades only to the pump
+//!   interval, which is exactly the granularity at which timeouts are
+//!   *checked* anyway.
+//! * **Sharded statistics** — counters live in per-channel cache-padded
+//!   cells ([`StatCell`]) and are summed on demand by
+//!   [`AggShared::stats`], so `emit` performs no RMW on any shared cache
+//!   line.
 
 use crate::command::Command;
 use crate::NodeId;
 use crossbeam::queue::{ArrayQueue, SegQueue};
+use crossbeam::utils::CachePadded;
+use gmt_net::{BufRelease, Payload};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Wire size of the smallest command (`Ack`); bounds how many blocks one
+/// aggregation buffer's worth of queued bytes can consist of.
+const MIN_CMD_BYTES: usize = 9;
 
 /// Per-destination aggregation queue: command blocks from all threads of a
 /// node, bound for one remote node.
@@ -49,13 +73,30 @@ impl AggQueue {
     }
 }
 
+/// The fixed buffer pool of one channel. Spent payloads flow back here via
+/// the [`BufRelease`] hook, wherever in the cluster they were dropped.
+pub struct ChannelPool {
+    free: ArrayQueue<Vec<u8>>,
+    capacity: usize,
+}
+
+impl BufRelease for ChannelPool {
+    fn release(&self, mut buf: Vec<u8>) {
+        buf.clear();
+        // Pool capacity equals the number of buffers in circulation and
+        // each payload releases exactly once, so this cannot overflow.
+        self.free.push(buf).expect("buffer pool overflow");
+    }
+}
+
 /// SPSC-style channel between one worker/helper thread and the
 /// communication server, with its fixed buffer pool.
 pub struct ChannelQueue {
     /// Filled aggregation buffers awaiting transmission.
     filled: ArrayQueue<(NodeId, Vec<u8>)>,
-    /// Recycled empty buffers.
-    free: ArrayQueue<Vec<u8>>,
+    /// Recycled empty buffers; `Arc` so in-flight payloads can return
+    /// their buffer after the channel-owning thread moved on.
+    pool: Arc<ChannelPool>,
 }
 
 impl ChannelQueue {
@@ -64,36 +105,62 @@ impl ChannelQueue {
         for _ in 0..num_buffers {
             free.push(Vec::with_capacity(buffer_size)).expect("pool fits");
         }
-        ChannelQueue { filled: ArrayQueue::new(num_buffers), free }
+        ChannelQueue {
+            filled: ArrayQueue::new(num_buffers),
+            pool: Arc::new(ChannelPool { free, capacity: num_buffers }),
+        }
     }
 
-    /// Communication-server side: takes the next filled buffer.
-    pub fn pop_filled(&self) -> Option<(NodeId, Vec<u8>)> {
-        self.filled.pop()
-    }
-
-    /// Communication-server side: returns an empty buffer to the pool.
-    pub fn return_buffer(&self, mut buf: Vec<u8>) {
-        buf.clear();
-        // Pool capacity equals the number of buffers in circulation, so
-        // this cannot fail unless a foreign buffer is returned.
-        self.free.push(buf).expect("buffer pool overflow");
+    /// Communication-server side: takes the next filled buffer, already
+    /// wrapped as a pooled [`Payload`] — dropping it (anywhere, any
+    /// thread) returns the buffer to this channel's pool. No copy is made
+    /// between here and the fabric.
+    pub fn pop_filled(&self) -> Option<(NodeId, Payload)> {
+        self.filled.pop().map(|(dst, buf)| {
+            (dst, Payload::pooled(buf, Arc::clone(&self.pool) as Arc<dyn BufRelease>))
+        })
     }
 
     /// Number of filled buffers waiting.
     pub fn backlog(&self) -> usize {
         self.filled.len()
     }
+
+    /// Buffers currently resting in the pool (== capacity when the
+    /// channel is quiescent and every payload has been dropped).
+    pub fn free_buffers(&self) -> usize {
+        self.pool.free.len()
+    }
+
+    /// Total buffers owned by this channel.
+    pub fn pool_capacity(&self) -> usize {
+        self.pool.capacity
+    }
 }
 
-/// Counters exposed for tests, benchmarks and ablations.
-#[derive(Debug, Default)]
+/// Snapshot of the aggregation counters, summed over all per-channel
+/// shards by [`AggShared::stats`]. Totals are exact once the emitting
+/// threads are quiescent (each shard is written by one thread only).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct AggStats {
-    pub commands: AtomicU64,
-    pub blocks_pushed: AtomicU64,
-    pub buffers_filled: AtomicU64,
+    pub commands: u64,
+    pub blocks_pushed: u64,
+    pub buffers_filled: u64,
     /// Buffers dispatched due to timeout rather than being full.
-    pub timeout_flushes: AtomicU64,
+    pub timeout_flushes: u64,
+    /// Command blocks dropped (freed) because the block pool was full.
+    pub block_pool_drops: u64,
+}
+
+/// One channel's statistics shard. Cache-line padded so the single
+/// writing thread never contends with its neighbours.
+#[derive(Default)]
+struct StatCell {
+    commands: AtomicU64,
+    blocks_pushed: AtomicU64,
+    buffers_filled: AtomicU64,
+    timeout_flushes: AtomicU64,
+    block_pool_drops: AtomicU64,
 }
 
 /// Node-wide shared aggregation state.
@@ -103,10 +170,14 @@ pub struct AggShared {
     cmd_block_timeout_ns: u64,
     aggregation_timeout_ns: u64,
     start: Instant,
+    /// Coarse monotonic clock (ns since `start`), ticked by [`Self::tick`]
+    /// from pump loops and the communication server. Hot paths read it
+    /// with a relaxed load instead of calling `Instant::now()`.
+    clock_ns: AtomicU64,
     queues: Vec<AggQueue>,
     block_pool: ArrayQueue<Vec<u8>>,
     channels: Vec<ChannelQueue>,
-    pub stats: AggStats,
+    stat_cells: Vec<CachePadded<StatCell>>,
 }
 
 impl AggShared {
@@ -122,8 +193,15 @@ impl AggShared {
         aggregation_timeout_ns: u64,
     ) -> Arc<Self> {
         // Enough recycled blocks for every thread to have one per
-        // destination, plus slack while blocks sit in aggregation queues.
-        let pool_cap = (threads * destinations * 2).max(16);
+        // destination, plus — per destination — a buffer's worth of full
+        // blocks that can sit in the aggregation queue before a drain
+        // fires. A full block holds at least `cmd_block_entries` commands
+        // of `MIN_CMD_BYTES` each, which bounds blocks-per-buffer. Sized
+        // this way, steady-state recycling never drops a block
+        // (`AggStats::block_pool_drops` stays 0).
+        let full_block_bytes = (cmd_block_entries * MIN_CMD_BYTES).max(1);
+        let blocks_per_buffer = buffer_size / full_block_bytes + 2;
+        let pool_cap = (threads * destinations * 2 + destinations * blocks_per_buffer).max(16);
         let block_pool = ArrayQueue::new(pool_cap);
         Arc::new(AggShared {
             buffer_size,
@@ -131,18 +209,44 @@ impl AggShared {
             cmd_block_timeout_ns,
             aggregation_timeout_ns,
             start: Instant::now(),
+            clock_ns: AtomicU64::new(1),
             queues: (0..destinations).map(|_| AggQueue::new()).collect(),
             block_pool,
             channels: (0..threads)
                 .map(|_| ChannelQueue::new(num_buf_per_channel, buffer_size))
                 .collect(),
-            stats: AggStats::default(),
+            stat_cells: (0..threads).map(|_| CachePadded::new(StatCell::default())).collect(),
         })
     }
 
+    /// Advances the coarse clock to the current elapsed time and returns
+    /// it. Called from `pump()` and each communication-server sweep; any
+    /// number of threads may tick concurrently (stores are monotonic
+    /// enough: a stale store can only *lower* the clock by one tick
+    /// interval, which is within the documented timeout slack).
+    pub fn tick(&self) -> u64 {
+        let now = self.start.elapsed().as_nanos() as u64;
+        self.clock_ns.store(now.max(1), Ordering::Relaxed);
+        now.max(1)
+    }
+
+    /// The coarse clock's latest tick: one relaxed load, no syscall.
     #[inline]
-    fn now_ns(&self) -> u64 {
-        self.start.elapsed().as_nanos() as u64
+    fn coarse_now_ns(&self) -> u64 {
+        self.clock_ns.load(Ordering::Relaxed)
+    }
+
+    /// Sums the per-channel statistic shards into a snapshot.
+    pub fn stats(&self) -> AggStats {
+        let mut total = AggStats::default();
+        for cell in &self.stat_cells {
+            total.commands += cell.commands.load(Ordering::Relaxed);
+            total.blocks_pushed += cell.blocks_pushed.load(Ordering::Relaxed);
+            total.buffers_filled += cell.buffers_filled.load(Ordering::Relaxed);
+            total.timeout_flushes += cell.timeout_flushes.load(Ordering::Relaxed);
+            total.block_pool_drops += cell.block_pool_drops.load(Ordering::Relaxed);
+        }
+        total
     }
 
     /// The channel queue of thread `idx` (communication-server side).
@@ -164,9 +268,11 @@ impl AggShared {
         self.block_pool.pop().unwrap_or_else(|| Vec::with_capacity(self.buffer_size / 4))
     }
 
-    fn recycle_block(&self, mut block: Vec<u8>) {
+    /// Returns `true` if the block was dropped because the pool was full
+    /// (the caller counts drops in its statistics shard).
+    fn recycle_block(&self, mut block: Vec<u8>) -> bool {
         block.clear();
-        let _ = self.block_pool.push(block); // drop if pool is full
+        self.block_pool.push(block).is_err()
     }
 }
 
@@ -194,8 +300,18 @@ impl CommandSink {
         CommandSink { shared, chan, active: (0..dests).map(|_| None).collect() }
     }
 
+    /// This sink's statistics shard (written by the owning thread only).
+    #[inline]
+    fn cell(&self) -> &StatCell {
+        &self.shared.stat_cells[self.chan]
+    }
+
     /// Appends `cmd` to the command block for `dst` (step 2 of Figure 3),
     /// handing the block to the aggregation queue if it fills up.
+    ///
+    /// Hot path: no `Instant::now()` (block birth is stamped from the
+    /// coarse clock) and no shared-cacheline RMW (counters go to this
+    /// thread's padded shard).
     pub fn emit(&mut self, dst: NodeId, cmd: &Command<'_>) {
         let size = cmd.encoded_len();
         assert!(
@@ -203,7 +319,7 @@ impl CommandSink {
             "command of {size} bytes exceeds aggregation buffer size {}",
             self.shared.buffer_size
         );
-        self.shared.stats.commands.fetch_add(1, Ordering::Relaxed);
+        self.cell().commands.fetch_add(1, Ordering::Relaxed);
         // A command never splits across blocks: push the block first if
         // this one would overflow it.
         if let Some(active) = &self.active[dst] {
@@ -211,11 +327,10 @@ impl CommandSink {
                 self.push_block(dst);
             }
         }
-        let now = self.shared.now_ns();
         let active = self.active[dst].get_or_insert_with(|| ActiveBlock {
             buf: self.shared.take_block(),
             entries: 0,
-            born_ns: now,
+            born_ns: self.shared.coarse_now_ns(),
         });
         cmd.encode(&mut active.buf);
         active.entries += 1;
@@ -231,7 +346,9 @@ impl CommandSink {
     fn push_block(&mut self, dst: NodeId) {
         let Some(active) = self.active[dst].take() else { return };
         if active.buf.is_empty() {
-            self.shared.recycle_block(active.buf);
+            if self.shared.recycle_block(active.buf) {
+                self.cell().block_pool_drops.fetch_add(1, Ordering::Relaxed);
+            }
             return;
         }
         let shared = &self.shared;
@@ -245,26 +362,30 @@ impl CommandSink {
         // loses against a concurrent drain: the CAS fails on the stale
         // stamp, the drain misses our block and resets to zero, and the
         // block would never time out.)
-        q.oldest_push_ns.store(shared.now_ns().max(1), Ordering::Release);
-        shared.stats.blocks_pushed.fetch_add(1, Ordering::Relaxed);
+        q.oldest_push_ns.store(shared.coarse_now_ns(), Ordering::Release);
+        self.cell().blocks_pushed.fetch_add(1, Ordering::Relaxed);
         if q.bytes.load(Ordering::Acquire) >= shared.buffer_size {
+            // Best-effort: on pool starvation the blocks stay queued and
+            // the next push or pump retries.
             self.aggregate(dst, false);
         }
     }
 
     /// Packs queued blocks for `dst` into one aggregation buffer and hands
     /// it to this thread's channel queue (steps 4–8 of Figure 3).
-    fn aggregate(&self, dst: NodeId, timeout_flush: bool) {
+    ///
+    /// Non-blocking: returns `false` if the channel pool had no free
+    /// buffer, leaving the blocks queued for a later retry (the next
+    /// threshold push or timeout pump). Blocking here would be a
+    /// distributed deadlock: with zero-copy sends, buffers return only
+    /// when the *receiving* helper drops the payload, and that helper may
+    /// itself be aggregating replies from a starved pool.
+    fn aggregate(&self, dst: NodeId, timeout_flush: bool) -> bool {
         let shared = &self.shared;
         let chan = &shared.channels[self.chan];
         let q = &shared.queues[dst];
-        // Acquire a pooled buffer; the communication server recycles them,
-        // so spin-yield until one is free (bounded by send latency).
-        let mut buf = loop {
-            if let Some(b) = chan.free.pop() {
-                break b;
-            }
-            std::thread::yield_now();
+        let Some(mut buf) = chan.pool.free.pop() else {
+            return false;
         };
         debug_assert!(buf.is_empty());
         while buf.len() < shared.buffer_size {
@@ -273,7 +394,9 @@ impl CommandSink {
                     if buf.len() + block.len() <= shared.buffer_size {
                         q.bytes.fetch_sub(block.len(), Ordering::AcqRel);
                         buf.extend_from_slice(&block);
-                        shared.recycle_block(block);
+                        if shared.recycle_block(block) {
+                            self.cell().block_pool_drops.fetch_add(1, Ordering::Relaxed);
+                        }
                     } else {
                         // Does not fit: requeue and stop. Reordering is
                         // fine — GMT does not order independent commands.
@@ -293,18 +416,18 @@ impl CommandSink {
             // emptiness check and the reset: restore a stamp if anything
             // is queued now (see the invariant note in `push_block`).
             if !q.blocks.is_empty() {
-                q.oldest_push_ns.store(shared.now_ns().max(1), Ordering::Release);
+                q.oldest_push_ns.store(shared.coarse_now_ns(), Ordering::Release);
             }
         } else {
-            q.oldest_push_ns.store(shared.now_ns().max(1), Ordering::Release);
+            q.oldest_push_ns.store(shared.coarse_now_ns(), Ordering::Release);
         }
         if buf.is_empty() {
-            chan.free.push(buf).expect("buffer pool overflow");
-            return;
+            chan.pool.free.push(buf).expect("buffer pool overflow");
+            return true;
         }
-        shared.stats.buffers_filled.fetch_add(1, Ordering::Relaxed);
+        self.cell().buffers_filled.fetch_add(1, Ordering::Relaxed);
         if timeout_flush {
-            shared.stats.timeout_flushes.fetch_add(1, Ordering::Relaxed);
+            self.cell().timeout_flushes.fetch_add(1, Ordering::Relaxed);
         }
         // Hand to the communication server. The pool bounds in-flight
         // buffers, so this cannot overflow unless buffers leak.
@@ -318,12 +441,14 @@ impl CommandSink {
                 }
             }
         }
+        true
     }
 
     /// Periodic maintenance, called from the owning thread's main loop:
-    /// pushes aged command blocks and drains aged aggregation queues.
+    /// ticks the coarse clock, pushes aged command blocks and drains aged
+    /// aggregation queues.
     pub fn pump(&mut self) {
-        let now = self.shared.now_ns();
+        let now = self.shared.tick();
         for dst in 0..self.active.len() {
             let aged = matches!(&self.active[dst], Some(a) if a.entries > 0
                 && now.saturating_sub(a.born_ns) >= self.shared.cmd_block_timeout_ns);
@@ -340,11 +465,27 @@ impl CommandSink {
 
     /// Pushes every active block and drains every queue this thread can
     /// see — used at shutdown and by tests.
+    ///
+    /// Waits (spin-yield) for pool buffers to come back when more than a
+    /// pool's worth is queued, but gives up on a destination after a long
+    /// stretch with no free buffer: that only happens when nobody is
+    /// draining any more (peers already shut down), where the seed's
+    /// behaviour would be to spin forever.
     pub fn flush_all(&mut self) {
+        const MAX_STALLS: u32 = 1 << 20;
         for dst in 0..self.active.len() {
             self.push_block(dst);
+            let mut stalls: u32 = 0;
             while self.shared.queues[dst].queued_bytes() > 0 {
-                self.aggregate(dst, true);
+                if self.aggregate(dst, true) {
+                    stalls = 0;
+                } else {
+                    stalls += 1;
+                    if stalls > MAX_STALLS {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
             }
         }
     }
@@ -372,13 +513,13 @@ mod tests {
     }
 
     /// Drains one channel like the communication server would, returning
-    /// (dst, decoded command count) per buffer.
+    /// (dst, decoded command count) per buffer. Dropping each payload
+    /// returns its buffer to the channel pool.
     fn drain(shared: &AggShared, chan: usize) -> Vec<(NodeId, usize)> {
         let mut out = Vec::new();
-        while let Some((dst, buf)) = shared.channel(chan).pop_filled() {
-            let n = crate::command::CommandIter::new(&buf).count();
+        while let Some((dst, payload)) = shared.channel(chan).pop_filled() {
+            let n = crate::command::CommandIter::new(&payload).count();
             out.push((dst, n));
-            shared.channel(chan).return_buffer(buf);
         }
         out
     }
@@ -392,8 +533,8 @@ mod tests {
         }
         // Nothing pushed yet: block not full, no timeout.
         assert_eq!(shared.queue(1).queued_bytes(), 0);
-        assert_eq!(shared.stats.commands.load(Ordering::Relaxed), 10);
-        assert_eq!(shared.stats.blocks_pushed.load(Ordering::Relaxed), 0);
+        assert_eq!(shared.stats().commands, 10);
+        assert_eq!(shared.stats().blocks_pushed, 0);
     }
 
     #[test]
@@ -403,7 +544,7 @@ mod tests {
         for i in 0..4 {
             sink.emit(2, &ack(i));
         }
-        assert_eq!(shared.stats.blocks_pushed.load(Ordering::Relaxed), 1);
+        assert_eq!(shared.stats().blocks_pushed, 1);
         // 4 acks × 9 bytes each, below buffer size: no aggregation yet.
         assert_eq!(shared.queue(2).queued_bytes(), 36);
         assert!(drain(&shared, 0).is_empty());
@@ -452,14 +593,15 @@ mod tests {
 
     #[test]
     fn pump_flushes_aged_blocks_and_queues() {
-        let shared = AggShared::new(2, 1, 4, 1024, 100, /*block timeout*/ 0, /*agg timeout*/ 0);
+        let shared =
+            AggShared::new(2, 1, 4, 1024, 100, /*block timeout*/ 0, /*agg timeout*/ 0);
         let mut sink = CommandSink::new(Arc::clone(&shared), 0);
         sink.emit(1, &ack(42));
         // Timeouts of zero: the next pump must push and aggregate.
         sink.pump();
         let drained = drain(&shared, 0);
         assert_eq!(drained, vec![(1, 1)]);
-        assert_eq!(shared.stats.timeout_flushes.load(Ordering::Relaxed), 1);
+        assert_eq!(shared.stats().timeout_flushes, 1);
     }
 
     #[test]
@@ -497,7 +639,9 @@ mod tests {
             let n: usize = drain(&shared, 0).iter().map(|&(_, n)| n).sum();
             assert_eq!(n, 8, "round {round}");
         }
-        assert_eq!(shared.stats.commands.load(Ordering::Relaxed), 400);
+        assert_eq!(shared.stats().commands, 400);
+        // Every dropped payload returned its buffer: pool is whole again.
+        assert_eq!(shared.channel(0).free_buffers(), shared.channel(0).pool_capacity());
     }
 
     #[test]
@@ -524,16 +668,148 @@ mod tests {
         sink.flush_all();
         let mut tokens: Vec<u64> = Vec::new();
         for chan in 0..shared.channels() {
-            while let Some((_, buf)) = shared.channel(chan).pop_filled() {
-                for cmd in crate::command::CommandIter::new(&buf) {
+            while let Some((_, payload)) = shared.channel(chan).pop_filled() {
+                for cmd in crate::command::CommandIter::new(&payload) {
                     if let Command::Ack { token } = cmd {
                         tokens.push(token);
                     }
                 }
-                shared.channel(chan).return_buffer(buf);
             }
         }
         tokens.sort_unstable();
         assert_eq!(tokens, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn popped_payloads_are_pooled_and_release_on_drop() {
+        let shared = test_shared(64, 2);
+        let mut sink = CommandSink::new(Arc::clone(&shared), 0);
+        for i in 0..8 {
+            sink.emit(1, &ack(i));
+        }
+        sink.flush_all();
+        let chan = shared.channel(0);
+        let before_free = chan.free_buffers();
+        let (_, payload) = chan.pop_filled().expect("a filled buffer");
+        assert!(payload.is_pooled());
+        assert_eq!(chan.free_buffers(), before_free);
+        drop(payload);
+        assert_eq!(chan.free_buffers(), before_free + 1);
+    }
+
+    #[test]
+    fn block_pool_sized_for_zero_steady_state_drops() {
+        // Full blocks (entries-limited) recycled across many rounds: the
+        // pool sizing formula must absorb every block in circulation.
+        // 20 acks/dst/round = 180 queued bytes/dst → one 256-byte buffer
+        // per destination per flush, within the 4-buffer channel pool (a
+        // single-threaded test must not outrun its own drain).
+        let shared = test_shared(256, 4);
+        let mut sink = CommandSink::new(Arc::clone(&shared), 0);
+        for round in 0..200u64 {
+            for dst in [0usize, 1, 2] {
+                for i in 0..20 {
+                    sink.emit(dst, &ack(round * 20 + i));
+                }
+            }
+            sink.flush_all();
+            drain(&shared, 0);
+        }
+        let stats = shared.stats();
+        assert_eq!(stats.commands, 200 * 3 * 20);
+        assert_eq!(stats.block_pool_drops, 0, "steady-state recycling must not drop blocks");
+    }
+
+    #[test]
+    fn coarse_clock_timeout_fires_within_one_pump() {
+        // Real (small) timeouts: each pipeline level must flush within
+        // one pump of aging past its timeout, with ages measured purely
+        // by the coarse clock (no per-emit Instant reads). The block is
+        // re-stamped when it enters the aggregation queue, so the two
+        // levels age across two pump intervals.
+        let shared = AggShared::new(2, 1, 4, 1024, 100, 1_000, 1_000);
+        let mut sink = CommandSink::new(Arc::clone(&shared), 0);
+        sink.emit(1, &ack(7));
+        assert!(drain(&shared, 0).is_empty());
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        sink.pump(); // block aged past cmd_block_timeout → pushed
+        assert!(shared.queue(1).queued_bytes() > 0 || shared.channel(0).backlog() > 0);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        sink.pump(); // queue aged past aggregation_timeout → flushed
+        assert_eq!(drain(&shared, 0), vec![(1, 1)]);
+        assert!(shared.stats().timeout_flushes >= 1);
+    }
+
+    #[test]
+    fn pool_stress_never_leaks_or_exceeds_capacity() {
+        // Two emitter threads + one drainer hammering the buffer pools
+        // through both the full-flush and timeout-flush paths. At
+        // quiescence every buffer must be back in its pool.
+        use std::sync::atomic::AtomicBool;
+        let shared = AggShared::new(3, 2, 4, 128, 4, 0, 0);
+        let stop = Arc::new(AtomicBool::new(false));
+        let per_thread = 3_000u64;
+
+        let drainer = {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut commands = 0usize;
+                let mut stopping = false;
+                loop {
+                    let mut idle = true;
+                    for chan in 0..shared.channels() {
+                        let q = shared.channel(chan);
+                        assert!(q.free_buffers() <= q.pool_capacity(), "pool overflow");
+                        if let Some((_, payload)) = q.pop_filled() {
+                            commands += crate::command::CommandIter::new(&payload).count();
+                            idle = false;
+                            // payload drop returns the buffer to the pool
+                        }
+                    }
+                    if idle {
+                        // `stop` is set after the emitters joined, so a
+                        // sweep *begun after observing it* that still
+                        // finds nothing means the channels are drained
+                        // (an idle sweep racing the last pushes is not
+                        // enough — hence the two-step exit).
+                        if stopping {
+                            break;
+                        }
+                        stopping = stop.load(Ordering::Acquire);
+                    }
+                }
+                commands
+            })
+        };
+
+        let emitters: Vec<_> = (0..2)
+            .map(|chan| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    let mut sink = CommandSink::new(shared, chan);
+                    for i in 0..per_thread {
+                        sink.emit((i % 3) as NodeId, &ack(i));
+                        if i % 7 == 0 {
+                            sink.pump(); // timeout 0: exercises timeout flushes
+                        }
+                    }
+                    sink.flush_all();
+                })
+            })
+            .collect();
+        for e in emitters {
+            e.join().unwrap();
+        }
+        stop.store(true, Ordering::Release);
+        let commands = drainer.join().unwrap();
+
+        assert_eq!(commands as u64, 2 * per_thread);
+        assert_eq!(shared.stats().commands, 2 * per_thread);
+        for chan in 0..shared.channels() {
+            let q = shared.channel(chan);
+            assert_eq!(q.backlog(), 0);
+            assert_eq!(q.free_buffers(), q.pool_capacity(), "channel {chan} leaked buffers");
+        }
     }
 }

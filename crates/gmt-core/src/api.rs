@@ -143,9 +143,7 @@ impl<'a> TaskCtx<'a> {
             let base = (ext.global_offset - offset) as usize;
             let slice = &data[base..base + ext.len as usize];
             if ext.node == me {
-                self.node
-                    .memory
-                    .with(arr.id, |s| s.write(ext.segment_offset as usize, slice));
+                self.node.memory.with(arr.id, |s| s.write(ext.segment_offset as usize, slice));
                 continue;
             }
             // Split oversized transfers so each command fits one buffer.
@@ -203,9 +201,7 @@ impl<'a> TaskCtx<'a> {
             let base = (ext.global_offset - offset) as usize;
             if ext.node == me {
                 let slice = &mut dest[base..base + ext.len as usize];
-                self.node
-                    .memory
-                    .with(arr.id, |s| s.read(ext.segment_offset as usize, slice));
+                self.node.memory.with(arr.id, |s| s.read(ext.segment_offset as usize, slice));
                 continue;
             }
             let mut done = 0u64;
@@ -331,7 +327,11 @@ impl<'a> TaskCtx<'a> {
             // Safety: `raw` outlives the wait below and is not read until
             // every reply has landed.
             unsafe {
-                self.get_nb(arr, i * T::SIZE as u64, &mut raw[slot * T::SIZE..(slot + 1) * T::SIZE]);
+                self.get_nb(
+                    arr,
+                    i * T::SIZE as u64,
+                    &mut raw[slot * T::SIZE..(slot + 1) * T::SIZE],
+                );
             }
         }
         self.wait_commands();

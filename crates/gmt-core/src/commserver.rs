@@ -2,11 +2,15 @@
 //! (§IV-A, §IV-B).
 //!
 //! It continuously polls every worker/helper channel queue for filled
-//! aggregation buffers, transmits them, recycles the buffers, and funnels
-//! incoming buffers to the helpers. One communication server per node is
-//! a deliberate design point of the paper: multi-threaded MPI performed
-//! poorly (Table II), so GMT relies on aggregation — not endpoint
-//! parallelism — for bandwidth.
+//! aggregation buffers, transmits them **zero-copy** (the pooled buffer
+//! travels to the receiver as-is and flows back into its pool when the
+//! receiving helper drops the payload), and funnels incoming buffers to
+//! the helpers. One communication server per node is a deliberate design
+//! point of the paper: multi-threaded MPI performed poorly (Table II), so
+//! GMT relies on aggregation — not endpoint parallelism — for bandwidth.
+//!
+//! Channel polling is a fair round-robin: at most one buffer per channel
+//! per sweep, so one chatty worker cannot starve the others' queues.
 
 use crate::runtime::NodeShared;
 use gmt_net::{Endpoint, Tag};
@@ -21,16 +25,18 @@ pub const TAG_AGG: Tag = 1;
 pub fn comm_main(node: Arc<NodeShared>, endpoint: Endpoint) {
     let mut idle: u32 = 0;
     loop {
+        // Keep the node's coarse clock fresh even when every worker is
+        // stalled inside a long task and nobody pumps.
+        node.agg.tick();
         let mut progressed = false;
-        // Outgoing: drain every channel queue.
+        // Outgoing: one buffer per channel per sweep (fairness).
         for c in 0..node.agg.channels() {
             let chan = node.agg.channel(c);
-            while let Some((dst, buf)) = chan.pop_filled() {
-                // The copy models the NIC reading the send buffer; the
-                // pooled buffer itself is recycled immediately, as in the
-                // paper ("returns the aggregation buffer into the pool").
-                let payload = buf.clone();
-                chan.return_buffer(buf);
+            if let Some((dst, payload)) = chan.pop_filled() {
+                // Zero-copy: the pooled payload is handed straight to the
+                // fabric; its drop at the receiver (or on error) returns
+                // the buffer to this channel's pool, as in the paper
+                // ("returns the aggregation buffer into the pool").
                 if endpoint.send(dst, TAG_AGG, payload).is_err() {
                     node.net_errors.fetch_add(1, Ordering::Relaxed);
                 }
@@ -56,13 +62,19 @@ pub fn comm_main(node: Arc<NodeShared>, endpoint: Endpoint) {
             }
         }
     }
-    // Best-effort final drain so peers unblock during shutdown.
-    for c in 0..node.agg.channels() {
-        let chan = node.agg.channel(c);
-        while let Some((dst, buf)) = chan.pop_filled() {
-            let payload = buf.clone();
-            chan.return_buffer(buf);
-            let _ = endpoint.send(dst, TAG_AGG, payload);
+    // Best-effort final drain so peers unblock during shutdown; sweep
+    // round-robin until every channel is empty.
+    loop {
+        let mut progressed = false;
+        for c in 0..node.agg.channels() {
+            let chan = node.agg.channel(c);
+            if let Some((dst, payload)) = chan.pop_filled() {
+                let _ = endpoint.send(dst, TAG_AGG, payload);
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
         }
     }
 }

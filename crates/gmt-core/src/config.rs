@@ -26,9 +26,14 @@ pub struct Config {
     /// Age (ns) after which a non-empty command block is pushed to the
     /// aggregation queue even if not full (the paper flushes blocks that
     /// "have been waiting longer than a predetermined time interval").
+    ///
+    /// Timeouts are checked against the runtime's coarse monotonic clock,
+    /// which advances once per worker pump / comm-server sweep rather than
+    /// per command, so the effective granularity is one pump interval.
     pub cmd_block_timeout_ns: u64,
     /// Age (ns) after which an aggregation queue is drained into a buffer
     /// and sent even if a full buffer's worth has not accumulated.
+    /// Same coarse-clock granularity as [`Config::cmd_block_timeout_ns`].
     pub aggregation_timeout_ns: u64,
     /// Stack size for user-level tasks, bytes.
     pub task_stack_size: usize,

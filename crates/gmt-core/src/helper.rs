@@ -35,8 +35,7 @@ fn process_buffer(node: &Arc<NodeShared>, src: NodeId, buf: &[u8], scratch: &mut
                 reply(src, &Command::AtomicReply { token, dest, old });
             }
             Command::Cas { token, array, offset, expected, new, dest } => {
-                let old =
-                    node.memory.with(array, |s| s.atomic_cas(offset as usize, expected, new));
+                let old = node.memory.with(array, |s| s.atomic_cas(offset as usize, expected, new));
                 reply(src, &Command::AtomicReply { token, dest, old });
             }
             Command::Alloc { token, id, nbytes, dist, origin } => {

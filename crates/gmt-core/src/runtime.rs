@@ -14,7 +14,7 @@ use crate::task::{Itb, RootTask};
 use crate::worker;
 use crate::{memory::NodeMemory, NodeId};
 use crossbeam::queue::SegQueue;
-use gmt_net::{DeliveryMode, Fabric, TrafficStats};
+use gmt_net::{DeliveryMode, Fabric, Payload, TrafficStats};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -40,7 +40,9 @@ pub struct NodeShared {
     /// Root tasks submitted from outside the runtime.
     pub root_queue: SegQueue<RootTask>,
     /// Received aggregation buffers awaiting helpers: (source node, bytes).
-    pub helper_in: SegQueue<(NodeId, Vec<u8>)>,
+    /// Payloads are pooled: dropping one (after processing) returns the
+    /// buffer to the *sending* node's channel pool.
+    pub helper_in: SegQueue<(NodeId, Payload)>,
     /// Set once at shutdown.
     pub stop: AtomicBool,
     pub cluster: Arc<ClusterShared>,
@@ -96,9 +98,10 @@ impl NodeHandle {
         self.shared.node_id
     }
 
-    /// Aggregation counters of this node.
-    pub fn agg_stats(&self) -> &AggStats {
-        &self.shared.agg.stats
+    /// Aggregation counters of this node (snapshot summed over the
+    /// per-thread statistic shards).
+    pub fn agg_stats(&self) -> AggStats {
+        self.shared.agg.stats()
     }
 
     /// Transport failures the communication server observed.

@@ -210,10 +210,7 @@ impl Itb {
                 return None;
             }
             let hi = (cur + self.chunk as u64).min(self.end);
-            if self
-                .next
-                .compare_exchange_weak(cur, hi, Ordering::AcqRel, Ordering::Relaxed)
-                .is_ok()
+            if self.next.compare_exchange_weak(cur, hi, Ordering::AcqRel, Ordering::Relaxed).is_ok()
             {
                 return Some(cur..hi);
             }
@@ -352,8 +349,7 @@ mod tests {
     #[test]
     fn concurrent_itb_claims_are_disjoint() {
         let body = Arc::new(ParForBody { f: Box::new(|_, _, _| {}) });
-        let itb =
-            Itb::new(body, Arc::from(&[][..]), 0, 10_000, 7, ParentRef { node: 0, token: 0 });
+        let itb = Itb::new(body, Arc::from(&[][..]), 0, 10_000, 7, ParentRef { node: 0, token: 0 });
         let handles: Vec<_> = (0..4)
             .map(|_| {
                 let itb = Arc::clone(&itb);

@@ -35,9 +35,7 @@ pub fn uninstall() -> Option<CommandSink> {
 pub fn with_sink<R>(f: impl FnOnce(&mut CommandSink) -> R) -> R {
     SINK.with(|s| {
         let mut slot = s.borrow_mut();
-        let sink = slot
-            .as_mut()
-            .expect("GMT primitives may only be called from runtime threads");
+        let sink = slot.as_mut().expect("GMT primitives may only be called from runtime threads");
         f(sink)
     })
 }

@@ -12,24 +12,70 @@ use proptest::prelude::*;
 fn arb_command() -> impl Strategy<Value = OwnedCommand> {
     prop_oneof![
         (any::<u64>(), any::<u64>(), any::<u64>(), proptest::collection::vec(any::<u8>(), 0..200))
-            .prop_map(|(token, array, offset, data)| OwnedCommand::Put { token, array, offset, data }),
-        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u32>(), any::<u64>())
-            .prop_map(|(token, array, offset, len, dest)| OwnedCommand::Get { token, array, offset, len, dest }),
+            .prop_map(|(token, array, offset, data)| OwnedCommand::Put {
+                token,
+                array,
+                offset,
+                data
+            }),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u32>(), any::<u64>()).prop_map(
+            |(token, array, offset, len, dest)| OwnedCommand::Get {
+                token,
+                array,
+                offset,
+                len,
+                dest
+            }
+        ),
         any::<u64>().prop_map(|token| OwnedCommand::Ack { token }),
         (any::<u64>(), any::<u64>(), proptest::collection::vec(any::<u8>(), 0..200))
             .prop_map(|(token, dest, data)| OwnedCommand::GetReply { token, dest, data }),
-        (any::<u64>(), any::<u64>(), any::<u64>(), any::<i64>(), any::<u64>())
-            .prop_map(|(token, array, offset, delta, dest)| OwnedCommand::Add { token, array, offset, delta, dest }),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<i64>(), any::<u64>()).prop_map(
+            |(token, array, offset, delta, dest)| OwnedCommand::Add {
+                token,
+                array,
+                offset,
+                delta,
+                dest
+            }
+        ),
         (any::<u64>(), any::<u64>(), any::<u64>(), any::<i64>(), any::<i64>(), any::<u64>())
-            .prop_map(|(token, array, offset, expected, new, dest)| OwnedCommand::Cas { token, array, offset, expected, new, dest }),
+            .prop_map(|(token, array, offset, expected, new, dest)| OwnedCommand::Cas {
+                token,
+                array,
+                offset,
+                expected,
+                new,
+                dest
+            }),
         (any::<u64>(), any::<u64>(), any::<i64>())
             .prop_map(|(token, dest, old)| OwnedCommand::AtomicReply { token, dest, old }),
-        (any::<u64>(), any::<u64>(), any::<u64>(), 0u8..3, any::<u32>())
-            .prop_map(|(token, id, nbytes, dist, origin)| OwnedCommand::Alloc { token, id, nbytes, dist, origin }),
+        (any::<u64>(), any::<u64>(), any::<u64>(), 0u8..3, any::<u32>()).prop_map(
+            |(token, id, nbytes, dist, origin)| OwnedCommand::Alloc {
+                token,
+                id,
+                nbytes,
+                dist,
+                origin
+            }
+        ),
         (any::<u64>(), any::<u64>()).prop_map(|(token, id)| OwnedCommand::Free { token, id }),
-        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), 1u32..1000,
-         proptest::collection::vec(any::<u8>(), 0..100))
-            .prop_map(|(token, body, start, count, chunk, args)| OwnedCommand::Spawn { token, body, start, count, chunk, args }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            1u32..1000,
+            proptest::collection::vec(any::<u8>(), 0..100)
+        )
+            .prop_map(|(token, body, start, count, chunk, args)| OwnedCommand::Spawn {
+                token,
+                body,
+                start,
+                count,
+                chunk,
+                args
+            }),
     ]
 }
 
@@ -247,8 +293,11 @@ fn arb_mem_ops(seg_len: usize) -> impl Strategy<Value = Vec<MemOp>> {
                 len: len.min(seg_len - offset),
             }),
             (0..words, any::<i64>()).prop_map(|(w, delta)| MemOp::Add { word: w * 8, delta }),
-            (0..words, any::<i64>(), any::<i64>())
-                .prop_map(|(w, e, n)| MemOp::Cas { word: w * 8, expected: e, new: n }),
+            (0..words, any::<i64>(), any::<i64>()).prop_map(|(w, e, n)| MemOp::Cas {
+                word: w * 8,
+                expected: e,
+                new: n
+            }),
         ],
         1..60,
     )

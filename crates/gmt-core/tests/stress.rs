@@ -2,6 +2,7 @@
 //! Olympus thread configuration, task floods, and alloc/free churn.
 
 use gmt_core::{Cluster, Config, Distribution, SpawnPolicy};
+use std::sync::Arc;
 
 /// Backpressure: with a single aggregation buffer per channel and tiny
 /// buffers, workers must spin-wait for the communication server to
@@ -125,6 +126,40 @@ fn deeply_nested_parfor() {
     });
     cluster.shutdown();
     assert_eq!(total, 2 * 2 * 2 * 4);
+}
+
+/// Zero-copy pool accounting: after a remote-put workload and a full
+/// shutdown, every aggregation buffer has flowed out through the comm
+/// server and back into its pool via `Payload` drop — nothing leaked in
+/// flight, nothing double-released.
+#[test]
+fn buffer_pools_whole_after_shutdown() {
+    let mut config = Config::small();
+    config.buffer_size = 1024;
+    let cluster = Cluster::start(2, config).unwrap();
+    let aggs: Vec<_> = (0..2).map(|n| Arc::clone(&cluster.node(n).shared().agg)).collect();
+    cluster.node(0).run(|ctx| {
+        let arr = ctx.alloc(1024 * 8, Distribution::Remote);
+        ctx.parfor(SpawnPolicy::Local, 16, 1, move |ctx, t| {
+            for k in 0..64u64 {
+                ctx.put_value_nb::<u64>(&arr, t * 64 + k, k);
+            }
+            ctx.wait_commands();
+        });
+        ctx.free(arr);
+    });
+    cluster.shutdown();
+    for (n, agg) in aggs.iter().enumerate() {
+        for c in 0..agg.channels() {
+            let q = agg.channel(c);
+            assert_eq!(q.backlog(), 0, "node {n} channel {c} still has filled buffers");
+            assert_eq!(
+                q.free_buffers(),
+                q.pool_capacity(),
+                "node {n} channel {c} pool not whole after shutdown"
+            );
+        }
+    }
 }
 
 /// Soak: repeated cluster lifecycles must not leak OS threads or wedge.

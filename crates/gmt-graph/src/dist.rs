@@ -93,9 +93,8 @@ impl DistGraph {
         }
         // Safety: freshly sized u64 buffer viewed as bytes; the blocking
         // get completes before return.
-        let bytes = unsafe {
-            std::slice::from_raw_parts_mut(buf.as_mut_ptr().cast::<u8>(), count * 8)
-        };
+        let bytes =
+            unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr().cast::<u8>(), count * 8) };
         ctx.get(&self.targets, lo * 8, bytes);
     }
 

@@ -69,10 +69,8 @@ pub fn gmt_bfs(ctx: &TaskCtx<'_>, g: &DistGraph, source: u64) -> BfsResult {
     // Extract levels and free global state.
     let mut bytes = vec![0u8; (n * 8) as usize];
     ctx.get(&levels, 0, &mut bytes);
-    let out: Vec<i64> = bytes
-        .chunks_exact(8)
-        .map(|c| i64::from_le_bytes(c.try_into().unwrap()))
-        .collect();
+    let out: Vec<i64> =
+        bytes.chunks_exact(8).map(|c| i64::from_le_bytes(c.try_into().unwrap())).collect();
     ctx.free(levels);
     ctx.free(qa);
     ctx.free(qb);
@@ -105,10 +103,8 @@ mod tests {
             r
         });
         cluster.shutdown();
-        let expected: Vec<i64> = reference
-            .iter()
-            .map(|&l| if l == u64::MAX { -1 } else { l as i64 })
-            .collect();
+        let expected: Vec<i64> =
+            reference.iter().map(|&l| if l == u64::MAX { -1 } else { l as i64 }).collect();
         assert_eq!(result.levels, expected);
         assert_eq!(result.visited, expected.iter().filter(|&&l| l >= 0).count() as u64);
     }

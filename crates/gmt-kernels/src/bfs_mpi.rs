@@ -19,8 +19,9 @@
 //! all-reduced through rank 0.
 
 use crate::mpi_util::{block_range, owner, run_ranks_on};
-use gmt_net::{DeliveryMode, Endpoint, Fabric, Tag};
 use gmt_graph::Csr;
+use gmt_net::{DeliveryMode, Endpoint, Fabric, Packet, Tag};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Communication style of the baseline.
@@ -59,9 +60,8 @@ pub fn mpi_bfs_on(fabric: &Fabric, csr: &Csr, source: u64, mode: BaselineMode) -
     let n = csr.vertices();
     assert!(source < n);
     let csr = Arc::new(csr.clone());
-    let mut results = run_ranks_on(fabric, move |r, ep, _barrier| {
-        rank_main(r, ep, &csr, n, source, mode)
-    });
+    let mut results =
+        run_ranks_on(fabric, move |r, ep, _barrier| rank_main(r, ep, &csr, n, source, mode));
     results.swap_remove(0).expect("rank 0 gathers the result")
 }
 
@@ -85,6 +85,13 @@ fn rank_main(
     let mut level = 0i64;
     // Aggregation buffers (Aggregated mode only).
     let mut agg: Vec<Vec<u8>> = vec![Vec::new(); ranks];
+    // Next-level traffic that arrived while this rank still waited for its
+    // CONT: a peer that already received CONT may race ahead and send its
+    // level-L+1 visits (and even its marker) before our CONT is consumed.
+    let mut stash: VecDeque<Packet> = VecDeque::new();
+    // Frontier sizes that reached rank 0 while it was still absorbing the
+    // current level (a peer can finish its level first).
+    let mut early_sizes: Vec<u64> = Vec::new();
     loop {
         let mut next: Vec<u64> = Vec::new();
         // Expand the local frontier.
@@ -122,10 +129,15 @@ fn rank_main(
                 ep.send(o, TAG_LEVEL_END, Vec::new()).unwrap();
             }
         }
-        // Absorb visits until every peer's marker arrived.
+        // Absorb visits until every peer's marker arrived. Stashed packets
+        // (received early during the previous CONT wait) belong to exactly
+        // this level, so drain them first.
         let mut markers = 0;
         while markers + 1 < ranks {
-            let pkt = ep.recv().expect("fabric alive");
+            let pkt = match stash.pop_front() {
+                Some(p) => p,
+                None => ep.recv().expect("fabric alive"),
+            };
             match pkt.tag {
                 TAG_VISIT => {
                     for chunk in pkt.payload.chunks_exact(8) {
@@ -138,16 +150,24 @@ fn rank_main(
                     }
                 }
                 TAG_LEVEL_END => markers += 1,
+                // A peer that saw all its markers already may send its
+                // frontier size to rank 0 while rank 0 is still here.
+                TAG_SIZE if r == 0 => {
+                    early_sizes.push(u64::from_le_bytes(pkt.payload.as_slice().try_into().unwrap()))
+                }
                 other => unreachable!("unexpected tag {other} during level"),
             }
         }
         // All-reduce the global next-frontier size through rank 0.
         let continue_search = if r == 0 {
             let mut total = next.len() as u64;
-            for _ in 1..ranks {
+            let mut got = early_sizes.len();
+            total += early_sizes.drain(..).sum::<u64>();
+            while got + 1 < ranks {
                 let pkt = ep.recv().unwrap();
                 assert_eq!(pkt.tag, TAG_SIZE);
                 total += u64::from_le_bytes(pkt.payload.as_slice().try_into().unwrap());
+                got += 1;
             }
             let cont = total > 0;
             for o in 1..ranks {
@@ -158,10 +178,13 @@ fn rank_main(
             ep.send(0, TAG_SIZE, (next.len() as u64).to_le_bytes().to_vec()).unwrap();
             loop {
                 let pkt = ep.recv().unwrap();
-                if pkt.tag == TAG_CONT {
-                    break pkt.payload[0] != 0;
+                match pkt.tag {
+                    TAG_CONT => break pkt.payload[0] != 0,
+                    // Next-level traffic from a peer whose CONT arrived
+                    // first; replayed at the top of the next absorb loop.
+                    TAG_VISIT | TAG_LEVEL_END => stash.push_back(pkt),
+                    other => unreachable!("unexpected tag {other} while waiting for CONT"),
                 }
-                unreachable!("unexpected tag {} while waiting for CONT", pkt.tag);
             }
         };
         if !continue_search {
@@ -198,10 +221,7 @@ mod tests {
     use gmt_graph::{uniform_random, GraphSpec};
 
     fn reference(csr: &Csr, source: u64) -> Vec<i64> {
-        csr.bfs_levels(source)
-            .iter()
-            .map(|&l| if l == u64::MAX { -1 } else { l as i64 })
-            .collect()
+        csr.bfs_levels(source).iter().map(|&l| if l == u64::MAX { -1 } else { l as i64 }).collect()
     }
 
     #[test]

@@ -69,10 +69,8 @@ pub fn gmt_cc(ctx: &TaskCtx<'_>, g: &DistGraph) -> Vec<u64> {
 
     let mut raw = vec![0u8; (n * 8) as usize];
     ctx.get(&labels, 0, &mut raw);
-    let out = raw
-        .chunks_exact(8)
-        .map(|c| i64::from_le_bytes(c.try_into().unwrap()) as u64)
-        .collect();
+    let out =
+        raw.chunks_exact(8).map(|c| i64::from_le_bytes(c.try_into().unwrap()) as u64).collect();
     changed.free(ctx);
     ctx.free(labels);
     out

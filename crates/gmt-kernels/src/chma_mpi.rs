@@ -48,10 +48,7 @@ impl LocalMap {
 /// Runs the baseline: `ranks` ranks, each executing `cfg.steps` stream
 /// steps (so W = `ranks`; `cfg.tasks` is ignored — MPI has one process
 /// per rank, which is exactly the paper's point).
-pub fn mpi_chma(
-    cfg: &ChmaConfig,
-    ranks: usize,
-) -> (ChmaResult, gmt_net::stats::NodeTraffic) {
+pub fn mpi_chma(cfg: &ChmaConfig, ranks: usize) -> (ChmaResult, gmt_net::stats::NodeTraffic) {
     let fabric = Fabric::new(ranks, DeliveryMode::Instant);
     let result = mpi_chma_on(&fabric, cfg);
     (result, fabric.stats().total())
@@ -70,7 +67,6 @@ pub fn mpi_chma_on(fabric: &Fabric, cfg: &ChmaConfig) -> ChmaResult {
     }
     total
 }
-
 
 struct Rank {
     r: usize,
@@ -170,7 +166,8 @@ fn rank_main(r: usize, ep: Endpoint, cfg: &ChmaConfig) -> ChmaResult {
     }
 
     // Access phase: L steps of probe / reverse / insert.
-    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (r as u64).wrapping_mul(0x2545_F491_4F6C_DD1D));
+    let mut rng =
+        SmallRng::seed_from_u64(cfg.seed ^ (r as u64).wrapping_mul(0x2545_F491_4F6C_DD1D));
     let (mut hits, mut misses, mut inserts) = (0u64, 0u64, 0u64);
     let mut s = pool_string(cfg.seed, rng.gen_range(0..cfg.pool));
     for _ in 0..cfg.steps {

@@ -90,12 +90,7 @@ pub fn gmt_grw(
     let checksum = ctx.atomic_add(&acc, 0, 0) as u64;
     let traversed = ctx.atomic_add(&acc, 8, 0) as u64;
     ctx.free(acc);
-    GrwResult {
-        walkers,
-        steps_per_walker: length,
-        traversed_edges: traversed,
-        checksum,
-    }
+    GrwResult { walkers, steps_per_walker: length, traversed_edges: traversed, checksum }
 }
 
 #[cfg(test)]

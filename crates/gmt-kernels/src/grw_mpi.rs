@@ -13,9 +13,10 @@
 use crate::grw::GrwResult;
 use crate::mpi_util::{owner, run_ranks_on};
 use gmt_graph::Csr;
-use gmt_net::{DeliveryMode, Endpoint, Fabric, Tag};
+use gmt_net::{DeliveryMode, Endpoint, Fabric, Packet, Tag};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Communication style of the baseline.
@@ -68,9 +69,8 @@ pub fn mpi_grw_on(
     mode: GrwMode,
 ) -> GrwResult {
     let csr = Arc::new(csr.clone());
-    let results = run_ranks_on(fabric, move |r, ep, _b| {
-        rank_main(r, ep, &csr, walkers, length, seed, mode)
-    });
+    let results =
+        run_ranks_on(fabric, move |r, ep, _b| rank_main(r, ep, &csr, walkers, length, seed, mode));
     let mut checksum = 0u64;
     let mut traversed = 0u64;
     for (c, t) in results {
@@ -123,13 +123,16 @@ fn rank_main(
     let ranks = ep.nodes();
     let n = csr.vertices();
     // (walker id, vertex, remaining steps)
-    let mut active: Vec<(u64, u64, u64)> = (0..walkers)
-        .filter(|w| owner(n, ranks, w % n) == r)
-        .map(|w| (w, w % n, length))
-        .collect();
+    let mut active: Vec<(u64, u64, u64)> =
+        (0..walkers).filter(|w| owner(n, ranks, w % n) == r).map(|w| (w, w % n, length)).collect();
     let mut checksum = 0u64;
     let mut traversed = 0u64;
     let mut agg: Vec<Vec<u8>> = vec![Vec::new(); ranks];
+    // Next-round traffic that arrived while this rank still waited for
+    // CONT (a peer whose CONT arrived first can race ahead), and walk
+    // counts that reached rank 0 while it was still absorbing the round.
+    let mut stash: VecDeque<Packet> = VecDeque::new();
+    let mut early_counts: Vec<u64> = Vec::new();
     loop {
         // Advance every local walk until it finishes or leaves.
         while let Some((w, mut v, mut remaining)) = active.pop() {
@@ -176,7 +179,10 @@ fn rank_main(
         }
         let mut markers = 0;
         while markers + 1 < ranks {
-            let pkt = ep.recv().unwrap();
+            let pkt = match stash.pop_front() {
+                Some(p) => p,
+                None => ep.recv().expect("fabric alive"),
+            };
             match pkt.tag {
                 TAG_WALK => {
                     for chunk in pkt.payload.chunks_exact(WALK_BYTES) {
@@ -187,6 +193,10 @@ fn rank_main(
                     }
                 }
                 TAG_ROUND_END => markers += 1,
+                // A peer that finished its round first already sent its
+                // active-walk count to rank 0.
+                TAG_COUNT if r == 0 => early_counts
+                    .push(u64::from_le_bytes(pkt.payload.as_slice().try_into().unwrap())),
                 other => unreachable!("unexpected tag {other}"),
             }
         }
@@ -194,10 +204,13 @@ fn rank_main(
         let pending = active.len() as u64;
         let continue_rounds = if r == 0 {
             let mut total = pending;
-            for _ in 1..ranks {
+            let mut got = early_counts.len();
+            total += early_counts.drain(..).sum::<u64>();
+            while got + 1 < ranks {
                 let pkt = ep.recv().unwrap();
                 assert_eq!(pkt.tag, TAG_COUNT);
                 total += u64::from_le_bytes(pkt.payload.as_slice().try_into().unwrap());
+                got += 1;
             }
             let cont = total > 0;
             for o in 1..ranks {
@@ -208,10 +221,13 @@ fn rank_main(
             ep.send(0, TAG_COUNT, pending.to_le_bytes().to_vec()).unwrap();
             loop {
                 let pkt = ep.recv().unwrap();
-                if pkt.tag == TAG_CONT {
-                    break pkt.payload[0] != 0;
+                match pkt.tag {
+                    TAG_CONT => break pkt.payload[0] != 0,
+                    // Next-round traffic from a peer that raced ahead;
+                    // replayed at the top of the next absorb loop.
+                    TAG_WALK | TAG_ROUND_END => stash.push_back(pkt),
+                    other => unreachable!("unexpected tag {other} while waiting for CONT"),
                 }
-                unreachable!("unexpected tag {} while waiting for CONT", pkt.tag);
             }
         };
         if !continue_rounds {

@@ -19,6 +19,7 @@
 //!   one process.
 
 use crate::model::NetworkModel;
+use crate::payload::Payload;
 use crate::stats::TrafficStats;
 use crate::NodeId;
 use crossbeam::channel::{self, Receiver, Sender};
@@ -34,12 +35,16 @@ use std::time::{Duration, Instant};
 pub type Tag = u32;
 
 /// A message in flight.
+///
+/// The payload may be a pooled buffer travelling zero-copy from the
+/// sender's aggregation pipeline; dropping the packet (after processing)
+/// returns such a buffer to its pool. See [`Payload`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Packet {
     pub src: NodeId,
     pub dst: NodeId,
     pub tag: Tag,
-    pub payload: Vec<u8>,
+    pub payload: Payload,
 }
 
 /// Errors surfaced by the fabric.
@@ -155,11 +160,7 @@ impl Fabric {
     /// clones of a node's endpoint share (and compete for) one inbox.
     pub fn endpoint(&self, node: NodeId) -> Endpoint {
         assert!(node < self.shared.nodes, "node {node} out of range");
-        Endpoint {
-            node,
-            shared: Arc::clone(&self.shared),
-            rx: self.inbox_rx[node].clone(),
-        }
+        Endpoint { node, shared: Arc::clone(&self.shared), rx: self.inbox_rx[node].clone() }
     }
 
     /// All endpoints, index = node id.
@@ -222,9 +223,7 @@ fn wire_loop(rx: Receiver<(Instant, Packet)>, inboxes: Vec<Sender<Packet>>) {
             let _ = inboxes[pkt.dst].send(pkt);
         }
         // Wait for new input until the next deadline (or forever).
-        let wait = heap
-            .peek()
-            .map(|Reverse((d, _))| d.saturating_duration_since(Instant::now()));
+        let wait = heap.peek().map(|Reverse((d, _))| d.saturating_duration_since(Instant::now()));
         let received = match wait {
             Some(d) => rx.recv_timeout(d).map_err(|e| match e {
                 channel::RecvTimeoutError::Timeout => None,
@@ -289,7 +288,12 @@ impl Endpoint {
     ///
     /// Messages to the same destination arrive in send order. Sending to
     /// self is allowed and loops back through the same machinery.
-    pub fn send(&self, dst: NodeId, tag: Tag, payload: Vec<u8>) -> Result<(), NetError> {
+    ///
+    /// Accepts a plain `Vec<u8>` or a pooled [`Payload`]; a pooled buffer
+    /// crosses the fabric without copies and returns to its pool when the
+    /// receiver drops it (or immediately, on a failed send).
+    pub fn send(&self, dst: NodeId, tag: Tag, payload: impl Into<Payload>) -> Result<(), NetError> {
+        let payload = payload.into();
         let shared = &*self.shared;
         if dst >= shared.nodes {
             return Err(NetError::NoSuchNode { dst, nodes: shared.nodes });
@@ -302,9 +306,7 @@ impl Endpoint {
         shared.stats.record_recv(dst, bytes);
         let pkt = Packet { src: self.node, dst, tag, payload };
         match shared.mode {
-            DeliveryMode::Instant => {
-                shared.inbox_tx[dst].send(pkt).map_err(|_| NetError::Closed)
-            }
+            DeliveryMode::Instant => shared.inbox_tx[dst].send(pkt).map_err(|_| NetError::Closed),
             DeliveryMode::Throttled(model) => {
                 let deadline = {
                     let mut port = shared.ports[self.node].lock();
@@ -392,10 +394,7 @@ mod tests {
     fn out_of_range_destination_is_an_error() {
         let fabric = Fabric::new(2, DeliveryMode::Instant);
         let ep = fabric.endpoint(0);
-        assert_eq!(
-            ep.send(5, 0, vec![]),
-            Err(NetError::NoSuchNode { dst: 5, nodes: 2 })
-        );
+        assert_eq!(ep.send(5, 0, vec![]), Err(NetError::NoSuchNode { dst: 5, nodes: 2 }));
     }
 
     #[test]

@@ -28,10 +28,12 @@
 
 pub mod fabric;
 pub mod model;
+pub mod payload;
 pub mod stats;
 
 pub use fabric::{DeliveryMode, Endpoint, Fabric, NetError, Packet, Tag};
 pub use model::NetworkModel;
+pub use payload::{BufRelease, Payload};
 pub use stats::TrafficStats;
 
 /// Identifies a node (an MPI rank in the paper's terms).

@@ -100,8 +100,7 @@ impl NetworkModel {
     /// Time for a remote read: request out, processing, reply back.
     /// `reply_bytes` rides the reply message.
     pub fn round_trip_ns(&self, request_bytes: usize, reply_bytes: usize) -> u64 {
-        self.delivery_ns(request_bytes)
-            .saturating_add(self.delivery_ns(reply_bytes))
+        self.delivery_ns(request_bytes).saturating_add(self.delivery_ns(reply_bytes))
     }
 }
 
@@ -181,10 +180,6 @@ mod tests {
         let m = NetworkModel::olympus();
         let fine = m.stream_bandwidth(8);
         let coarse = m.stream_bandwidth(64 * 1024) * (8.0 * 8192.0) / (64.0 * 1024.0);
-        assert!(
-            coarse / fine > 100.0,
-            "aggregation gain only {}×",
-            coarse / fine
-        );
+        assert!(coarse / fine > 100.0, "aggregation gain only {}×", coarse / fine);
     }
 }

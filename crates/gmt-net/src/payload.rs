@@ -1,0 +1,168 @@
+//! Pooled, zero-copy message payloads.
+//!
+//! A [`Payload`] owns the bytes of one message. It is either *plain* (a
+//! `Vec<u8>` the fabric frees normally) or *pooled*: the buffer came from
+//! a fixed sender-side pool and carries a [`BufRelease`] hook. When a
+//! pooled payload is dropped — after the receiver processed it, or on a
+//! failed send — the buffer flows back to its pool instead of the
+//! allocator, the in-process equivalent of a NIC completing its read of a
+//! registered send buffer. This lets a sender hand a filled aggregation
+//! buffer straight to [`Endpoint::send`] without copying it.
+//!
+//! [`Endpoint::send`]: crate::fabric::Endpoint::send
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Receives spent pooled buffers back (typically: clears and re-pools).
+pub trait BufRelease: Send + Sync {
+    /// Called exactly once with the buffer when its [`Payload`] drops.
+    fn release(&self, buf: Vec<u8>);
+}
+
+/// The bytes of one message, with an optional return-to-pool obligation.
+pub struct Payload {
+    buf: Vec<u8>,
+    release: Option<Arc<dyn BufRelease>>,
+}
+
+impl Payload {
+    /// Wraps a pooled buffer; `hook.release(buf)` runs on drop.
+    pub fn pooled(buf: Vec<u8>, hook: Arc<dyn BufRelease>) -> Self {
+        Payload { buf, release: Some(hook) }
+    }
+
+    /// The payload bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// `true` if this payload returns its buffer to a pool on drop.
+    pub fn is_pooled(&self) -> bool {
+        self.release.is_some()
+    }
+
+    /// Copies the bytes out into an owned, unpooled `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.buf.clone()
+    }
+}
+
+impl Drop for Payload {
+    fn drop(&mut self) {
+        if let Some(hook) = self.release.take() {
+            hook.release(std::mem::take(&mut self.buf));
+        }
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(buf: Vec<u8>) -> Self {
+        Payload { buf, release: None }
+    }
+}
+
+impl Deref for Payload {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl AsRef<[u8]> for Payload {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Clones the *bytes*; the clone is plain (no pool obligation — releasing
+/// one buffer twice would corrupt the pool accounting).
+impl Clone for Payload {
+    fn clone(&self) -> Self {
+        Payload { buf: self.buf.clone(), release: None }
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Payload")
+            .field("len", &self.buf.len())
+            .field("pooled", &self.is_pooled())
+            .finish()
+    }
+}
+
+impl PartialEq for Payload {
+    fn eq(&self, other: &Self) -> bool {
+        self.buf == other.buf
+    }
+}
+
+impl Eq for Payload {}
+
+impl PartialEq<Vec<u8>> for Payload {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        &self.buf == other
+    }
+}
+
+impl PartialEq<Payload> for Vec<u8> {
+    fn eq(&self, other: &Payload) -> bool {
+        self == &other.buf
+    }
+}
+
+impl PartialEq<[u8]> for Payload {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.buf == other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    struct Recorder {
+        returned: Mutex<Vec<Vec<u8>>>,
+    }
+
+    impl BufRelease for Recorder {
+        fn release(&self, buf: Vec<u8>) {
+            self.returned.lock().unwrap().push(buf);
+        }
+    }
+
+    #[test]
+    fn plain_payload_has_no_hook() {
+        let p: Payload = vec![1, 2, 3].into();
+        assert!(!p.is_pooled());
+        assert_eq!(p, vec![1, 2, 3]);
+        assert_eq!(&p[..2], &[1, 2]);
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn pooled_payload_releases_on_drop() {
+        let rec = Arc::new(Recorder { returned: Mutex::new(Vec::new()) });
+        let p = Payload::pooled(vec![7, 8], Arc::clone(&rec) as Arc<dyn BufRelease>);
+        assert!(p.is_pooled());
+        drop(p);
+        let returned = rec.returned.lock().unwrap();
+        assert_eq!(returned.as_slice(), &[vec![7, 8]]);
+    }
+
+    #[test]
+    fn clone_is_plain_and_releases_once() {
+        let rec = Arc::new(Recorder { returned: Mutex::new(Vec::new()) });
+        let p = Payload::pooled(vec![9], Arc::clone(&rec) as Arc<dyn BufRelease>);
+        let c = p.clone();
+        assert!(!c.is_pooled());
+        assert_eq!(p, c);
+        drop(c);
+        assert_eq!(rec.returned.lock().unwrap().len(), 0);
+        drop(p);
+        assert_eq!(rec.returned.lock().unwrap().len(), 1);
+    }
+}

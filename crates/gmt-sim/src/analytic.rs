@@ -39,10 +39,8 @@ pub fn table2_rate_mb_s(net: &NetworkModel, size: usize, config: MpiConfig) -> f
             // paper's finding that multithreaded MPI "exhibits low
             // transfer-rates".
             let lock_ns = 600 * n.saturating_sub(1) as u64;
-            let contended = NetworkModel {
-                per_msg_overhead_ns: net.per_msg_overhead_ns + lock_ns,
-                ..*net
-            };
+            let contended =
+                NetworkModel { per_msg_overhead_ns: net.per_msg_overhead_ns + lock_ns, ..*net };
             contended.windowed_bandwidth(size, WINDOW) / MB
         }
     }
@@ -83,10 +81,7 @@ mod tests {
             let p32 = table2_rate_mb_s(&NET, size, MpiConfig::Processes(32));
             for t in [1usize, 2, 4] {
                 let thr = table2_rate_mb_s(&NET, size, MpiConfig::Threads(t));
-                assert!(
-                    p32 >= thr,
-                    "threads({t}) beat processes at {size}B: {thr} > {p32}"
-                );
+                assert!(p32 >= thr, "threads({t}) beat processes at {size}B: {thr} > {p32}");
             }
         }
     }

@@ -235,8 +235,7 @@ impl Sim {
         for n in 0..self.nodes.len() {
             let node = &mut self.nodes[n];
             let tasks = if n < senders { phase.tasks_per_node } else { 0 };
-            node.tasks =
-                (0..tasks).map(|_| Task { remaining_ops: phase.ops_per_task }).collect();
+            node.tasks = (0..tasks).map(|_| Task { remaining_ops: phase.ops_per_task }).collect();
             node.ready = (0..tasks as u32).collect();
             node.idle_workers = self.params.workers_per_node;
         }
@@ -428,8 +427,7 @@ impl Sim {
 
     fn op_completed(&mut self, node: u32, task: u32) {
         self.report.ops_completed += 1;
-        self.report.payload_bytes +=
-            (self.pattern.req_bytes + self.pattern.reply_bytes) as u64;
+        self.report.payload_bytes += (self.pattern.req_bytes + self.pattern.reply_bytes) as u64;
         let n = &mut self.nodes[node as usize];
         let t = &mut n.tasks[task as usize];
         debug_assert!(t.remaining_ops > 0);
@@ -515,10 +513,7 @@ mod tests {
         for tasks in [16u64, 64, 256, 1024] {
             let r = simulate(p, 2, put_phase(tasks, 64, 8), 3);
             let bw = r.payload_mb_s();
-            assert!(
-                bw >= last * 0.95,
-                "throughput regressed at {tasks} tasks: {bw} < {last}"
-            );
+            assert!(bw >= last * 0.95, "throughput regressed at {tasks} tasks: {bw} < {last}");
             last = bw;
         }
     }
@@ -552,8 +547,7 @@ mod tests {
         let r = simulate(p, 2, put_phase(4096, 64, 8), 11);
         let max_ops_s = p.workers_per_node as f64 * 1e9 / p.worker_op_ns as f64;
         // Per node; ops_completed counts all nodes.
-        let ops_s_per_node =
-            r.ops_completed as f64 / 2.0 / (r.elapsed_ns as f64 / 1e9);
+        let ops_s_per_node = r.ops_completed as f64 / 2.0 / (r.elapsed_ns as f64 / 1e9);
         assert!(ops_s_per_node <= max_ops_s * 1.01);
     }
 

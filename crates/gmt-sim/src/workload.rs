@@ -78,8 +78,7 @@ pub fn bfs_phases(
         // Average payloads: requests are small (8–16 B addresses/words);
         // replies average a neighbor-list share: edges/frontier words for
         // the bulk get, 8 B for CAS/add replies.
-        let avg_reply =
-            ((edges / frontier.max(1)) * 8).clamp(8, 4096).min(avg_degree * 8) as u32;
+        let avg_reply = ((edges / frontier.max(1)) * 8).clamp(8, 4096).min(avg_degree * 8) as u32;
         let pattern = OpPattern {
             req_bytes: 16,
             reply_bytes: avg_reply / 2, // half the ops return words, half lists
@@ -121,8 +120,7 @@ mod tests {
         let csr = uniform_random(GraphSpec { vertices: 300, avg_degree: 4, seed: 51 });
         let trace = bfs_trace(&csr, 0);
         let total_frontier: u64 = trace.iter().map(|l| l.frontier).sum();
-        let reached =
-            csr.bfs_levels(0).iter().filter(|&&l| l != u64::MAX).count() as u64;
+        let reached = csr.bfs_levels(0).iter().filter(|&&l| l != u64::MAX).count() as u64;
         assert_eq!(total_frontier, reached);
         // Discovered chains to the next level's frontier.
         for w in trace.windows(2) {
@@ -155,9 +153,8 @@ mod tests {
         let small = bfs_phases(&trace, 1, 4, 4, 1024);
         let large = bfs_phases(&trace, 10, 4, 4, 1024);
         assert_eq!(small.len(), large.len());
-        let ops = |ps: &[Phase]| -> u64 {
-            ps.iter().map(|p| p.tasks_per_node * p.ops_per_task).sum()
-        };
+        let ops =
+            |ps: &[Phase]| -> u64 { ps.iter().map(|p| p.tasks_per_node * p.ops_per_task).sum() };
         let (s, l) = (ops(&small), ops(&large));
         assert!(l > s * 5, "scaling had little effect: {s} -> {l}");
     }

@@ -42,7 +42,7 @@ fn main() {
         // task owns 8 iterations (chunk_size).
         ctx.parfor(SpawnPolicy::Partition, 4096, 8, move |ctx, i| {
             let slot = (i * 31) % 1024; // irregular access pattern
-            // -- Fine-grained synchronization (gmt_atomicAdd) ------------
+                                        // -- Fine-grained synchronization (gmt_atomicAdd) ------------
             ctx.atomic_add(&counters, slot * 8, 1);
         });
 

@@ -13,11 +13,8 @@ use gmt::sim::{simulate, MachineParams, OpPattern, Phase};
 #[test]
 fn three_bfs_implementations_agree() {
     let csr = uniform_random(GraphSpec { vertices: 300, avg_degree: 5, seed: 99 });
-    let reference: Vec<i64> = csr
-        .bfs_levels(7)
-        .iter()
-        .map(|&l| if l == u64::MAX { -1 } else { l as i64 })
-        .collect();
+    let reference: Vec<i64> =
+        csr.bfs_levels(7).iter().map(|&l| if l == u64::MAX { -1 } else { l as i64 }).collect();
 
     let cluster = Cluster::start(2, Config::small()).unwrap();
     let csr2 = csr.clone();
@@ -67,8 +64,7 @@ fn aggregation_collapses_message_counts_end_to_end() {
         ctx.free(arr);
     });
     let gmt_msgs = cluster.net_stats().total().sent_msgs;
-    let gmt_bytes_per_msg =
-        cluster.net_stats().total().sent_bytes / gmt_msgs.max(1);
+    let gmt_bytes_per_msg = cluster.net_stats().total().sent_bytes / gmt_msgs.max(1);
     cluster.shutdown();
 
     // One-message-per-op over the same fabric.
@@ -98,18 +94,10 @@ fn aggregation_collapses_message_counts_end_to_end() {
 #[test]
 fn simulator_matches_runtime_qualitatively() {
     // DES: task sweep raises modeled bandwidth.
-    let lo = simulate(
-        MachineParams::gmt(),
-        2,
-        Phase::one_sender(64, 16, OpPattern::remote_put(8)),
-        1,
-    );
-    let hi = simulate(
-        MachineParams::gmt(),
-        2,
-        Phase::one_sender(4096, 16, OpPattern::remote_put(8)),
-        1,
-    );
+    let lo =
+        simulate(MachineParams::gmt(), 2, Phase::one_sender(64, 16, OpPattern::remote_put(8)), 1);
+    let hi =
+        simulate(MachineParams::gmt(), 2, Phase::one_sender(4096, 16, OpPattern::remote_put(8)), 1);
     assert!(hi.payload_mb_s() > lo.payload_mb_s() * 2.0);
 
     // Real runtime: the same sweep measured by wall clock on the real

@@ -1,0 +1,259 @@
+//! Minimal offline shim for the subset of `criterion` 0.5 this
+//! workspace uses. Each benchmark is auto-calibrated to a target
+//! measurement time, run for `sample_size` samples, and reported as
+//! `median ns/iter` (plus throughput when declared) on stdout — no
+//! statistics beyond median/min/max, no HTML reports, no comparisons.
+//! See `vendor/README.md`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Declared throughput of one benchmark iteration, used to report a
+/// rate alongside the raw time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// (sample median, iters per sample) of the last `iter` call.
+    result: Option<Sample>,
+    sample_size: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    median_ns_per_iter: f64,
+    min_ns_per_iter: f64,
+    max_ns_per_iter: f64,
+}
+
+/// Target time one benchmark spends measuring (after calibration).
+const TARGET_MEASURE: Duration = Duration::from_millis(300);
+
+impl Bencher {
+    /// Measures `f`, storing per-iteration timing for the caller.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up + calibrate: find an iteration count that takes a
+        // measurable slice of time.
+        let mut iters_per_sample: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(2) || iters_per_sample >= 1 << 24 {
+                break;
+            }
+            iters_per_sample *= 4;
+        }
+        let samples = self.sample_size.max(3);
+        let per_sample_target = TARGET_MEASURE / samples as u32;
+        // Refine the per-sample iteration count toward the target slice.
+        {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(f());
+            }
+            let one = start.elapsed().max(Duration::from_nanos(1));
+            let scale = per_sample_target.as_secs_f64() / one.as_secs_f64();
+            if scale > 1.5 {
+                iters_per_sample = ((iters_per_sample as f64) * scale.min(64.0)) as u64;
+            }
+            iters_per_sample = iters_per_sample.max(1);
+        }
+        let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            per_iter.push(elapsed.as_nanos() as f64 / iters_per_sample as f64);
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.result = Some(Sample {
+            median_ns_per_iter: per_iter[per_iter.len() / 2],
+            min_ns_per_iter: per_iter[0],
+            max_ns_per_iter: *per_iter.last().unwrap(),
+        });
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn human_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.3} G{unit}/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.3} M{unit}/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.3} K{unit}/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {unit}/s")
+    }
+}
+
+fn run_one(
+    full_id: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher { result: None, sample_size };
+    f(&mut b);
+    match b.result {
+        Some(s) => {
+            let rate = match throughput {
+                Some(Throughput::Elements(n)) => {
+                    format!(
+                        "  thrpt: {}",
+                        human_rate(n as f64 * 1e9 / s.median_ns_per_iter, "elem")
+                    )
+                }
+                Some(Throughput::Bytes(n)) => {
+                    format!("  thrpt: {}", human_rate(n as f64 * 1e9 / s.median_ns_per_iter, "B"))
+                }
+                None => String::new(),
+            };
+            println!(
+                "{full_id:<50} time: [{} {} {}]{rate}",
+                human_time(s.min_ns_per_iter),
+                human_time(s.median_ns_per_iter),
+                human_time(s.max_ns_per_iter),
+            );
+        }
+        None => println!("{full_id:<50} (no measurement: closure never called iter)"),
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.into(), throughput: None, sample_size: 10 }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&id.into().id, None, self.sample_size, &mut f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(&full, self.throughput, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, self.throughput, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

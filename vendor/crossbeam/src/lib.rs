@@ -1,0 +1,7 @@
+//! Minimal offline shim for the subset of `crossbeam` 0.8 used by this
+//! workspace: `queue::{ArrayQueue, SegQueue}`, `channel` (unbounded MPMC)
+//! and `utils::CachePadded`. See `vendor/README.md`.
+
+pub mod channel;
+pub mod queue;
+pub mod utils;

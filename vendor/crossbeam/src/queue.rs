@@ -1,0 +1,290 @@
+//! Concurrent queues: a lock-free bounded MPMC ring (`ArrayQueue`, the
+//! classic Vyukov algorithm, same as the real crossbeam) and a simple
+//! mutex-backed unbounded queue (`SegQueue`).
+
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::utils::CachePadded;
+
+struct Slot<T> {
+    /// Sequence stamp: `index` when empty and writable by the producer of
+    /// lap `index`, `index + 1` when full, `index + capacity` after pop.
+    stamp: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// Bounded lock-free MPMC queue.
+pub struct ArrayQueue<T> {
+    head: CachePadded<AtomicUsize>,
+    tail: CachePadded<AtomicUsize>,
+    buffer: Box<[Slot<T>]>,
+}
+
+unsafe impl<T: Send> Send for ArrayQueue<T> {}
+unsafe impl<T: Send> Sync for ArrayQueue<T> {}
+
+impl<T> ArrayQueue<T> {
+    /// Creates a queue holding at most `cap` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "capacity must be non-zero");
+        let buffer = (0..cap)
+            .map(|i| Slot {
+                stamp: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        ArrayQueue {
+            head: CachePadded::new(AtomicUsize::new(0)),
+            tail: CachePadded::new(AtomicUsize::new(0)),
+            buffer,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Attempts to push, returning the value back if the queue is full.
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let cap = self.buffer.len();
+        let mut tail = self.tail.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.buffer[tail % cap];
+            let stamp = slot.stamp.load(Ordering::Acquire);
+            if stamp == tail {
+                match self.tail.compare_exchange_weak(
+                    tail,
+                    tail.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        unsafe { (*slot.value.get()).write(value) };
+                        slot.stamp.store(tail.wrapping_add(1), Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(t) => tail = t,
+                }
+            } else if stamp.wrapping_add(cap) == tail.wrapping_add(1) {
+                // One full lap behind: the slot still holds an element of
+                // the previous lap — the queue is full (unless a pop
+                // raced us; re-check head to be sure).
+                let head = self.head.load(Ordering::Relaxed);
+                if head.wrapping_add(cap) == tail {
+                    return Err(value);
+                }
+                std::hint::spin_loop();
+                tail = self.tail.load(Ordering::Relaxed);
+            } else {
+                tail = self.tail.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Pops the oldest element, if any.
+    pub fn pop(&self) -> Option<T> {
+        let cap = self.buffer.len();
+        let mut head = self.head.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.buffer[head % cap];
+            let stamp = slot.stamp.load(Ordering::Acquire);
+            if stamp == head.wrapping_add(1) {
+                match self.head.compare_exchange_weak(
+                    head,
+                    head.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        let value = unsafe { (*slot.value.get()).assume_init_read() };
+                        slot.stamp.store(head.wrapping_add(cap), Ordering::Release);
+                        return Some(value);
+                    }
+                    Err(h) => head = h,
+                }
+            } else if stamp == head {
+                // Slot not yet written for this lap: empty (unless a push
+                // raced us; re-check tail).
+                let tail = self.tail.load(Ordering::Relaxed);
+                if tail == head {
+                    return None;
+                }
+                std::hint::spin_loop();
+                head = self.head.load(Ordering::Relaxed);
+            } else {
+                head = self.head.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Current number of elements (racy snapshot, like crossbeam's).
+    pub fn len(&self) -> usize {
+        loop {
+            let tail = self.tail.load(Ordering::SeqCst);
+            let head = self.head.load(Ordering::SeqCst);
+            if self.tail.load(Ordering::SeqCst) == tail {
+                return tail.wrapping_sub(head);
+            }
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn is_full(&self) -> bool {
+        self.len() == self.capacity()
+    }
+}
+
+impl<T> Drop for ArrayQueue<T> {
+    fn drop(&mut self) {
+        while self.pop().is_some() {}
+    }
+}
+
+impl<T> std::fmt::Debug for ArrayQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArrayQueue").field("capacity", &self.capacity()).finish()
+    }
+}
+
+/// Unbounded MPMC queue. The real crossbeam implementation is a
+/// lock-free linked list of segments; for this shim a mutex-protected
+/// `VecDeque` gives the same semantics (the workspace's hot paths go
+/// through `ArrayQueue`, not here).
+pub struct SegQueue<T> {
+    inner: Mutex<VecDeque<T>>,
+}
+
+impl<T> SegQueue<T> {
+    pub fn new() -> Self {
+        SegQueue { inner: Mutex::new(VecDeque::new()) }
+    }
+
+    fn guard(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn push(&self, value: T) {
+        self.guard().push_back(value);
+    }
+
+    pub fn pop(&self) -> Option<T> {
+        self.guard().pop_front()
+    }
+
+    pub fn len(&self) -> usize {
+        self.guard().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.guard().is_empty()
+    }
+}
+
+impl<T> Default for SegQueue<T> {
+    fn default() -> Self {
+        SegQueue::new()
+    }
+}
+
+impl<T> std::fmt::Debug for SegQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegQueue").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn array_queue_fifo_and_capacity() {
+        let q = ArrayQueue::new(3);
+        assert!(q.is_empty());
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.push(3).unwrap();
+        assert_eq!(q.push(4), Err(4));
+        assert!(q.is_full());
+        assert_eq!(q.pop(), Some(1));
+        q.push(4).unwrap();
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), Some(4));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn array_queue_mpmc_stress() {
+        let q = Arc::new(ArrayQueue::new(8));
+        let mut handles = Vec::new();
+        const PER: u64 = 20_000;
+        for t in 0..3u64 {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..PER {
+                    let mut v = t * PER + i;
+                    loop {
+                        match q.push(v) {
+                            Ok(()) => break,
+                            Err(back) => {
+                                v = back;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+        let mut sum = 0u64;
+        let mut got = 0u64;
+        while got < 3 * PER {
+            if let Some(v) = q.pop() {
+                sum += v;
+                got += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let n = 3 * PER;
+        assert_eq!(sum, n * (n - 1) / 2);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn seg_queue_fifo() {
+        let q = SegQueue::new();
+        for i in 0..100 {
+            q.push(i);
+        }
+        assert_eq!(q.len(), 100);
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn array_queue_drops_leftovers() {
+        let v = Arc::new(());
+        let q = ArrayQueue::new(4);
+        q.push(Arc::clone(&v)).unwrap();
+        q.push(Arc::clone(&v)).unwrap();
+        drop(q);
+        assert_eq!(Arc::strong_count(&v), 1);
+    }
+}

@@ -1,0 +1,41 @@
+//! `CachePadded`: aligns (and pads) a value to a cache-line boundary so
+//! neighbouring values never share a line (no false sharing).
+
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns `T` to 128 bytes (two 64-byte lines: adjacent-line
+/// prefetchers on x86 pull pairs of lines, as the real crossbeam notes).
+#[derive(Debug, Default)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}

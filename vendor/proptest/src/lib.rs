@@ -1,0 +1,133 @@
+//! Minimal offline shim for the subset of `proptest` 1.x this workspace
+//! uses. Each `proptest!` test runs `ProptestConfig::cases` randomized
+//! cases with inputs drawn from the given strategies; the RNG seed is a
+//! deterministic function of (test path, case index), so failures
+//! reproduce across runs. **No shrinking** — a failing case reports the
+//! case index and assertion message only. See `vendor/README.md`.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Fails the current property case with a formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Equality assertion for property cases.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (va, vb) = (&$a, &$b);
+        if !(*va == *vb) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                va,
+                vb
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (va, vb) = (&$a, &$b);
+        if !(*va == *vb) {
+            return ::std::result::Result::Err(::std::format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                ::std::format!($($fmt)+),
+                va,
+                vb
+            ));
+        }
+    }};
+}
+
+/// Inequality assertion for property cases.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (va, vb) = (&$a, &$b);
+        if *va == *vb {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($a),
+                stringify!($b),
+                va
+            ));
+        }
+    }};
+}
+
+/// Chooses uniformly between several strategies producing the same
+/// value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($strat)),+])
+    };
+}
+
+/// Declares property tests. Supports an optional leading
+/// `#![proptest_config(...)]`, any number of `#[test] fn name(pat in
+/// strategy, ...) { body }` items, doc comments, and attributes such as
+/// `#[should_panic]`.
+#[macro_export]
+macro_rules! proptest {
+    (@impl ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let strategies = ( $($strat,)+ );
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    let ( $($pat,)+ ) =
+                        $crate::strategy::Strategy::generate(&strategies, &mut rng);
+                    let outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(msg) = outcome {
+                        panic!(
+                            "proptest {} failed at case {}/{}:\n{}",
+                            stringify!($name),
+                            case,
+                            config.cases,
+                            msg
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
