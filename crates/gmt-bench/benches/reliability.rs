@@ -1,0 +1,42 @@
+//! Reliability-layer overhead: the same remote-put storm through a
+//! 2-node cluster with the seq/ack/retransmit layer on vs off.
+//!
+//! The delta is the end-to-end price of reliable delivery on a healthy
+//! fabric: a 17-byte header per aggregation buffer, sequence/ack
+//! bookkeeping in the communication server, and the retransmit-queue
+//! bookkeeping holding pooled payloads until acked. EXPERIMENTS.md
+//! records the measured numbers; the acceptance target is within 15% of
+//! the unreliable path.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gmt_core::{Cluster, Config, Distribution, SpawnPolicy};
+
+const ELEMS: u64 = 2048;
+
+fn put_storm(cluster: &Cluster) {
+    cluster.node(0).run(|ctx| {
+        let arr = ctx.alloc(ELEMS * 8, Distribution::Remote);
+        ctx.parfor(SpawnPolicy::Local, ELEMS, 32, move |ctx, i| {
+            ctx.put_value::<u64>(&arr, i, i).unwrap();
+        });
+        ctx.free(arr);
+    });
+}
+
+fn bench_reliability_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reliability_e2e");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(ELEMS));
+    for (name, reliable) in [("off", false), ("on", true)] {
+        g.bench_function(name, |b| {
+            let config = Config { reliable, ..Config::small() };
+            let cluster = Cluster::start(2, config).unwrap();
+            b.iter(|| put_storm(&cluster));
+            cluster.shutdown();
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_reliability_overhead);
+criterion_main!(benches);

@@ -166,6 +166,10 @@ struct StatCell {
 /// Node-wide shared aggregation state.
 pub struct AggShared {
     buffer_size: usize,
+    /// Bytes reserved (zeroed) at the front of every aggregation buffer
+    /// for the transport header the reliability layer patches in before
+    /// the send. 0 when reliability is off.
+    header_reserve: usize,
     cmd_block_entries: usize,
     cmd_block_timeout_ns: u64,
     aggregation_timeout_ns: u64,
@@ -182,7 +186,10 @@ pub struct AggShared {
 
 impl AggShared {
     /// `destinations` = number of nodes in the cluster (the self entry
-    /// exists but stays unused); `threads` = workers + helpers.
+    /// exists but stays unused); `threads` = workers + helpers;
+    /// `header_reserve` = bytes zero-reserved at the front of every buffer
+    /// for the transport header (0 disables the reserve).
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         destinations: usize,
         threads: usize,
@@ -191,7 +198,9 @@ impl AggShared {
         cmd_block_entries: usize,
         cmd_block_timeout_ns: u64,
         aggregation_timeout_ns: u64,
+        header_reserve: usize,
     ) -> Arc<Self> {
+        assert!(header_reserve < buffer_size, "header reserve must leave room for commands");
         // Enough recycled blocks for every thread to have one per
         // destination, plus — per destination — a buffer's worth of full
         // blocks that can sit in the aggregation queue before a drain
@@ -205,6 +214,7 @@ impl AggShared {
         let block_pool = ArrayQueue::new(pool_cap);
         Arc::new(AggShared {
             buffer_size,
+            header_reserve,
             cmd_block_entries,
             cmd_block_timeout_ns,
             aggregation_timeout_ns,
@@ -234,6 +244,26 @@ impl AggShared {
     #[inline]
     fn coarse_now_ns(&self) -> u64 {
         self.clock_ns.load(Ordering::Relaxed)
+    }
+
+    /// Public read of the coarse clock (same relaxed load as the hot
+    /// paths use); the reliability layer and watchdog time against this.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.coarse_now_ns()
+    }
+
+    /// Bytes reserved for the transport header at the front of every
+    /// aggregation buffer this instance produces.
+    #[inline]
+    pub fn header_reserve(&self) -> usize {
+        self.header_reserve
+    }
+
+    /// Bytes of one buffer available to commands (after the reserve).
+    #[inline]
+    fn cmd_capacity(&self) -> usize {
+        self.buffer_size - self.header_reserve
     }
 
     /// Sums the per-channel statistic shards into a snapshot.
@@ -314,16 +344,13 @@ impl CommandSink {
     /// thread's padded shard).
     pub fn emit(&mut self, dst: NodeId, cmd: &Command<'_>) {
         let size = cmd.encoded_len();
-        assert!(
-            size <= self.shared.buffer_size,
-            "command of {size} bytes exceeds aggregation buffer size {}",
-            self.shared.buffer_size
-        );
+        let cap = self.shared.cmd_capacity();
+        assert!(size <= cap, "command of {size} bytes exceeds aggregation buffer capacity {cap}");
         self.cell().commands.fetch_add(1, Ordering::Relaxed);
         // A command never splits across blocks: push the block first if
         // this one would overflow it.
         if let Some(active) = &self.active[dst] {
-            if active.buf.len() + size > self.shared.buffer_size {
+            if active.buf.len() + size > cap {
                 self.push_block(dst);
             }
         }
@@ -334,9 +361,7 @@ impl CommandSink {
         });
         cmd.encode(&mut active.buf);
         active.entries += 1;
-        if active.entries >= self.shared.cmd_block_entries
-            || active.buf.len() >= self.shared.buffer_size
-        {
+        if active.entries >= self.shared.cmd_block_entries || active.buf.len() >= cap {
             self.push_block(dst);
         }
     }
@@ -364,7 +389,7 @@ impl CommandSink {
         // block would never time out.)
         q.oldest_push_ns.store(shared.coarse_now_ns(), Ordering::Release);
         self.cell().blocks_pushed.fetch_add(1, Ordering::Relaxed);
-        if q.bytes.load(Ordering::Acquire) >= shared.buffer_size {
+        if q.bytes.load(Ordering::Acquire) >= shared.cmd_capacity() {
             // Best-effort: on pool starvation the blocks stay queued and
             // the next push or pump retries.
             self.aggregate(dst, false);
@@ -388,6 +413,9 @@ impl CommandSink {
             return false;
         };
         debug_assert!(buf.is_empty());
+        // Reserve (zeroed) space for the transport header; the
+        // communication server patches it in place before the send.
+        buf.resize(shared.header_reserve, 0);
         while buf.len() < shared.buffer_size {
             match q.blocks.pop() {
                 Some(block) => {
@@ -421,7 +449,9 @@ impl CommandSink {
         } else {
             q.oldest_push_ns.store(shared.coarse_now_ns(), Ordering::Release);
         }
-        if buf.is_empty() {
+        if buf.len() <= shared.header_reserve {
+            // No commands packed (a racing drain got there first).
+            buf.clear();
             chan.pool.free.push(buf).expect("buffer pool overflow");
             return true;
         }
@@ -505,7 +535,7 @@ mod tests {
     use super::*;
 
     fn test_shared(buffer_size: usize, entries: usize) -> Arc<AggShared> {
-        AggShared::new(3, 2, 4, buffer_size, entries, u64::MAX / 2, u64::MAX / 2)
+        AggShared::new(3, 2, 4, buffer_size, entries, u64::MAX / 2, u64::MAX / 2, 0)
     }
 
     fn ack(token: u64) -> Command<'static> {
@@ -594,7 +624,7 @@ mod tests {
     #[test]
     fn pump_flushes_aged_blocks_and_queues() {
         let shared =
-            AggShared::new(2, 1, 4, 1024, 100, /*block timeout*/ 0, /*agg timeout*/ 0);
+            AggShared::new(2, 1, 4, 1024, 100, /*block timeout*/ 0, /*agg timeout*/ 0, 0);
         let mut sink = CommandSink::new(Arc::clone(&shared), 0);
         sink.emit(1, &ack(42));
         // Timeouts of zero: the next pump must push and aggregate.
@@ -727,7 +757,7 @@ mod tests {
         // by the coarse clock (no per-emit Instant reads). The block is
         // re-stamped when it enters the aggregation queue, so the two
         // levels age across two pump intervals.
-        let shared = AggShared::new(2, 1, 4, 1024, 100, 1_000, 1_000);
+        let shared = AggShared::new(2, 1, 4, 1024, 100, 1_000, 1_000, 0);
         let mut sink = CommandSink::new(Arc::clone(&shared), 0);
         sink.emit(1, &ack(7));
         assert!(drain(&shared, 0).is_empty());
@@ -741,12 +771,36 @@ mod tests {
     }
 
     #[test]
+    fn header_reserve_prefixes_every_buffer() {
+        // With a 17-byte reserve, every filled buffer starts with 17 zero
+        // bytes and the commands decode from the slice after them; the
+        // buffer still returns whole to the pool.
+        const HDR: usize = 17;
+        let shared = AggShared::new(2, 1, 4, 256, 4, u64::MAX / 2, u64::MAX / 2, HDR);
+        assert_eq!(shared.header_reserve(), HDR);
+        let mut sink = CommandSink::new(Arc::clone(&shared), 0);
+        for i in 0..8 {
+            sink.emit(1, &ack(i));
+        }
+        sink.flush_all();
+        let chan = shared.channel(0);
+        let mut decoded = 0usize;
+        while let Some((dst, payload)) = chan.pop_filled() {
+            assert_eq!(dst, 1);
+            assert!(payload[..HDR].iter().all(|&b| b == 0), "reserve not zeroed");
+            decoded += crate::command::CommandIter::new(&payload[HDR..]).count();
+        }
+        assert_eq!(decoded, 8);
+        assert_eq!(chan.free_buffers(), chan.pool_capacity());
+    }
+
+    #[test]
     fn pool_stress_never_leaks_or_exceeds_capacity() {
         // Two emitter threads + one drainer hammering the buffer pools
         // through both the full-flush and timeout-flush paths. At
         // quiescence every buffer must be back in its pool.
         use std::sync::atomic::AtomicBool;
-        let shared = AggShared::new(3, 2, 4, 128, 4, 0, 0);
+        let shared = AggShared::new(3, 2, 4, 128, 4, 0, 0, 0);
         let stop = Arc::new(AtomicBool::new(false));
         let per_thread = 3_000u64;
 

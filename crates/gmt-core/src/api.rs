@@ -18,6 +18,7 @@
 //! | `gmt_parFor` | [`TaskCtx::parfor`] / [`TaskCtx::parfor_args`] |
 
 use crate::command::Command;
+use crate::error::GmtError;
 use crate::handle::{Distribution, GmtArray, Layout};
 use crate::runtime::NodeShared;
 use crate::task::{token_from, Itb, ParForBody, ParentRef, TaskControl};
@@ -88,6 +89,12 @@ impl<'a> TaskCtx<'a> {
     /// Allocates `nbytes` of zero-initialized global memory with the given
     /// distribution (the paper's `gmt_alloc`). Blocks until every node has
     /// installed its segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a peer is declared dead mid-allocation: a global array
+    /// with missing segments has no usable semantics, matching the C
+    /// API's no-error-surface `gmt_alloc`.
     pub fn alloc(&self, nbytes: u64, dist: Distribution) -> GmtArray {
         let me = self.node.node_id;
         let id = self.node.cluster.next_alloc_id.fetch_add(1, Ordering::Relaxed);
@@ -105,11 +112,14 @@ impl<'a> TaskCtx<'a> {
                 &Command::Alloc { token, id, nbytes, dist: dist.to_u8(), origin: me as u32 },
             );
         }
-        self.wait_commands();
+        self.wait_commands().expect("gmt_alloc: peer died during collective allocation");
         arr
     }
 
     /// Releases a global array on every node (the paper's `gmt_free`).
+    ///
+    /// A dead peer's segment is unreachable anyway, so its failure is
+    /// swallowed: freeing is best-effort on a degraded cluster.
     pub fn free(&self, arr: GmtArray) {
         let me = self.node.node_id;
         self.node.memory.free(arr.id);
@@ -121,7 +131,7 @@ impl<'a> TaskCtx<'a> {
             let token = token_from(self.ctl);
             self.emit(dst, &Command::Free { token, id: arr.id });
         }
-        self.wait_commands();
+        let _ = self.wait_commands();
     }
 
     // ------------------------------------------------------------------
@@ -167,19 +177,20 @@ impl<'a> TaskCtx<'a> {
     }
 
     /// Blocking put (the paper's `gmt_put`): on return the data is
-    /// globally visible.
-    pub fn put(&self, arr: &GmtArray, offset: u64, data: &[u8]) {
+    /// globally visible, or the owning peer was declared dead.
+    pub fn put(&self, arr: &GmtArray, offset: u64, data: &[u8]) -> Result<(), GmtError> {
         self.put_nb(arr, offset, data);
-        self.wait_commands();
+        self.wait_commands()
     }
 
     /// Blocking get (the paper's `gmt_get`): fills `dest` from the array
-    /// starting at byte `offset`.
-    pub fn get(&self, arr: &GmtArray, offset: u64, dest: &mut [u8]) {
+    /// starting at byte `offset`. On `Err`, the bytes owned by the dead
+    /// peer are left untouched (zero-filled portions stay zero).
+    pub fn get(&self, arr: &GmtArray, offset: u64, dest: &mut [u8]) -> Result<(), GmtError> {
         // Safety: we wait for completion below, so the raw destination
         // pointers die only after the last reply wrote through them.
         unsafe { self.get_nb(arr, offset, dest) };
-        self.wait_commands();
+        self.wait_commands()
     }
 
     /// Non-blocking get (the paper's `gmt_getNB`).
@@ -227,9 +238,14 @@ impl<'a> TaskCtx<'a> {
 
     /// Blocking typed store of element `index` (the paper's
     /// `gmt_putValue`).
-    pub fn put_value<T: Scalar>(&self, arr: &GmtArray, index: u64, value: T) {
+    pub fn put_value<T: Scalar>(
+        &self,
+        arr: &GmtArray,
+        index: u64,
+        value: T,
+    ) -> Result<(), GmtError> {
         self.put_value_nb(arr, index, value);
-        self.wait_commands();
+        self.wait_commands()
     }
 
     /// Non-blocking typed store (the paper's `gmt_putValueNB`).
@@ -242,11 +258,11 @@ impl<'a> TaskCtx<'a> {
 
     /// Blocking typed load of element `index` (the paper's
     /// `gmt_getValue`).
-    pub fn get_value<T: Scalar>(&self, arr: &GmtArray, index: u64) -> T {
+    pub fn get_value<T: Scalar>(&self, arr: &GmtArray, index: u64) -> Result<T, GmtError> {
         let mut buf = [0u8; 16];
         let buf = &mut buf[..T::SIZE];
-        self.get(arr, index * T::SIZE as u64, buf);
-        T::read_le(buf)
+        self.get(arr, index * T::SIZE as u64, buf)?;
+        Ok(T::read_le(buf))
     }
 
     // ------------------------------------------------------------------
@@ -256,20 +272,20 @@ impl<'a> TaskCtx<'a> {
     /// Atomically adds `delta` to the 64-bit word at byte `offset`,
     /// returning the previous value (the paper's `gmt_atomicAdd`).
     /// `offset` must be 8-byte aligned.
-    pub fn atomic_add(&self, arr: &GmtArray, offset: u64, delta: i64) -> i64 {
+    pub fn atomic_add(&self, arr: &GmtArray, offset: u64, delta: i64) -> Result<i64, GmtError> {
         assert_eq!(offset % 8, 0, "atomic_add requires 8-byte alignment");
         let layout = self.layout(arr);
         let (owner, seg_off) = layout.locate(offset);
         if owner == self.node.node_id {
-            return self.node.memory.with(arr.id, |s| s.atomic_add(seg_off as usize, delta));
+            return Ok(self.node.memory.with(arr.id, |s| s.atomic_add(seg_off as usize, delta)));
         }
         let mut old: i64 = 0;
         let dest = &mut old as *mut i64 as u64;
         self.ctl.add_pending(1);
         let token = token_from(self.ctl);
         self.emit(owner, &Command::Add { token, array: arr.id, offset: seg_off, delta, dest });
-        self.wait_commands();
-        old
+        self.wait_commands()?;
+        Ok(old)
     }
 
     /// Fire-and-forget atomic add: like [`TaskCtx::atomic_add`] but
@@ -295,15 +311,21 @@ impl<'a> TaskCtx<'a> {
     /// Atomic compare-and-swap on the 64-bit word at byte `offset`,
     /// returning the previous value (the paper's `gmt_atomicCAS`); the
     /// swap happened iff the return equals `expected`.
-    pub fn atomic_cas(&self, arr: &GmtArray, offset: u64, expected: i64, new: i64) -> i64 {
+    pub fn atomic_cas(
+        &self,
+        arr: &GmtArray,
+        offset: u64,
+        expected: i64,
+        new: i64,
+    ) -> Result<i64, GmtError> {
         assert_eq!(offset % 8, 0, "atomic_cas requires 8-byte alignment");
         let layout = self.layout(arr);
         let (owner, seg_off) = layout.locate(offset);
         if owner == self.node.node_id {
-            return self
+            return Ok(self
                 .node
                 .memory
-                .with(arr.id, |s| s.atomic_cas(seg_off as usize, expected, new));
+                .with(arr.id, |s| s.atomic_cas(seg_off as usize, expected, new)));
         }
         let mut old: i64 = 0;
         let dest = &mut old as *mut i64 as u64;
@@ -313,15 +335,15 @@ impl<'a> TaskCtx<'a> {
             owner,
             &Command::Cas { token, array: arr.id, offset: seg_off, expected, new, dest },
         );
-        self.wait_commands();
-        old
+        self.wait_commands()?;
+        Ok(old)
     }
 
     /// Gathers the elements at `indices` with one non-blocking get per
     /// element, overlapping all of them (this is the access pattern GMT's
     /// aggregation was built for: a large batch of fine-grained reads at
     /// unpredictable offsets becomes a few network buffers).
-    pub fn gather<T: Scalar>(&self, arr: &GmtArray, indices: &[u64]) -> Vec<T> {
+    pub fn gather<T: Scalar>(&self, arr: &GmtArray, indices: &[u64]) -> Result<Vec<T>, GmtError> {
         let mut raw = vec![0u8; indices.len() * T::SIZE];
         for (slot, &i) in indices.iter().enumerate() {
             // Safety: `raw` outlives the wait below and is not read until
@@ -334,28 +356,37 @@ impl<'a> TaskCtx<'a> {
                 );
             }
         }
-        self.wait_commands();
-        raw.chunks_exact(T::SIZE).map(T::read_le).collect()
+        self.wait_commands()?;
+        Ok(raw.chunks_exact(T::SIZE).map(T::read_le).collect())
     }
 
     /// Scatters `(index, value)` pairs with non-blocking puts, then waits
     /// for global visibility.
-    pub fn scatter<T: Scalar>(&self, arr: &GmtArray, pairs: &[(u64, T)]) {
+    pub fn scatter<T: Scalar>(&self, arr: &GmtArray, pairs: &[(u64, T)]) -> Result<(), GmtError> {
         for &(i, v) in pairs {
             self.put_value_nb(arr, i, v);
         }
-        self.wait_commands();
+        self.wait_commands()
     }
 
     /// Suspends the task until every previously issued operation of this
     /// task has completed (the paper's `gmt_waitCommands`).
-    pub fn wait_commands(&self) {
+    ///
+    /// Returns `Err(GmtError::RemoteDead)` if any of the awaited
+    /// operations failed because its destination was declared dead; the
+    /// rest completed normally. The failure state is consumed: a
+    /// subsequent wait with no new failures returns `Ok`.
+    pub fn wait_commands(&self) -> Result<(), GmtError> {
         while self.ctl.pending() != 0 {
             // The worker runs the park protocol after the yield; the
             // intent flag tells it this is a blocking yield. Spurious
             // wakeups are tolerated by the re-check.
             self.ctl.set_park_intent();
             self.yielder.yield_now();
+        }
+        match self.ctl.take_failure() {
+            None => Ok(()),
+            Some((node, failed_ops)) => Err(GmtError::RemoteDead { node, failed_ops }),
         }
     }
 
@@ -420,12 +451,16 @@ impl<'a> TaskCtx<'a> {
                 );
             }
         }
-        self.wait_commands();
+        // A parFor on a degraded cluster has lost iterations; there is no
+        // meaningful partial result to surface, so mirror `alloc`.
+        self.wait_commands().expect("gmt_parFor: peer died while executing iterations");
     }
 
     #[inline]
     fn emit(&self, dst: NodeId, cmd: &Command<'_>) {
         debug_assert_ne!(dst, self.node.node_id, "local ops never become commands");
+        // Remember the last remote command for watchdog diagnostics.
+        self.ctl.note_op(dst, cmd.opcode());
         tls::with_sink(|s| s.emit(dst, cmd));
     }
 }

@@ -5,6 +5,12 @@
 //! global synchronization constructs" (§III-E). This module is that
 //! sentence made concrete — counters, barriers and reducers composed from
 //! the Table I primitives, with no new runtime machinery.
+//!
+//! Collectives have no partial-failure semantics: if the node owning a
+//! counter/barrier word is declared dead, these helpers panic (the
+//! underlying primitive returns `GmtError::RemoteDead`); programs that
+//! must survive peer death use the `Result`-returning primitives
+//! directly.
 
 use crate::api::TaskCtx;
 use crate::handle::{Distribution, GmtArray};
@@ -23,17 +29,18 @@ impl GlobalCounter {
 
     /// Atomically adds `delta`, returning the previous value.
     pub fn add(&self, ctx: &TaskCtx<'_>, delta: i64) -> i64 {
-        ctx.atomic_add(&self.word, 0, delta)
+        ctx.atomic_add(&self.word, 0, delta).expect("GlobalCounter::add: counter's owner is dead")
     }
 
     /// Current value (a racy read, like any concurrent counter).
     pub fn get(&self, ctx: &TaskCtx<'_>) -> i64 {
-        ctx.atomic_add(&self.word, 0, 0)
+        ctx.atomic_add(&self.word, 0, 0).expect("GlobalCounter::get: counter's owner is dead")
     }
 
     /// Resets to `value` (callers must ensure quiescence).
     pub fn set(&self, ctx: &TaskCtx<'_>, value: i64) {
-        ctx.put_value::<i64>(&self.word, 0, value);
+        ctx.put_value::<i64>(&self.word, 0, value)
+            .expect("GlobalCounter::set: counter's owner is dead");
     }
 
     pub fn free(self, ctx: &TaskCtx<'_>) {
@@ -61,15 +68,26 @@ impl GlobalBarrier {
 
     /// Blocks the calling task until all `parties` tasks have arrived.
     pub fn wait(&self, ctx: &TaskCtx<'_>) {
-        let generation = ctx.atomic_add(&self.state, 8, 0);
-        let arrived = ctx.atomic_add(&self.state, 0, 1) + 1;
+        let generation = ctx
+            .atomic_add(&self.state, 8, 0)
+            .expect("GlobalBarrier::wait: barrier's owner is dead");
+        let arrived = ctx
+            .atomic_add(&self.state, 0, 1)
+            .expect("GlobalBarrier::wait: barrier's owner is dead")
+            + 1;
         if arrived == self.parties {
             // Last arrival: reset the count, then advance the generation
             // (release order matters: count first).
-            ctx.put_value::<i64>(&self.state, 0, 0);
-            ctx.atomic_add(&self.state, 8, 1);
+            ctx.put_value::<i64>(&self.state, 0, 0)
+                .expect("GlobalBarrier::wait: barrier's owner is dead");
+            ctx.atomic_add(&self.state, 8, 1)
+                .expect("GlobalBarrier::wait: barrier's owner is dead");
         } else {
-            while ctx.atomic_add(&self.state, 8, 0) == generation {
+            while ctx
+                .atomic_add(&self.state, 8, 0)
+                .expect("GlobalBarrier::wait: barrier's owner is dead")
+                == generation
+            {
                 ctx.yield_now();
             }
         }
@@ -101,10 +119,12 @@ pub fn reduce_sum(ctx: &TaskCtx<'_>, arr: &GmtArray, elements: u64) -> i64 {
             let hi = (lo + chunk as u64).min(elements);
             let mut local = 0i64;
             for i in lo..hi {
-                local = local.wrapping_add(ctx.get_value::<i64>(&arr, i));
+                local = local.wrapping_add(
+                    ctx.get_value::<i64>(&arr, i).expect("reduce_sum: array owner is dead"),
+                );
             }
             if local != 0 {
-                ctx.atomic_add(&acc.word, 0, local);
+                ctx.atomic_add(&acc.word, 0, local).expect("reduce_sum: accumulator owner is dead");
             }
         },
     );
@@ -118,7 +138,7 @@ pub fn reduce_sum(ctx: &TaskCtx<'_>, arr: &GmtArray, elements: u64) -> i64 {
 pub fn reduce_max(ctx: &TaskCtx<'_>, arr: &GmtArray, elements: u64) -> i64 {
     assert!(elements > 0, "max of an empty range");
     let best = ctx.alloc(8, Distribution::Local);
-    ctx.put_value::<i64>(&best, 0, i64::MIN);
+    ctx.put_value::<i64>(&best, 0, i64::MIN).expect("reduce_max: scratch owner is dead");
     let arr = *arr;
     let chunk = 64u32;
     ctx.parfor(
@@ -130,17 +150,23 @@ pub fn reduce_max(ctx: &TaskCtx<'_>, arr: &GmtArray, elements: u64) -> i64 {
             let hi = (lo + chunk as u64).min(elements);
             let mut local = i64::MIN;
             for i in lo..hi {
-                local = local.max(ctx.get_value::<i64>(&arr, i));
+                local = local
+                    .max(ctx.get_value::<i64>(&arr, i).expect("reduce_max: array owner is dead"));
             }
             loop {
-                let cur = ctx.atomic_add(&best, 0, 0);
-                if local <= cur || ctx.atomic_cas(&best, 0, cur, local) == cur {
+                let cur = ctx.atomic_add(&best, 0, 0).expect("reduce_max: scratch owner is dead");
+                if local <= cur
+                    || ctx
+                        .atomic_cas(&best, 0, cur, local)
+                        .expect("reduce_max: scratch owner is dead")
+                        == cur
+                {
                     break;
                 }
             }
         },
     );
-    let m = ctx.get_value::<i64>(&best, 0);
+    let m = ctx.get_value::<i64>(&best, 0).expect("reduce_max: scratch owner is dead");
     ctx.free(best);
     m
 }
@@ -224,7 +250,7 @@ mod tests {
             ctx.parfor(SpawnPolicy::Partition, n, 16, move |ctx, i| {
                 let v = (i as i64 - 250) * 3;
                 ctx.put_value_nb::<i64>(&arr, i, v);
-                ctx.wait_commands();
+                ctx.wait_commands().unwrap();
             });
             let s = reduce_sum(ctx, &arr, n);
             let m = reduce_max(ctx, &arr, n);

@@ -9,44 +9,183 @@
 //! point of the paper: multi-threaded MPI performed poorly (Table II), so
 //! GMT relies on aggregation — not endpoint parallelism — for bandwidth.
 //!
+//! When `Config::reliable` is on, this thread also drives the
+//! [`ReliableLink`] state machine: it stamps sequence/ack headers onto
+//! outgoing buffers (keeping a shared payload handle queued until the
+//! peer's cumulative ack arrives), deduplicates inbound buffers, emits
+//! standalone acks when there is no return traffic to piggyback on,
+//! retransmits the queue head with exponential backoff, and declares peers
+//! dead when the retry budget runs out — failing every affected request
+//! token with `GmtError::RemoteDead`. It additionally runs the stuck-task
+//! watchdog sweep, since it is the one thread guaranteed to keep spinning
+//! while every worker is parked.
+//!
 //! Channel polling is a fair round-robin: at most one buffer per channel
 //! per sweep, so one chatty worker cannot starve the others' queues.
 
+use crate::reliable::{self, PollAction, Recv, ReliableLink};
 use crate::runtime::NodeShared;
-use gmt_net::{Endpoint, Tag};
+use gmt_net::{Endpoint, Payload, Tag};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Fabric tag used for aggregation buffers.
+/// Fabric tag used for aggregation buffers (data and standalone acks —
+/// the reliability header's kind byte tells them apart).
 pub const TAG_AGG: Tag = 1;
+
+/// Transmits one payload, counting and (optionally) logging failures.
+/// The destination and buffer size go into the warning so a flaky link is
+/// attributable from the log alone.
+fn send(node: &NodeShared, endpoint: &Endpoint, dst: crate::NodeId, payload: Payload) {
+    let nbytes = payload.len();
+    if let Err(e) = endpoint.send(dst, TAG_AGG, payload) {
+        node.net_errors.fetch_add(1, Ordering::Relaxed);
+        if node.config.log_net_warnings {
+            eprintln!(
+                "[gmt] warn: node {}: failed to send {nbytes} B aggregation buffer to node \
+                 {dst}: {e}",
+                node.node_id
+            );
+        }
+    }
+}
+
+/// Ships one filled aggregation buffer: through the reliability layer
+/// (header stamp + retransmit queue) when enabled, raw otherwise. Buffers
+/// bound for a dead peer are never sent — their request tokens fail
+/// immediately and the buffer returns to its pool.
+fn send_buffer(
+    node: &NodeShared,
+    endpoint: &Endpoint,
+    link: &mut Option<ReliableLink>,
+    dst: crate::NodeId,
+    payload: Payload,
+    now_ns: u64,
+) {
+    match link {
+        Some(link) => {
+            if link.is_dead(dst) {
+                reliable::fail_tokens(&payload[reliable::HEADER_LEN..], dst);
+                return;
+            }
+            let wire = link.prepare_data(dst, payload, now_ns);
+            send(node, endpoint, dst, wire);
+        }
+        None => send(node, endpoint, dst, payload),
+    }
+}
+
+/// Routes one inbound packet: dedup + ack processing when reliable,
+/// straight to the helpers otherwise.
+fn receive(
+    node: &NodeShared,
+    link: &mut Option<ReliableLink>,
+    src: crate::NodeId,
+    payload: Payload,
+    now_ns: u64,
+) {
+    let Some(link) = link else {
+        node.helper_in.push((src, payload));
+        return;
+    };
+    match link.on_packet(src, &payload, now_ns) {
+        Recv::Deliver => node.helper_in.push((src, payload)),
+        // Duplicates were already processed once; acks carry no commands;
+        // anything from a dead peer must not touch tokens that already
+        // completed with an error. All three just drop (the payload's
+        // drop returns any pooled buffer to its sender's pool).
+        Recv::Duplicate | Recv::AckOnly | Recv::FromDead => {}
+        Recv::Malformed => {
+            node.net_errors.fetch_add(1, Ordering::Relaxed);
+            if node.config.log_net_warnings {
+                eprintln!(
+                    "[gmt] warn: node {}: dropping malformed {} B packet from node {src}",
+                    node.node_id,
+                    payload.len()
+                );
+            }
+        }
+    }
+}
+
+/// Applies the outcomes of one reliability timer sweep.
+fn apply(node: &NodeShared, endpoint: &Endpoint, action: PollAction) {
+    match action {
+        PollAction::Retransmit { dst, payload } => {
+            endpoint.stats().record_retransmit(node.node_id);
+            send(node, endpoint, dst, payload);
+        }
+        PollAction::SendAck { dst, payload } => send(node, endpoint, dst, payload),
+        PollAction::Dead { dst, unacked } => {
+            node.mark_peer_dead(dst);
+            let mut failed = 0u32;
+            for p in &unacked {
+                failed += reliable::fail_tokens(&p[reliable::HEADER_LEN..], dst);
+            }
+            if node.config.log_net_warnings {
+                eprintln!(
+                    "[gmt] warn: node {}: peer {dst} declared dead (retry budget exhausted); \
+                     {failed} operation(s) failed across {} unacked buffer(s)",
+                    node.node_id,
+                    unacked.len()
+                );
+            }
+            // Dropping `unacked` releases the pooled buffers.
+        }
+    }
+}
 
 /// Entry point of the communication-server thread.
 pub fn comm_main(node: Arc<NodeShared>, endpoint: Endpoint) {
+    let mut link = node.config.reliable.then(|| {
+        ReliableLink::new(
+            node.nodes,
+            node.config.rto_base_ns,
+            node.config.rto_max_ns,
+            node.config.max_retries,
+            node.config.ack_delay_ns,
+        )
+    });
+    let mut actions: Vec<PollAction> = Vec::new();
+    // Watchdog sweeps are cheap but take the registry lock; run them at a
+    // quarter of the reporting deadline (floor 1 ms) for ±25% precision.
+    let watchdog_period_ns = (node.config.stuck_task_deadline_ns / 4).max(1_000_000);
+    let mut next_watchdog_ns = watchdog_period_ns;
     let mut idle: u32 = 0;
     loop {
         // Keep the node's coarse clock fresh even when every worker is
         // stalled inside a long task and nobody pumps.
-        node.agg.tick();
+        let now = node.agg.tick();
         let mut progressed = false;
         // Outgoing: one buffer per channel per sweep (fairness).
         for c in 0..node.agg.channels() {
-            let chan = node.agg.channel(c);
-            if let Some((dst, payload)) = chan.pop_filled() {
+            if let Some((dst, payload)) = node.agg.channel(c).pop_filled() {
                 // Zero-copy: the pooled payload is handed straight to the
-                // fabric; its drop at the receiver (or on error) returns
-                // the buffer to this channel's pool, as in the paper
-                // ("returns the aggregation buffer into the pool").
-                if endpoint.send(dst, TAG_AGG, payload).is_err() {
-                    node.net_errors.fetch_add(1, Ordering::Relaxed);
-                }
+                // fabric; its final drop (receiver's, or the retransmit
+                // queue's once acked) returns the buffer to this
+                // channel's pool, as in the paper ("returns the
+                // aggregation buffer into the pool").
+                send_buffer(&node, &endpoint, &mut link, dst, payload, now);
                 progressed = true;
             }
         }
         // Incoming: hand received buffers to the helpers.
         while let Some(pkt) = endpoint.try_recv() {
-            node.helper_in.push((pkt.src, pkt.payload));
+            receive(&node, &mut link, pkt.src, pkt.payload, now);
             progressed = true;
+        }
+        // Reliability timers: standalone acks, retransmits, death.
+        if let Some(l) = &mut link {
+            l.poll(now, &mut actions);
+            for a in actions.drain(..) {
+                apply(&node, &endpoint, a);
+                progressed = true;
+            }
+        }
+        if now >= next_watchdog_ns {
+            next_watchdog_ns = now + watchdog_period_ns;
+            node.sweep_stuck_tasks(now);
         }
         if progressed {
             idle = 0;
@@ -65,11 +204,11 @@ pub fn comm_main(node: Arc<NodeShared>, endpoint: Endpoint) {
     // Best-effort final drain so peers unblock during shutdown; sweep
     // round-robin until every channel is empty.
     loop {
+        let now = node.agg.tick();
         let mut progressed = false;
         for c in 0..node.agg.channels() {
-            let chan = node.agg.channel(c);
-            if let Some((dst, payload)) = chan.pop_filled() {
-                let _ = endpoint.send(dst, TAG_AGG, payload);
+            if let Some((dst, payload)) = node.agg.channel(c).pop_filled() {
+                send_buffer(&node, &endpoint, &mut link, dst, payload, now);
                 progressed = true;
             }
         }
@@ -77,4 +216,6 @@ pub fn comm_main(node: Arc<NodeShared>, endpoint: Endpoint) {
             break;
         }
     }
+    // `link` drops here: any still-unacked shared payloads release their
+    // pooled buffers, keeping every pool whole after shutdown.
 }

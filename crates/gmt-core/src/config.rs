@@ -40,6 +40,30 @@ pub struct Config {
     /// Network cost model enforced by the fabric, or `None` for instant
     /// delivery (functional testing).
     pub network: Option<NetworkModel>,
+    /// Run the seq/ack/retransmit reliability layer on aggregation
+    /// traffic. The paper assumes a lossless MPI fabric (no such layer);
+    /// turning this off reproduces that assumption — and its failure mode:
+    /// any lost buffer hangs every task parked on a token inside it.
+    pub reliable: bool,
+    /// Initial retransmit timeout (ns, coarse-clock granularity); doubles
+    /// on every retry of the same packet.
+    pub rto_base_ns: u64,
+    /// Upper bound on the backed-off retransmit timeout (ns).
+    pub rto_max_ns: u64,
+    /// Retransmissions of one packet before its destination is declared
+    /// dead and every operation addressed to it fails with
+    /// [`GmtError::RemoteDead`](crate::error::GmtError::RemoteDead).
+    pub max_retries: u32,
+    /// How long the receiver may sit on an unsent cumulative ack hoping to
+    /// piggyback it on return traffic before a standalone ack packet is
+    /// emitted (ns).
+    pub ack_delay_ns: u64,
+    /// Age (ns) past which a task parked on remote completions is reported
+    /// by the stuck-task watchdog.
+    pub stuck_task_deadline_ns: u64,
+    /// Emit `eprintln!` warnings for transport failures, dead peers and
+    /// stuck tasks (the in-process stand-in for a logging hook).
+    pub log_net_warnings: bool,
 }
 
 impl Config {
@@ -56,6 +80,13 @@ impl Config {
             aggregation_timeout_ns: 30_000,
             task_stack_size: 64 * 1024,
             network: Some(NetworkModel::olympus()),
+            reliable: true,
+            rto_base_ns: 5_000_000,
+            rto_max_ns: 80_000_000,
+            max_retries: 8,
+            ack_delay_ns: 200_000,
+            stuck_task_deadline_ns: 1_000_000_000,
+            log_net_warnings: true,
         }
     }
 
@@ -73,6 +104,13 @@ impl Config {
             aggregation_timeout_ns: 10_000,
             task_stack_size: 64 * 1024,
             network: None,
+            reliable: true,
+            rto_base_ns: 1_000_000,
+            rto_max_ns: 20_000_000,
+            max_retries: 6,
+            ack_delay_ns: 100_000,
+            stuck_task_deadline_ns: 1_000_000_000,
+            log_net_warnings: true,
         }
     }
 
@@ -109,13 +147,25 @@ impl Config {
                 gmt_context::MIN_STACK_SIZE
             ));
         }
+        if self.reliable {
+            if self.rto_base_ns == 0 {
+                return Err("rto_base_ns must be nonzero with reliability enabled".into());
+            }
+            if self.rto_max_ns < self.rto_base_ns {
+                return Err("rto_max_ns must be at least rto_base_ns".into());
+            }
+            if self.max_retries == 0 {
+                return Err("max_retries must be at least 1 with reliability enabled".into());
+            }
+        }
         Ok(())
     }
 
     /// Largest payload a single put/get command may carry so the command
     /// still fits in one aggregation buffer; larger transfers are split.
     pub fn max_inline_payload(&self) -> usize {
-        // Leave generous room for the largest command header.
+        // Leave generous room for the largest command header plus the
+        // reliability header reserved at the front of every buffer.
         self.buffer_size - 64
     }
 }

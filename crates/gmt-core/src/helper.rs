@@ -103,10 +103,13 @@ pub fn helper_main(node: Arc<NodeShared>, chan: usize) {
     tls::install(CommandSink::new(Arc::clone(&node.agg), chan));
     let mut scratch = Vec::new();
     let mut idle: u32 = 0;
+    // Commands start after the transport header the sender reserved (the
+    // communication server validated its presence before delivering).
+    let hdr = node.agg.header_reserve();
     loop {
         let mut progressed = false;
         while let Some((src, buf)) = node.helper_in.pop() {
-            process_buffer(&node, src, &buf, &mut scratch);
+            process_buffer(&node, src, &buf[hdr..], &mut scratch);
             progressed = true;
         }
         tls::with_sink(|s| s.pump());

@@ -32,11 +32,11 @@
 //!     // Parallel loop over all elements, 8 iterations per task,
 //!     // tasks spread across the cluster.
 //!     ctx.parfor(SpawnPolicy::Partition, 128, 8, move |ctx, i| {
-//!         ctx.put_value::<u64>(&arr, i, i);
+//!         ctx.put_value::<u64>(&arr, i, i).unwrap();
 //!     });
 //!     let mut sum = 0;
 //!     for i in 0..128 {
-//!         sum += ctx.get_value::<u64>(&arr, i);
+//!         sum += ctx.get_value::<u64>(&arr, i).unwrap();
 //!     }
 //!     ctx.free(arr);
 //!     sum
@@ -51,9 +51,11 @@ pub mod collectives;
 pub mod command;
 pub mod commserver;
 pub mod config;
+pub mod error;
 pub mod handle;
 pub mod helper;
 pub mod memory;
+pub mod reliable;
 pub mod runtime;
 pub mod task;
 pub mod tls;
@@ -63,6 +65,7 @@ pub mod worker;
 pub use api::{SpawnPolicy, TaskCtx};
 pub use collectives::{GlobalBarrier, GlobalCounter};
 pub use config::Config;
+pub use error::GmtError;
 pub use handle::{Distribution, GmtArray};
 pub use runtime::{Cluster, NodeHandle};
 pub use value::Scalar;

@@ -1,0 +1,496 @@
+//! Reliable delivery of aggregation buffers: sequence numbers, cumulative
+//! acks, head-of-line retransmission and peer-death detection.
+//!
+//! The paper's GMT rides on MPI and simply assumes the fabric is lossless.
+//! This reproduction's fabric can be adversarial ([`gmt_net::FaultPlan`]):
+//! packets drop, duplicate and arrive late, links flap, nodes die. This
+//! module restores exactly-once *processing* of aggregation buffers on top
+//! of that, driven entirely by the (single-threaded) communication server —
+//! no locks, no extra threads.
+//!
+//! Protocol, per ordered peer pair:
+//!
+//! * Every data buffer carries a [`HEADER_LEN`]-byte header patched into
+//!   the space the aggregation layer reserved at its front:
+//!   `[kind u8][seq u64 LE][ack u64 LE]`. Sequence numbers are 1-based and
+//!   per-(src,dst); `ack` piggybacks the sender's cumulative receive state
+//!   for the reverse direction on every outgoing buffer.
+//! * The receiver deduplicates (cumulative counter + out-of-order set) and
+//!   delivers new buffers immediately — GMT commands are independent, so
+//!   ordering is not reconstructed, only duplicate suppression.
+//! * Acks are cumulative. They ride on return traffic when there is any,
+//!   otherwise a standalone [`KIND_ACK`] packet goes out once the ack has
+//!   been pending longer than `ack_delay_ns`.
+//! * The sender keeps every unacked buffer in a retransmit queue **as a
+//!   shared payload handle**, so the pooled buffer cannot return to its
+//!   pool until the peer acknowledged it — backpressure against a lossy
+//!   link falls out of pool exhaustion, with no extra window logic.
+//! * Only the queue head is retransmitted (cumulative acks make the rest
+//!   redundant), with exponential backoff from `rto_base_ns` to
+//!   `rto_max_ns`. After `max_retries` retransmissions of the same buffer
+//!   the peer is declared **dead**: every queued buffer's request tokens
+//!   complete with [`GmtError::RemoteDead`] and all further traffic to or
+//!   from that peer is dropped (a late reply from a "dead" peer must never
+//!   touch a token that already completed with an error).
+//!
+//! All timing uses the runtime's coarse clock ([`AggShared::now_ns`]),
+//! which the communication server ticks every sweep.
+//!
+//! [`GmtError::RemoteDead`]: crate::error::GmtError::RemoteDead
+//! [`AggShared::now_ns`]: crate::aggregation::AggShared::now_ns
+
+use crate::command::CommandIter;
+use crate::NodeId;
+use gmt_net::Payload;
+use std::collections::{BTreeSet, VecDeque};
+
+/// Bytes of transport header at the front of every aggregation buffer when
+/// reliability is enabled: `[kind u8][seq u64 LE][ack u64 LE]`.
+pub const HEADER_LEN: usize = 17;
+
+/// Header kind: a data buffer (commands follow the header).
+pub const KIND_DATA: u8 = 1;
+/// Header kind: a standalone cumulative ack (no commands).
+pub const KIND_ACK: u8 = 2;
+
+/// A parsed transport header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    pub kind: u8,
+    pub seq: u64,
+    pub ack: u64,
+}
+
+/// Encodes a header into its wire form.
+pub fn encode_header(kind: u8, seq: u64, ack: u64) -> [u8; HEADER_LEN] {
+    let mut h = [0u8; HEADER_LEN];
+    h[0] = kind;
+    h[1..9].copy_from_slice(&seq.to_le_bytes());
+    h[9..17].copy_from_slice(&ack.to_le_bytes());
+    h
+}
+
+/// Parses the transport header at the front of `buf`, or `None` if the
+/// buffer is too short or the kind byte is unknown.
+pub fn parse_header(buf: &[u8]) -> Option<Header> {
+    if buf.len() < HEADER_LEN {
+        return None;
+    }
+    let kind = buf[0];
+    if kind != KIND_DATA && kind != KIND_ACK {
+        return None;
+    }
+    Some(Header {
+        kind,
+        seq: u64::from_le_bytes(buf[1..9].try_into().unwrap()),
+        ack: u64::from_le_bytes(buf[9..17].try_into().unwrap()),
+    })
+}
+
+/// One unacked data buffer awaiting acknowledgement.
+struct Rtx {
+    seq: u64,
+    /// Shared handle keeping the pooled buffer alive (out of its pool)
+    /// until the ack arrives.
+    payload: Payload,
+    /// Coarse-clock time of the last (re)transmission.
+    sent_ns: u64,
+    /// Retransmissions performed so far.
+    attempts: u32,
+}
+
+/// Per-peer protocol state.
+struct Peer {
+    /// Next sequence number to assign (1-based).
+    next_seq: u64,
+    /// Unacked data buffers, in sequence order.
+    rtx: VecDeque<Rtx>,
+    /// Highest sequence received contiguously from this peer.
+    cum_recv: u64,
+    /// Received-out-of-order sequences above `cum_recv`.
+    ooo: BTreeSet<u64>,
+    /// When a pending ack must go out standalone (coarse ns; 0 = none).
+    ack_due_ns: u64,
+    /// Retry budget exhausted: peer is dead.
+    dead: bool,
+}
+
+impl Peer {
+    fn new() -> Self {
+        Peer {
+            next_seq: 1,
+            rtx: VecDeque::new(),
+            cum_recv: 0,
+            ooo: BTreeSet::new(),
+            ack_due_ns: 0,
+            dead: false,
+        }
+    }
+}
+
+/// Classification of an inbound packet.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Recv {
+    /// New data: process the commands after [`HEADER_LEN`].
+    Deliver,
+    /// Already-seen data: drop the payload (the ack will be repeated).
+    Duplicate,
+    /// Standalone ack: nothing to process.
+    AckOnly,
+    /// From a peer already declared dead: drop without looking further (a
+    /// late reply could complete a token that already failed).
+    FromDead,
+    /// Header missing or unknown kind.
+    Malformed,
+}
+
+/// Work the communication server must perform after a [`ReliableLink::poll`].
+pub enum PollAction {
+    /// Re-send this (shared) payload to `dst`.
+    Retransmit { dst: NodeId, payload: Payload },
+    /// Send this standalone ack packet to `dst`.
+    SendAck { dst: NodeId, payload: Payload },
+    /// `dst` exhausted its retry budget: fail the request tokens inside
+    /// each unacked payload (after [`HEADER_LEN`]), then drop them.
+    Dead { dst: NodeId, unacked: Vec<Payload> },
+}
+
+/// The reliability state machine for one node, covering all its peers.
+/// Owned and driven exclusively by the communication-server thread.
+pub struct ReliableLink {
+    peers: Vec<Peer>,
+    rto_base_ns: u64,
+    rto_max_ns: u64,
+    max_retries: u32,
+    ack_delay_ns: u64,
+}
+
+impl ReliableLink {
+    pub fn new(
+        nodes: usize,
+        rto_base_ns: u64,
+        rto_max_ns: u64,
+        max_retries: u32,
+        ack_delay_ns: u64,
+    ) -> Self {
+        ReliableLink {
+            peers: (0..nodes).map(|_| Peer::new()).collect(),
+            rto_base_ns,
+            rto_max_ns,
+            max_retries,
+            ack_delay_ns,
+        }
+    }
+
+    /// Whether `node` has been declared dead.
+    pub fn is_dead(&self, node: NodeId) -> bool {
+        self.peers[node].dead
+    }
+
+    /// Unacked buffers queued toward `node` (introspection/tests).
+    pub fn unacked(&self, node: NodeId) -> usize {
+        self.peers[node].rtx.len()
+    }
+
+    /// Stamps the transport header onto an outgoing data buffer, enqueues
+    /// a shared handle for retransmission and returns the handle to put on
+    /// the wire. The piggybacked ack clears any pending standalone ack.
+    ///
+    /// The caller must have checked [`Self::is_dead`] first.
+    pub fn prepare_data(&mut self, dst: NodeId, mut payload: Payload, now_ns: u64) -> Payload {
+        let p = &mut self.peers[dst];
+        assert!(!p.dead, "prepare_data for a dead peer");
+        let seq = p.next_seq;
+        p.next_seq += 1;
+        payload.patch(0, &encode_header(KIND_DATA, seq, p.cum_recv));
+        p.ack_due_ns = 0;
+        let wire = payload.share();
+        p.rtx.push_back(Rtx { seq, payload, sent_ns: now_ns, attempts: 0 });
+        wire
+    }
+
+    /// Processes an inbound packet from `src` and classifies it.
+    pub fn on_packet(&mut self, src: NodeId, buf: &[u8], now_ns: u64) -> Recv {
+        let Some(h) = parse_header(buf) else { return Recv::Malformed };
+        if self.peers[src].dead {
+            return Recv::FromDead;
+        }
+        self.process_ack(src, h.ack, now_ns);
+        let p = &mut self.peers[src];
+        match h.kind {
+            KIND_ACK => Recv::AckOnly,
+            KIND_DATA => {
+                if h.seq <= p.cum_recv || p.ooo.contains(&h.seq) {
+                    // Our ack got lost (or the fabric duplicated the
+                    // packet): re-ack promptly so the sender stops.
+                    p.ack_due_ns = now_ns.max(1);
+                    Recv::Duplicate
+                } else {
+                    if h.seq == p.cum_recv + 1 {
+                        p.cum_recv += 1;
+                        while p.ooo.remove(&(p.cum_recv + 1)) {
+                            p.cum_recv += 1;
+                        }
+                    } else {
+                        p.ooo.insert(h.seq);
+                    }
+                    if p.ack_due_ns == 0 {
+                        p.ack_due_ns = now_ns.saturating_add(self.ack_delay_ns).max(1);
+                    }
+                    Recv::Deliver
+                }
+            }
+            _ => Recv::Malformed,
+        }
+    }
+
+    /// Applies a cumulative ack from `src` to our retransmit queue toward
+    /// it. Progress restarts the timer (and backoff) of the new queue
+    /// head: the peer is demonstrably alive.
+    fn process_ack(&mut self, src: NodeId, ack: u64, now_ns: u64) {
+        let p = &mut self.peers[src];
+        let mut advanced = false;
+        while p.rtx.front().is_some_and(|r| r.seq <= ack) {
+            p.rtx.pop_front();
+            advanced = true;
+        }
+        if advanced {
+            if let Some(front) = p.rtx.front_mut() {
+                front.sent_ns = now_ns;
+                front.attempts = 0;
+            }
+        }
+    }
+
+    fn rto(&self, attempts: u32) -> u64 {
+        self.rto_base_ns
+            .checked_shl(attempts.min(16))
+            .map_or(self.rto_max_ns, |v| v.min(self.rto_max_ns))
+    }
+
+    /// Timer sweep: appends retransmissions, standalone acks and death
+    /// declarations to `out`. Called once per communication-server sweep.
+    pub fn poll(&mut self, now_ns: u64, out: &mut Vec<PollAction>) {
+        for dst in 0..self.peers.len() {
+            let expired = {
+                let p = &self.peers[dst];
+                if p.dead {
+                    continue;
+                }
+                p.rtx
+                    .front()
+                    .is_some_and(|f| now_ns.saturating_sub(f.sent_ns) >= self.rto(f.attempts))
+            };
+            let p = &mut self.peers[dst];
+            if expired {
+                if p.rtx.front().unwrap().attempts >= self.max_retries {
+                    p.dead = true;
+                    let unacked: Vec<Payload> = p.rtx.drain(..).map(|r| r.payload).collect();
+                    p.ooo.clear();
+                    p.ack_due_ns = 0;
+                    out.push(PollAction::Dead { dst, unacked });
+                    continue;
+                }
+                let front = p.rtx.front_mut().unwrap();
+                front.attempts += 1;
+                front.sent_ns = now_ns;
+                out.push(PollAction::Retransmit { dst, payload: front.payload.clone() });
+            }
+            if p.ack_due_ns != 0 && now_ns >= p.ack_due_ns {
+                p.ack_due_ns = 0;
+                let ack = encode_header(KIND_ACK, 0, p.cum_recv);
+                out.push(PollAction::SendAck { dst, payload: Payload::from(ack.to_vec()) });
+            }
+        }
+    }
+}
+
+/// Completes every *request* command's token in `body` (a buffer with the
+/// transport header already stripped) with a remote-death error against
+/// `dead`, returning how many tokens failed.
+///
+/// Reply commands (`Ack`/`GetReply`/`AtomicReply`) are skipped: their
+/// tokens belong to tasks of the dead peer, so the references leak — the
+/// same policy the workers apply to tasks still live at shutdown.
+pub(crate) fn fail_tokens(body: &[u8], dead: NodeId) -> u32 {
+    let mut failed = 0;
+    for cmd in CommandIter::new(body) {
+        if cmd.is_reply() {
+            continue;
+        }
+        // SAFETY: request tokens in an outbound buffer were produced by
+        // this process as `Arc::into_raw` of live `TaskControl`s, and this
+        // buffer will never be sent (its peer is dead), so each token is
+        // consumed exactly once — here.
+        unsafe { crate::task::complete_token_err(cmd.token(), dead) };
+        failed += 1;
+    }
+    failed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data_payload(extra: &[u8]) -> Payload {
+        let mut v = vec![0u8; HEADER_LEN];
+        v.extend_from_slice(extra);
+        Payload::from(v)
+    }
+
+    fn link(nodes: usize) -> ReliableLink {
+        // rto_base 100, rto_max 400, 2 retries, ack delay 50.
+        ReliableLink::new(nodes, 100, 400, 2, 50)
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let h = encode_header(KIND_DATA, 7, 12);
+        let parsed = parse_header(&h).unwrap();
+        assert_eq!(parsed, Header { kind: KIND_DATA, seq: 7, ack: 12 });
+        assert_eq!(parse_header(&h[..HEADER_LEN - 1]), None);
+        assert_eq!(parse_header(&encode_header(9, 0, 0)), None);
+    }
+
+    #[test]
+    fn sequences_are_per_destination_and_one_based() {
+        let mut l = link(3);
+        let w1 = l.prepare_data(1, data_payload(b"a"), 10);
+        let w2 = l.prepare_data(2, data_payload(b"b"), 10);
+        let w3 = l.prepare_data(1, data_payload(b"c"), 10);
+        assert_eq!(parse_header(&w1).unwrap().seq, 1);
+        assert_eq!(parse_header(&w2).unwrap().seq, 1);
+        assert_eq!(parse_header(&w3).unwrap().seq, 2);
+        assert_eq!(l.unacked(1), 2);
+        assert_eq!(l.unacked(2), 1);
+    }
+
+    #[test]
+    fn duplicates_are_suppressed_and_reacked() {
+        let mut l = link(2);
+        let pkt = encode_header(KIND_DATA, 1, 0);
+        assert_eq!(l.on_packet(1, &pkt, 10), Recv::Deliver);
+        assert_eq!(l.on_packet(1, &pkt, 20), Recv::Duplicate);
+        // Duplicate forces a prompt standalone re-ack.
+        let mut out = Vec::new();
+        l.poll(20, &mut out);
+        assert!(out.iter().any(|a| matches!(a,
+            PollAction::SendAck { dst: 1, payload } if parse_header(payload).unwrap().ack == 1)));
+    }
+
+    #[test]
+    fn out_of_order_data_is_delivered_once_and_acked_cumulatively() {
+        let mut l = link(2);
+        // 2 and 3 arrive before 1.
+        assert_eq!(l.on_packet(1, &encode_header(KIND_DATA, 2, 0), 10), Recv::Deliver);
+        assert_eq!(l.on_packet(1, &encode_header(KIND_DATA, 3, 0), 11), Recv::Deliver);
+        assert_eq!(l.on_packet(1, &encode_header(KIND_DATA, 2, 0), 12), Recv::Duplicate);
+        assert_eq!(l.on_packet(1, &encode_header(KIND_DATA, 1, 0), 13), Recv::Deliver);
+        // Ack (after the delay) covers all three.
+        let mut out = Vec::new();
+        l.poll(13 + 50, &mut out);
+        let Some(PollAction::SendAck { payload, .. }) = out.first() else {
+            panic!("expected a standalone ack");
+        };
+        assert_eq!(parse_header(payload).unwrap().ack, 3);
+    }
+
+    #[test]
+    fn cumulative_ack_drains_retransmit_queue() {
+        let mut l = link(2);
+        for i in 0..3 {
+            l.prepare_data(1, data_payload(&[i]), 10);
+        }
+        assert_eq!(l.unacked(1), 3);
+        // A standalone ack for seq 2 pops the first two.
+        assert_eq!(l.on_packet(1, &encode_header(KIND_ACK, 0, 2), 20), Recv::AckOnly);
+        assert_eq!(l.unacked(1), 1);
+        assert_eq!(l.on_packet(1, &encode_header(KIND_ACK, 0, 3), 30), Recv::AckOnly);
+        assert_eq!(l.unacked(1), 0);
+    }
+
+    #[test]
+    fn piggybacked_ack_on_data_also_acks() {
+        let mut l = link(2);
+        l.prepare_data(1, data_payload(b"x"), 10);
+        assert_eq!(l.on_packet(1, &encode_header(KIND_DATA, 1, 1), 20), Recv::Deliver);
+        assert_eq!(l.unacked(1), 0);
+    }
+
+    #[test]
+    fn head_of_line_retransmits_with_backoff_then_death() {
+        let mut l = link(2);
+        l.prepare_data(1, data_payload(b"x"), 0);
+        l.prepare_data(1, data_payload(b"y"), 0);
+        let mut out = Vec::new();
+        // rto_base=100: first retransmit at t=100, attempts 0→1.
+        l.poll(99, &mut out);
+        assert!(out.is_empty());
+        l.poll(100, &mut out);
+        assert!(
+            matches!(out.as_slice(), [PollAction::Retransmit { dst: 1, payload }]
+                if parse_header(payload).unwrap().seq == 1),
+            "only the queue head retransmits"
+        );
+        out.clear();
+        // Backoff doubles: next at 100 + 200.
+        l.poll(250, &mut out);
+        assert!(out.is_empty());
+        l.poll(300, &mut out);
+        assert_eq!(out.len(), 1);
+        out.clear();
+        // attempts == max_retries (2): the next expiry declares death.
+        l.poll(300 + 400, &mut out);
+        let [PollAction::Dead { dst: 1, unacked }] = out.as_slice() else {
+            panic!("expected death declaration");
+        };
+        assert_eq!(unacked.len(), 2);
+        assert!(l.is_dead(1));
+        // Dead peers are inert afterwards.
+        out.clear();
+        l.poll(10_000, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(l.on_packet(1, &encode_header(KIND_DATA, 5, 0), 10_000), Recv::FromDead);
+    }
+
+    #[test]
+    fn ack_progress_resets_backoff_of_new_head() {
+        let mut l = link(2);
+        l.prepare_data(1, data_payload(b"x"), 0);
+        l.prepare_data(1, data_payload(b"y"), 0);
+        let mut out = Vec::new();
+        l.poll(100, &mut out); // head seq 1 retransmitted, attempts=1
+        out.clear();
+        // Ack seq 1 at t=150: new head (seq 2) restarts its timer there.
+        l.on_packet(1, &encode_header(KIND_ACK, 0, 1), 150);
+        l.poll(249, &mut out);
+        assert!(out.is_empty(), "timer restarted at ack time");
+        l.poll(250, &mut out);
+        assert!(matches!(out.as_slice(), [PollAction::Retransmit { dst: 1, payload }]
+            if parse_header(payload).unwrap().seq == 2));
+    }
+
+    #[test]
+    fn standalone_ack_waits_for_the_delay_and_piggyback_cancels_it() {
+        let mut l = link(2);
+        assert_eq!(l.on_packet(1, &encode_header(KIND_DATA, 1, 0), 10), Recv::Deliver);
+        let mut out = Vec::new();
+        l.poll(59, &mut out);
+        assert!(out.is_empty(), "ack delay (50) not yet elapsed");
+        // Outgoing data to the same peer piggybacks the ack instead.
+        let wire = l.prepare_data(1, data_payload(b"z"), 40);
+        assert_eq!(parse_header(&wire).unwrap().ack, 1);
+        l.poll(1_000, &mut out);
+        assert!(
+            !out.iter().any(|a| matches!(a, PollAction::SendAck { .. })),
+            "piggyback cancelled the standalone ack"
+        );
+    }
+
+    #[test]
+    fn malformed_and_short_buffers_are_flagged() {
+        let mut l = link(2);
+        assert_eq!(l.on_packet(1, &[1, 2, 3], 10), Recv::Malformed);
+        assert_eq!(l.on_packet(1, &encode_header(7, 1, 0), 10), Recv::Malformed);
+    }
+}

@@ -10,13 +10,14 @@ use crate::aggregation::{AggShared, AggStats};
 use crate::commserver;
 use crate::config::Config;
 use crate::helper;
-use crate::task::{Itb, RootTask};
+use crate::task::{Itb, RootTask, TaskControl};
 use crate::worker;
 use crate::{memory::NodeMemory, NodeId};
 use crossbeam::queue::SegQueue;
 use gmt_net::{DeliveryMode, Fabric, Payload, TrafficStats};
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
 
 /// State shared by every node of one cluster.
@@ -48,11 +49,66 @@ pub struct NodeShared {
     pub cluster: Arc<ClusterShared>,
     /// Transport failures observed by the communication server.
     pub net_errors: AtomicU64,
+    /// Per-peer death flags, set (once, never cleared) by the
+    /// communication server when a peer exhausts its retry budget.
+    pub peer_dead: Vec<AtomicBool>,
+    /// Stuck-task watchdog registry: weak handles to every task spawned on
+    /// this node, swept periodically by the communication server.
+    pub watch: Mutex<Vec<Weak<TaskControl>>>,
 }
 
 impl NodeShared {
     pub fn stopping(&self) -> bool {
         self.stop.load(Ordering::Relaxed)
+    }
+
+    /// Whether `node` was declared dead by the reliability layer.
+    pub fn peer_is_dead(&self, node: NodeId) -> bool {
+        self.peer_dead[node].load(Ordering::Acquire)
+    }
+
+    pub(crate) fn mark_peer_dead(&self, node: NodeId) {
+        self.peer_dead[node].store(true, Ordering::Release);
+    }
+
+    /// Registers a freshly spawned task with the stuck-task watchdog.
+    pub(crate) fn register_task(&self, ctl: &Arc<TaskControl>) {
+        self.watch.lock().push(Arc::downgrade(ctl));
+    }
+
+    /// Watchdog sweep: prunes finished tasks and reports tasks parked on
+    /// remote completions for longer than the configured deadline.
+    /// Returns how many tasks are currently stuck. One diagnostic is
+    /// printed per park (not per sweep), gated on `log_net_warnings`.
+    pub fn sweep_stuck_tasks(&self, now_ns: u64) -> usize {
+        let deadline = self.config.stuck_task_deadline_ns;
+        let mut stuck = 0usize;
+        let mut watch = self.watch.lock();
+        watch.retain(|w| {
+            let Some(ctl) = w.upgrade() else { return false };
+            if let Some((since_ns, dst, opcode, pending)) = ctl.parked_info() {
+                let age = now_ns.saturating_sub(since_ns);
+                if age >= deadline {
+                    stuck += 1;
+                    if self.config.log_net_warnings && ctl.claim_warning() {
+                        let toward = match dst {
+                            Some(d) => format!("last command {} toward node {d}", {
+                                crate::command::op_name(opcode)
+                            }),
+                            None => "no command recorded".to_string(),
+                        };
+                        eprintln!(
+                            "[gmt] warn: node {}: task stuck for {} ms waiting on {pending} \
+                             completion(s); {toward}",
+                            self.node_id,
+                            age / 1_000_000,
+                        );
+                    }
+                }
+            }
+            true
+        });
+        stuck
     }
 }
 
@@ -109,6 +165,18 @@ impl NodeHandle {
         self.shared.net_errors.load(Ordering::Relaxed)
     }
 
+    /// Peers this node has declared dead (retry budget exhausted).
+    pub fn dead_peers(&self) -> Vec<NodeId> {
+        (0..self.shared.nodes).filter(|&n| self.shared.peer_is_dead(n)).collect()
+    }
+
+    /// Runs a watchdog sweep now and returns the number of tasks parked on
+    /// remote completions past the configured deadline.
+    pub fn stuck_tasks(&self) -> usize {
+        let now = self.shared.agg.tick();
+        self.shared.sweep_stuck_tasks(now)
+    }
+
     /// Live global allocations on this node.
     pub fn live_allocations(&self) -> usize {
         self.shared.memory.live_allocations()
@@ -159,6 +227,7 @@ impl Cluster {
                 config.cmd_block_entries,
                 config.cmd_block_timeout_ns,
                 config.aggregation_timeout_ns,
+                if config.reliable { crate::reliable::HEADER_LEN } else { 0 },
             );
             let shared = Arc::new(NodeShared {
                 node_id,
@@ -172,6 +241,8 @@ impl Cluster {
                 stop: AtomicBool::new(false),
                 cluster: Arc::clone(&cluster_shared),
                 net_errors: AtomicU64::new(0),
+                peer_dead: (0..nodes).map(|_| AtomicBool::new(false)).collect(),
+                watch: Mutex::new(Vec::new()),
             });
             for w in 0..config.num_workers {
                 let s = Arc::clone(&shared);

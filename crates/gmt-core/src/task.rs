@@ -11,8 +11,11 @@
 
 use crate::NodeId;
 use crossbeam::queue::SegQueue;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Sentinel for "no node" in the failure/diagnostic fields.
+const NO_NODE: usize = usize::MAX;
 
 /// Shared handle to a task used for wakeups from any thread of the node.
 pub struct TaskControl {
@@ -28,6 +31,20 @@ pub struct TaskControl {
     ready: Arc<SegQueue<usize>>,
     /// Slot of this task in the owning worker's task table.
     slot: usize,
+    /// Operations completed with an error (dead peer) since the last
+    /// `take_failure`.
+    failed_ops: AtomicU32,
+    /// Node the last failed operation was addressed to (`NO_NODE` = none).
+    failed_node: AtomicUsize,
+    /// Coarse-clock time (ns) the task parked at; 0 while not parked.
+    /// Diagnostic only (stuck-task watchdog) — racy reads are fine.
+    parked_since_ns: AtomicU64,
+    /// Destination node of the most recently emitted command.
+    last_op_dst: AtomicUsize,
+    /// Opcode of the most recently emitted command.
+    last_op_kind: AtomicU8,
+    /// The watchdog already reported this park (one diagnostic per park).
+    warned: AtomicBool,
 }
 
 impl TaskControl {
@@ -38,6 +55,12 @@ impl TaskControl {
             park_intent: AtomicBool::new(false),
             ready,
             slot,
+            failed_ops: AtomicU32::new(0),
+            failed_node: AtomicUsize::new(NO_NODE),
+            parked_since_ns: AtomicU64::new(0),
+            last_op_dst: AtomicUsize::new(NO_NODE),
+            last_op_kind: AtomicU8::new(0),
+            warned: AtomicBool::new(false),
         })
     }
 
@@ -75,8 +98,65 @@ impl TaskControl {
         let prev = self.pending.fetch_sub(1, Ordering::AcqRel);
         debug_assert!(prev > 0, "op_completed without matching add_pending");
         if prev == 1 && self.parked.swap(false, Ordering::AcqRel) {
+            self.parked_since_ns.store(0, Ordering::Relaxed);
             self.ready.push(self.slot);
         }
+    }
+
+    /// Records that one of this task's operations failed against `node`
+    /// (dead peer). Followed by [`op_completed`](Self::op_completed) via
+    /// [`complete_token_err`]; the task observes the failure at its next
+    /// `wait_commands`.
+    pub fn record_remote_failure(&self, node: NodeId) {
+        self.failed_node.store(node, Ordering::Relaxed);
+        self.failed_ops.fetch_add(1, Ordering::Release);
+    }
+
+    /// Task side, on wake: consumes any accumulated failures, returning
+    /// `(node, failed_ops)` of the most recent failing peer.
+    pub fn take_failure(&self) -> Option<(NodeId, u32)> {
+        let n = self.failed_ops.swap(0, Ordering::AcqRel);
+        if n == 0 {
+            return None;
+        }
+        let node = self.failed_node.swap(NO_NODE, Ordering::Relaxed);
+        Some((if node == NO_NODE { 0 } else { node }, n))
+    }
+
+    /// Stamps the destination and opcode of the command being emitted
+    /// (stuck-task diagnostics).
+    pub fn note_op(&self, dst: NodeId, opcode: u8) {
+        self.last_op_dst.store(dst, Ordering::Relaxed);
+        self.last_op_kind.store(opcode, Ordering::Relaxed);
+    }
+
+    /// Worker side, right after a successful `prepare_park`: stamps the
+    /// park time for the watchdog and re-arms its one-shot warning.
+    pub fn note_parked(&self, now_ns: u64) {
+        self.parked_since_ns.store(now_ns.max(1), Ordering::Relaxed);
+        self.warned.store(false, Ordering::Relaxed);
+    }
+
+    /// Watchdog side: `(parked_since_ns, last_dst, last_opcode, pending)`
+    /// if the task is currently parked waiting on completions.
+    pub fn parked_info(&self) -> Option<(u64, Option<NodeId>, u8, u32)> {
+        if !self.parked.load(Ordering::Acquire) {
+            return None;
+        }
+        let pending = self.pending.load(Ordering::Acquire);
+        let since = self.parked_since_ns.load(Ordering::Relaxed);
+        if pending == 0 || since == 0 {
+            return None;
+        }
+        let dst = self.last_op_dst.load(Ordering::Relaxed);
+        let dst = if dst == NO_NODE { None } else { Some(dst) };
+        Some((since, dst, self.last_op_kind.load(Ordering::Relaxed), pending))
+    }
+
+    /// Claims the one diagnostic report for the current park; `true` for
+    /// exactly one caller per park.
+    pub fn claim_warning(&self) -> bool {
+        !self.warned.swap(true, Ordering::Relaxed)
     }
 
     /// Worker side, before suspending: publishes the parked flag and
@@ -127,6 +207,19 @@ pub fn token_from(ctl: &Arc<TaskControl>) -> u64 {
 /// `token` must come from [`token_from`] and not have been completed yet.
 pub unsafe fn complete_token(token: u64) {
     let ctl = unsafe { Arc::from_raw(token as *const TaskControl) };
+    ctl.op_completed();
+}
+
+/// Completes one operation *with an error*: the destination `node` was
+/// declared dead and the operation will never execute. The waiting task
+/// wakes as usual and observes the failure at its next `wait_commands`.
+///
+/// # Safety
+///
+/// Same contract as [`complete_token`].
+pub unsafe fn complete_token_err(token: u64, node: NodeId) {
+    let ctl = unsafe { Arc::from_raw(token as *const TaskControl) };
+    ctl.record_remote_failure(node);
     ctl.op_completed();
 }
 
@@ -300,6 +393,38 @@ mod tests {
         assert_eq!(c.pending(), 0);
         // All token references were consumed: only `c` remains.
         assert_eq!(Arc::strong_count(&c), 1);
+    }
+
+    #[test]
+    fn error_completion_wakes_and_reports_failure() {
+        let (c, q) = ctl();
+        c.add_pending(2);
+        assert!(c.prepare_park());
+        let t1 = token_from(&c);
+        let t2 = token_from(&c);
+        unsafe { complete_token(t1) };
+        assert!(q.pop().is_none());
+        unsafe { complete_token_err(t2, 3) };
+        assert_eq!(q.pop(), Some(7));
+        assert_eq!(c.take_failure(), Some((3, 1)));
+        assert_eq!(c.take_failure(), None, "failure must be consumed");
+        assert_eq!(Arc::strong_count(&c), 1);
+    }
+
+    #[test]
+    fn parked_info_reports_only_while_parked() {
+        let (c, _q) = ctl();
+        assert!(c.parked_info().is_none());
+        c.add_pending(1);
+        c.note_op(4, 2);
+        assert!(c.prepare_park());
+        c.note_parked(1_000);
+        let (since, dst, kind, pending) = c.parked_info().expect("parked");
+        assert_eq!((since, dst, kind, pending), (1_000, Some(4), 2, 1));
+        assert!(c.claim_warning());
+        assert!(!c.claim_warning(), "one diagnostic per park");
+        unsafe { complete_token(token_from(&c)) };
+        assert!(c.parked_info().is_none());
     }
 
     #[test]

@@ -78,6 +78,7 @@ impl Worker {
     fn spawn_chunk(&mut self, itb: Arc<Itb>, range: std::ops::Range<u64>) {
         let slot = self.alloc_slot();
         let ctl = TaskControl::new(Arc::clone(&self.ready), slot);
+        self.node.register_task(&ctl);
         let node = Arc::clone(&self.node);
         let ctl2 = Arc::clone(&ctl);
         let stack = self.take_stack();
@@ -98,6 +99,7 @@ impl Worker {
     fn spawn_root(&mut self, root: RootTask) {
         let slot = self.alloc_slot();
         let ctl = TaskControl::new(Arc::clone(&self.ready), slot);
+        self.node.register_task(&ctl);
         let node = Arc::clone(&self.node);
         let ctl2 = Arc::clone(&ctl);
         let stack = self.take_stack();
@@ -121,11 +123,14 @@ impl Worker {
         let outcome = panic::catch_unwind(AssertUnwindSafe(|| task.coro.resume()));
         match outcome {
             Ok(Resume::Yielded) => {
-                let task = self.tasks[slot].as_ref().unwrap();
-                if task.ctl.take_park_intent() {
+                let ctl = Arc::clone(&self.tasks[slot].as_ref().unwrap().ctl);
+                if ctl.take_park_intent() {
                     // Blocking yield: run the park handshake; a helper
                     // will push the slot into `ready` on the last reply.
-                    if !task.ctl.prepare_park() {
+                    if ctl.prepare_park() {
+                        // Stamp the park for the stuck-task watchdog.
+                        ctl.note_parked(self.node.agg.now_ns());
+                    } else {
                         self.runnable.push_back(slot);
                     }
                 } else {

@@ -370,18 +370,18 @@ proptest! {
             for op in ops {
                 match op {
                     MemOp::Write { offset, data } => {
-                        ctx.put(&arr, offset as u64, &data);
+                        ctx.put(&arr, offset as u64, &data).unwrap();
                         model[offset..offset + data.len()].copy_from_slice(&data);
                     }
                     MemOp::Read { offset, len } => {
                         let mut got = vec![0u8; len];
-                        ctx.get(&arr, offset as u64, &mut got);
+                        ctx.get(&arr, offset as u64, &mut got).unwrap();
                         if got != model[offset..offset + len] {
                             bad += 1;
                         }
                     }
                     MemOp::Add { word, delta } => {
-                        let old = ctx.atomic_add(&arr, word as u64, delta);
+                        let old = ctx.atomic_add(&arr, word as u64, delta).unwrap();
                         let m = i64::from_le_bytes(model[word..word + 8].try_into().unwrap());
                         if old != m {
                             bad += 1;
@@ -390,7 +390,7 @@ proptest! {
                             .copy_from_slice(&m.wrapping_add(delta).to_le_bytes());
                     }
                     MemOp::Cas { word, expected, new } => {
-                        let old = ctx.atomic_cas(&arr, word as u64, expected, new);
+                        let old = ctx.atomic_cas(&arr, word as u64, expected, new).unwrap();
                         let m = i64::from_le_bytes(model[word..word + 8].try_into().unwrap());
                         if old != m {
                             bad += 1;

@@ -13,9 +13,9 @@ fn non_blocking_puts_complete_at_wait_commands() {
         for i in 0..1024u64 {
             ctx.put_value_nb::<u64>(&arr, i, i * 3);
         }
-        ctx.wait_commands();
+        ctx.wait_commands().unwrap();
         for i in (0..1024).step_by(101) {
-            assert_eq!(ctx.get_value::<u64>(&arr, i), i * 3);
+            assert_eq!(ctx.get_value::<u64>(&arr, i).unwrap(), i * 3);
         }
         ctx.free(arr);
     });
@@ -28,14 +28,14 @@ fn non_blocking_gets_fill_buffers_after_wait() {
     cluster.node(0).run(|ctx| {
         let arr = ctx.alloc(256, Distribution::Remote);
         let pattern: Vec<u8> = (0..=255u8).collect();
-        ctx.put(&arr, 0, &pattern);
+        ctx.put(&arr, 0, &pattern).unwrap();
         let mut a = [0u8; 64];
         let mut b = [0u8; 64];
         unsafe {
             ctx.get_nb(&arr, 0, &mut a);
             ctx.get_nb(&arr, 64, &mut b);
         }
-        ctx.wait_commands();
+        ctx.wait_commands().unwrap();
         assert_eq!(&a[..], &pattern[..64]);
         assert_eq!(&b[..], &pattern[64..128]);
         ctx.free(arr);
@@ -52,9 +52,9 @@ fn large_put_get_spans_nodes_and_buffers() {
         let n = 100 * 1024u64;
         let arr = ctx.alloc(n, Distribution::Partition);
         let data: Vec<u8> = (0..n).map(|i| (i * 7 % 251) as u8).collect();
-        ctx.put(&arr, 0, &data);
+        ctx.put(&arr, 0, &data).unwrap();
         let mut back = vec![0u8; n as usize];
-        ctx.get(&arr, 0, &mut back);
+        ctx.get(&arr, 0, &mut back).unwrap();
         assert_eq!(back, data);
         ctx.free(arr);
     });
@@ -67,9 +67,9 @@ fn remote_atomics_are_globally_consistent() {
     let total = cluster.node(0).run(|ctx| {
         let arr = ctx.alloc(8, Distribution::Remote); // counter on node 1
         ctx.parfor(SpawnPolicy::Partition, 200, 10, move |ctx, _i| {
-            ctx.atomic_add(&arr, 0, 1);
+            ctx.atomic_add(&arr, 0, 1).unwrap();
         });
-        let v = ctx.atomic_add(&arr, 0, 0);
+        let v = ctx.atomic_add(&arr, 0, 0).unwrap();
         ctx.free(arr);
         v
     });
@@ -84,11 +84,11 @@ fn atomic_cas_elects_exactly_one_winner() {
         let flag = ctx.alloc(8, Distribution::Remote);
         let wins = ctx.alloc(8, Distribution::Local);
         ctx.parfor(SpawnPolicy::Partition, 64, 4, move |ctx, i| {
-            if ctx.atomic_cas(&flag, 0, 0, (i + 1) as i64) == 0 {
-                ctx.atomic_add(&wins, 0, 1);
+            if ctx.atomic_cas(&flag, 0, 0, (i + 1) as i64).unwrap() == 0 {
+                ctx.atomic_add(&wins, 0, 1).unwrap();
             }
         });
-        let w = ctx.atomic_add(&wins, 0, 0);
+        let w = ctx.atomic_add(&wins, 0, 0).unwrap();
         ctx.free(flag);
         ctx.free(wins);
         w
@@ -104,10 +104,10 @@ fn nested_parfor_completes() {
         let acc = ctx.alloc(8, Distribution::Partition);
         ctx.parfor(SpawnPolicy::Partition, 8, 1, move |ctx, _outer| {
             ctx.parfor(SpawnPolicy::Partition, 16, 4, move |ctx, _inner| {
-                ctx.atomic_add(&acc, 0, 1);
+                ctx.atomic_add(&acc, 0, 1).unwrap();
             });
         });
-        let v = ctx.atomic_add(&acc, 0, 0);
+        let v = ctx.atomic_add(&acc, 0, 0).unwrap();
         ctx.free(acc);
         v
     });
@@ -123,16 +123,16 @@ fn spawn_remote_runs_elsewhere() {
         ctx.parfor(SpawnPolicy::Remote, 32, 4, move |ctx, _i| {
             let bit = 1i64 << ctx.node_id();
             loop {
-                let old = ctx.atomic_add(&seen, 0, 0);
+                let old = ctx.atomic_add(&seen, 0, 0).unwrap();
                 if old & bit != 0 {
                     break;
                 }
-                if ctx.atomic_cas(&seen, 0, old, old | bit) == old {
+                if ctx.atomic_cas(&seen, 0, old, old | bit).unwrap() == old {
                     break;
                 }
             }
         });
-        let v = ctx.atomic_add(&seen, 0, 0);
+        let v = ctx.atomic_add(&seen, 0, 0).unwrap();
         ctx.free(seen);
         v
     });
@@ -149,9 +149,9 @@ fn parfor_args_are_delivered_to_every_node() {
         let args = 7u64.to_le_bytes();
         ctx.parfor_args(SpawnPolicy::Partition, 10, 2, &args, move |ctx, _i, args| {
             let v = u64::from_le_bytes(args.try_into().unwrap());
-            ctx.atomic_add(&acc, 0, v as i64);
+            ctx.atomic_add(&acc, 0, v as i64).unwrap();
         });
-        let v = ctx.atomic_add(&acc, 0, 0);
+        let v = ctx.atomic_add(&acc, 0, 0).unwrap();
         ctx.free(acc);
         v
     });
@@ -171,8 +171,8 @@ fn many_concurrent_root_tasks() {
                 let node = (t % 2) as usize;
                 let r = cluster.node(node).run(move |ctx| {
                     let arr = ctx.alloc(64, Distribution::Partition);
-                    ctx.put_value::<u64>(&arr, 0, t);
-                    let v = ctx.get_value::<u64>(&arr, 0);
+                    ctx.put_value::<u64>(&arr, 0, t).unwrap();
+                    let v = ctx.get_value::<u64>(&arr, 0).unwrap();
                     ctx.free(arr);
                     v
                 });
@@ -194,14 +194,14 @@ fn four_node_cluster_works() {
         let arr = ctx.alloc(512 * 8, Distribution::Partition);
         ctx.parfor(SpawnPolicy::Partition, 512, 16, move |ctx, i| {
             ctx.put_value_nb::<u64>(&arr, i, i + 1);
-            ctx.wait_commands();
+            ctx.wait_commands().unwrap();
         });
         let total = ctx.alloc(8, Distribution::Local);
         ctx.parfor(SpawnPolicy::Partition, 512, 32, move |ctx, i| {
-            let v = ctx.get_value::<u64>(&arr, i);
-            ctx.atomic_add(&total, 0, v as i64);
+            let v = ctx.get_value::<u64>(&arr, i).unwrap();
+            ctx.atomic_add(&total, 0, v as i64).unwrap();
         });
-        let v = ctx.atomic_add(&total, 0, 0);
+        let v = ctx.atomic_add(&total, 0, 0).unwrap();
         ctx.free(arr);
         ctx.free(total);
         v
@@ -265,11 +265,11 @@ fn throttled_network_mode_still_correct() {
     let v = cluster.node(0).run(|ctx| {
         let arr = ctx.alloc(128 * 8, Distribution::Remote);
         ctx.parfor(SpawnPolicy::Local, 128, 8, move |ctx, i| {
-            ctx.put_value::<u64>(&arr, i, i ^ 0xAB);
+            ctx.put_value::<u64>(&arr, i, i ^ 0xAB).unwrap();
         });
         let mut total = 0u64;
         for i in 0..128 {
-            total += ctx.get_value::<u64>(&arr, i);
+            total += ctx.get_value::<u64>(&arr, i).unwrap();
         }
         ctx.free(arr);
         total
@@ -286,7 +286,7 @@ fn aggregation_actually_batches_commands() {
         for i in 0..4096u64 {
             ctx.put_value_nb::<u64>(&arr, i, i);
         }
-        ctx.wait_commands();
+        ctx.wait_commands().unwrap();
         ctx.free(arr);
     });
     let sent = cluster.net_stats().node(0).sent_msgs;
@@ -329,15 +329,15 @@ fn gather_scatter_roundtrip() {
         let arr = ctx.alloc(256 * 8, Distribution::Partition);
         // Scatter an irregular set of (index, value) pairs...
         let pairs: Vec<(u64, u64)> = (0..64).map(|k| ((k * 37) % 256, k * k)).collect();
-        ctx.scatter(&arr, &pairs);
+        ctx.scatter(&arr, &pairs).unwrap();
         // ...and gather them back in a different order.
         let indices: Vec<u64> = pairs.iter().rev().map(|&(i, _)| i).collect();
-        let values = ctx.gather::<u64>(&arr, &indices);
+        let values = ctx.gather::<u64>(&arr, &indices).unwrap();
         for (got, &(_, expect)) in values.iter().zip(pairs.iter().rev()) {
             assert_eq!(*got, expect);
         }
         // Gathering untouched slots yields zeros.
-        let zeros = ctx.gather::<u64>(&arr, &[1, 2]);
+        let zeros = ctx.gather::<u64>(&arr, &[1, 2]).unwrap();
         assert!(zeros
             .iter()
             .all(|&v| v == 0 || pairs.iter().any(|&(i, _)| i == 1 || i == 2) && v > 0));
@@ -351,8 +351,8 @@ fn gather_empty_index_list() {
     let cluster = Cluster::start(1, Config::small()).unwrap();
     cluster.node(0).run(|ctx| {
         let arr = ctx.alloc(64, Distribution::Local);
-        assert!(ctx.gather::<u64>(&arr, &[]).is_empty());
-        ctx.scatter::<u64>(&arr, &[]);
+        assert!(ctx.gather::<u64>(&arr, &[]).unwrap().is_empty());
+        ctx.scatter::<u64>(&arr, &[]).unwrap();
         ctx.free(arr);
     });
     cluster.shutdown();
@@ -368,11 +368,11 @@ fn non_blocking_atomic_adds_accumulate() {
             for k in 0..4u64 {
                 ctx.atomic_add_nb(&hist, ((i + k) % 16) * 8, 1);
             }
-            ctx.wait_commands();
+            ctx.wait_commands().unwrap();
         });
         let mut total = 0;
         for s in 0..16 {
-            total += ctx.atomic_add(&hist, s * 8, 0);
+            total += ctx.atomic_add(&hist, s * 8, 0).unwrap();
         }
         ctx.free(hist);
         total

@@ -19,14 +19,14 @@ fn single_node_local_memory_ops() {
     let cluster = Cluster::start(1, Config::small()).unwrap();
     cluster.node(0).run(|ctx| {
         let arr = ctx.alloc(256, Distribution::Partition);
-        ctx.put(&arr, 3, &[1, 2, 3, 4]);
+        ctx.put(&arr, 3, &[1, 2, 3, 4]).unwrap();
         let mut buf = [0u8; 4];
-        ctx.get(&arr, 3, &mut buf);
+        ctx.get(&arr, 3, &mut buf).unwrap();
         assert_eq!(buf, [1, 2, 3, 4]);
-        assert_eq!(ctx.atomic_add(&arr, 8, 5), 0);
-        assert_eq!(ctx.atomic_add(&arr, 8, 1), 5);
-        assert_eq!(ctx.atomic_cas(&arr, 8, 6, 100), 6);
-        assert_eq!(ctx.get_value::<i64>(&arr, 1), 100);
+        assert_eq!(ctx.atomic_add(&arr, 8, 5).unwrap(), 0);
+        assert_eq!(ctx.atomic_add(&arr, 8, 1).unwrap(), 5);
+        assert_eq!(ctx.atomic_cas(&arr, 8, 6, 100).unwrap(), 6);
+        assert_eq!(ctx.get_value::<i64>(&arr, 1).unwrap(), 100);
         ctx.free(arr);
     });
     cluster.shutdown();
@@ -38,11 +38,11 @@ fn single_node_parfor_local() {
     let total = cluster.node(0).run(|ctx| {
         let arr = ctx.alloc(64 * 8, Distribution::Partition);
         ctx.parfor(SpawnPolicy::Local, 64, 4, move |ctx, i| {
-            ctx.put_value::<u64>(&arr, i, i * 2);
+            ctx.put_value::<u64>(&arr, i, i * 2).unwrap();
         });
         let mut total = 0;
         for i in 0..64 {
-            total += ctx.get_value::<u64>(&arr, i);
+            total += ctx.get_value::<u64>(&arr, i).unwrap();
         }
         ctx.free(arr);
         total
@@ -58,9 +58,9 @@ fn two_node_remote_put_get() {
         // Local allocation on node 1 seen from node 0: use Remote so all
         // bytes land on node 1.
         let arr = ctx.alloc(128, Distribution::Remote);
-        ctx.put(&arr, 0, &[7; 16]);
+        ctx.put(&arr, 0, &[7; 16]).unwrap();
         let mut buf = [0u8; 16];
-        ctx.get(&arr, 0, &mut buf);
+        ctx.get(&arr, 0, &mut buf).unwrap();
         assert_eq!(buf, [7; 16]);
         ctx.free(arr);
     });
@@ -73,11 +73,11 @@ fn two_node_parfor_partition() {
     let sum = cluster.node(0).run(|ctx| {
         let arr = ctx.alloc(128 * 8, Distribution::Partition);
         ctx.parfor(SpawnPolicy::Partition, 128, 8, move |ctx, i| {
-            ctx.put_value::<u64>(&arr, i, i);
+            ctx.put_value::<u64>(&arr, i, i).unwrap();
         });
         let mut sum = 0;
         for i in 0..128 {
-            sum += ctx.get_value::<u64>(&arr, i);
+            sum += ctx.get_value::<u64>(&arr, i).unwrap();
         }
         ctx.free(arr);
         sum

@@ -20,11 +20,11 @@ fn tiny_buffer_pool_backpressure() {
             for k in 0..64u64 {
                 ctx.put_value_nb::<u64>(&arr, t * 64 + k, t * 64 + k + 1);
             }
-            ctx.wait_commands();
+            ctx.wait_commands().unwrap();
         });
         let mut sum = 0u64;
         for i in 0..2048 {
-            sum += ctx.get_value::<u64>(&arr, i);
+            sum += ctx.get_value::<u64>(&arr, i).unwrap();
         }
         ctx.free(arr);
         sum
@@ -47,11 +47,11 @@ fn olympus_configuration_smoke() {
     let v = cluster.node(0).run(|ctx| {
         let arr = ctx.alloc(128 * 8, Distribution::Partition);
         ctx.parfor(SpawnPolicy::Partition, 128, 4, move |ctx, i| {
-            ctx.atomic_add(&arr, (i % 16) * 8, 1);
+            ctx.atomic_add(&arr, (i % 16) * 8, 1).unwrap();
         });
         let mut total = 0;
         for s in 0..16 {
-            total += ctx.atomic_add(&arr, s * 8, 0);
+            total += ctx.atomic_add(&arr, s * 8, 0).unwrap();
         }
         ctx.free(arr);
         total
@@ -71,9 +71,9 @@ fn task_flood_beyond_worker_cap() {
         let acc = ctx.alloc(8, Distribution::Partition);
         // 2000 tasks of 1 iteration each.
         ctx.parfor(SpawnPolicy::Partition, 2000, 1, move |ctx, _| {
-            ctx.atomic_add(&acc, 0, 1);
+            ctx.atomic_add(&acc, 0, 1).unwrap();
         });
-        let v = ctx.atomic_add(&acc, 0, 0);
+        let v = ctx.atomic_add(&acc, 0, 0).unwrap();
         ctx.free(acc);
         v
     });
@@ -94,8 +94,8 @@ fn alloc_free_churn() {
                 _ => Distribution::Remote,
             };
             let arr = ctx.alloc(64 + round * 8, dist);
-            ctx.put_value::<u64>(&arr, 0, round);
-            assert_eq!(ctx.get_value::<u64>(&arr, 0), round);
+            ctx.put_value::<u64>(&arr, 0, round).unwrap();
+            assert_eq!(ctx.get_value::<u64>(&arr, 0).unwrap(), round);
             ctx.free(arr);
         }
     });
@@ -115,12 +115,12 @@ fn deeply_nested_parfor() {
             ctx.parfor(SpawnPolicy::Partition, 2, 1, move |ctx, _| {
                 ctx.parfor(SpawnPolicy::Partition, 2, 1, move |ctx, _| {
                     ctx.parfor(SpawnPolicy::Partition, 4, 1, move |ctx, _| {
-                        ctx.atomic_add(&acc, 0, 1);
+                        ctx.atomic_add(&acc, 0, 1).unwrap();
                     });
                 });
             });
         });
-        let v = ctx.atomic_add(&acc, 0, 0);
+        let v = ctx.atomic_add(&acc, 0, 0).unwrap();
         ctx.free(acc);
         v
     });
@@ -144,7 +144,7 @@ fn buffer_pools_whole_after_shutdown() {
             for k in 0..64u64 {
                 ctx.put_value_nb::<u64>(&arr, t * 64 + k, k);
             }
-            ctx.wait_commands();
+            ctx.wait_commands().unwrap();
         });
         ctx.free(arr);
     });
@@ -169,8 +169,8 @@ fn repeated_cluster_lifecycles() {
         let cluster = Cluster::start(2, Config::small()).unwrap();
         let v = cluster.node(round % 2).run(move |ctx| {
             let arr = ctx.alloc(64, Distribution::Partition);
-            ctx.put_value::<u32>(&arr, 0, round as u32);
-            let v = ctx.get_value::<u32>(&arr, 0);
+            ctx.put_value::<u32>(&arr, 0, round as u32).unwrap();
+            let v = ctx.get_value::<u32>(&arr, 0).unwrap();
             ctx.free(arr);
             v
         });

@@ -39,9 +39,9 @@ impl DistGraph {
         let offsets = ctx.alloc((n + 1) * 8, Distribution::Partition);
         // Zero-length allocations are legal but useless; keep ≥ 8 bytes.
         let targets = ctx.alloc(m.max(1) * 8, Distribution::Partition);
-        ctx.put(&offsets, 0, as_bytes(csr.offsets()));
+        ctx.put(&offsets, 0, as_bytes(csr.offsets())).unwrap();
         if m > 0 {
-            ctx.put(&targets, 0, as_bytes(csr.targets()));
+            ctx.put(&targets, 0, as_bytes(csr.targets())).unwrap();
         }
         DistGraph { vertices: n, edges: m, offsets, targets }
     }
@@ -70,7 +70,7 @@ impl DistGraph {
     pub fn edge_range(&self, ctx: &TaskCtx<'_>, v: u64) -> (u64, u64) {
         debug_assert!(v < self.vertices);
         let mut buf = [0u8; 16];
-        ctx.get(&self.offsets, v * 8, &mut buf);
+        ctx.get(&self.offsets, v * 8, &mut buf).unwrap();
         let lo = u64::from_le_bytes(buf[..8].try_into().unwrap());
         let hi = u64::from_le_bytes(buf[8..].try_into().unwrap());
         (lo, hi)
@@ -95,7 +95,7 @@ impl DistGraph {
         // get completes before return.
         let bytes =
             unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr().cast::<u8>(), count * 8) };
-        ctx.get(&self.targets, lo * 8, bytes);
+        ctx.get(&self.targets, lo * 8, bytes).unwrap();
     }
 
     /// Out-neighbors of `v` as a fresh vector.
@@ -108,7 +108,7 @@ impl DistGraph {
     /// Reads the single `idx`-th neighbor of `v` (one word), given `v`'s
     /// edge range — the random-walk access pattern (§V-C).
     pub fn neighbor_at(&self, ctx: &TaskCtx<'_>, lo: u64, idx: u64) -> u64 {
-        ctx.get_value::<u64>(&self.targets, lo + idx)
+        ctx.get_value::<u64>(&self.targets, lo + idx).unwrap()
     }
 
     /// Frees the global arrays.
@@ -169,9 +169,9 @@ mod tests {
             let acc = ctx.alloc(8, gmt_core::Distribution::Local);
             ctx.parfor(gmt_core::SpawnPolicy::Partition, 128, 8, move |ctx, v| {
                 let sum: u64 = g.neighbors(ctx, v).iter().sum();
-                ctx.atomic_add(&acc, 0, sum as i64);
+                ctx.atomic_add(&acc, 0, sum as i64).unwrap();
             });
-            let v = ctx.atomic_add(&acc, 0, 0) as u64;
+            let v = ctx.atomic_add(&acc, 0, 0).unwrap() as u64;
             ctx.free(acc);
             g.free(ctx);
             v

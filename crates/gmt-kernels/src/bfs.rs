@@ -37,38 +37,38 @@ pub fn gmt_bfs(ctx: &TaskCtx<'_>, g: &DistGraph, source: u64) -> BfsResult {
     let qsize = ctx.alloc(8, Distribution::Partition);
     ctx.parfor(SpawnPolicy::Partition, n, 256, move |ctx, v| {
         ctx.put_value_nb::<i64>(&levels, v, -1);
-        ctx.wait_commands();
+        ctx.wait_commands().unwrap();
     });
 
-    ctx.put_value::<i64>(&levels, source, 0);
-    ctx.put_value::<u64>(&qa, 0, source);
+    ctx.put_value::<i64>(&levels, source, 0).unwrap();
+    ctx.put_value::<u64>(&qa, 0, source).unwrap();
     let mut cur = qa;
     let mut next = qb;
     let mut cur_size = 1u64;
     let mut level = 0i64;
     while cur_size > 0 {
-        ctx.put_value::<i64>(&qsize, 0, 0);
+        ctx.put_value::<i64>(&qsize, 0, 0).unwrap();
         let g = *g;
         ctx.parfor(SpawnPolicy::Partition, cur_size, CHUNK, move |ctx, qi| {
-            let v = ctx.get_value::<u64>(&cur, qi);
+            let v = ctx.get_value::<u64>(&cur, qi).unwrap();
             let mut nbrs = Vec::new();
             g.neighbors_into(ctx, v, &mut nbrs);
             for t in nbrs {
                 // Claim unvisited neighbors; exactly one task wins each.
-                if ctx.atomic_cas(&levels, t * 8, -1, level + 1) == -1 {
-                    let idx = ctx.atomic_add(&qsize, 0, 1) as u64;
-                    ctx.put_value::<u64>(&next, idx, t);
+                if ctx.atomic_cas(&levels, t * 8, -1, level + 1).unwrap() == -1 {
+                    let idx = ctx.atomic_add(&qsize, 0, 1).unwrap() as u64;
+                    ctx.put_value::<u64>(&next, idx, t).unwrap();
                 }
             }
         });
-        cur_size = ctx.get_value::<u64>(&qsize, 0);
+        cur_size = ctx.get_value::<u64>(&qsize, 0).unwrap();
         std::mem::swap(&mut cur, &mut next);
         level += 1;
     }
 
     // Extract levels and free global state.
     let mut bytes = vec![0u8; (n * 8) as usize];
-    ctx.get(&levels, 0, &mut bytes);
+    ctx.get(&levels, 0, &mut bytes).unwrap();
     let out: Vec<i64> =
         bytes.chunks_exact(8).map(|c| i64::from_le_bytes(c.try_into().unwrap())).collect();
     ctx.free(levels);

@@ -17,11 +17,11 @@ use gmt_graph::{Csr, DistGraph};
 /// `true` if it changed anything.
 fn cas_min(ctx: &TaskCtx<'_>, labels: &GmtArray, v: u64, new: i64) -> bool {
     loop {
-        let cur = ctx.atomic_add(labels, v * 8, 0);
+        let cur = ctx.atomic_add(labels, v * 8, 0).unwrap();
         if new >= cur {
             return false;
         }
-        if ctx.atomic_cas(labels, v * 8, cur, new) == cur {
+        if ctx.atomic_cas(labels, v * 8, cur, new).unwrap() == cur {
             return true;
         }
         // CAS lost to a concurrent update; re-read and retry.
@@ -35,7 +35,7 @@ pub fn gmt_cc(ctx: &TaskCtx<'_>, g: &DistGraph) -> Vec<u64> {
     let labels = ctx.alloc(n * 8, Distribution::Partition);
     ctx.parfor(SpawnPolicy::Partition, n, 64, move |ctx, v| {
         ctx.put_value_nb::<i64>(&labels, v, v as i64);
-        ctx.wait_commands();
+        ctx.wait_commands().unwrap();
     });
 
     let changed = GlobalCounter::new(ctx, Distribution::Partition);
@@ -43,12 +43,12 @@ pub fn gmt_cc(ctx: &TaskCtx<'_>, g: &DistGraph) -> Vec<u64> {
     loop {
         changed.set(ctx, 0);
         ctx.parfor(SpawnPolicy::Partition, n, 16, move |ctx, u| {
-            let lu = ctx.atomic_add(&labels, u * 8, 0);
+            let lu = ctx.atomic_add(&labels, u * 8, 0).unwrap();
             let mut best = lu;
             let mut nbrs = Vec::new();
             g.neighbors_into(ctx, u, &mut nbrs);
             for &t in &nbrs {
-                let lt = ctx.atomic_add(&labels, t * 8, 0);
+                let lt = ctx.atomic_add(&labels, t * 8, 0).unwrap();
                 best = best.min(lt);
             }
             let mut any = false;
@@ -68,7 +68,7 @@ pub fn gmt_cc(ctx: &TaskCtx<'_>, g: &DistGraph) -> Vec<u64> {
     }
 
     let mut raw = vec![0u8; (n * 8) as usize];
-    ctx.get(&labels, 0, &mut raw);
+    ctx.get(&labels, 0, &mut raw).unwrap();
     let out =
         raw.chunks_exact(8).map(|c| i64::from_le_bytes(c.try_into().unwrap()) as u64).collect();
     changed.free(ctx);

@@ -107,15 +107,15 @@ impl GmtHashMap {
     pub fn insert(&self, ctx: &TaskCtx<'_>, s: &[u8]) -> bool {
         assert!(s.len() <= MAX_STR);
         let base = self.slot(s) * ENTRY_BYTES;
-        if ctx.atomic_cas(&self.table, base, EMPTY, BUSY) != EMPTY {
+        if ctx.atomic_cas(&self.table, base, EMPTY, BUSY).unwrap() != EMPTY {
             return false;
         }
         let mut payload = [0u8; 24];
         payload[..8].copy_from_slice(&(s.len() as u64).to_le_bytes());
         payload[8..8 + s.len()].copy_from_slice(s);
-        ctx.put(&self.table, base + 8, &payload);
+        ctx.put(&self.table, base + 8, &payload).unwrap();
         // Publish: blocking put guarantees the payload landed first.
-        ctx.put_value::<i64>(&self.table, base / 8, FULL);
+        ctx.put_value::<i64>(&self.table, base / 8, FULL).unwrap();
         true
     }
 
@@ -123,7 +123,7 @@ impl GmtHashMap {
     pub fn contains(&self, ctx: &TaskCtx<'_>, s: &[u8]) -> bool {
         let base = self.slot(s) * ENTRY_BYTES;
         let mut entry = [0u8; 32];
-        ctx.get(&self.table, base, &mut entry);
+        ctx.get(&self.table, base, &mut entry).unwrap();
         let state = i64::from_le_bytes(entry[..8].try_into().unwrap());
         if state != FULL {
             return false;
@@ -147,10 +147,10 @@ pub fn gmt_chma_populate(ctx: &TaskCtx<'_>, map: &GmtHashMap, cfg: &ChmaConfig) 
     ctx.parfor(SpawnPolicy::Partition, pool, 8, move |ctx, i| {
         let s = pool_string(seed, i);
         if map.insert(ctx, &s) {
-            ctx.atomic_add(&inserted, 0, 1);
+            ctx.atomic_add(&inserted, 0, 1).unwrap();
         }
     });
-    let n = ctx.atomic_add(&inserted, 0, 0) as u64;
+    let n = ctx.atomic_add(&inserted, 0, 0).unwrap() as u64;
     ctx.free(inserted);
     n
 }
@@ -179,13 +179,13 @@ pub fn gmt_chma_access(ctx: &TaskCtx<'_>, map: &GmtHashMap, cfg: &ChmaConfig) ->
                 s = pool_string(cfg.seed, rng.gen_range(0..cfg.pool));
             }
         }
-        ctx.atomic_add(&counters, 0, hits);
-        ctx.atomic_add(&counters, 8, misses);
-        ctx.atomic_add(&counters, 16, inserts);
+        ctx.atomic_add(&counters, 0, hits).unwrap();
+        ctx.atomic_add(&counters, 8, misses).unwrap();
+        ctx.atomic_add(&counters, 16, inserts).unwrap();
     });
-    let hits = ctx.atomic_add(&counters, 0, 0) as u64;
-    let misses = ctx.atomic_add(&counters, 8, 0) as u64;
-    let inserts = ctx.atomic_add(&counters, 16, 0) as u64;
+    let hits = ctx.atomic_add(&counters, 0, 0).unwrap() as u64;
+    let misses = ctx.atomic_add(&counters, 8, 0).unwrap() as u64;
+    let inserts = ctx.atomic_add(&counters, 16, 0).unwrap() as u64;
     ctx.free(counters);
     ChmaResult { hits, misses, inserts, accesses: cfg.tasks * cfg.steps }
 }
@@ -265,10 +265,10 @@ mod tests {
             let wins = ctx.alloc(8, Distribution::Local);
             ctx.parfor(SpawnPolicy::Partition, 32, 2, move |ctx, _| {
                 if map.insert(ctx, b"same") {
-                    ctx.atomic_add(&wins, 0, 1);
+                    ctx.atomic_add(&wins, 0, 1).unwrap();
                 }
             });
-            let w = ctx.atomic_add(&wins, 0, 0);
+            let w = ctx.atomic_add(&wins, 0, 0).unwrap();
             ctx.free(wins);
             map.free(ctx);
             w

@@ -84,11 +84,11 @@ pub fn gmt_grw(
             v = g.neighbor_at(ctx, lo, rng.gen_range(0..hi - lo));
             traversed += 1;
         }
-        ctx.atomic_add(&acc, 0, v as i64);
-        ctx.atomic_add(&acc, 8, traversed);
+        ctx.atomic_add(&acc, 0, v as i64).unwrap();
+        ctx.atomic_add(&acc, 8, traversed).unwrap();
     });
-    let checksum = ctx.atomic_add(&acc, 0, 0) as u64;
-    let traversed = ctx.atomic_add(&acc, 8, 0) as u64;
+    let checksum = ctx.atomic_add(&acc, 0, 0).unwrap() as u64;
+    let traversed = ctx.atomic_add(&acc, 8, 0).unwrap() as u64;
     ctx.free(acc);
     GrwResult { walkers, steps_per_walker: length, traversed_edges: traversed, checksum }
 }

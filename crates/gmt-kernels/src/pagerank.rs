@@ -46,7 +46,7 @@ pub fn gmt_pagerank(ctx: &TaskCtx<'_>, g: &DistGraph, cfg: PageRankConfig) -> Ve
     let uniform = to_fixed(1.0 / n as f64);
     ctx.parfor(SpawnPolicy::Partition, n, 64, move |ctx, v| {
         ctx.put_value_nb::<i64>(&rank, v, uniform);
-        ctx.wait_commands();
+        ctx.wait_commands().unwrap();
     });
 
     let dangling = GlobalCounter::new(ctx, Distribution::Partition);
@@ -56,13 +56,13 @@ pub fn gmt_pagerank(ctx: &TaskCtx<'_>, g: &DistGraph, cfg: PageRankConfig) -> Ve
         let teleport = to_fixed((1.0 - cfg.damping) / n as f64);
         ctx.parfor(SpawnPolicy::Partition, n, 64, move |ctx, v| {
             ctx.put_value_nb::<i64>(&next, v, teleport);
-            ctx.wait_commands();
+            ctx.wait_commands().unwrap();
         });
         dangling.set(ctx, 0);
         // Scatter contributions along edges.
         let damping = cfg.damping;
         ctx.parfor(SpawnPolicy::Partition, n, 16, move |ctx, u| {
-            let r = ctx.get_value::<i64>(&rank, u);
+            let r = ctx.get_value::<i64>(&rank, u).unwrap();
             let contribution = from_fixed(r) * damping;
             let mut nbrs = Vec::new();
             g.neighbors_into(ctx, u, &mut nbrs);
@@ -73,26 +73,26 @@ pub fn gmt_pagerank(ctx: &TaskCtx<'_>, g: &DistGraph, cfg: PageRankConfig) -> Ve
             }
             let share = to_fixed(contribution / nbrs.len() as f64);
             for &t in &nbrs {
-                ctx.atomic_add(&next, t * 8, share);
+                ctx.atomic_add(&next, t * 8, share).unwrap();
             }
         });
         // Spread dangling mass uniformly.
         let spread = dangling.get(ctx) / n as i64;
         if spread != 0 {
             ctx.parfor(SpawnPolicy::Partition, n, 64, move |ctx, v| {
-                ctx.atomic_add(&next, v * 8, spread);
+                ctx.atomic_add(&next, v * 8, spread).unwrap();
             });
         }
         // next -> rank.
         ctx.parfor(SpawnPolicy::Partition, n, 64, move |ctx, v| {
-            let x = ctx.get_value::<i64>(&next, v);
+            let x = ctx.get_value::<i64>(&next, v).unwrap();
             ctx.put_value_nb::<i64>(&rank, v, x);
-            ctx.wait_commands();
+            ctx.wait_commands().unwrap();
         });
     }
 
     let mut raw = vec![0u8; (n * 8) as usize];
-    ctx.get(&rank, 0, &mut raw);
+    ctx.get(&rank, 0, &mut raw).unwrap();
     let out = raw
         .chunks_exact(8)
         .map(|c| from_fixed(i64::from_le_bytes(c.try_into().unwrap())))

@@ -1,0 +1,288 @@
+//! End-to-end kernels under an adversarial fabric.
+//!
+//! The paper's GMT assumes a lossless MPI transport; this suite runs the
+//! real kernels over a fabric that drops, duplicates, delays and flaps —
+//! and asserts the reliability layer makes the damage invisible: results
+//! bit-identical to fault-free runs, no task left parked, every pooled
+//! aggregation buffer back home after shutdown.
+//!
+//! Every test derives its fault seed via [`gmt_net::seed_from_env`]
+//! (`GMT_FAULT_SEED`) and prints it, so a CI failure under a randomized
+//! seed can be replayed verbatim.
+
+use gmt_core::aggregation::AggShared;
+use gmt_core::{Cluster, Config, Distribution, GmtError};
+use gmt_graph::{uniform_random, DistGraph, GraphSpec};
+use gmt_kernels::bfs::{gmt_bfs, BfsResult};
+use gmt_kernels::grw::{gmt_grw, seq_grw};
+use gmt_net::{seed_from_env, FaultPlan};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Snapshot of every node's aggregation pools, checkable after the
+/// cluster (and thus every runtime thread) is gone.
+fn pool_handles(cluster: &Cluster) -> Vec<Arc<AggShared>> {
+    (0..cluster.nodes()).map(|i| Arc::clone(&cluster.node(i).shared().agg)).collect()
+}
+
+/// Asserts that every channel of every node has all its pooled buffers
+/// back — i.e. the fault run leaked nothing, not even buffers that were
+/// sitting in retransmit queues when the cluster stopped.
+fn assert_pools_whole(aggs: &[Arc<AggShared>]) {
+    for (node, agg) in aggs.iter().enumerate() {
+        for chan in 0..agg.channels() {
+            let q = agg.channel(chan);
+            assert_eq!(
+                q.free_buffers(),
+                q.pool_capacity(),
+                "node {node} channel {chan} leaked pooled buffers"
+            );
+        }
+    }
+}
+
+fn run_bfs(cluster: &Cluster, vertices: u64, degree: u64, graph_seed: u64) -> BfsResult {
+    let csr = uniform_random(GraphSpec { vertices, avg_degree: degree, seed: graph_seed });
+    cluster.node(0).run(move |ctx| {
+        let g = DistGraph::from_csr(ctx, &csr);
+        let r = gmt_bfs(ctx, &g, 0);
+        g.free(ctx);
+        r
+    })
+}
+
+/// Tentpole acceptance: a 4-node BFS with ≥5% loss everywhere, a
+/// periodically flapping link and some duplication completes bit-identical
+/// to the fault-free run — zero lost tokens, zero stuck tasks, pools whole.
+#[test]
+fn bfs_is_bit_identical_under_drops_and_flaps() {
+    let seed = seed_from_env(0xF417);
+    eprintln!("[fault_tolerance] bfs_is_bit_identical_under_drops_and_flaps seed={seed}");
+
+    let clean_cluster = Cluster::start(4, Config::small()).unwrap();
+    let clean = run_bfs(&clean_cluster, 200, 4, 31);
+    clean_cluster.shutdown();
+    assert!(clean.visited > 1, "graph too sparse to exercise the fabric");
+
+    let cluster = Cluster::start(4, Config::small()).unwrap();
+    // 5% loss on every link, a link that is down 20% of the time in 10 ms
+    // cycles, and 2% duplication on the return path of that link.
+    cluster.fabric().install_faults(
+        FaultPlan::new(seed)
+            .drop_all(0.05)
+            .flap_period(1, 2, 10_000_000, 2_000_000)
+            .dup(2, 1, 0.02),
+    );
+    let aggs = pool_handles(&cluster);
+    let faulty = run_bfs(&cluster, 200, 4, 31);
+    assert_eq!(faulty, clean, "BFS result changed under fault injection (seed {seed})");
+
+    // Zero lost tokens: nothing is still parked waiting for a reply, and
+    // no peer was (wrongly) declared dead while recovering from loss.
+    for i in 0..cluster.nodes() {
+        assert_eq!(cluster.node(i).stuck_tasks(), 0, "node {i} has stuck tasks (seed {seed})");
+        assert!(cluster.node(i).dead_peers().is_empty(), "node {i} declared peers dead");
+    }
+    // The plan actually bit: packets were dropped and the reliability
+    // layer actually recovered them.
+    let total = cluster.net_stats().total();
+    assert!(total.dropped_msgs > 0, "fault plan never dropped a packet (seed {seed})");
+    assert!(total.retransmits > 0, "loss was never repaired by retransmission (seed {seed})");
+    cluster.shutdown();
+    assert_pools_whole(&aggs);
+}
+
+/// Satellite: faults compose with the throttled cost model. A random walk
+/// under `DeliveryMode::Throttled` with loss, jitter and a flapping link
+/// still matches the sequential reference checksum exactly.
+#[test]
+fn grw_under_throttled_fabric_with_faults_matches_reference() {
+    let seed = seed_from_env(0x6121);
+    eprintln!(
+        "[fault_tolerance] grw_under_throttled_fabric_with_faults_matches_reference seed={seed}"
+    );
+
+    let csr = uniform_random(GraphSpec { vertices: 80, avg_degree: 4, seed: 17 });
+    let expected = seq_grw(&csr, 24, 6, 99);
+
+    let cluster = Cluster::start(2, Config::small_throttled()).unwrap();
+    cluster.fabric().install_faults(
+        FaultPlan::new(seed)
+            .drop_all(0.05)
+            .jitter(0, 1, 50_000)
+            .flap_period(0, 1, 8_000_000, 1_500_000),
+    );
+    let aggs = pool_handles(&cluster);
+    let got = cluster.node(0).run(move |ctx| {
+        let g = DistGraph::from_csr(ctx, &csr);
+        let r = gmt_grw(ctx, &g, 24, 6, 99);
+        g.free(ctx);
+        r
+    });
+    assert_eq!(got, expected, "throttled GRW diverged under faults (seed {seed})");
+    let total = cluster.net_stats().total();
+    assert!(total.dropped_msgs > 0, "fault plan never dropped a packet (seed {seed})");
+    for i in 0..cluster.nodes() {
+        assert_eq!(cluster.node(i).stuck_tasks(), 0, "node {i} has stuck tasks (seed {seed})");
+    }
+    cluster.shutdown();
+    assert_pools_whole(&aggs);
+}
+
+/// Heavy duplication plus loss on a put/get storm: the receiver-side
+/// dedup must keep every value exact while duplicates and retransmits are
+/// demonstrably flowing.
+#[test]
+fn duplication_storm_is_deduplicated_exactly() {
+    let seed = seed_from_env(0xD0_D0);
+    eprintln!("[fault_tolerance] duplication_storm_is_deduplicated_exactly seed={seed}");
+
+    let cluster = Cluster::start(2, Config::small()).unwrap();
+    cluster.fabric().install_faults(FaultPlan::new(seed).dup_all(0.30).drop_all(0.10));
+    let aggs = pool_handles(&cluster);
+    let bad = cluster.node(0).run(|ctx| {
+        let n = 512u64;
+        let arr = ctx.alloc(n * 8, Distribution::Remote);
+        ctx.parfor(gmt_core::SpawnPolicy::Local, n, 16, move |ctx, i| {
+            ctx.put_value::<u64>(&arr, i, i * 3 + 1).unwrap();
+        });
+        let mut bad = 0u64;
+        for i in 0..n {
+            if ctx.get_value::<u64>(&arr, i).unwrap() != i * 3 + 1 {
+                bad += 1;
+            }
+        }
+        ctx.free(arr);
+        bad
+    });
+    assert_eq!(bad, 0, "dedup failed: {bad} corrupted values (seed {seed})");
+    let total = cluster.net_stats().total();
+    assert!(total.duplicated_msgs > 0, "fault plan never duplicated a packet (seed {seed})");
+    assert!(total.dropped_msgs > 0, "fault plan never dropped a packet (seed {seed})");
+    cluster.shutdown();
+    assert_pools_whole(&aggs);
+}
+
+/// Node-kill acceptance: after the retry budget is exhausted against a
+/// blackholed peer, blocking operations addressed to it fail with
+/// [`GmtError::RemoteDead`] (instead of hanging), subsequent operations
+/// fail fast, and the watchdog reports zero stuck tasks once the failure
+/// has been surfaced.
+#[test]
+fn killed_node_surfaces_remote_dead_within_retry_budget() {
+    let seed = seed_from_env(0xDEAD);
+    eprintln!("[fault_tolerance] killed_node_surfaces_remote_dead_within_retry_budget seed={seed}");
+
+    let config = Config::small();
+    // Generous wall-clock budget: sum of backed-off RTOs plus scheduling
+    // slack on a loaded single-core CI host.
+    let rto_budget: u64 = (0..config.max_retries)
+        .map(|a| (config.rto_base_ns << a.min(16)).min(config.rto_max_ns))
+        .sum();
+    let deadline = std::time::Duration::from_nanos(rto_budget * 20 + 2_000_000_000);
+
+    let cluster = Cluster::start(4, config).unwrap();
+    let aggs = pool_handles(&cluster);
+    // Allocate while the fabric is healthy: 32 u64 words block-partitioned
+    // over 4 nodes — elements 24..32 live on node 3.
+    let arr = cluster.node(0).run(|ctx| {
+        let arr = ctx.alloc(32 * 8, Distribution::Partition);
+        ctx.put_value::<u64>(&arr, 28, 1).unwrap();
+        arr
+    });
+
+    cluster.fabric().install_faults(FaultPlan::new(seed).kill(3));
+
+    let start = Instant::now();
+    let (first, fast, fast_elapsed) = cluster.node(0).run(move |ctx| {
+        let first = ctx.put_value::<u64>(&arr, 28, 7);
+        // The peer is now marked dead: later operations must fail fast
+        // (tokens error-completed at emit time, no retry cycle).
+        let t = Instant::now();
+        let fast = ctx.get_value::<u64>(&arr, 28);
+        (first, fast, t.elapsed())
+    });
+    let elapsed = start.elapsed();
+
+    match first {
+        Err(GmtError::RemoteDead { node, failed_ops }) => {
+            assert_eq!(node, 3, "wrong peer blamed (seed {seed})");
+            assert!(failed_ops >= 1);
+        }
+        other => panic!("expected RemoteDead, got {other:?} (seed {seed})"),
+    }
+    assert!(
+        matches!(fast, Err(GmtError::RemoteDead { node: 3, .. })),
+        "post-death op did not fail: {fast:?} (seed {seed})"
+    );
+    assert!(elapsed < deadline, "death took {elapsed:?}, budget {deadline:?} (seed {seed})");
+    assert!(fast_elapsed < deadline / 2, "post-death op was not fast: {fast_elapsed:?}");
+
+    assert_eq!(cluster.node(0).dead_peers(), vec![3], "node 0 peer-death record (seed {seed})");
+    // The failure unparked everything: the watchdog sees zero stuck tasks.
+    assert_eq!(cluster.node(0).stuck_tasks(), 0, "tasks left parked after failure (seed {seed})");
+
+    // Healthy links are unaffected: node 0 <-> node 1 still works
+    // (elements 8..16 of the array live on node 1). Collective allocation
+    // would panic on a degraded cluster — by design — so reuse the array
+    // allocated while the fabric was healthy.
+    let ok = cluster.node(0).run(move |ctx| {
+        ctx.put_value::<u64>(&arr, 9, 42).unwrap();
+        ctx.get_value::<u64>(&arr, 9).unwrap()
+    });
+    assert_eq!(ok, 42);
+
+    cluster.shutdown();
+    // Node 0's pools must be whole even though packets to node 3 died in
+    // the retransmit queue — their pooled payloads are released when the
+    // peer is declared dead. Node 3 never learns anything (all its inbound
+    // was blackholed), so its pools are trivially whole too.
+    assert_pools_whole(&aggs);
+}
+
+/// The watchdog's positive path: with the reliability layer *off* (the
+/// paper's lossless-MPI assumption) a blackholed peer turns every token
+/// addressed to it into a permanent hang — and the stuck-token watchdog
+/// must say so, instead of the program just sitting there.
+#[test]
+fn watchdog_reports_stuck_tokens_when_reliability_is_off() {
+    let seed = seed_from_env(0x57C);
+    eprintln!(
+        "[fault_tolerance] watchdog_reports_stuck_tokens_when_reliability_is_off seed={seed}"
+    );
+
+    let config = Config { reliable: false, stuck_task_deadline_ns: 50_000_000, ..Config::small() };
+    let cluster = Cluster::start(2, config).unwrap();
+    // Allocate while the fabric is healthy; elements 16..32 live on node 1.
+    let arr = cluster.node(0).run(|ctx| ctx.alloc(32 * 8, Distribution::Partition));
+
+    cluster.fabric().install_faults(FaultPlan::new(seed).kill(1));
+
+    // `NodeHandle::run` would block with the task, so submit the doomed
+    // root task directly. It parks forever on the swallowed put; at
+    // shutdown the worker leaks it by design (its stack may still be a
+    // reply target), so there is no completion to wait for.
+    cluster.node(0).shared().root_queue.push(gmt_core::task::RootTask {
+        f: Box::new(move |ctx| {
+            let _ = ctx.put_value::<u64>(&arr, 20, 7);
+        }),
+    });
+
+    // Without seq/ack the runtime can never notice the loss — only the
+    // watchdog can. Poll it past the 50 ms deadline.
+    let start = Instant::now();
+    let mut stuck = 0;
+    while start.elapsed() < std::time::Duration::from_secs(10) {
+        stuck = cluster.node(0).stuck_tasks();
+        if stuck > 0 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert_eq!(stuck, 1, "watchdog never reported the hung token (seed {seed})");
+    assert!(
+        cluster.node(0).dead_peers().is_empty(),
+        "no reliability layer, so nobody should be declared dead"
+    );
+    cluster.shutdown();
+}

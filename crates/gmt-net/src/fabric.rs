@@ -18,6 +18,7 @@
 //!   (the whole point of GMT's multithreading) observable for real inside
 //!   one process.
 
+use crate::fault::{FaultDecision, FaultPlan};
 use crate::model::NetworkModel;
 use crate::payload::Payload;
 use crate::stats::TrafficStats;
@@ -27,6 +28,7 @@ use parking_lot::{Mutex, RwLock};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -87,17 +89,33 @@ struct Port {
     busy_until: Instant,
 }
 
+/// A [`FaultPlan`] installed on a fabric, with the runtime state that
+/// makes its decisions deterministic.
+struct InstalledPlan {
+    plan: FaultPlan,
+    installed_at: Instant,
+    /// Per-directed-link send counters (`src * nodes + dst`): the n-th
+    /// packet on a link always gets the n-th decision, regardless of how
+    /// sends on other links interleave.
+    counters: Vec<AtomicU64>,
+}
+
 struct Shared {
     nodes: usize,
     mode: DeliveryMode,
     /// Inboxes, one per node.
     inbox_tx: Vec<Sender<Packet>>,
-    /// Wire-thread input (throttled mode only).
-    wire_tx: Option<Sender<(Instant, Packet)>>,
+    /// Wire-thread input (throttled mode only). Taken out (disconnecting
+    /// the channel) when the fabric drops, so the wire thread exits and
+    /// can be joined; subsequent sends observe [`NetError::Closed`].
+    wire_tx: RwLock<Option<Sender<(Instant, Packet)>>>,
     ports: Vec<Mutex<Port>>,
     stats: TrafficStats,
-    /// Links currently failed by fault injection.
+    /// Links currently failed by the legacy binary switch
+    /// ([`Fabric::set_link`]); sends on them *fail with an error*.
     faults: RwLock<HashSet<(NodeId, NodeId)>>,
+    /// Probabilistic / scheduled fault plan; faults here are *silent*.
+    plan: RwLock<Option<InstalledPlan>>,
 }
 
 /// An in-process cluster interconnect between `n` nodes.
@@ -130,10 +148,11 @@ impl Fabric {
             nodes,
             mode,
             inbox_tx,
-            wire_tx,
+            wire_tx: RwLock::new(wire_tx),
             ports: (0..nodes).map(|_| Mutex::new(Port { busy_until: now })).collect(),
             stats: TrafficStats::new(nodes),
             faults: RwLock::new(HashSet::new()),
+            plan: RwLock::new(None),
         });
         Fabric { shared, inbox_rx, wire_thread }
     }
@@ -178,19 +197,35 @@ impl Fabric {
             faults.insert((src, dst));
         }
     }
+
+    /// Installs a [`FaultPlan`]; replaces any previous plan. Unlike
+    /// [`set_link`](Fabric::set_link), plan faults are *silent*: the send
+    /// succeeds, the packet vanishes (or duplicates, or is delayed) in the
+    /// fabric — which is what a reliability layer has to survive. Flap
+    /// schedules and decision sequences restart at installation time.
+    pub fn install_faults(&self, plan: FaultPlan) {
+        let counters =
+            (0..self.shared.nodes * self.shared.nodes).map(|_| AtomicU64::new(0)).collect();
+        *self.shared.plan.write() =
+            Some(InstalledPlan { plan, installed_at: Instant::now(), counters });
+    }
+
+    /// Removes any installed [`FaultPlan`]; the fabric is lossless again.
+    pub fn clear_faults(&self) {
+        *self.shared.plan.write() = None;
+    }
 }
 
 impl Drop for Fabric {
     fn drop(&mut self) {
-        // Disconnect the wire thread's input so it drains and exits.
-        // (Endpoints keep `shared` alive, but their wire_tx clone lives in
-        // `shared`; dropping the fabric alone does not stop deliveries.
-        // Joining here only blocks until in-flight packets drain.)
+        // Take the only wire-thread sender out of `shared`: the channel
+        // disconnects (endpoints sending afterwards observe
+        // `NetError::Closed`), the wire thread delivers whatever is still
+        // queued *immediately* — shutdown does not honour remaining model
+        // delay — and exits, so the join is bounded.
         if let Some(handle) = self.wire_thread.take() {
-            // Take the sender out so the channel disconnects once all
-            // endpoints are gone too. We cannot mutate Arc contents, so the
-            // wire thread also exits when every sender clone is dropped.
-            drop(handle); // detach: endpoints may still be sending
+            drop(self.shared.wire_tx.write().take());
+            let _ = handle.join();
         }
     }
 }
@@ -238,16 +273,15 @@ fn wire_loop(rx: Receiver<(Instant, Packet)>, inboxes: Vec<Sender<Packet>>) {
                 seq += 1;
             }
             Err(Some(())) => {
-                // Input disconnected: flush what is queued, then exit.
+                // Input disconnected: the fabric is shutting down. Flush
+                // what is queued in deadline order but deliver immediately —
+                // honouring remaining model delay here would make drop()
+                // block for the full modeled backlog.
                 let mut rest: Vec<_> = heap.into_sorted_vec();
                 rest.reverse(); // into_sorted_vec on Reverse puts latest first
                 rest.sort_by_key(|Reverse(k)| *k);
-                for Reverse((deadline, s)) in rest {
+                for Reverse((_deadline, s)) in rest {
                     let pkt = payloads.remove(&s).expect("packet for heap entry");
-                    let now = Instant::now();
-                    if deadline > now {
-                        std::thread::sleep(deadline - now);
-                    }
                     let _ = inboxes[pkt.dst].send(pkt);
                 }
                 return;
@@ -298,15 +332,48 @@ impl Endpoint {
         if dst >= shared.nodes {
             return Err(NetError::NoSuchNode { dst, nodes: shared.nodes });
         }
-        if !shared.faults.read().is_empty() && shared.faults.read().contains(&(self.node, dst)) {
-            return Err(NetError::LinkDown { src: self.node, dst });
+        {
+            // One read guard for both checks: with two separate reads a
+            // concurrent set_link() could land in between, so the set we
+            // tested for emptiness is not the set we probe.
+            let faults = shared.faults.read();
+            if !faults.is_empty() && faults.contains(&(self.node, dst)) {
+                return Err(NetError::LinkDown { src: self.node, dst });
+            }
         }
+        // Silent-fault decision from the installed plan, if any. The
+        // decision is made here, but in throttled mode a dropped packet
+        // still consumes the port's serialization time below: the NIC
+        // serialized the frame, the wire ate it.
+        let decision = {
+            let plan = shared.plan.read();
+            match plan.as_ref() {
+                Some(p) if !p.plan.is_noop() => {
+                    let n =
+                        p.counters[self.node * shared.nodes + dst].fetch_add(1, Ordering::Relaxed);
+                    let t_ns = p.installed_at.elapsed().as_nanos() as u64;
+                    p.plan.decide(self.node, dst, n, t_ns)
+                }
+                _ => FaultDecision::CLEAN,
+            }
+        };
         let bytes = payload.len();
         shared.stats.record_send(self.node, bytes);
-        shared.stats.record_recv(dst, bytes);
         let pkt = Packet { src: self.node, dst, tag, payload };
         match shared.mode {
-            DeliveryMode::Instant => shared.inbox_tx[dst].send(pkt).map_err(|_| NetError::Closed),
+            DeliveryMode::Instant => {
+                if decision.drop {
+                    shared.stats.record_drop(self.node);
+                    return Ok(());
+                }
+                if decision.duplicate {
+                    shared.stats.record_dup(self.node);
+                    shared.stats.record_recv(dst, bytes);
+                    let _ = shared.inbox_tx[dst].send(pkt.clone());
+                }
+                shared.stats.record_recv(dst, bytes);
+                shared.inbox_tx[dst].send(pkt).map_err(|_| NetError::Closed)
+            }
             DeliveryMode::Throttled(model) => {
                 let deadline = {
                     let mut port = shared.ports[self.node].lock();
@@ -316,12 +383,20 @@ impl Endpoint {
                     port.busy_until = start + busy;
                     port.busy_until + Duration::from_nanos(model.wire_latency_ns)
                 };
-                shared
-                    .wire_tx
-                    .as_ref()
-                    .expect("throttled fabric has a wire thread")
-                    .send((deadline, pkt))
-                    .map_err(|_| NetError::Closed)
+                if decision.drop {
+                    shared.stats.record_drop(self.node);
+                    return Ok(());
+                }
+                let deadline = deadline + Duration::from_nanos(decision.extra_delay_ns);
+                let guard = shared.wire_tx.read();
+                let tx = guard.as_ref().ok_or(NetError::Closed)?;
+                if decision.duplicate {
+                    shared.stats.record_dup(self.node);
+                    shared.stats.record_recv(dst, bytes);
+                    let _ = tx.send((deadline, pkt.clone()));
+                }
+                shared.stats.record_recv(dst, bytes);
+                tx.send((deadline, pkt)).map_err(|_| NetError::Closed)
             }
         }
     }
@@ -344,6 +419,12 @@ impl Endpoint {
     /// Number of packets currently queued for this node.
     pub fn pending(&self) -> usize {
         self.rx.len()
+    }
+
+    /// The fabric's traffic counters (shared by all endpoints). The
+    /// transport layer above uses this to record retransmissions.
+    pub fn stats(&self) -> &TrafficStats {
+        &self.shared.stats
     }
 }
 
@@ -486,6 +567,127 @@ mod tests {
         assert_eq!(got, vec![0, 1]);
         // Two ports in parallel: total ≈ 30 ms, not 60 ms.
         assert!(start.elapsed() < Duration::from_millis(55));
+    }
+
+    #[test]
+    fn fault_plan_drops_silently_and_deterministically() {
+        let run = |seed: u64| {
+            let fabric = Fabric::new(2, DeliveryMode::Instant);
+            fabric.install_faults(FaultPlan::new(seed).drop(0, 1, 0.3));
+            let eps = fabric.endpoints();
+            let mut got = Vec::new();
+            for i in 0..200u8 {
+                eps[0].send(1, 0, vec![i]).unwrap(); // silent: Ok even when dropped
+            }
+            while let Some(pkt) = eps[1].try_recv() {
+                got.push(pkt.payload[0]);
+            }
+            let s = fabric.stats().node(0);
+            assert_eq!(s.sent_msgs, 200);
+            assert_eq!(s.dropped_msgs + got.len() as u64, 200);
+            assert!(s.dropped_msgs > 0, "0.3 drop probability never fired");
+            (got, s.dropped_msgs)
+        };
+        let (got_a, drops_a) = run(42);
+        let (got_b, drops_b) = run(42);
+        assert_eq!(got_a, got_b, "same seed must replay the same drop pattern");
+        assert_eq!(drops_a, drops_b);
+        let (got_c, _) = run(43);
+        assert_ne!(got_a, got_c, "different seed should differ (vanishingly unlikely otherwise)");
+    }
+
+    #[test]
+    fn fault_plan_duplicates_packets() {
+        let fabric = Fabric::new(2, DeliveryMode::Instant);
+        fabric.install_faults(FaultPlan::new(9).dup(0, 1, 1.0));
+        let eps = fabric.endpoints();
+        eps[0].send(1, 0, vec![5]).unwrap();
+        assert_eq!(eps[1].recv().unwrap().payload, vec![5]);
+        assert_eq!(eps[1].recv().unwrap().payload, vec![5]);
+        assert_eq!(fabric.stats().node(0).duplicated_msgs, 1);
+        assert_eq!(fabric.stats().node(1).recv_msgs, 2);
+    }
+
+    #[test]
+    fn killed_node_blackholes_without_errors() {
+        let fabric = Fabric::new(3, DeliveryMode::Instant);
+        fabric.install_faults(FaultPlan::new(0).kill(2));
+        let eps = fabric.endpoints();
+        eps[0].send(2, 0, vec![1]).unwrap();
+        eps[2].send(0, 0, vec![2]).unwrap();
+        eps[0].send(1, 0, vec![3]).unwrap(); // unaffected link
+        assert!(eps[2].try_recv().is_none());
+        assert!(eps[0].try_recv().is_none());
+        assert_eq!(eps[1].recv().unwrap().payload, vec![3]);
+        fabric.clear_faults();
+        eps[0].send(2, 0, vec![4]).unwrap();
+        assert_eq!(eps[2].recv().unwrap().payload, vec![4]);
+    }
+
+    #[test]
+    fn throttled_drops_still_consume_serialization_time() {
+        // 1 ms per message, all of them dropped: the port must still have
+        // serialized every frame, so wall time >= 5 ms even though nothing
+        // arrives. This is what makes loss compose with the cost model.
+        let model = NetworkModel {
+            per_msg_overhead_ns: 1_000_000,
+            bandwidth_bytes_per_sec: u64::MAX,
+            wire_latency_ns: 0,
+        };
+        let fabric = Fabric::new(2, DeliveryMode::Throttled(model));
+        fabric.install_faults(FaultPlan::new(1).drop(0, 1, 1.0));
+        let eps = fabric.endpoints();
+        for _ in 0..5 {
+            eps[0].send(1, 0, vec![1]).unwrap();
+        }
+        assert_eq!(fabric.stats().node(0).dropped_msgs, 5);
+        // The port's busy_until has advanced 5 ms into the future: a clean
+        // probe message sent now cannot arrive before that.
+        fabric.clear_faults();
+        let start = Instant::now();
+        eps[0].send(1, 0, vec![2]).unwrap();
+        let pkt = eps[1].recv_timeout(Duration::from_secs(5)).expect("probe delivery");
+        assert_eq!(pkt.payload, vec![2]);
+        assert!(
+            start.elapsed() >= Duration::from_millis(5),
+            "dropped packets did not consume port time: {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn throttled_flap_window_composes_with_wire_thread() {
+        let model = NetworkModel {
+            per_msg_overhead_ns: 10_000,
+            bandwidth_bytes_per_sec: u64::MAX,
+            wire_latency_ns: 1_000,
+        };
+        let fabric = Fabric::new(2, DeliveryMode::Throttled(model));
+        // Link down for the first 50 ms after install.
+        fabric.install_faults(FaultPlan::new(3).flap(0, 1, 0, 50_000_000));
+        let eps = fabric.endpoints();
+        eps[0].send(1, 0, vec![1]).unwrap(); // inside the window: eaten
+        std::thread::sleep(Duration::from_millis(60));
+        eps[0].send(1, 0, vec![2]).unwrap(); // window over: delivered
+        let pkt = eps[1].recv_timeout(Duration::from_secs(5)).expect("post-flap delivery");
+        assert_eq!(pkt.payload, vec![2]);
+        assert!(eps[1].try_recv().is_none(), "flapped packet leaked through");
+        assert_eq!(fabric.stats().node(0).dropped_msgs, 1);
+    }
+
+    #[test]
+    fn send_after_fabric_drop_reports_closed() {
+        let model = NetworkModel {
+            per_msg_overhead_ns: 1_000,
+            bandwidth_bytes_per_sec: u64::MAX,
+            wire_latency_ns: 0,
+        };
+        let fabric = Fabric::new(2, DeliveryMode::Throttled(model));
+        let eps = fabric.endpoints();
+        eps[0].send(1, 0, vec![1]).unwrap();
+        drop(fabric); // joins the wire thread; queued packet flushed
+        assert_eq!(eps[1].recv().unwrap().payload, vec![1]);
+        assert_eq!(eps[0].send(1, 0, vec![2]), Err(NetError::Closed));
     }
 
     #[test]

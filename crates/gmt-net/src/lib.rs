@@ -27,11 +27,13 @@
 //! See [`model::NetworkModel::olympus`].
 
 pub mod fabric;
+pub mod fault;
 pub mod model;
 pub mod payload;
 pub mod stats;
 
 pub use fabric::{DeliveryMode, Endpoint, Fabric, NetError, Packet, Tag};
+pub use fault::{seed_from_env, FaultPlan, FlapWindow};
 pub use model::NetworkModel;
 pub use payload::{BufRelease, Payload};
 pub use stats::TrafficStats;

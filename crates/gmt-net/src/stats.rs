@@ -15,6 +15,15 @@ struct NodeCounters {
     sent_bytes: AtomicU64,
     recv_msgs: AtomicU64,
     recv_bytes: AtomicU64,
+    /// Packets from this node the fabric silently dropped (fault
+    /// injection: lossy links, flap windows, killed nodes).
+    dropped_msgs: AtomicU64,
+    /// Extra deliveries the fabric injected by duplicating this node's
+    /// packets.
+    duplicated_msgs: AtomicU64,
+    /// Packets this node's reliability layer sent again after a timeout
+    /// (recorded by the transport layer above the fabric).
+    retransmits: AtomicU64,
 }
 
 /// Traffic counters for every node of a fabric.
@@ -30,6 +39,12 @@ pub struct NodeTraffic {
     pub sent_bytes: u64,
     pub recv_msgs: u64,
     pub recv_bytes: u64,
+    /// Packets silently dropped by fault injection (counted at the src).
+    pub dropped_msgs: u64,
+    /// Duplicate deliveries injected by fault injection (counted at the src).
+    pub duplicated_msgs: u64,
+    /// Retransmissions performed by the reliability layer above the fabric.
+    pub retransmits: u64,
 }
 
 impl TrafficStats {
@@ -53,6 +68,24 @@ impl TrafficStats {
         c.recv_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
+    /// Records a packet from `node` silently dropped by fault injection.
+    #[inline]
+    pub fn record_drop(&self, node: usize) {
+        self.nodes[node].dropped_msgs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a duplicate delivery injected on a packet from `node`.
+    #[inline]
+    pub fn record_dup(&self, node: usize) {
+        self.nodes[node].duplicated_msgs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a retransmission by `node`'s reliability layer.
+    #[inline]
+    pub fn record_retransmit(&self, node: usize) {
+        self.nodes[node].retransmits.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Snapshot of one node's counters.
     pub fn node(&self, node: usize) -> NodeTraffic {
         let c = &self.nodes[node];
@@ -61,6 +94,9 @@ impl TrafficStats {
             sent_bytes: c.sent_bytes.load(Ordering::Relaxed),
             recv_msgs: c.recv_msgs.load(Ordering::Relaxed),
             recv_bytes: c.recv_bytes.load(Ordering::Relaxed),
+            dropped_msgs: c.dropped_msgs.load(Ordering::Relaxed),
+            duplicated_msgs: c.duplicated_msgs.load(Ordering::Relaxed),
+            retransmits: c.retransmits.load(Ordering::Relaxed),
         }
     }
 
@@ -73,6 +109,9 @@ impl TrafficStats {
             t.sent_bytes += n.sent_bytes;
             t.recv_msgs += n.recv_msgs;
             t.recv_bytes += n.recv_bytes;
+            t.dropped_msgs += n.dropped_msgs;
+            t.duplicated_msgs += n.duplicated_msgs;
+            t.retransmits += n.retransmits;
         }
         t
     }
@@ -99,8 +138,13 @@ mod tests {
         s.record_recv(2, 128);
         assert_eq!(
             s.node(0),
-            NodeTraffic { sent_msgs: 2, sent_bytes: 128, recv_msgs: 0, recv_bytes: 0 }
+            NodeTraffic { sent_msgs: 2, sent_bytes: 128, ..NodeTraffic::default() }
         );
+        s.record_drop(0);
+        s.record_dup(0);
+        s.record_retransmit(0);
+        let n0 = s.node(0);
+        assert_eq!((n0.dropped_msgs, n0.duplicated_msgs, n0.retransmits), (1, 1, 1));
         assert_eq!(s.node(1), NodeTraffic::default());
         let t = s.total();
         assert_eq!(t.sent_bytes, 128);

@@ -26,16 +26,16 @@ fn main() {
         let local = ctx.alloc(4096, Distribution::Local);
 
         // -- Data movement (gmt_put / gmt_get) --------------------------
-        ctx.put(&local, 0, b"hello global memory");
+        ctx.put(&local, 0, b"hello global memory").unwrap();
         let mut readback = [0u8; 19];
-        ctx.get(&local, 0, &mut readback);
+        ctx.get(&local, 0, &mut readback).unwrap();
         assert_eq!(&readback, b"hello global memory");
 
         // Non-blocking flavors: issue many, then wait once.
         for i in 0..1024u64 {
             ctx.put_value_nb::<u64>(&counters, i, 0);
         }
-        ctx.wait_commands(); // gmt_waitCommands
+        ctx.wait_commands().unwrap(); // gmt_waitCommands
 
         // -- Loop parallelism (gmt_parFor) ------------------------------
         // 4096 increments spread over every node of the cluster; each
@@ -43,22 +43,22 @@ fn main() {
         ctx.parfor(SpawnPolicy::Partition, 4096, 8, move |ctx, i| {
             let slot = (i * 31) % 1024; // irregular access pattern
                                         // -- Fine-grained synchronization (gmt_atomicAdd) ------------
-            ctx.atomic_add(&counters, slot * 8, 1);
+            ctx.atomic_add(&counters, slot * 8, 1).unwrap();
         });
 
         // -- Verify with a parallel reduction ----------------------------
         let total = ctx.alloc(8, Distribution::Local);
         ctx.parfor(SpawnPolicy::Partition, 1024, 32, move |ctx, i| {
-            let v = ctx.get_value::<u64>(&counters, i);
-            ctx.atomic_add(&total, 0, v as i64);
+            let v = ctx.get_value::<u64>(&counters, i).unwrap();
+            ctx.atomic_add(&total, 0, v as i64).unwrap();
         });
-        let sum = ctx.atomic_add(&total, 0, 0);
+        let sum = ctx.atomic_add(&total, 0, 0).unwrap();
         assert_eq!(sum, 4096);
 
         // A tiny histogram of counter values to show irregular spread.
         let mut hist = [0u32; 8];
         for i in 0..1024 {
-            let v = ctx.get_value::<u64>(&counters, i) as usize;
+            let v = ctx.get_value::<u64>(&counters, i).unwrap() as usize;
             hist[v.min(7)] += 1;
         }
 

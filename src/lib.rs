@@ -21,8 +21,8 @@
 //! let cluster = Cluster::start(2, Config::small()).unwrap();
 //! cluster.node(0).run(|ctx| {
 //!     let arr = ctx.alloc(1024 * 8, Distribution::Partition);
-//!     ctx.put_value::<u64>(&arr, 7, 42);
-//!     assert_eq!(ctx.get_value::<u64>(&arr, 7), 42);
+//!     ctx.put_value::<u64>(&arr, 7, 42).unwrap();
+//!     assert_eq!(ctx.get_value::<u64>(&arr, 7).unwrap(), 42);
 //!     ctx.free(arr);
 //! });
 //! cluster.shutdown();

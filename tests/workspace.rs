@@ -60,7 +60,7 @@ fn aggregation_collapses_message_counts_end_to_end() {
         for i in 0..OPS {
             ctx.put_value_nb::<u64>(&arr, i, i);
         }
-        ctx.wait_commands();
+        ctx.wait_commands().unwrap();
         ctx.free(arr);
     });
     let gmt_msgs = cluster.net_stats().total().sent_msgs;
@@ -112,7 +112,7 @@ fn simulator_matches_runtime_qualitatively() {
                 for k in 0..ops_per_task {
                     ctx.put_value_nb::<u64>(&arr, t * ops_per_task + k, k);
                 }
-                ctx.wait_commands();
+                ctx.wait_commands().unwrap();
             });
             ctx.free(arr);
         });
@@ -143,10 +143,10 @@ fn nested_parallel_graph_processing() {
             ctx.parfor(SpawnPolicy::Partition, 16, 4, move |ctx, i| {
                 let v = stripe * 16 + i;
                 let sum: u64 = g.neighbors(ctx, v).iter().sum();
-                ctx.atomic_add(&acc, 0, sum as i64);
+                ctx.atomic_add(&acc, 0, sum as i64).unwrap();
             });
         });
-        let v = ctx.atomic_add(&acc, 0, 0) as u64;
+        let v = ctx.atomic_add(&acc, 0, 0).unwrap() as u64;
         ctx.free(acc);
         g.free(ctx);
         v
