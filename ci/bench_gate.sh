@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# Benchmark regression gate.
+#
+# Runs the gated benchmarks (aggregation_emit, reliability_e2e,
+# ctx_switch), writes the medians to BENCH_pr.json, and compares every
+# benchmark listed in the committed baseline against the fresh run. A
+# median more than BENCH_GATE_THRESHOLD percent (default 15) slower than
+# baseline fails the gate. Benchmarks not listed in the baseline are
+# recorded but not gated.
+#
+# Usage:
+#   ci/bench_gate.sh            compare against bench/baselines/BENCH_baseline.json
+#   ci/bench_gate.sh baseline   rewrite the baseline from a fresh run
+#
+# The baseline is refreshed deliberately (run `ci/bench_gate.sh baseline`
+# on a quiet machine and commit the diff), never automatically.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=${BENCH_GATE_BASELINE:-bench/baselines/BENCH_baseline.json}
+OUT=${BENCH_GATE_OUT:-BENCH_pr.json}
+THRESHOLD=${BENCH_GATE_THRESHOLD:-15}
+BENCHES=(aggregation reliability ctx_switch)
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+for bench in "${BENCHES[@]}"; do
+    echo "== cargo bench -p gmt-bench --bench $bench =="
+    cargo bench -p gmt-bench --bench "$bench" 2>&1 | tee -a "$raw"
+done
+
+# The criterion shim prints:  <id>  time: [<min> <u> <median> <u> <max> <u>]
+# Normalize the median to nanoseconds, one "<id> <ns>" pair per line.
+pairs=$(awk '
+    / time: \[/ {
+        id = $1
+        match($0, /\[[^]]*\]/)
+        split(substr($0, RSTART + 1, RLENGTH - 2), t, " ")
+        val = t[3]; unit = t[4]
+        if (unit == "ns")      ns = val
+        else if (unit == "µs") ns = val * 1e3
+        else if (unit == "ms") ns = val * 1e6
+        else if (unit == "s")  ns = val * 1e9
+        else next
+        printf "%s %.3f\n", id, ns
+    }' "$raw")
+
+if [ -z "$pairs" ]; then
+    echo "bench gate: no benchmark output parsed" >&2
+    exit 1
+fi
+
+# Render "<id> <ns>" pairs as the JSON artifact (one entry per line, the
+# same shape the baseline is committed in).
+write_json() {
+    awk 'BEGIN { print "{" ; print "  \"median_ns\": {" }
+         { lines[NR] = sprintf("    \"%s\": %s", $1, $2) }
+         END {
+             for (i = 1; i <= NR; i++) printf "%s%s\n", lines[i], (i < NR ? "," : "")
+             print "  }" ; print "}"
+         }'
+}
+
+if [ "${1:-}" = "baseline" ]; then
+    mkdir -p "$(dirname "$BASELINE")"
+    printf '%s\n' "$pairs" | write_json > "$BASELINE"
+    echo "bench gate: baseline written to $BASELINE"
+    exit 0
+fi
+
+printf '%s\n' "$pairs" | write_json > "$OUT"
+echo "bench gate: results written to $OUT"
+
+if [ ! -f "$BASELINE" ]; then
+    echo "bench gate: no baseline at $BASELINE; nothing to compare" >&2
+    exit 1
+fi
+
+# Pull "<id> <ns>" pairs back out of a baseline/artifact JSON file.
+json_pairs() {
+    sed -n 's/^ *"\([^"]*\)": \([0-9.][0-9.]*\),\{0,1\}$/\1 \2/p' "$1"
+}
+
+echo
+json_pairs "$BASELINE" | awk -v thr="$THRESHOLD" -v prs="$pairs" '
+    BEGIN {
+        n = split(prs, lines, "\n")
+        for (i = 1; i <= n; i++) {
+            split(lines[i], f, " ")
+            pr[f[1]] = f[2]
+        }
+    }
+    {
+        id = $1; base = $2
+        if (!(id in pr)) {
+            printf "%-55s MISSING from PR run\n", id
+            status = 1
+            next
+        }
+        delta = (pr[id] - base) / base * 100
+        flag = (delta > thr) ? "REGRESSION" : "ok"
+        if (delta > thr) status = 1
+        printf "%-55s base %12.1f ns   pr %12.1f ns   %+7.1f%%  %s\n", id, base, pr[id], delta, flag
+    }
+    END {
+        if (status) {
+            printf "\nbench gate: FAILED (median regression over %s%%)\n", thr
+        } else {
+            printf "\nbench gate: ok (threshold %s%%)\n", thr
+        }
+        exit status
+    }'

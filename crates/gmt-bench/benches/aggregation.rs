@@ -1,4 +1,4 @@
-//! Aggregation-pipeline benchmarks and ablations (DESIGN.md §9).
+//! Aggregation-pipeline benchmarks and ablations (DESIGN.md §11).
 //!
 //! * command emit throughput through the two-level pipeline,
 //! * pre-aggregation ablation (command blocks of one entry push straight

@@ -1,0 +1,138 @@
+//! `metrics_report` — runs the paper's three kernels (BFS, GRW, CHMA) on
+//! a 4-node in-process cluster and prints a Table III-style observability
+//! report per kernel from the runtime's metrics registry: per-thread
+//! context-switch counts, the aggregation-buffer occupancy histogram at
+//! flush time, and command execution rates by opcode.
+//!
+//! Built with `--features trace` and run with
+//! `GMT_TRACE=chrome:/tmp/run.json`, it additionally leaves a Chrome
+//! `trace_event` file per kernel (openable in Perfetto, one lane per
+//! worker/helper/comm thread).
+
+use gmt_core::{Cluster, Config, MetricsSnapshot, NodeHandle};
+use gmt_graph::{uniform_random, DistGraph, GraphSpec};
+use gmt_kernels::chma::{self, ChmaConfig, GmtHashMap};
+use gmt_kernels::{bfs, grw};
+use std::time::Instant;
+
+const NODES: usize = 4;
+
+fn main() {
+    println!("=== GMT metrics report: {NODES}-node in-process cluster ===");
+    run_kernel("BFS", |cluster| {
+        let csr = uniform_random(GraphSpec { vertices: 4096, avg_degree: 8, seed: 42 });
+        let (visited, edges) = cluster.node(0).run(move |ctx| {
+            let g = DistGraph::from_csr(ctx, &csr);
+            let r = bfs::gmt_bfs(ctx, &g, 0);
+            g.free(ctx);
+            (r.visited, r.traversed_edges)
+        });
+        format!("visited {visited} vertices, traversed {edges} edges")
+    });
+    run_kernel("GRW", |cluster| {
+        let csr = uniform_random(GraphSpec { vertices: 2048, avg_degree: 8, seed: 7 });
+        let r = cluster.node(0).run(move |ctx| {
+            let g = DistGraph::from_csr(ctx, &csr);
+            let r = grw::gmt_grw(ctx, &g, 1024, 16, 99);
+            g.free(ctx);
+            r
+        });
+        format!("{} walkers x {} steps, {} edges", r.walkers, r.steps_per_walker, r.traversed_edges)
+    });
+    run_kernel("CHMA", |cluster| {
+        let cfg = ChmaConfig { entries: 2048, pool: 512, tasks: 128, steps: 16, seed: 5 };
+        let r = cluster.node(0).run(move |ctx| {
+            let map = GmtHashMap::alloc(ctx, cfg.entries);
+            chma::gmt_chma_populate(ctx, &map, &cfg);
+            let r = chma::gmt_chma_access(ctx, &map, &cfg);
+            map.free(ctx);
+            r
+        });
+        format!(
+            "{} accesses: {} hits, {} misses, {} inserts",
+            r.accesses, r.hits, r.misses, r.inserts
+        )
+    });
+}
+
+/// Starts a fresh cluster, runs one kernel, then prints its report.
+fn run_kernel(name: &str, body: impl FnOnce(&Cluster) -> String) {
+    let config = Config::small();
+    let cluster = Cluster::start(NODES, config.clone()).expect("cluster start");
+    let t0 = Instant::now();
+    let outcome = body(&cluster);
+    let elapsed = t0.elapsed().as_secs_f64();
+    println!("\n--- {name}: {outcome} ({:.1} ms) ---", elapsed * 1e3);
+    report(&cluster, &config, elapsed);
+    cluster.shutdown();
+}
+
+/// The Table III-style report: one section per node.
+fn report(cluster: &Cluster, config: &Config, elapsed_s: f64) {
+    for node in 0..NODES {
+        let h = cluster.node(node);
+        let snap = h.metrics_snapshot();
+        println!("node {node}:");
+        print_switches(h, config);
+        print_occupancy(&snap);
+        print_rates(&snap, elapsed_s);
+        print_comm(&snap);
+    }
+}
+
+/// Per-thread context-switch counts (one counter shard per worker).
+fn print_switches(h: &NodeHandle, config: &Config) {
+    let m = h.metrics();
+    let sw = &m.ctx_switches;
+    print!("  ctx switches ({} total):", sw.sum());
+    for w in 0..config.num_workers {
+        print!(" w{w}={}", sw.shard_value(w));
+    }
+    println!();
+}
+
+/// Aggregation-buffer fill level at flush time.
+fn print_occupancy(snap: &MetricsSnapshot) {
+    let Some(hist) = snap.histogram("agg.flush_fill_bytes") else { return };
+    print!("  buffer fill at flush ({} flushes):", hist.count());
+    for (i, &c) in hist.counts.iter().enumerate() {
+        match hist.bounds.get(i) {
+            Some(b) => print!(" <={b}B:{c}"),
+            None => print!(" >{}B:{c}", hist.bounds.last().unwrap()),
+        }
+    }
+    let timeouts = snap.counter("agg.timeout_flushes").unwrap_or(0);
+    println!(" (deadline-triggered: {timeouts})");
+}
+
+/// Command execution rates by opcode (helpers' view).
+fn print_rates(snap: &MetricsSnapshot, elapsed_s: f64) {
+    let cmds: Vec<&(String, u64)> =
+        snap.counters.iter().filter(|(n, v)| n.starts_with("helper.cmd.") && *v > 0).collect();
+    if cmds.is_empty() {
+        println!("  commands executed: none");
+        return;
+    }
+    let total: u64 = cmds.iter().map(|(_, v)| v).sum();
+    print!("  commands executed ({:.0}/s):", total as f64 / elapsed_s);
+    for (name, v) in cmds {
+        print!(" {}={v}", name.trim_start_matches("helper.cmd."));
+    }
+    println!();
+}
+
+/// Wire-level traffic and reliability behaviour.
+fn print_comm(snap: &MetricsSnapshot) {
+    println!(
+        "  comm: {} buffers / {} B out, {} buffers / {} B in; retransmits {}, acks piggybacked \
+         {} standalone {}, dedup hits {}",
+        snap.counter("comm.buffers_sent").unwrap_or(0),
+        snap.counter("comm.bytes_sent").unwrap_or(0),
+        snap.counter("comm.buffers_recv").unwrap_or(0),
+        snap.counter("comm.bytes_recv").unwrap_or(0),
+        snap.counter("reliable.retransmits").unwrap_or(0),
+        snap.counter("reliable.acks_piggybacked").unwrap_or(0),
+        snap.counter("reliable.acks_standalone").unwrap_or(0),
+        snap.counter("reliable.dedup_hits").unwrap_or(0),
+    );
+}

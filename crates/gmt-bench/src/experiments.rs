@@ -392,7 +392,7 @@ pub fn fig11() -> Vec<(usize, u64, f64)> {
 }
 
 // ---------------------------------------------------------------------
-// Ablations (DESIGN.md §9) — design choices the paper fixed, swept
+// Ablations (DESIGN.md §11) — design choices the paper fixed, swept
 // ---------------------------------------------------------------------
 
 /// Ablation studies over the GMT machine model:

@@ -30,15 +30,19 @@
 //!   `Instant::now()`. Timeout precision degrades only to the pump
 //!   interval, which is exactly the granularity at which timeouts are
 //!   *checked* anyway.
-//! * **Sharded statistics** — counters live in per-channel cache-padded
-//!   cells ([`StatCell`]) and are summed on demand by
-//!   [`AggShared::stats`], so `emit` performs no RMW on any shared cache
-//!   line.
+//! * **Sharded statistics** — counters live in the node's metrics
+//!   registry ([`gmt_metrics::Registry`]), one cache-padded cell per
+//!   channel, and are summed on demand by [`AggShared::stats`], so `emit`
+//!   performs no RMW on any shared cache line. [`AggShared::new`] creates
+//!   a private registry (standalone use: unit tests, benchmarks);
+//!   [`AggShared::new_in_registry`] registers the same instruments in the
+//!   node-wide registry so they appear in
+//!   [`NodeHandle::metrics_snapshot`](crate::runtime::NodeHandle::metrics_snapshot).
 
 use crate::command::Command;
 use crate::NodeId;
 use crossbeam::queue::{ArrayQueue, SegQueue};
-use crossbeam::utils::CachePadded;
+use gmt_metrics::{Counter, Histogram, Registry};
 use gmt_net::{BufRelease, Payload};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -152,15 +156,43 @@ pub struct AggStats {
     pub block_pool_drops: u64,
 }
 
-/// One channel's statistics shard. Cache-line padded so the single
-/// writing thread never contends with its neighbours.
-#[derive(Default)]
-struct StatCell {
-    commands: AtomicU64,
-    blocks_pushed: AtomicU64,
-    buffers_filled: AtomicU64,
-    timeout_flushes: AtomicU64,
-    block_pool_drops: AtomicU64,
+/// The aggregation layer's registry instruments: sharded counters (one
+/// cell per channel, written by that channel's thread only) plus the
+/// fill-level histogram recorded at every buffer flush.
+struct AggMetrics {
+    commands: Counter,
+    blocks_pushed: Counter,
+    buffers_filled: Counter,
+    timeout_flushes: Counter,
+    block_pool_drops: Counter,
+    /// `aggregate` found the channel's buffer pool empty and left the
+    /// blocks queued for a later retry.
+    pool_waits: Counter,
+    /// Buffer length (header included) at flush, bucketed by fractions of
+    /// `buffer_size` — the paper's buffer-occupancy view (Figure 9).
+    flush_fill: Histogram,
+}
+
+impl AggMetrics {
+    fn register(registry: &Registry, buffer_size: usize) -> Self {
+        let mut bounds: Vec<u64> = [8usize, 4, 2]
+            .iter()
+            .map(|d| (buffer_size / d) as u64)
+            .chain([(buffer_size * 3 / 4) as u64, buffer_size as u64])
+            .filter(|&b| b > 0)
+            .collect();
+        bounds.sort_unstable();
+        bounds.dedup();
+        AggMetrics {
+            commands: registry.counter("agg.commands"),
+            blocks_pushed: registry.counter("agg.blocks_pushed"),
+            buffers_filled: registry.counter("agg.buffers_filled"),
+            timeout_flushes: registry.counter("agg.timeout_flushes"),
+            block_pool_drops: registry.counter("agg.block_pool_drops"),
+            pool_waits: registry.counter("agg.pool_waits"),
+            flush_fill: registry.histogram("agg.flush_fill_bytes", &bounds),
+        }
+    }
 }
 
 /// Node-wide shared aggregation state.
@@ -181,7 +213,7 @@ pub struct AggShared {
     queues: Vec<AggQueue>,
     block_pool: ArrayQueue<Vec<u8>>,
     channels: Vec<ChannelQueue>,
-    stat_cells: Vec<CachePadded<StatCell>>,
+    metrics: AggMetrics,
 }
 
 impl AggShared {
@@ -189,6 +221,12 @@ impl AggShared {
     /// exists but stays unused); `threads` = workers + helpers;
     /// `header_reserve` = bytes zero-reserved at the front of every buffer
     /// for the transport header (0 disables the reserve).
+    ///
+    /// The statistics instruments go into a private, throwaway registry:
+    /// counter handles keep working after a registry drops, so standalone
+    /// instances (tests, benchmarks) behave exactly as before — the
+    /// counters just are not visible in any node snapshot. The runtime
+    /// uses [`Self::new_in_registry`] instead.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         destinations: usize,
@@ -200,7 +238,36 @@ impl AggShared {
         aggregation_timeout_ns: u64,
         header_reserve: usize,
     ) -> Arc<Self> {
+        Self::new_in_registry(
+            destinations,
+            threads,
+            num_buf_per_channel,
+            buffer_size,
+            cmd_block_entries,
+            cmd_block_timeout_ns,
+            aggregation_timeout_ns,
+            header_reserve,
+            &Registry::new(threads),
+        )
+    }
+
+    /// Like [`Self::new`], but registers the aggregation instruments
+    /// (`agg.*`) in `registry`, which must have at least `threads` counter
+    /// shards.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_in_registry(
+        destinations: usize,
+        threads: usize,
+        num_buf_per_channel: usize,
+        buffer_size: usize,
+        cmd_block_entries: usize,
+        cmd_block_timeout_ns: u64,
+        aggregation_timeout_ns: u64,
+        header_reserve: usize,
+        registry: &Registry,
+    ) -> Arc<Self> {
         assert!(header_reserve < buffer_size, "header reserve must leave room for commands");
+        assert!(registry.shards() >= threads, "registry has fewer shards than channels");
         // Enough recycled blocks for every thread to have one per
         // destination, plus — per destination — a buffer's worth of full
         // blocks that can sit in the aggregation queue before a drain
@@ -225,7 +292,7 @@ impl AggShared {
             channels: (0..threads)
                 .map(|_| ChannelQueue::new(num_buf_per_channel, buffer_size))
                 .collect(),
-            stat_cells: (0..threads).map(|_| CachePadded::new(StatCell::default())).collect(),
+            metrics: AggMetrics::register(registry, buffer_size),
         })
     }
 
@@ -268,15 +335,13 @@ impl AggShared {
 
     /// Sums the per-channel statistic shards into a snapshot.
     pub fn stats(&self) -> AggStats {
-        let mut total = AggStats::default();
-        for cell in &self.stat_cells {
-            total.commands += cell.commands.load(Ordering::Relaxed);
-            total.blocks_pushed += cell.blocks_pushed.load(Ordering::Relaxed);
-            total.buffers_filled += cell.buffers_filled.load(Ordering::Relaxed);
-            total.timeout_flushes += cell.timeout_flushes.load(Ordering::Relaxed);
-            total.block_pool_drops += cell.block_pool_drops.load(Ordering::Relaxed);
+        AggStats {
+            commands: self.metrics.commands.sum(),
+            blocks_pushed: self.metrics.blocks_pushed.sum(),
+            buffers_filled: self.metrics.buffers_filled.sum(),
+            timeout_flushes: self.metrics.timeout_flushes.sum(),
+            block_pool_drops: self.metrics.block_pool_drops.sum(),
         }
-        total
     }
 
     /// The channel queue of thread `idx` (communication-server side).
@@ -330,10 +395,11 @@ impl CommandSink {
         CommandSink { shared, chan, active: (0..dests).map(|_| None).collect() }
     }
 
-    /// This sink's statistics shard (written by the owning thread only).
+    /// This sink's statistics instruments (this thread writes only its
+    /// own counter shard, `self.chan`).
     #[inline]
-    fn cell(&self) -> &StatCell {
-        &self.shared.stat_cells[self.chan]
+    fn metrics(&self) -> &AggMetrics {
+        &self.shared.metrics
     }
 
     /// Appends `cmd` to the command block for `dst` (step 2 of Figure 3),
@@ -346,7 +412,7 @@ impl CommandSink {
         let size = cmd.encoded_len();
         let cap = self.shared.cmd_capacity();
         assert!(size <= cap, "command of {size} bytes exceeds aggregation buffer capacity {cap}");
-        self.cell().commands.fetch_add(1, Ordering::Relaxed);
+        self.metrics().commands.add(self.chan, 1);
         // A command never splits across blocks: push the block first if
         // this one would overflow it.
         if let Some(active) = &self.active[dst] {
@@ -372,7 +438,7 @@ impl CommandSink {
         let Some(active) = self.active[dst].take() else { return };
         if active.buf.is_empty() {
             if self.shared.recycle_block(active.buf) {
-                self.cell().block_pool_drops.fetch_add(1, Ordering::Relaxed);
+                self.metrics().block_pool_drops.add(self.chan, 1);
             }
             return;
         }
@@ -388,7 +454,7 @@ impl CommandSink {
         // stamp, the drain misses our block and resets to zero, and the
         // block would never time out.)
         q.oldest_push_ns.store(shared.coarse_now_ns(), Ordering::Release);
-        self.cell().blocks_pushed.fetch_add(1, Ordering::Relaxed);
+        self.metrics().blocks_pushed.add(self.chan, 1);
         if q.bytes.load(Ordering::Acquire) >= shared.cmd_capacity() {
             // Best-effort: on pool starvation the blocks stay queued and
             // the next push or pump retries.
@@ -410,6 +476,7 @@ impl CommandSink {
         let chan = &shared.channels[self.chan];
         let q = &shared.queues[dst];
         let Some(mut buf) = chan.pool.free.pop() else {
+            self.metrics().pool_waits.add(self.chan, 1);
             return false;
         };
         debug_assert!(buf.is_empty());
@@ -423,7 +490,7 @@ impl CommandSink {
                         q.bytes.fetch_sub(block.len(), Ordering::AcqRel);
                         buf.extend_from_slice(&block);
                         if shared.recycle_block(block) {
-                            self.cell().block_pool_drops.fetch_add(1, Ordering::Relaxed);
+                            self.metrics().block_pool_drops.add(self.chan, 1);
                         }
                     } else {
                         // Does not fit: requeue and stop. Reordering is
@@ -455,9 +522,10 @@ impl CommandSink {
             chan.pool.free.push(buf).expect("buffer pool overflow");
             return true;
         }
-        self.cell().buffers_filled.fetch_add(1, Ordering::Relaxed);
+        self.metrics().buffers_filled.add(self.chan, 1);
+        self.metrics().flush_fill.record(buf.len() as u64);
         if timeout_flush {
-            self.cell().timeout_flushes.fetch_add(1, Ordering::Relaxed);
+            self.metrics().timeout_flushes.add(self.chan, 1);
         }
         // Hand to the communication server. The pool bounds in-flight
         // buffers, so this cannot overflow unless buffers leak.

@@ -23,10 +23,10 @@
 //! Channel polling is a fair round-robin: at most one buffer per channel
 //! per sweep, so one chatty worker cannot starve the others' queues.
 
+use crate::metrics::ThreadTracer;
 use crate::reliable::{self, PollAction, Recv, ReliableLink};
 use crate::runtime::NodeShared;
 use gmt_net::{Endpoint, Payload, Tag};
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -39,8 +39,9 @@ pub const TAG_AGG: Tag = 1;
 /// attributable from the log alone.
 fn send(node: &NodeShared, endpoint: &Endpoint, dst: crate::NodeId, payload: Payload) {
     let nbytes = payload.len();
+    let shard = node.metrics.comm_shard();
     if let Err(e) = endpoint.send(dst, TAG_AGG, payload) {
-        node.net_errors.fetch_add(1, Ordering::Relaxed);
+        node.metrics.net_errors.add(shard, 1);
         if node.config.log_net_warnings {
             eprintln!(
                 "[gmt] warn: node {}: failed to send {nbytes} B aggregation buffer to node \
@@ -48,6 +49,9 @@ fn send(node: &NodeShared, endpoint: &Endpoint, dst: crate::NodeId, payload: Pay
                 node.node_id
             );
         }
+    } else {
+        node.metrics.comm_buffers_sent.add(shard, 1);
+        node.metrics.comm_bytes_sent.add(shard, nbytes as u64);
     }
 }
 
@@ -69,6 +73,11 @@ fn send_buffer(
                 reliable::fail_tokens(&payload[reliable::HEADER_LEN..], dst);
                 return;
             }
+            if link.has_pending_ack(dst) {
+                // This data buffer will carry the deferred cumulative ack,
+                // sparing a standalone ack packet.
+                node.metrics.acks_piggybacked.add(node.metrics.comm_shard(), 1);
+            }
             let wire = link.prepare_data(dst, payload, now_ns);
             send(node, endpoint, dst, wire);
         }
@@ -85,19 +94,30 @@ fn receive(
     payload: Payload,
     now_ns: u64,
 ) {
+    let shard = node.metrics.comm_shard();
+    let nbytes = payload.len() as u64;
     let Some(link) = link else {
+        node.metrics.comm_buffers_recv.add(shard, 1);
+        node.metrics.comm_bytes_recv.add(shard, nbytes);
         node.helper_in.push((src, payload));
         return;
     };
     match link.on_packet(src, &payload, now_ns) {
-        Recv::Deliver => node.helper_in.push((src, payload)),
+        Recv::Deliver => {
+            node.metrics.comm_buffers_recv.add(shard, 1);
+            node.metrics.comm_bytes_recv.add(shard, nbytes);
+            node.helper_in.push((src, payload));
+        }
         // Duplicates were already processed once; acks carry no commands;
         // anything from a dead peer must not touch tokens that already
         // completed with an error. All three just drop (the payload's
         // drop returns any pooled buffer to its sender's pool).
-        Recv::Duplicate | Recv::AckOnly | Recv::FromDead => {}
+        Recv::Duplicate => {
+            node.metrics.dedup_hits.add(shard, 1);
+        }
+        Recv::AckOnly | Recv::FromDead => {}
         Recv::Malformed => {
-            node.net_errors.fetch_add(1, Ordering::Relaxed);
+            node.metrics.net_errors.add(shard, 1);
             if node.config.log_net_warnings {
                 eprintln!(
                     "[gmt] warn: node {}: dropping malformed {} B packet from node {src}",
@@ -111,14 +131,20 @@ fn receive(
 
 /// Applies the outcomes of one reliability timer sweep.
 fn apply(node: &NodeShared, endpoint: &Endpoint, action: PollAction) {
+    let shard = node.metrics.comm_shard();
     match action {
         PollAction::Retransmit { dst, payload } => {
             endpoint.stats().record_retransmit(node.node_id);
+            node.metrics.retransmits.add(shard, 1);
             send(node, endpoint, dst, payload);
         }
-        PollAction::SendAck { dst, payload } => send(node, endpoint, dst, payload),
+        PollAction::SendAck { dst, payload } => {
+            node.metrics.acks_standalone.add(shard, 1);
+            send(node, endpoint, dst, payload);
+        }
         PollAction::Dead { dst, unacked } => {
             node.mark_peer_dead(dst);
+            node.metrics.peers_dead.add(shard, 1);
             let mut failed = 0u32;
             for p in &unacked {
                 failed += reliable::fail_tokens(&p[reliable::HEADER_LEN..], dst);
@@ -137,7 +163,7 @@ fn apply(node: &NodeShared, endpoint: &Endpoint, action: PollAction) {
 }
 
 /// Entry point of the communication-server thread.
-pub fn comm_main(node: Arc<NodeShared>, endpoint: Endpoint) {
+pub fn comm_main(node: Arc<NodeShared>, endpoint: Endpoint, tracer: ThreadTracer) {
     let mut link = node.config.reliable.then(|| {
         ReliableLink::new(
             node.nodes,
@@ -153,11 +179,15 @@ pub fn comm_main(node: Arc<NodeShared>, endpoint: Endpoint) {
     let watchdog_period_ns = (node.config.stuck_task_deadline_ns / 4).max(1_000_000);
     let mut next_watchdog_ns = watchdog_period_ns;
     let mut idle: u32 = 0;
+    // Coarse-clock stamp of the last sweep that moved traffic, for the
+    // sweep-gap histogram.
+    let mut last_progress_ns = node.agg.tick();
     loop {
         // Keep the node's coarse clock fresh even when every worker is
         // stalled inside a long task and nobody pumps.
         let now = node.agg.tick();
         let mut progressed = false;
+        let mut sent_this_sweep = 0u64;
         // Outgoing: one buffer per channel per sweep (fairness).
         for c in 0..node.agg.channels() {
             if let Some((dst, payload)) = node.agg.channel(c).pop_filled() {
@@ -167,6 +197,7 @@ pub fn comm_main(node: Arc<NodeShared>, endpoint: Endpoint) {
                 // channel's pool, as in the paper ("returns the
                 // aggregation buffer into the pool").
                 send_buffer(&node, &endpoint, &mut link, dst, payload, now);
+                sent_this_sweep += 1;
                 progressed = true;
             }
         }
@@ -188,6 +219,12 @@ pub fn comm_main(node: Arc<NodeShared>, endpoint: Endpoint) {
             node.sweep_stuck_tasks(now);
         }
         if progressed {
+            node.metrics.sweep_gap_ns.record(now.saturating_sub(last_progress_ns));
+            last_progress_ns = now;
+            if sent_this_sweep > 0 {
+                node.metrics.sweep_buffers.record(sent_this_sweep);
+                tracer.instant("sweep_send", sent_this_sweep);
+            }
             idle = 0;
         } else {
             if node.stopping() {

@@ -61,6 +61,11 @@ pub struct Config {
     /// Age (ns) past which a task parked on remote completions is reported
     /// by the stuck-task watchdog.
     pub stuck_task_deadline_ns: u64,
+    /// Events retained per thread lane by the ring-buffer tracer (a
+    /// sliding window over the run's tail). Only consulted when the
+    /// runtime is built with the `trace` cargo feature *and* `GMT_TRACE`
+    /// is set; otherwise no ring is allocated.
+    pub trace_capacity: usize,
     /// Emit `eprintln!` warnings for transport failures, dead peers and
     /// stuck tasks (the in-process stand-in for a logging hook).
     pub log_net_warnings: bool,
@@ -86,6 +91,7 @@ impl Config {
             max_retries: 8,
             ack_delay_ns: 200_000,
             stuck_task_deadline_ns: 1_000_000_000,
+            trace_capacity: 16_384,
             log_net_warnings: true,
         }
     }
@@ -110,6 +116,7 @@ impl Config {
             max_retries: 6,
             ack_delay_ns: 100_000,
             stuck_task_deadline_ns: 1_000_000_000,
+            trace_capacity: 8_192,
             log_net_warnings: true,
         }
     }

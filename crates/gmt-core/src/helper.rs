@@ -6,6 +6,7 @@
 use crate::aggregation::CommandSink;
 use crate::command::{Command, CommandIter};
 use crate::handle::{Distribution, Layout};
+use crate::metrics::ThreadTracer;
 use crate::runtime::NodeShared;
 use crate::task::{complete_token, Itb, ParForBody, ParentRef};
 use crate::tls;
@@ -13,11 +14,22 @@ use crate::NodeId;
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Executes every command in one received aggregation buffer.
+/// Executes every command in one received aggregation buffer. Returns
+/// the number of commands executed. `chan` is the executing helper's
+/// counter shard.
 ///
 /// `src` is the node the buffer came from (replies go back there).
-fn process_buffer(node: &Arc<NodeShared>, src: NodeId, buf: &[u8], scratch: &mut Vec<u8>) {
+fn process_buffer(
+    node: &Arc<NodeShared>,
+    src: NodeId,
+    buf: &[u8],
+    scratch: &mut Vec<u8>,
+    chan: usize,
+) -> u64 {
+    let mut executed = 0u64;
     for cmd in CommandIter::new(buf) {
+        node.metrics.cmd_counter(cmd.opcode()).add(chan, 1);
+        executed += 1;
         match cmd {
             // ---- requests: execute against local memory, reply --------
             Command::Put { token, array, offset, data } => {
@@ -90,6 +102,7 @@ fn process_buffer(node: &Arc<NodeShared>, src: NodeId, buf: &[u8], scratch: &mut
             }
         }
     }
+    executed
 }
 
 #[inline]
@@ -99,7 +112,7 @@ fn reply(dst: NodeId, cmd: &Command<'_>) {
 
 /// Entry point of a helper thread. `chan` is the index of this helper's
 /// channel queue to the communication server.
-pub fn helper_main(node: Arc<NodeShared>, chan: usize) {
+pub fn helper_main(node: Arc<NodeShared>, chan: usize, tracer: ThreadTracer) {
     tls::install(CommandSink::new(Arc::clone(&node.agg), chan));
     let mut scratch = Vec::new();
     let mut idle: u32 = 0;
@@ -109,7 +122,9 @@ pub fn helper_main(node: Arc<NodeShared>, chan: usize) {
     loop {
         let mut progressed = false;
         while let Some((src, buf)) = node.helper_in.pop() {
-            process_buffer(&node, src, &buf[hdr..], &mut scratch);
+            let t0 = tracer.now_ns();
+            let executed = process_buffer(&node, src, &buf[hdr..], &mut scratch, chan);
+            tracer.span("process_buffer", t0, executed);
             progressed = true;
         }
         tls::with_sink(|s| s.pump());

@@ -55,6 +55,7 @@ pub mod error;
 pub mod handle;
 pub mod helper;
 pub mod memory;
+pub mod metrics;
 pub mod reliable;
 pub mod runtime;
 pub mod task;
@@ -66,7 +67,9 @@ pub use api::{SpawnPolicy, TaskCtx};
 pub use collectives::{GlobalBarrier, GlobalCounter};
 pub use config::Config;
 pub use error::GmtError;
+pub use gmt_metrics::MetricsSnapshot;
 pub use handle::{Distribution, GmtArray};
+pub use metrics::NodeMetrics;
 pub use runtime::{Cluster, NodeHandle};
 pub use value::Scalar;
 

@@ -187,6 +187,12 @@ impl ReliableLink {
         self.peers[node].dead
     }
 
+    /// Whether a deferred cumulative ack toward `node` is pending — the
+    /// next data buffer prepared for `node` will piggyback it.
+    pub fn has_pending_ack(&self, node: NodeId) -> bool {
+        self.peers[node].ack_due_ns != 0
+    }
+
     /// Unacked buffers queued toward `node` (introspection/tests).
     pub fn unacked(&self, node: NodeId) -> usize {
         self.peers[node].rtx.len()

@@ -10,10 +10,12 @@ use crate::aggregation::{AggShared, AggStats};
 use crate::commserver;
 use crate::config::Config;
 use crate::helper;
+use crate::metrics::{NodeMetrics, ThreadTracer};
 use crate::task::{Itb, RootTask, TaskControl};
 use crate::worker;
 use crate::{memory::NodeMemory, NodeId};
 use crossbeam::queue::SegQueue;
+use gmt_metrics::MetricsSnapshot;
 use gmt_net::{DeliveryMode, Fabric, Payload, TrafficStats};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -47,8 +49,13 @@ pub struct NodeShared {
     /// Set once at shutdown.
     pub stop: AtomicBool,
     pub cluster: Arc<ClusterShared>,
-    /// Transport failures observed by the communication server.
-    pub net_errors: AtomicU64,
+    /// This node's instrument registry and resolved handles (`worker.*`,
+    /// `helper.*`, `comm.*`, `reliable.*`, plus the aggregation layer's
+    /// `agg.*` registered into the same registry).
+    pub metrics: Arc<NodeMetrics>,
+    /// Shared view of the fabric's traffic counters, folded into
+    /// [`NodeHandle::metrics_snapshot`] as `net.*`.
+    pub net: Arc<TrafficStats>,
     /// Per-peer death flags, set (once, never cleared) by the
     /// communication server when a peer exhausts its retry budget.
     pub peer_dead: Vec<AtomicBool>,
@@ -162,7 +169,34 @@ impl NodeHandle {
 
     /// Transport failures the communication server observed.
     pub fn net_errors(&self) -> u64 {
-        self.shared.net_errors.load(Ordering::Relaxed)
+        self.shared.metrics.net_errors.sum()
+    }
+
+    /// This node's instrument handles (live counters/gauges/histograms).
+    pub fn metrics(&self) -> &Arc<NodeMetrics> {
+        &self.shared.metrics
+    }
+
+    /// A serializable point-in-time view of every instrument of this
+    /// node — runtime registry (`worker.*`, `agg.*`, `helper.*`,
+    /// `comm.*`, `reliable.*`) plus this node's fabric traffic counters
+    /// folded in as `net.*`. `MetricsSnapshot::to_json()` renders it as
+    /// JSON.
+    ///
+    /// Counter shards are summed without stopping writers, so totals are
+    /// exact once the node is quiescent (same contract as
+    /// [`NodeHandle::agg_stats`]).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.shared.metrics.registry().snapshot();
+        let t = self.shared.net.node(self.shared.node_id);
+        snap.push_counter("net.sent_msgs", t.sent_msgs);
+        snap.push_counter("net.sent_bytes", t.sent_bytes);
+        snap.push_counter("net.recv_msgs", t.recv_msgs);
+        snap.push_counter("net.recv_bytes", t.recv_bytes);
+        snap.push_counter("net.dropped_msgs", t.dropped_msgs);
+        snap.push_counter("net.duplicated_msgs", t.duplicated_msgs);
+        snap.push_counter("net.retransmits", t.retransmits);
+        snap
     }
 
     /// Peers this node has declared dead (retry budget exhausted).
@@ -201,6 +235,68 @@ pub struct Cluster {
     fabric: Fabric,
     threads: Vec<JoinHandle<()>>,
     stopped: bool,
+    #[cfg(feature = "trace")]
+    trace: Option<trace_hub::TraceHub>,
+}
+
+/// Cluster-wide event-trace collection: one SPSC lane per runtime thread,
+/// exported as Chrome `trace_event` JSON after every thread joined.
+#[cfg(feature = "trace")]
+mod trace_hub {
+    use gmt_metrics::trace::TraceSink;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    pub(super) struct TraceHub {
+        pub sink: Arc<TraceSink>,
+        pub path: PathBuf,
+        lanes_per_node: usize,
+    }
+
+    impl TraceHub {
+        /// Builds the hub when `GMT_TRACE` is set. Accepted forms:
+        /// `chrome:/path/run.json`, a bare path, or a directory spec
+        /// ending in `/` (a unique file name per run is generated, so
+        /// parallel tests sharing the env var do not clobber each other).
+        pub fn from_env(
+            nodes: usize,
+            workers: usize,
+            helpers: usize,
+            capacity: usize,
+        ) -> Option<TraceHub> {
+            let spec = std::env::var("GMT_TRACE").ok()?;
+            let raw = spec.strip_prefix("chrome:").unwrap_or(&spec);
+            if raw.is_empty() {
+                return None;
+            }
+            let path = if raw.ends_with('/') {
+                static SEQ: AtomicU64 = AtomicU64::new(0);
+                let n = SEQ.fetch_add(1, Ordering::Relaxed);
+                PathBuf::from(raw).join(format!("gmt-trace-{}-{n}.json", std::process::id()))
+            } else {
+                PathBuf::from(raw)
+            };
+            let lanes_per_node = workers + helpers + 1;
+            let mut sink = TraceSink::new(capacity);
+            for node in 0..nodes {
+                for w in 0..workers {
+                    sink.add_lane(format!("n{node}.worker{w}"), node as u64, w as u64);
+                }
+                for h in 0..helpers {
+                    sink.add_lane(format!("n{node}.helper{h}"), node as u64, (workers + h) as u64);
+                }
+                sink.add_lane(format!("n{node}.comm"), node as u64, (workers + helpers) as u64);
+            }
+            Some(TraceHub { sink: Arc::new(sink), path, lanes_per_node })
+        }
+
+        /// The tracer for `lane_in_node` (channel index; comm server =
+        /// workers + helpers) of `node`.
+        pub fn tracer(&self, node: usize, lane_in_node: usize) -> super::ThreadTracer {
+            super::ThreadTracer::new(self.sink.writer(node * self.lanes_per_node + lane_in_node))
+        }
+    }
 }
 
 impl Cluster {
@@ -216,18 +312,39 @@ impl Cluster {
         };
         let fabric = Fabric::new(nodes, mode);
         let cluster_shared = Arc::new(ClusterShared { next_alloc_id: AtomicU64::new(1) });
+        #[cfg(feature = "trace")]
+        let trace = trace_hub::TraceHub::from_env(
+            nodes,
+            config.num_workers,
+            config.num_helpers,
+            config.trace_capacity,
+        );
+        // Resolves the tracer of one runtime thread; a no-op handle when
+        // the `trace` feature is off or GMT_TRACE is not set.
+        let make_tracer = |node: usize, lane: usize| -> ThreadTracer {
+            #[cfg(feature = "trace")]
+            if let Some(hub) = &trace {
+                return hub.tracer(node, lane);
+            }
+            #[cfg(not(feature = "trace"))]
+            let _ = (node, lane);
+            ThreadTracer::disabled()
+        };
         let mut handles = Vec::with_capacity(nodes);
         let mut threads = Vec::new();
         for node_id in 0..nodes {
-            let agg = AggShared::new(
+            let threads_per_node = config.num_workers + config.num_helpers;
+            let metrics = NodeMetrics::new(config.num_workers, config.num_helpers);
+            let agg = AggShared::new_in_registry(
                 nodes,
-                config.num_workers + config.num_helpers,
+                threads_per_node,
                 config.num_buf_per_channel,
                 config.buffer_size,
                 config.cmd_block_entries,
                 config.cmd_block_timeout_ns,
                 config.aggregation_timeout_ns,
                 if config.reliable { crate::reliable::HEADER_LEN } else { 0 },
+                metrics.registry(),
             );
             let shared = Arc::new(NodeShared {
                 node_id,
@@ -240,40 +357,51 @@ impl Cluster {
                 helper_in: SegQueue::new(),
                 stop: AtomicBool::new(false),
                 cluster: Arc::clone(&cluster_shared),
-                net_errors: AtomicU64::new(0),
+                metrics,
+                net: fabric.stats_arc(),
                 peer_dead: (0..nodes).map(|_| AtomicBool::new(false)).collect(),
                 watch: Mutex::new(Vec::new()),
             });
             for w in 0..config.num_workers {
                 let s = Arc::clone(&shared);
+                let tracer = make_tracer(node_id, w);
                 threads.push(
                     std::thread::Builder::new()
                         .name(format!("gmt-n{node_id}-w{w}"))
-                        .spawn(move || worker::worker_main(s, w))
+                        .spawn(move || worker::worker_main(s, w, tracer))
                         .map_err(|e| format!("spawning worker: {e}"))?,
                 );
             }
             for h in 0..config.num_helpers {
                 let s = Arc::clone(&shared);
                 let chan = config.num_workers + h;
+                let tracer = make_tracer(node_id, chan);
                 threads.push(
                     std::thread::Builder::new()
                         .name(format!("gmt-n{node_id}-h{h}"))
-                        .spawn(move || helper::helper_main(s, chan))
+                        .spawn(move || helper::helper_main(s, chan, tracer))
                         .map_err(|e| format!("spawning helper: {e}"))?,
                 );
             }
             let s = Arc::clone(&shared);
             let ep = fabric.endpoint(node_id);
+            let tracer = make_tracer(node_id, threads_per_node);
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("gmt-n{node_id}-comm"))
-                    .spawn(move || commserver::comm_main(s, ep))
+                    .spawn(move || commserver::comm_main(s, ep, tracer))
                     .map_err(|e| format!("spawning comm server: {e}"))?,
             );
             handles.push(NodeHandle { shared });
         }
-        Ok(Cluster { nodes: handles, fabric, threads, stopped: false })
+        Ok(Cluster {
+            nodes: handles,
+            fabric,
+            threads,
+            stopped: false,
+            #[cfg(feature = "trace")]
+            trace,
+        })
     }
 
     /// Handle to node `i`.
@@ -314,6 +442,26 @@ impl Cluster {
         }
         for t in self.threads.drain(..) {
             let _ = t.join();
+        }
+        #[cfg(feature = "trace")]
+        if let Some(hub) = self.trace.take() {
+            // Every runtime thread has joined, so all `LaneWriter`s are
+            // dropped and the sink is sole-owned again.
+            match Arc::into_inner(hub.sink) {
+                Some(mut sink) => {
+                    let json = sink.chrome_trace_json();
+                    if let Some(parent) = hub.path.parent() {
+                        let _ = std::fs::create_dir_all(parent);
+                    }
+                    match std::fs::write(&hub.path, json) {
+                        Ok(()) => eprintln!("[gmt] trace written to {}", hub.path.display()),
+                        Err(e) => {
+                            eprintln!("[gmt] warn: writing trace {}: {e}", hub.path.display())
+                        }
+                    }
+                }
+                None => eprintln!("[gmt] warn: trace sink still shared; export skipped"),
+            }
         }
     }
 }

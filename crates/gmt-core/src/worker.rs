@@ -9,6 +9,7 @@
 use crate::aggregation::CommandSink;
 use crate::api::TaskCtx;
 use crate::command::Command;
+use crate::metrics::ThreadTracer;
 use crate::runtime::NodeShared;
 use crate::task::{complete_token, Itb, ParentRef, RootTask, TaskControl};
 use crate::tls;
@@ -27,6 +28,9 @@ struct Task {
 
 struct Worker {
     node: Arc<NodeShared>,
+    /// Channel index of this worker — also its counter shard.
+    chan: usize,
+    tracer: ThreadTracer,
     /// Wakeups from helpers (slot indices), MPSC onto this worker.
     ready: Arc<SegQueue<usize>>,
     /// Task table; slot indices are stable for a task's lifetime.
@@ -40,9 +44,11 @@ struct Worker {
 }
 
 impl Worker {
-    fn new(node: Arc<NodeShared>) -> Self {
+    fn new(node: Arc<NodeShared>, chan: usize, tracer: ThreadTracer) -> Self {
         Worker {
             node,
+            chan,
+            tracer,
             ready: Arc::new(SegQueue::new()),
             tasks: Vec::new(),
             free_slots: Vec::new(),
@@ -72,6 +78,8 @@ impl Worker {
         self.tasks[slot] = Some(task);
         self.runnable.push_back(slot);
         self.live += 1;
+        self.node.metrics.tasks_spawned.add(self.chan, 1);
+        self.node.metrics.live_tasks.inc();
     }
 
     /// Spawns a task executing `count` iterations claimed from `itb`.
@@ -120,7 +128,10 @@ impl Worker {
             // spurious resumes are harmless and missing ones impossible.
             return;
         };
+        self.node.metrics.ctx_switches.add(self.chan, 1);
+        let t0 = self.tracer.now_ns();
         let outcome = panic::catch_unwind(AssertUnwindSafe(|| task.coro.resume()));
+        self.tracer.span("task_step", t0, slot as u64);
         match outcome {
             Ok(Resume::Yielded) => {
                 let ctl = Arc::clone(&self.tasks[slot].as_ref().unwrap().ctl);
@@ -130,6 +141,9 @@ impl Worker {
                     if ctl.prepare_park() {
                         // Stamp the park for the stuck-task watchdog.
                         ctl.note_parked(self.node.agg.now_ns());
+                        self.node.metrics.task_parks.add(self.chan, 1);
+                        self.node.metrics.parked_tasks.inc();
+                        self.tracer.instant("park", slot as u64);
                     } else {
                         self.runnable.push_back(slot);
                     }
@@ -159,6 +173,11 @@ impl Worker {
 
     fn retire(&mut self, slot: usize, panicked: bool) {
         let task = self.tasks[slot].take().expect("retiring live slot");
+        self.node.metrics.tasks_finished.add(self.chan, 1);
+        if panicked {
+            self.node.metrics.tasks_panicked.add(self.chan, 1);
+        }
+        self.node.metrics.live_tasks.dec();
         if task.ctl.pending() > 0 {
             // The task finished with operations still in flight (it never
             // awaited them — possible with `put_nb`/`get_nb` misuse, or a
@@ -200,6 +219,7 @@ impl Worker {
         }
         if let Some(itb) = self.node.itb_queue.pop() {
             if let Some(range) = itb.claim() {
+                self.node.metrics.itb_claims.add(self.chan, 1);
                 if itb.has_unclaimed() {
                     // Let other workers keep peeling this block.
                     self.node.itb_queue.push(Arc::clone(&itb));
@@ -226,14 +246,18 @@ pub(crate) fn notify_parent(node: &Arc<NodeShared>, parent: ParentRef) {
 
 /// Entry point of a worker thread. `chan` doubles as the index of this
 /// worker's channel queue to the communication server.
-pub fn worker_main(node: Arc<NodeShared>, chan: usize) {
+pub fn worker_main(node: Arc<NodeShared>, chan: usize, tracer: ThreadTracer) {
     tls::install(CommandSink::new(Arc::clone(&node.agg), chan));
-    let mut w = Worker::new(node);
+    let mut w = Worker::new(node, chan, tracer);
     let mut idle: u32 = 0;
     loop {
         let mut progressed = false;
         // 1. Wakeups from helpers.
         while let Some(slot) = w.ready.pop() {
+            w.node.metrics.wakeups.add(w.chan, 1);
+            if w.tasks.get(slot).is_some_and(Option::is_some) {
+                w.node.metrics.parked_tasks.dec();
+            }
             w.runnable.push_back(slot);
         }
         // 2. Run one task step.

@@ -1,0 +1,68 @@
+//! End-to-end trace export: run a cluster with `GMT_TRACE` set, then
+//! validate the Chrome `trace_event` document it leaves behind.
+//!
+//! Lives in its own integration-test binary because it sets a process
+//! environment variable the runtime reads at cluster start; no other
+//! test shares this process.
+#![cfg(feature = "trace")]
+
+use gmt_core::{Cluster, Config, Distribution, SpawnPolicy};
+use gmt_metrics::json;
+use std::collections::BTreeMap;
+
+#[test]
+fn trace_export_is_schema_valid_and_monotone_per_lane() {
+    let path = std::env::temp_dir().join(format!("gmt-trace-test-{}.json", std::process::id()));
+    std::env::set_var("GMT_TRACE", format!("chrome:{}", path.display()));
+
+    let config = Config::small();
+    let nodes = 2;
+    let cluster = Cluster::start(nodes, config.clone()).unwrap();
+    cluster.node(0).run(|ctx| {
+        let arr = ctx.alloc(256 * 8, Distribution::Partition);
+        ctx.parfor(SpawnPolicy::Partition, 256, 16, move |ctx, i| {
+            ctx.put_value::<u64>(&arr, i, i).unwrap();
+        });
+        ctx.free(arr);
+    });
+    cluster.shutdown();
+
+    let text = std::fs::read_to_string(&path).expect("trace file written at shutdown");
+    let _ = std::fs::remove_file(&path);
+    let v = json::parse(&text).expect("trace JSON parses");
+    let events = v.get("traceEvents").and_then(|e| e.as_array()).expect("traceEvents array");
+
+    // One thread_name metadata event per runtime thread of the cluster.
+    let lanes = nodes * (config.num_workers + config.num_helpers + 1);
+    let thread_names = events
+        .iter()
+        .filter(|e| {
+            e.get("ph").and_then(|p| p.as_str()) == Some("M")
+                && e.get("name").and_then(|n| n.as_str()) == Some("thread_name")
+        })
+        .count();
+    assert_eq!(thread_names, lanes);
+
+    // Every data event is well-formed and `ts` is monotone per lane.
+    let mut last_ts: BTreeMap<(u64, u64), f64> = BTreeMap::new();
+    let mut data_events = 0;
+    for e in events {
+        let ph = e.get("ph").and_then(|p| p.as_str()).expect("ph present");
+        if ph == "M" {
+            continue;
+        }
+        assert!(ph == "X" || ph == "i", "unexpected phase {ph:?}");
+        let pid = e.get("pid").and_then(|p| p.as_u64()).expect("pid");
+        let tid = e.get("tid").and_then(|t| t.as_u64()).expect("tid");
+        let ts = e.get("ts").and_then(|t| t.as_f64()).expect("ts");
+        assert!(pid < nodes as u64, "pid is a node id");
+        if ph == "X" {
+            assert!(e.get("dur").and_then(|d| d.as_f64()).is_some(), "spans carry dur");
+        }
+        if let Some(prev) = last_ts.insert((pid, tid), ts) {
+            assert!(ts >= prev, "ts regressed within lane ({pid},{tid})");
+        }
+        data_events += 1;
+    }
+    assert!(data_events > 0, "a put storm must leave events in the trace");
+}

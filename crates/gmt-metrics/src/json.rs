@@ -1,0 +1,399 @@
+//! Minimal JSON writer and parser.
+//!
+//! The build environment vendors every dependency, and none of the
+//! vendored crates is a JSON library — so the snapshot/trace exporters
+//! write JSON by hand through [`JsonWriter`], and the schema tests (and
+//! the bench-gate comparison, when it wants more than `awk`) read it back
+//! through [`parse`]. The parser is a strict recursive-descent reader of
+//! the JSON subset the exporters produce plus standard escapes; it is not
+//! a general-purpose validator of every RFC 8259 corner, but it rejects
+//! anything structurally malformed, which is what the trace schema test
+//! needs.
+
+use std::collections::BTreeMap;
+
+/// Incremental JSON writer with automatic comma placement and string
+/// escaping.
+pub struct JsonWriter {
+    out: String,
+    /// Whether the next value at the current nesting level needs a comma.
+    need_comma: Vec<bool>,
+}
+
+impl Default for JsonWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl JsonWriter {
+    pub fn new() -> Self {
+        JsonWriter { out: String::new(), need_comma: vec![false] }
+    }
+
+    fn pre_value(&mut self) {
+        if let Some(last) = self.need_comma.last_mut() {
+            if *last {
+                self.out.push(',');
+            }
+            *last = true;
+        }
+    }
+
+    /// Writes an object: the closure emits `key`/value pairs.
+    pub fn obj(&mut self, f: impl FnOnce(&mut Self)) {
+        self.pre_value();
+        self.out.push('{');
+        self.need_comma.push(false);
+        f(self);
+        self.need_comma.pop();
+        self.out.push('}');
+    }
+
+    /// Writes an array: the closure emits values.
+    pub fn arr(&mut self, f: impl FnOnce(&mut Self)) {
+        self.pre_value();
+        self.out.push('[');
+        self.need_comma.push(false);
+        f(self);
+        self.need_comma.pop();
+        self.out.push(']');
+    }
+
+    /// Writes an object key (must be followed by exactly one value).
+    pub fn key(&mut self, k: &str) {
+        self.pre_value();
+        write_escaped(&mut self.out, k);
+        self.out.push(':');
+        // The upcoming value must not emit another comma.
+        if let Some(last) = self.need_comma.last_mut() {
+            *last = false;
+        }
+    }
+
+    pub fn str(&mut self, s: &str) {
+        self.pre_value();
+        write_escaped(&mut self.out, s);
+    }
+
+    pub fn num_u64(&mut self, v: u64) {
+        self.pre_value();
+        self.out.push_str(&v.to_string());
+    }
+
+    pub fn num_i64(&mut self, v: i64) {
+        self.pre_value();
+        self.out.push_str(&v.to_string());
+    }
+
+    /// Writes a nanosecond quantity as fractional microseconds (the unit
+    /// Chrome trace events use for `ts`/`dur`).
+    pub fn num_ns_as_us(&mut self, ns: u64) {
+        self.pre_value();
+        self.out.push_str(&format!("{}.{:03}", ns / 1_000, ns % 1_000));
+    }
+
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as an exact u64 (rejects negatives and fractions).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a complete JSON document; trailing non-whitespace is an error.
+pub fn parse(input: &str) -> Result<Value, String> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes at offset {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at offset {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => {
+                Err(format!("unexpected {:?} at offset {}", other.map(|c| c as char), self.pos))
+            }
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at offset {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(map));
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            s.push(char::from_u32(code).ok_or("non-scalar \\u escape")?);
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(format!("bad escape {:?}", other.map(|c| c as char)));
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Advance one UTF-8 scalar (input is a &str, so byte
+                    // boundaries are safe to recover).
+                    let start = self.pos;
+                    let mut end = start + 1;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    s.push_str(std::str::from_utf8(&self.bytes[start..end]).unwrap());
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .unwrap()
+            .parse::<f64>()
+            .map(Value::Num)
+            .map_err(|e| format!("bad number at offset {start}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_round_trips_through_parser() {
+        let mut w = JsonWriter::new();
+        w.obj(|w| {
+            w.key("name");
+            w.str("a \"quoted\"\nline\\");
+            w.key("list");
+            w.arr(|w| {
+                w.num_u64(1);
+                w.num_i64(-2);
+                w.num_ns_as_us(1_234_567);
+                w.obj(|w| {
+                    w.key("nested");
+                    w.str("ok");
+                });
+            });
+            w.key("empty_obj");
+            w.obj(|_| {});
+            w.key("empty_arr");
+            w.arr(|_| {});
+        });
+        let text = w.finish();
+        let v = parse(&text).expect("round-trip parse");
+        assert_eq!(v.get("name").and_then(|x| x.as_str()), Some("a \"quoted\"\nline\\"));
+        let list = v.get("list").and_then(|x| x.as_array()).unwrap();
+        assert_eq!(list[0].as_u64(), Some(1));
+        assert_eq!(list[1].as_f64(), Some(-2.0));
+        assert!((list[2].as_f64().unwrap() - 1234.567).abs() < 1e-9);
+        assert_eq!(list[3].get("nested").and_then(|x| x.as_str()), Some("ok"));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in ["{", "[1,", "{\"a\":}", "{\"a\" 1}", "tru", "1 2", "\"\\q\"", "{\"a\":1,}"] {
+            assert!(parse(bad).is_err(), "accepted malformed {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parser_accepts_standard_forms() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(parse("-1.5e3").unwrap().as_f64(), Some(-1500.0));
+        assert_eq!(parse("\"\\u00e9\"").unwrap().as_str(), Some("é"));
+        assert_eq!(parse("{\"k\":[{}]}").unwrap().get("k").unwrap().as_array().unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,31 @@
+//! # gmt-metrics — runtime observability for the GMT reproduction
+//!
+//! The paper's argument rests on runtime internals — context-switch cost
+//! (Table III), aggregation-buffer occupancy (Figure 9), command latency
+//! hidden by multithreading — that are invisible without instrumentation.
+//! This crate provides the three pieces the runtime needs to expose them:
+//!
+//! * [`Registry`] — a lock-free, sharded metrics registry. Registration
+//!   takes a lock once at startup; every hot-path update is a relaxed
+//!   atomic on a cache-padded per-thread shard, so instrumented code pays
+//!   no shared-cacheline RMW (the same discipline the aggregation layer's
+//!   statistics already follow).
+//! * [`MetricsSnapshot`] — a point-in-time, serializable view of every
+//!   instrument ([`MetricsSnapshot::to_json`]; the build container has no
+//!   serde, so [`json`] is a minimal hand-rolled writer/parser).
+//! * [`trace::TraceSink`] — an optional event tracer: one fixed-capacity
+//!   SPSC ring per runtime thread (zero cross-thread contention), exported
+//!   as Chrome `trace_event` JSON so a whole multi-node run opens in
+//!   `chrome://tracing` / Perfetto with one lane per thread.
+//!
+//! Timing discipline: metric *histograms* are expected to be fed from the
+//! runtime's coarse clock (no `Instant::now` on hot paths); the tracer
+//! reads wall time per event, which is acceptable because tracing is
+//! opt-in and compiled out of the runtime unless its `trace` feature is
+//! enabled.
+
+pub mod json;
+pub mod registry;
+pub mod trace;
+
+pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};

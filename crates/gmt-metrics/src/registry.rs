@@ -1,0 +1,421 @@
+//! The sharded metrics registry.
+//!
+//! Three instrument kinds, all updated with relaxed atomics:
+//!
+//! * [`Counter`] — monotone, sharded: one cache-padded cell per runtime
+//!   thread, summed on read. `add(shard, n)` is a relaxed `fetch_add` on a
+//!   line no other thread writes, so instrumenting a hot path costs one
+//!   uncontended RMW.
+//! * [`Gauge`] — a single signed cell for slowly-changing levels (live
+//!   tasks, parked tasks). Not sharded: updates are orders of magnitude
+//!   rarer than counter bumps.
+//! * [`Histogram`] — fixed inclusive upper-bound buckets plus an overflow
+//!   bucket. Bounds are chosen at registration; recording is a linear scan
+//!   (bucket counts are small) and one relaxed `fetch_add`. Time-valued
+//!   histograms are fed from the runtime's coarse clock, never from
+//!   `Instant::now` on a hot path.
+//!
+//! Registration (`Registry::counter` etc.) takes a mutex and is idempotent
+//! by name; it happens once at node bring-up. Reads ([`Registry::snapshot`])
+//! sum the shards without stopping writers, so totals are exact only at
+//! quiescence — same contract as the aggregation statistics had before
+//! they were folded in here.
+
+use crate::json::JsonWriter;
+use crossbeam::utils::CachePadded;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct CounterCore {
+    cells: Box<[CachePadded<AtomicU64>]>,
+}
+
+/// A named monotone counter, sharded per runtime thread.
+#[derive(Clone)]
+pub struct Counter {
+    core: Arc<CounterCore>,
+}
+
+impl Counter {
+    fn new(shards: usize) -> Self {
+        Counter {
+            core: Arc::new(CounterCore {
+                cells: (0..shards.max(1)).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
+            }),
+        }
+    }
+
+    /// Adds `n` on `shard`. Each shard must have a single writing thread
+    /// for the cache-padding to pay off; cross-shard writes are still
+    /// correct, just slower.
+    #[inline]
+    pub fn add(&self, shard: usize, n: u64) {
+        debug_assert!(shard < self.core.cells.len(), "counter shard out of range");
+        self.core.cells[shard].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Sum over all shards (exact at quiescence).
+    pub fn sum(&self) -> u64 {
+        self.core.cells.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.core.cells.len()
+    }
+
+    /// One shard's cell — the per-thread breakdown behind [`Counter::sum`]
+    /// (exact at quiescence, like the sum).
+    pub fn shard_value(&self, shard: usize) -> u64 {
+        self.core.cells[shard].load(Ordering::Relaxed)
+    }
+}
+
+struct GaugeCore {
+    value: AtomicI64,
+}
+
+/// A named signed level.
+#[derive(Clone)]
+pub struct Gauge {
+    core: Arc<GaugeCore>,
+}
+
+impl Gauge {
+    fn new() -> Self {
+        Gauge { core: Arc::new(GaugeCore { value: AtomicI64::new(0) }) }
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.core.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn dec(&self) {
+        self.core.value.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.core.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.core.value.load(Ordering::Relaxed)
+    }
+}
+
+struct HistogramCore {
+    /// Inclusive upper bounds, strictly increasing.
+    bounds: Box<[u64]>,
+    /// One count per bound plus a trailing overflow bucket.
+    counts: Box<[AtomicU64]>,
+}
+
+/// A named fixed-bucket histogram.
+#[derive(Clone)]
+pub struct Histogram {
+    core: Arc<HistogramCore>,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket bound");
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "histogram bounds must increase");
+        Histogram {
+            core: Arc::new(HistogramCore {
+                bounds: bounds.into(),
+                counts: (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect(),
+            }),
+        }
+    }
+
+    /// Records `value` into the first bucket whose inclusive upper bound
+    /// admits it (`value <= bound`), or the overflow bucket.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let idx =
+            self.core.bounds.iter().position(|&b| value <= b).unwrap_or(self.core.bounds.len());
+        self.core.counts[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total recordings across all buckets.
+    pub fn count(&self) -> u64 {
+        self.core.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        HistogramSnapshot {
+            name: name.to_string(),
+            bounds: self.core.bounds.to_vec(),
+            counts: self.core.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+        }
+    }
+}
+
+#[derive(Default)]
+struct Instruments {
+    counters: Vec<(String, Counter)>,
+    gauges: Vec<(String, Gauge)>,
+    histograms: Vec<(String, Histogram)>,
+}
+
+/// The per-node instrument registry. Cheap to share (`Arc`); hot paths
+/// never touch it — they hold [`Counter`]/[`Gauge`]/[`Histogram`] handles
+/// resolved once at registration.
+pub struct Registry {
+    shards: usize,
+    inner: Mutex<Instruments>,
+}
+
+impl Registry {
+    /// `shards` = number of instrumented threads (each counter gets one
+    /// cache-padded cell per shard).
+    pub fn new(shards: usize) -> Self {
+        Registry { shards: shards.max(1), inner: Mutex::new(Instruments::default()) }
+    }
+
+    /// Number of shards every counter is created with.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Registers (or retrieves) the counter named `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.inner.lock();
+        if let Some((_, c)) = inner.counters.iter().find(|(n, _)| n == name) {
+            return c.clone();
+        }
+        let c = Counter::new(self.shards);
+        inner.counters.push((name.to_string(), c.clone()));
+        c
+    }
+
+    /// Registers (or retrieves) the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.inner.lock();
+        if let Some((_, g)) = inner.gauges.iter().find(|(n, _)| n == name) {
+            return g.clone();
+        }
+        let g = Gauge::new();
+        inner.gauges.push((name.to_string(), g.clone()));
+        g
+    }
+
+    /// Registers (or retrieves) the histogram named `name` with the given
+    /// inclusive upper bucket bounds. Re-registration ignores `bounds`.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        let mut inner = self.inner.lock();
+        if let Some((_, h)) = inner.histograms.iter().find(|(n, _)| n == name) {
+            return h.clone();
+        }
+        let h = Histogram::new(bounds);
+        inner.histograms.push((name.to_string(), h.clone()));
+        h
+    }
+
+    /// A point-in-time view of every instrument, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock();
+        let mut snap = MetricsSnapshot {
+            counters: inner.counters.iter().map(|(n, c)| (n.clone(), c.sum())).collect(),
+            gauges: inner.gauges.iter().map(|(n, g)| (n.clone(), g.get())).collect(),
+            histograms: inner.histograms.iter().map(|(n, h)| h.snapshot(n)).collect(),
+        };
+        snap.counters.sort_by(|a, b| a.0.cmp(&b.0));
+        snap.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        snap.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        snap
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry").field("shards", &self.shards).finish()
+    }
+}
+
+/// One histogram's frozen buckets: `counts[i]` holds values `<= bounds[i]`
+/// (and above the previous bound); `counts[bounds.len()]` is the overflow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub name: String,
+    pub bounds: Vec<u64>,
+    pub counts: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Total recordings.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// A serializable point-in-time view of a registry (plus any externally
+/// folded-in counters, see [`MetricsSnapshot::push_counter`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, i64)>,
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Value of the counter named `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Value of the gauge named `name`, if present.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// The histogram named `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Folds an externally owned counter into the snapshot (used to merge
+    /// pre-existing counter sources — e.g. fabric traffic statistics —
+    /// without double-counting them in a second live instrument).
+    pub fn push_counter(&mut self, name: &str, value: u64) {
+        self.counters.push((name.to_string(), value));
+        self.counters.sort_by(|a, b| a.0.cmp(&b.0));
+    }
+
+    /// Serializes the snapshot as a JSON object:
+    /// `{"counters":{..},"gauges":{..},"histograms":{name:{"bounds":[..],"counts":[..]}}}`.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.obj(|w| {
+            w.key("counters");
+            w.obj(|w| {
+                for (name, v) in &self.counters {
+                    w.key(name);
+                    w.num_u64(*v);
+                }
+            });
+            w.key("gauges");
+            w.obj(|w| {
+                for (name, v) in &self.gauges {
+                    w.key(name);
+                    w.num_i64(*v);
+                }
+            });
+            w.key("histograms");
+            w.obj(|w| {
+                for h in &self.histograms {
+                    w.key(&h.name);
+                    w.obj(|w| {
+                        w.key("bounds");
+                        w.arr(|w| {
+                            for &b in &h.bounds {
+                                w.num_u64(b);
+                            }
+                        });
+                        w.key("counts");
+                        w.arr(|w| {
+                            for &c in &h.counts {
+                                w.num_u64(c);
+                            }
+                        });
+                    });
+                }
+            });
+        });
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn counters_shard_and_sum() {
+        let reg = Registry::new(4);
+        let c = reg.counter("x");
+        let threads: Vec<_> = (0..4)
+            .map(|shard| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.add(shard, 2);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.sum(), 8000);
+        // Idempotent registration returns the same instrument.
+        assert_eq!(reg.counter("x").sum(), 8000);
+        assert_eq!(reg.snapshot().counter("x"), Some(8000));
+    }
+
+    #[test]
+    fn gauges_track_levels() {
+        let reg = Registry::new(1);
+        let g = reg.gauge("lvl");
+        g.inc();
+        g.inc();
+        g.dec();
+        g.add(-3);
+        assert_eq!(g.get(), -2);
+        assert_eq!(reg.snapshot().gauge("lvl"), Some(-2));
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive() {
+        let reg = Registry::new(1);
+        let h = reg.histogram("h", &[10, 20, 30]);
+        // Exactly on a bound → that bucket; one past → the next.
+        h.record(0);
+        h.record(10); // bucket 0 (<=10)
+        h.record(11); // bucket 1
+        h.record(20); // bucket 1 (<=20)
+        h.record(21); // bucket 2
+        h.record(30); // bucket 2 (<=30)
+        h.record(31); // overflow
+        h.record(u64::MAX); // overflow
+        let snap = reg.snapshot();
+        let hs = snap.histogram("h").unwrap();
+        assert_eq!(hs.bounds, vec![10, 20, 30]);
+        assert_eq!(hs.counts, vec![2, 2, 2, 2]);
+        assert_eq!(hs.count(), 8);
+        assert_eq!(h.count(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "must increase")]
+    fn histogram_rejects_unsorted_bounds() {
+        Registry::new(1).histogram("bad", &[10, 10]);
+    }
+
+    #[test]
+    fn snapshot_serializes_to_parseable_json() {
+        let reg = Registry::new(2);
+        reg.counter("a.b").add(0, 7);
+        reg.gauge("g \"q\"").add(-1);
+        reg.histogram("h", &[1, 2]).record(2);
+        let mut snap = reg.snapshot();
+        snap.push_counter("net.bytes", 1234);
+        let v = json::parse(&snap.to_json()).expect("valid json");
+        assert_eq!(v.get("counters").and_then(|c| c.get("a.b")).and_then(|x| x.as_u64()), Some(7));
+        assert_eq!(
+            v.get("counters").and_then(|c| c.get("net.bytes")).and_then(|x| x.as_u64()),
+            Some(1234)
+        );
+        assert_eq!(
+            v.get("gauges").and_then(|g| g.get("g \"q\"")).and_then(|x| x.as_f64()),
+            Some(-1.0)
+        );
+        let h = v.get("histograms").and_then(|h| h.get("h")).expect("histogram present");
+        assert_eq!(h.get("counts").and_then(|c| c.as_array()).map(|a| a.len()), Some(3));
+    }
+}

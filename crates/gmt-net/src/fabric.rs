@@ -110,7 +110,9 @@ struct Shared {
     /// can be joined; subsequent sends observe [`NetError::Closed`].
     wire_tx: RwLock<Option<Sender<(Instant, Packet)>>>,
     ports: Vec<Mutex<Port>>,
-    stats: TrafficStats,
+    /// `Arc` so the runtime can keep reading traffic counters (metrics
+    /// snapshots) without holding the whole fabric alive.
+    stats: Arc<TrafficStats>,
     /// Links currently failed by the legacy binary switch
     /// ([`Fabric::set_link`]); sends on them *fail with an error*.
     faults: RwLock<HashSet<(NodeId, NodeId)>>,
@@ -150,7 +152,7 @@ impl Fabric {
             inbox_tx,
             wire_tx: RwLock::new(wire_tx),
             ports: (0..nodes).map(|_| Mutex::new(Port { busy_until: now })).collect(),
-            stats: TrafficStats::new(nodes),
+            stats: Arc::new(TrafficStats::new(nodes)),
             faults: RwLock::new(HashSet::new()),
             plan: RwLock::new(None),
         });
@@ -173,6 +175,11 @@ impl Fabric {
     /// Traffic counters.
     pub fn stats(&self) -> &TrafficStats {
         &self.shared.stats
+    }
+
+    /// Shared handle to the traffic counters (outlives the fabric).
+    pub fn stats_arc(&self) -> Arc<TrafficStats> {
+        Arc::clone(&self.shared.stats)
     }
 
     /// Creates the endpoint for `node`. May be called repeatedly; all
@@ -425,6 +432,11 @@ impl Endpoint {
     /// transport layer above uses this to record retransmissions.
     pub fn stats(&self) -> &TrafficStats {
         &self.shared.stats
+    }
+
+    /// Shared handle to the traffic counters (outlives the fabric).
+    pub fn stats_arc(&self) -> Arc<TrafficStats> {
+        Arc::clone(&self.shared.stats)
     }
 }
 
