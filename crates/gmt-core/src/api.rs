@@ -16,6 +16,14 @@
 //! | `gmt_atomicAdd` / `gmt_atomicCAS` | [`TaskCtx::atomic_add`] / [`TaskCtx::atomic_cas`] |
 //! | `gmt_waitCommands` | [`TaskCtx::wait_commands`] |
 //! | `gmt_parFor` | [`TaskCtx::parfor`] / [`TaskCtx::parfor_args`] |
+//!
+//! On a degraded cluster (peers confirmed dead by the failure detector)
+//! blocking primitives return `Err(GmtError::RemoteDead)` instead of
+//! hanging; [`TaskCtx::parfor_report`] surfaces lost iterations without
+//! panicking; and the `*_deadline` variants ([`TaskCtx::get_deadline`],
+//! [`TaskCtx::put_deadline`], [`TaskCtx::get_value_deadline`],
+//! [`TaskCtx::wait_commands_deadline`]) bound any single wait even when
+//! the detector is off.
 
 use crate::command::Command;
 use crate::error::GmtError;
@@ -29,6 +37,13 @@ use gmt_context::Yielder;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
+/// Floor on how long a *poisoned* task (one whose deadline abandoned
+/// operations that may never complete) waits before failing fast, used
+/// when no explicit deadline is armed any more. Generous enough for any
+/// straggler that still can complete, small enough that degraded-mode
+/// callers observe bounded latency.
+const POISONED_WAIT_FLOOR_NS: u64 = 100_000_000;
+
 /// Task-creation locality policy (§III-C): where the tasks of a parallel
 /// loop are spawned, mirroring the data-distribution policies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +55,26 @@ pub enum SpawnPolicy {
     /// Spread iterations across all *other* nodes (`GMT_SPAWN_REMOTE`);
     /// degenerates to `Local` on a 1-node cluster.
     Remote,
+}
+
+/// Outcome of a [`TaskCtx::parfor_report`] parallel loop on a (possibly
+/// degraded) cluster. Instead of silently shrinking the iteration space,
+/// dead nodes are skipped at spawn time (their share redistributes over
+/// the survivors) and mid-loop deaths are reported per iteration.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParForReport {
+    /// Iterations requested.
+    pub iterations: u64,
+    /// Iterations confirmed complete.
+    pub completed: u64,
+    /// Iterations lost to nodes that died mid-loop. Counted per spawn
+    /// block, so iterations a dying node did manage to finish before its
+    /// death was confirmed may be over-counted as failed — never under.
+    pub failed: u64,
+    /// Nodes whose death failed iterations, ascending.
+    pub failed_nodes: Vec<NodeId>,
+    /// Nodes already dead at spawn time and therefore skipped, ascending.
+    pub skipped_nodes: Vec<NodeId>,
 }
 
 /// Execution context of a GMT task.
@@ -90,11 +125,16 @@ impl<'a> TaskCtx<'a> {
     /// distribution (the paper's `gmt_alloc`). Blocks until every node has
     /// installed its segment.
     ///
+    /// Nodes already confirmed dead are skipped at issue time (their
+    /// segments are unreachable regardless); the array is collectively
+    /// installed on every survivor.
+    ///
     /// # Panics
     ///
-    /// Panics if a peer is declared dead mid-allocation: a global array
-    /// with missing segments has no usable semantics, matching the C
-    /// API's no-error-surface `gmt_alloc`.
+    /// Panics if a peer is declared dead *mid*-allocation: a global array
+    /// with segments installed on some survivors but not others has no
+    /// usable semantics, matching the C API's no-error-surface
+    /// `gmt_alloc`.
     pub fn alloc(&self, nbytes: u64, dist: Distribution) -> GmtArray {
         let me = self.node.node_id;
         let id = self.node.cluster.next_alloc_id.fetch_add(1, Ordering::Relaxed);
@@ -102,7 +142,7 @@ impl<'a> TaskCtx<'a> {
         let layout = self.layout(&arr);
         self.node.memory.alloc(id, &layout, me);
         for dst in 0..self.node.nodes {
-            if dst == me {
+            if dst == me || self.node.peer_is_dead(dst) {
                 continue;
             }
             self.ctl.add_pending(1);
@@ -119,7 +159,10 @@ impl<'a> TaskCtx<'a> {
     /// Releases a global array on every node (the paper's `gmt_free`).
     ///
     /// A dead peer's segment is unreachable anyway, so its failure is
-    /// swallowed: freeing is best-effort on a degraded cluster.
+    /// swallowed: freeing is best-effort on a degraded cluster. Swallowed
+    /// failures are *counted* in the `free.remote_dead_swallowed` metric
+    /// and logged once per dead peer (under `log_net_warnings`), so the
+    /// degradation stays observable without poisoning teardown paths.
     pub fn free(&self, arr: GmtArray) {
         let me = self.node.node_id;
         self.node.memory.free(arr.id);
@@ -127,11 +170,34 @@ impl<'a> TaskCtx<'a> {
             if dst == me {
                 continue;
             }
+            if self.node.peer_is_dead(dst) {
+                self.swallow_dead_free(dst, 1);
+                continue;
+            }
             self.ctl.add_pending(1);
             let token = token_from(self.ctl);
             self.emit(dst, &Command::Free { token, id: arr.id });
         }
-        let _ = self.wait_commands();
+        if let Err(GmtError::RemoteDead { node, failed_ops }) = self.wait_commands() {
+            self.swallow_dead_free(node, failed_ops as u64);
+        }
+    }
+
+    /// Accounts for a `gmt_free` toward a dead peer: bumps the
+    /// `free.remote_dead_swallowed` counter and warns once per dead peer.
+    fn swallow_dead_free(&self, dst: NodeId, ops: u64) {
+        // Workers have no dedicated counter shard; the cells are atomic,
+        // so shard 0 is as correct as any.
+        self.node.metrics.free_remote_dead_swallowed.add(0, ops);
+        if self.node.config.log_net_warnings
+            && !self.node.free_warned[dst].swap(true, Ordering::Relaxed)
+        {
+            eprintln!(
+                "[gmt] node {}: gmt_free toward dead peer {dst} swallowed (its segments died \
+                 with it; counted in free.remote_dead_swallowed, further frees are silent)",
+                self.node.node_id
+            );
+        }
     }
 
     // ------------------------------------------------------------------
@@ -187,6 +253,7 @@ impl<'a> TaskCtx<'a> {
     /// starting at byte `offset`. On `Err`, the bytes owned by the dead
     /// peer are left untouched (zero-filled portions stay zero).
     pub fn get(&self, arr: &GmtArray, offset: u64, dest: &mut [u8]) -> Result<(), GmtError> {
+        self.reclaim_reply_delivery(|| self.spans_remote(arr, offset, dest.len() as u64))?;
         // Safety: we wait for completion below, so the raw destination
         // pointers die only after the last reply wrote through them.
         unsafe { self.get_nb(arr, offset, dest) };
@@ -201,6 +268,13 @@ impl<'a> TaskCtx<'a> {
     /// [`TaskCtx::wait_commands`] on this task returns — replies write
     /// into it from helper threads. (The C API has the same contract,
     /// just without the keyword.)
+    ///
+    /// Additionally, if a previous wait on this task returned
+    /// [`GmtError::DeadlineExceeded`], remote replies are dropped until a
+    /// wait reaches quiescence: a remote `get_nb` issued in that window
+    /// completes without writing `dest`. The safe wrappers ([`TaskCtx::get`]
+    /// and friends) refuse to issue in that window; raw callers must
+    /// re-wait first.
     pub unsafe fn get_nb(&self, arr: &GmtArray, offset: u64, dest: &mut [u8]) {
         if dest.is_empty() {
             return;
@@ -279,6 +353,7 @@ impl<'a> TaskCtx<'a> {
         if owner == self.node.node_id {
             return Ok(self.node.memory.with(arr.id, |s| s.atomic_add(seg_off as usize, delta)));
         }
+        self.reclaim_reply_delivery(|| true)?;
         let mut old: i64 = 0;
         let dest = &mut old as *mut i64 as u64;
         self.ctl.add_pending(1);
@@ -327,6 +402,7 @@ impl<'a> TaskCtx<'a> {
                 .memory
                 .with(arr.id, |s| s.atomic_cas(seg_off as usize, expected, new)));
         }
+        self.reclaim_reply_delivery(|| true)?;
         let mut old: i64 = 0;
         let dest = &mut old as *mut i64 as u64;
         self.ctl.add_pending(1);
@@ -344,6 +420,9 @@ impl<'a> TaskCtx<'a> {
     /// aggregation was built for: a large batch of fine-grained reads at
     /// unpredictable offsets becomes a few network buffers).
     pub fn gather<T: Scalar>(&self, arr: &GmtArray, indices: &[u64]) -> Result<Vec<T>, GmtError> {
+        self.reclaim_reply_delivery(|| {
+            indices.iter().any(|&i| self.spans_remote(arr, i * T::SIZE as u64, T::SIZE as u64))
+        })?;
         let mut raw = vec![0u8; indices.len() * T::SIZE];
         for (slot, &i) in indices.iter().enumerate() {
             // Safety: `raw` outlives the wait below and is not read until
@@ -376,14 +455,49 @@ impl<'a> TaskCtx<'a> {
     /// operations failed because its destination was declared dead; the
     /// rest completed normally. The failure state is consumed: a
     /// subsequent wait with no new failures returns `Ok`.
+    ///
+    /// If this task runs with an operation deadline
+    /// (`Config::op_deadline_ns` or [`TaskCtx::set_op_deadline`]) and the
+    /// pending operations outlive it, the watchdog force-wakes the task
+    /// and this returns `Err(GmtError::DeadlineExceeded)`: reply delivery
+    /// into task-provided buffers is disarmed first, so the abandoned
+    /// stragglers drain harmlessly in the background.
     pub fn wait_commands(&self) -> Result<(), GmtError> {
+        if self.ctl.pending() != 0
+            && self.ctl.reply_disarmed()
+            && self.ctl.op_deadline() == 0
+            && self.node.config.op_deadline_ns == 0
+        {
+            // Poisoned task (a previous deadline abandoned operations that
+            // may never complete, e.g. an unreliable fabric lost them) and
+            // no deadline is armed any more: never wait unbounded here —
+            // re-arm a floor deadline so the watchdog still frees us.
+            self.set_op_deadline(POISONED_WAIT_FLOOR_NS);
+        }
         while self.ctl.pending() != 0 {
             // The worker runs the park protocol after the yield; the
             // intent flag tells it this is a blocking yield. Spurious
             // wakeups are tolerated by the re-check.
             self.ctl.set_park_intent();
             self.yielder.yield_now();
+            if self.ctl.take_deadline_hit() {
+                let pending = self.ctl.pending();
+                if pending > 0 {
+                    // Forbid helpers from writing reply data through this
+                    // task's stack before the caller's frames unwind; the
+                    // straggler tokens still complete in the background
+                    // and a later quiescent wait re-arms delivery. Any
+                    // dead-peer failure in the same batch is subsumed.
+                    self.ctl.abandon_pending_writes();
+                    let _ = self.ctl.take_failure();
+                    return Err(GmtError::DeadlineExceeded { pending });
+                }
+            }
         }
+        // Drained cleanly: a deadline hit that lost the race against the
+        // final completion is stale, and an earlier abandon can re-arm.
+        let _ = self.ctl.take_deadline_hit();
+        self.ctl.try_rearm();
         match self.ctl.take_failure() {
             None => Ok(()),
             Some((node, failed_ops)) => Err(GmtError::RemoteDead { node, failed_ops }),
@@ -393,6 +507,175 @@ impl<'a> TaskCtx<'a> {
     /// Cooperatively yields to other tasks on this worker.
     pub fn yield_now(&self) {
         self.yielder.yield_now();
+    }
+
+    // ------------------------------------------------------------------
+    // Deadlines & membership
+    // ------------------------------------------------------------------
+
+    /// True if any byte of `[offset, offset + len)` of `arr` lives on
+    /// another node.
+    fn spans_remote(&self, arr: &GmtArray, offset: u64, len: u64) -> bool {
+        let layout = self.layout(arr);
+        let me = self.node.node_id;
+        layout.extents(offset, len).iter().any(|e| e.node != me)
+    }
+
+    /// Re-arms reply delivery after a deadline abandon, called before
+    /// issuing an operation whose reply writes through a task-provided
+    /// pointer. While a previous batch is abandoned, helpers skip such
+    /// writes, so issuing a fresh destination-carrying remote operation
+    /// must first wait out the stragglers — otherwise its reply would be
+    /// silently dropped.
+    ///
+    /// In the common case this is one load. In the abandoned state it
+    /// yields cooperatively for up to one deadline's worth of time; if
+    /// the stragglers still have not drained (they may *never* — an
+    /// unreliable fabric loses them for good), it fails fast with
+    /// [`GmtError::DeadlineExceeded`] rather than hanging: the task is
+    /// poisoned for reply-carrying remote operations, while purely local
+    /// operations (for which `is_remote` returns `false`) proceed
+    /// untouched.
+    fn reclaim_reply_delivery(&self, is_remote: impl FnOnce() -> bool) -> Result<(), GmtError> {
+        if !self.node.deadlines_armed.load(Ordering::Relaxed) || self.ctl.try_rearm() {
+            return Ok(());
+        }
+        if !is_remote() {
+            // Local data never rides the reply path; serving it keeps a
+            // degraded cluster's node-local work running.
+            return Ok(());
+        }
+        let bound = match self.ctl.op_deadline() {
+            0 => self.node.config.op_deadline_ns,
+            d => d,
+        }
+        .max(POISONED_WAIT_FLOOR_NS);
+        let start = self.node.agg.now_ns();
+        while !self.ctl.try_rearm() {
+            if self.node.agg.now_ns().saturating_sub(start) >= bound {
+                let _ = self.ctl.take_deadline_hit();
+                return Err(GmtError::DeadlineExceeded { pending: self.ctl.pending() });
+            }
+            // Cooperative yield (no park): nothing may ever complete the
+            // stragglers, so stay schedulable and enforce the bound above.
+            self.yielder.yield_now();
+        }
+        // A deadline expiry consumed here belonged to the abandoned
+        // batch, not to the operations about to be issued.
+        let _ = self.ctl.take_deadline_hit();
+        Ok(())
+    }
+
+    /// Sets (or clears, with 0) this task's operation deadline in
+    /// nanoseconds, overriding `Config::op_deadline_ns`. While set, a
+    /// blocking wait whose operations are still pending past the deadline
+    /// is force-woken by the watchdog and returns
+    /// [`GmtError::DeadlineExceeded`] instead of hanging — the last line
+    /// of defense when the failure detector is disabled or a peer is
+    /// alive but unresponsive.
+    pub fn set_op_deadline(&self, ns: u64) {
+        self.ctl.set_op_deadline(ns);
+        if ns > 0 && !self.node.deadlines_armed.load(Ordering::Relaxed) {
+            // Helpers check this flag before writing reply data through
+            // task stacks; the Release store pairs with their Acquire
+            // load, so operations emitted after this call are guarded.
+            self.node.deadlines_armed.store(true, Ordering::Release);
+        }
+    }
+
+    /// [`TaskCtx::wait_commands`] under a temporary deadline: waits at
+    /// most (about) `deadline_ns` nanoseconds for the pending operations,
+    /// then restores the previous per-task deadline. Enforcement
+    /// granularity is the watchdog period.
+    ///
+    /// Operations issued *before* any deadline was armed on this node are
+    /// only guarded against the abandon on a best-effort basis; for
+    /// airtight reply-abandon safety issue them after
+    /// [`TaskCtx::set_op_deadline`] or use the `*_deadline` operation
+    /// variants.
+    pub fn wait_commands_deadline(&self, deadline_ns: u64) -> Result<(), GmtError> {
+        let prev = self.ctl.op_deadline();
+        self.set_op_deadline(deadline_ns);
+        let r = self.wait_commands();
+        self.ctl.set_op_deadline(prev);
+        r
+    }
+
+    /// [`TaskCtx::get`] that cannot hang: returns
+    /// `Err(GmtError::DeadlineExceeded)` if the replies take longer than
+    /// `deadline_ns`. On that error the contents of `dest` are
+    /// unspecified (replies that landed before the expiry were applied),
+    /// but no reply will touch `dest` after this returns.
+    pub fn get_deadline(
+        &self,
+        arr: &GmtArray,
+        offset: u64,
+        dest: &mut [u8],
+        deadline_ns: u64,
+    ) -> Result<(), GmtError> {
+        let prev = self.ctl.op_deadline();
+        self.set_op_deadline(deadline_ns);
+        let r = self
+            .reclaim_reply_delivery(|| self.spans_remote(arr, offset, dest.len() as u64))
+            .and_then(|()| {
+                // Safety: as in `get` — and on expiry, `wait_commands`
+                // disarms reply delivery before returning, so `dest` is
+                // never written after this frame is gone.
+                unsafe { self.get_nb(arr, offset, dest) };
+                self.wait_commands()
+            });
+        self.ctl.set_op_deadline(prev);
+        r
+    }
+
+    /// [`TaskCtx::put`] that cannot hang: data is globally visible on
+    /// `Ok`; on `Err(GmtError::DeadlineExceeded)` some extents may still
+    /// land later (puts carry no reply data, so there is nothing to
+    /// abandon — only the wait is bounded).
+    pub fn put_deadline(
+        &self,
+        arr: &GmtArray,
+        offset: u64,
+        data: &[u8],
+        deadline_ns: u64,
+    ) -> Result<(), GmtError> {
+        let prev = self.ctl.op_deadline();
+        self.set_op_deadline(deadline_ns);
+        self.put_nb(arr, offset, data);
+        let r = self.wait_commands();
+        self.ctl.set_op_deadline(prev);
+        r
+    }
+
+    /// [`TaskCtx::get_value`] that cannot hang; see
+    /// [`TaskCtx::get_deadline`].
+    pub fn get_value_deadline<T: Scalar>(
+        &self,
+        arr: &GmtArray,
+        index: u64,
+        deadline_ns: u64,
+    ) -> Result<T, GmtError> {
+        let mut buf = [0u8; 16];
+        let buf = &mut buf[..T::SIZE];
+        self.get_deadline(arr, index * T::SIZE as u64, buf, deadline_ns)?;
+        Ok(T::read_le(buf))
+    }
+
+    /// Nodes confirmed dead by the failure detector, ascending.
+    pub fn dead_nodes(&self) -> Vec<NodeId> {
+        self.node.membership.dead_nodes()
+    }
+
+    /// The membership epoch: bumped exactly once per confirmed death, so
+    /// converged survivors agree on it. Collectives pin the epoch at
+    /// creation and fail fast when it moves.
+    pub fn membership_epoch(&self) -> u64 {
+        self.node.membership.epoch()
+    }
+
+    /// A consistent point-in-time membership snapshot.
+    pub fn membership(&self) -> crate::runtime::MembershipView {
+        self.node.membership.view()
     }
 
     // ------------------------------------------------------------------
@@ -413,18 +696,72 @@ impl<'a> TaskCtx<'a> {
     /// Parallel loop with an explicit argument buffer, exactly like the C
     /// `gmt_parFor(it, chunk, func, args, locality)`: `args` is copied
     /// once per destination node and passed to every iteration.
+    ///
+    /// Nodes already confirmed dead are skipped at spawn time (their
+    /// share redistributes over the survivors). A peer dying *mid*-loop
+    /// loses iterations with no meaningful partial result, so this
+    /// panics, mirroring `alloc`; use [`TaskCtx::parfor_report`] /
+    /// [`TaskCtx::parfor_args_report`] to handle mid-loop deaths
+    /// gracefully instead.
     pub fn parfor_args<F>(&self, policy: SpawnPolicy, iters: u64, chunk: u32, args: &[u8], f: F)
     where
         F: Fn(&TaskCtx<'_>, u64, &[u8]) + Send + Sync + 'static,
     {
+        let report = self.parfor_args_report(policy, iters, chunk, args, f);
+        assert!(
+            report.failed == 0,
+            "gmt_parFor: node(s) {:?} died while executing iterations ({} of {} lost)",
+            report.failed_nodes,
+            report.failed,
+            report.iterations,
+        );
+    }
+
+    /// [`TaskCtx::parfor`] on a possibly degrading cluster: never panics
+    /// on peer death, instead reporting skipped nodes and lost iterations
+    /// in a [`ParForReport`] the caller can react to (retry elsewhere,
+    /// accept the partial result, abort).
+    pub fn parfor_report<F>(
+        &self,
+        policy: SpawnPolicy,
+        iters: u64,
+        chunk: u32,
+        f: F,
+    ) -> ParForReport
+    where
+        F: Fn(&TaskCtx<'_>, u64) + Send + Sync + 'static,
+    {
+        self.parfor_args_report(policy, iters, chunk, &[], move |ctx, i, _| f(ctx, i))
+    }
+
+    /// [`TaskCtx::parfor_args`] with a [`ParForReport`] instead of a
+    /// panic; see [`TaskCtx::parfor_report`].
+    pub fn parfor_args_report<F>(
+        &self,
+        policy: SpawnPolicy,
+        iters: u64,
+        chunk: u32,
+        args: &[u8],
+        f: F,
+    ) -> ParForReport
+    where
+        F: Fn(&TaskCtx<'_>, u64, &[u8]) + Send + Sync + 'static,
+    {
+        let mut report =
+            ParForReport { iterations: iters, completed: iters, ..ParForReport::default() };
         if iters == 0 {
-            return;
+            return report;
         }
         let chunk = chunk.max(1);
         let me = self.node.node_id;
+        if policy != SpawnPolicy::Local {
+            report.skipped_nodes = self.dead_nodes();
+        }
         let body = Arc::new(ParForBody { f: Box::new(f) });
         let args_arc: Arc<[u8]> = Arc::from(args);
-        for (dst, start, count) in split_iterations(policy, iters, self.node.nodes, me) {
+        let is_dead = |n: NodeId| self.node.peer_is_dead(n);
+        let splits = split_iterations(policy, iters, self.node.nodes, me, &is_dead);
+        for &(dst, start, count) in &splits {
             debug_assert!(count > 0);
             self.ctl.add_pending(1);
             let token = token_from(self.ctl);
@@ -451,16 +788,44 @@ impl<'a> TaskCtx<'a> {
                 );
             }
         }
-        // A parFor on a degraded cluster has lost iterations; there is no
-        // meaningful partial result to surface, so mirror `alloc`.
-        self.wait_commands().expect("gmt_parFor: peer died while executing iterations");
+        if self.wait_commands().is_err() {
+            // Attribute the loss per spawn block: every block whose
+            // destination is dead *now* counts as failed. A dying node
+            // may have finished some iterations before its death was
+            // confirmed, so this over-counts failures — never under.
+            for &(dst, _, count) in &splits {
+                if dst != me && self.node.peer_is_dead(dst) {
+                    report.failed += count;
+                    report.failed_nodes.push(dst);
+                }
+            }
+            if report.failed == 0 {
+                // No confirmed death behind the failure (e.g. a deadline
+                // expiry): conservatively count every remote block lost.
+                for &(dst, _, count) in &splits {
+                    if dst != me {
+                        report.failed += count;
+                        report.failed_nodes.push(dst);
+                    }
+                }
+            }
+            report.completed = report.iterations - report.failed;
+        }
+        report
     }
 
     #[inline]
     fn emit(&self, dst: NodeId, cmd: &Command<'_>) {
         debug_assert_ne!(dst, self.node.node_id, "local ops never become commands");
+        debug_assert!(!cmd.is_reply(), "tasks emit requests; helpers emit replies");
         // Remember the last remote command for watchdog diagnostics.
         self.ctl.note_op(dst, cmd.opcode());
+        // Register before the command becomes visible anywhere: only
+        // registered operations are error-completed if `dst` is (or is
+        // later confirmed) dead, and the comm server re-drains the
+        // registry whenever it drops a buffer bound for a dead peer, so
+        // an emit racing the death confirmation is still covered.
+        self.node.outstanding.register(cmd.token(), dst);
         tls::with_sink(|s| s.emit(dst, cmd));
     }
 }
@@ -472,59 +837,62 @@ impl std::fmt::Debug for TaskCtx<'_> {
 }
 
 /// Splits `iters` iterations across nodes per the spawn policy, returning
-/// `(node, start, count)` triples with `count > 0`.
+/// `(node, start, count)` triples with `count > 0`. Nodes for which
+/// `is_dead` returns true receive nothing — their share redistributes
+/// over the survivors. `Remote` degenerates to `Local` when every other
+/// node is dead (or the cluster has one node).
 pub(crate) fn split_iterations(
     policy: SpawnPolicy,
     iters: u64,
     nodes: usize,
     me: NodeId,
+    is_dead: &dyn Fn(NodeId) -> bool,
 ) -> Vec<(NodeId, u64, u64)> {
     match policy {
         SpawnPolicy::Local => vec![(me, 0, iters)],
         SpawnPolicy::Partition => {
-            let block = iters.div_ceil(nodes as u64);
-            (0..nodes)
-                .filter_map(|n| {
-                    let start = n as u64 * block;
-                    if start >= iters {
-                        None
-                    } else {
-                        Some((n, start, (iters - start).min(block)))
-                    }
-                })
-                .collect()
+            let alive: Vec<NodeId> = (0..nodes).filter(|&n| n == me || !is_dead(n)).collect();
+            split_over(&alive, iters)
         }
         SpawnPolicy::Remote => {
-            if nodes == 1 {
+            let others: Vec<NodeId> = (0..nodes).filter(|&n| n != me && !is_dead(n)).collect();
+            if others.is_empty() {
                 return vec![(me, 0, iters)];
             }
-            let others: Vec<NodeId> = (0..nodes).filter(|&n| n != me).collect();
-            let block = iters.div_ceil(others.len() as u64);
-            others
-                .iter()
-                .enumerate()
-                .filter_map(|(i, &n)| {
-                    let start = i as u64 * block;
-                    if start >= iters {
-                        None
-                    } else {
-                        Some((n, start, (iters - start).min(block)))
-                    }
-                })
-                .collect()
+            split_over(&others, iters)
         }
     }
+}
+
+/// Block-distributes `iters` over `targets` (non-empty): contiguous
+/// ranges in target order, every returned count > 0.
+fn split_over(targets: &[NodeId], iters: u64) -> Vec<(NodeId, u64, u64)> {
+    let block = iters.div_ceil(targets.len() as u64);
+    targets
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &n)| {
+            let start = i as u64 * block;
+            if start >= iters {
+                None
+            } else {
+                Some((n, start, (iters - start).min(block)))
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    const NONE_DEAD: &dyn Fn(NodeId) -> bool = &|_| false;
+
     #[test]
     fn split_partition_covers_all_iterations() {
         for nodes in [1usize, 2, 3, 7] {
             for iters in [1u64, 5, 100, 1001] {
-                let parts = split_iterations(SpawnPolicy::Partition, iters, nodes, 0);
+                let parts = split_iterations(SpawnPolicy::Partition, iters, nodes, 0, NONE_DEAD);
                 let total: u64 = parts.iter().map(|&(_, _, c)| c).sum();
                 assert_eq!(total, iters);
                 let mut expected_start = 0;
@@ -539,13 +907,13 @@ mod tests {
 
     #[test]
     fn split_local_stays_home() {
-        let parts = split_iterations(SpawnPolicy::Local, 42, 8, 3);
+        let parts = split_iterations(SpawnPolicy::Local, 42, 8, 3, NONE_DEAD);
         assert_eq!(parts, vec![(3, 0, 42)]);
     }
 
     #[test]
     fn split_remote_avoids_me() {
-        let parts = split_iterations(SpawnPolicy::Remote, 100, 4, 2);
+        let parts = split_iterations(SpawnPolicy::Remote, 100, 4, 2, NONE_DEAD);
         let total: u64 = parts.iter().map(|&(_, _, c)| c).sum();
         assert_eq!(total, 100);
         assert!(parts.iter().all(|&(n, _, _)| n != 2));
@@ -554,14 +922,45 @@ mod tests {
 
     #[test]
     fn split_remote_single_node_degenerates() {
-        assert_eq!(split_iterations(SpawnPolicy::Remote, 9, 1, 0), vec![(0, 0, 9)]);
+        assert_eq!(split_iterations(SpawnPolicy::Remote, 9, 1, 0, NONE_DEAD), vec![(0, 0, 9)]);
     }
 
     #[test]
     fn split_fewer_iters_than_nodes() {
-        let parts = split_iterations(SpawnPolicy::Partition, 2, 5, 0);
+        let parts = split_iterations(SpawnPolicy::Partition, 2, 5, 0, NONE_DEAD);
         let total: u64 = parts.iter().map(|&(_, _, c)| c).sum();
         assert_eq!(total, 2);
         assert!(parts.iter().all(|&(_, _, c)| c > 0));
+    }
+
+    #[test]
+    fn split_partition_redistributes_over_survivors() {
+        // Nodes 1 and 3 dead out of 4: their share moves to 0 and 2, the
+        // iteration space stays fully covered and contiguous.
+        let dead = |n: NodeId| n == 1 || n == 3;
+        let parts = split_iterations(SpawnPolicy::Partition, 100, 4, 0, &dead);
+        let total: u64 = parts.iter().map(|&(_, _, c)| c).sum();
+        assert_eq!(total, 100);
+        assert!(parts.iter().all(|&(n, _, _)| n == 0 || n == 2));
+        let mut expected_start = 0;
+        for &(_, start, count) in &parts {
+            assert_eq!(start, expected_start);
+            expected_start += count;
+        }
+    }
+
+    #[test]
+    fn split_remote_with_all_others_dead_falls_back_home() {
+        let dead = |n: NodeId| n != 2;
+        assert_eq!(split_iterations(SpawnPolicy::Remote, 7, 4, 2, &dead), vec![(2, 0, 7)]);
+    }
+
+    #[test]
+    fn split_remote_skips_dead_peers() {
+        let dead = |n: NodeId| n == 1;
+        let parts = split_iterations(SpawnPolicy::Remote, 90, 4, 0, &dead);
+        let total: u64 = parts.iter().map(|&(_, _, c)| c).sum();
+        assert_eq!(total, 90);
+        assert!(parts.iter().all(|&(n, _, _)| n == 2 || n == 3));
     }
 }

@@ -1,19 +1,45 @@
-//! Synchronization and reduction utilities built on the GMT primitives.
+//! Synchronization, reduction and data-exchange collectives built on the
+//! GMT primitives.
 //!
 //! The paper's API is deliberately lean: "GMT provides atomic operations
 //! such as gmt_atomicCAS() or gmt_atomicAdd(), enabling implementation of
 //! global synchronization constructs" (§III-E). This module is that
-//! sentence made concrete — counters, barriers and reducers composed from
-//! the Table I primitives, with no new runtime machinery.
+//! sentence made concrete — counters, barriers, reducers, broadcast and
+//! all-to-all composed from the Table I primitives, with no new runtime
+//! machinery.
 //!
-//! Collectives have no partial-failure semantics: if the node owning a
-//! counter/barrier word is declared dead, these helpers panic (the
-//! underlying primitive returns `GmtError::RemoteDead`); programs that
-//! must survive peer death use the `Result`-returning primitives
-//! directly.
+//! # Failure semantics on a degraded cluster
+//!
+//! Every collective returns `Result` instead of panicking or hanging:
+//!
+//! - [`GlobalCounter`] operations surface the owner's death as
+//!   `Err(GmtError::RemoteDead)`.
+//! - [`GlobalBarrier`] pins the membership epoch at creation: *any*
+//!   confirmed death after that fails every subsequent (and every
+//!   spinning) `wait` on every survivor with `Err(GmtError::RemoteDead)`
+//!   — a barrier missing a participant can never complete, so failing
+//!   fast everywhere is the only non-hanging semantics. Survivors
+//!   re-form by creating a fresh barrier over the remaining parties (the
+//!   new barrier pins the *new* epoch, so prior deaths don't poison it).
+//! - [`broadcast`] and [`alltoall`] skip nodes already confirmed dead
+//!   (degraded `Ok`: skipped/missing slots are reported) and return
+//!   `Err` only when a peer dies mid-exchange.
+//! - [`reduce_sum`] / [`reduce_max`] run on [`TaskCtx::parfor_report`]
+//!   and convert lost iterations or failed element reads into `Err`.
 
-use crate::api::TaskCtx;
+use crate::api::{SpawnPolicy, TaskCtx};
+use crate::error::GmtError;
 use crate::handle::{Distribution, GmtArray};
+use crate::value::Scalar;
+use crate::NodeId;
+
+/// The error a collective reports when the membership epoch moved under
+/// it: blames the first confirmed-dead node (0 failed operations — the
+/// collective aborted before issuing against the dead peer).
+fn epoch_moved(ctx: &TaskCtx<'_>) -> GmtError {
+    let node = ctx.dead_nodes().first().copied().unwrap_or(0);
+    GmtError::RemoteDead { node, failed_ops: 0 }
+}
 
 /// A global 64-bit counter (one word of global memory).
 #[derive(Debug, Clone, Copy)]
@@ -27,20 +53,20 @@ impl GlobalCounter {
         GlobalCounter { word: ctx.alloc(8, dist) }
     }
 
-    /// Atomically adds `delta`, returning the previous value.
-    pub fn add(&self, ctx: &TaskCtx<'_>, delta: i64) -> i64 {
-        ctx.atomic_add(&self.word, 0, delta).expect("GlobalCounter::add: counter's owner is dead")
+    /// Atomically adds `delta`, returning the previous value, or
+    /// `Err(GmtError::RemoteDead)` if the counter's owner is dead.
+    pub fn add(&self, ctx: &TaskCtx<'_>, delta: i64) -> Result<i64, GmtError> {
+        ctx.atomic_add(&self.word, 0, delta)
     }
 
     /// Current value (a racy read, like any concurrent counter).
-    pub fn get(&self, ctx: &TaskCtx<'_>) -> i64 {
-        ctx.atomic_add(&self.word, 0, 0).expect("GlobalCounter::get: counter's owner is dead")
+    pub fn get(&self, ctx: &TaskCtx<'_>) -> Result<i64, GmtError> {
+        ctx.atomic_add(&self.word, 0, 0)
     }
 
     /// Resets to `value` (callers must ensure quiescence).
-    pub fn set(&self, ctx: &TaskCtx<'_>, value: i64) {
+    pub fn set(&self, ctx: &TaskCtx<'_>, value: i64) -> Result<(), GmtError> {
         ctx.put_value::<i64>(&self.word, 0, value)
-            .expect("GlobalCounter::set: counter's owner is dead");
     }
 
     pub fn free(self, ctx: &TaskCtx<'_>) {
@@ -51,46 +77,63 @@ impl GlobalCounter {
 /// A sense-reversing barrier for a *fixed* number of participating tasks.
 ///
 /// Works across nodes: both words live in global memory and are accessed
-/// with atomics. Participants must all call [`GlobalBarrier::wait`]
-/// the same number of times.
+/// with atomics. Participants must all call [`GlobalBarrier::wait`] the
+/// same number of times.
+///
+/// The barrier pins the membership epoch at creation. If any node is
+/// confirmed dead afterwards, every `wait` — including ones already
+/// spinning — returns `Err(GmtError::RemoteDead)` on every survivor
+/// instead of hanging on an arrival that can never come. Survivors
+/// re-form by constructing a new barrier with the surviving party count.
 #[derive(Debug, Clone, Copy)]
 pub struct GlobalBarrier {
     /// word 0: arrival count; word 1: generation.
     state: GmtArray,
     parties: i64,
+    /// Membership epoch at creation; any bump fails the barrier.
+    epoch: u64,
 }
 
 impl GlobalBarrier {
     pub fn new(ctx: &TaskCtx<'_>, parties: u64) -> Self {
         assert!(parties > 0);
-        GlobalBarrier { state: ctx.alloc(16, Distribution::Partition), parties: parties as i64 }
+        GlobalBarrier {
+            state: ctx.alloc(16, Distribution::Partition),
+            parties: parties as i64,
+            epoch: ctx.membership_epoch(),
+        }
     }
 
-    /// Blocks the calling task until all `parties` tasks have arrived.
-    pub fn wait(&self, ctx: &TaskCtx<'_>) {
-        let generation = ctx
-            .atomic_add(&self.state, 8, 0)
-            .expect("GlobalBarrier::wait: barrier's owner is dead");
-        let arrived = ctx
-            .atomic_add(&self.state, 0, 1)
-            .expect("GlobalBarrier::wait: barrier's owner is dead")
-            + 1;
+    fn check_epoch(&self, ctx: &TaskCtx<'_>) -> Result<(), GmtError> {
+        if ctx.membership_epoch() != self.epoch {
+            return Err(epoch_moved(ctx));
+        }
+        Ok(())
+    }
+
+    /// Blocks the calling task until all `parties` tasks have arrived, or
+    /// until a node death makes that impossible (then `Err`, never a
+    /// hang — on *every* survivor, since the epoch bump is disseminated
+    /// cluster-wide).
+    pub fn wait(&self, ctx: &TaskCtx<'_>) -> Result<(), GmtError> {
+        self.check_epoch(ctx)?;
+        let generation = ctx.atomic_add(&self.state, 8, 0)?;
+        let arrived = ctx.atomic_add(&self.state, 0, 1)? + 1;
         if arrived == self.parties {
             // Last arrival: reset the count, then advance the generation
             // (release order matters: count first).
-            ctx.put_value::<i64>(&self.state, 0, 0)
-                .expect("GlobalBarrier::wait: barrier's owner is dead");
-            ctx.atomic_add(&self.state, 8, 1)
-                .expect("GlobalBarrier::wait: barrier's owner is dead");
+            ctx.put_value::<i64>(&self.state, 0, 0)?;
+            ctx.atomic_add(&self.state, 8, 1)?;
         } else {
-            while ctx
-                .atomic_add(&self.state, 8, 0)
-                .expect("GlobalBarrier::wait: barrier's owner is dead")
-                == generation
-            {
+            loop {
+                self.check_epoch(ctx)?;
+                if ctx.atomic_add(&self.state, 8, 0)? != generation {
+                    break;
+                }
                 ctx.yield_now();
             }
         }
+        Ok(())
     }
 
     pub fn free(self, ctx: &TaskCtx<'_>) {
@@ -98,51 +141,143 @@ impl GlobalBarrier {
     }
 }
 
+/// Broadcasts `value` into a one-element-per-node array: slot `i` of
+/// `arr` (which must hold at least `ctx.nodes()` elements of `T`) is the
+/// copy node `i` reads locally afterwards.
+///
+/// Nodes already confirmed dead are skipped and returned (degraded `Ok`
+/// — their slots stay untouched); a peer dying *mid*-broadcast surfaces
+/// as `Err(GmtError::RemoteDead)`.
+pub fn broadcast<T: Scalar>(
+    ctx: &TaskCtx<'_>,
+    arr: &GmtArray,
+    value: T,
+) -> Result<Vec<NodeId>, GmtError> {
+    let skipped: Vec<NodeId> = ctx.dead_nodes();
+    for i in 0..ctx.nodes() {
+        if !skipped.contains(&i) {
+            ctx.put_value_nb::<T>(arr, i as u64, value);
+        }
+    }
+    ctx.wait_commands()?;
+    Ok(skipped)
+}
+
+/// One participant's half of an all-to-all exchange over an `n × n`
+/// element matrix (`arr`, row-major, `n = ctx.nodes()`): writes
+/// `outgoing[j]` into slot `(j, me)` for every alive node `j`, crosses
+/// `barrier`, then reads back row `me` — slot `(me, i)` being node `i`'s
+/// contribution to this node.
+///
+/// Nodes confirmed dead at the start are skipped on the send side and
+/// reported as `None` on the receive side (degraded `Ok`); a death
+/// mid-exchange fails the barrier (its epoch moved) and surfaces as
+/// `Err(GmtError::RemoteDead)` on every survivor.
+///
+/// All participants must call this with the same `arr` and `barrier`
+/// (whose party count matches the participant count).
+pub fn alltoall<T: Scalar>(
+    ctx: &TaskCtx<'_>,
+    arr: &GmtArray,
+    outgoing: &[T],
+    barrier: &GlobalBarrier,
+) -> Result<Vec<Option<T>>, GmtError> {
+    let n = ctx.nodes();
+    assert_eq!(outgoing.len(), n, "one outgoing element per node");
+    let me = ctx.node_id() as u64;
+    let dead = ctx.dead_nodes();
+    for (j, &v) in outgoing.iter().enumerate() {
+        if !dead.contains(&j) {
+            ctx.put_value_nb::<T>(arr, j as u64 * n as u64 + me, v);
+        }
+    }
+    ctx.wait_commands()?;
+    // Everyone's writes are globally visible before anyone reads.
+    barrier.wait(ctx)?;
+    let mut incoming = Vec::with_capacity(n);
+    for i in 0..n {
+        if dead.contains(&i) {
+            incoming.push(None);
+        } else {
+            incoming.push(Some(ctx.get_value::<T>(arr, me * n as u64 + i as u64)?));
+        }
+    }
+    Ok(incoming)
+}
+
+/// Converts a degraded [`crate::api::ParForReport`] (or a raised error
+/// flag) into the `Err` a reduction reports.
+fn reduction_error(ctx: &TaskCtx<'_>, report: &crate::api::ParForReport) -> GmtError {
+    let node = report
+        .failed_nodes
+        .first()
+        .copied()
+        .or_else(|| ctx.dead_nodes().first().copied())
+        .unwrap_or(0);
+    GmtError::RemoteDead { node, failed_ops: report.failed.min(u32::MAX as u64) as u32 }
+}
+
 /// Cluster-wide sum reduction over a slice of a global i64 array,
 /// computed with a partitioned parallel loop (each task accumulates a
-/// chunk locally and contributes one atomic add).
-pub fn reduce_sum(ctx: &TaskCtx<'_>, arr: &GmtArray, elements: u64) -> i64 {
+/// chunk locally and contributes one atomic add). A node death during
+/// the reduction returns `Err(GmtError::RemoteDead)` — the partial sum
+/// is meaningless, so none is surfaced.
+pub fn reduce_sum(ctx: &TaskCtx<'_>, arr: &GmtArray, elements: u64) -> Result<i64, GmtError> {
     if elements == 0 {
-        return 0;
+        return Ok(0);
     }
     let acc = GlobalCounter::new(ctx, Distribution::Local);
+    // One extra word: tasks raise it when an element read or the
+    // accumulator add fails (the parFor body cannot return a Result).
+    let flag = GlobalCounter::new(ctx, Distribution::Local);
     let arr = *arr;
     // Chunked accumulation: one atomic add per task, not per element.
     let chunk = 64u32;
-    ctx.parfor_args(
-        crate::api::SpawnPolicy::Partition,
+    let report = ctx.parfor_report(
+        SpawnPolicy::Partition,
         elements.div_ceil(chunk as u64),
         4,
-        &[],
-        move |ctx, task_idx, _| {
+        move |ctx, task_idx| {
             let lo = task_idx * chunk as u64;
             let hi = (lo + chunk as u64).min(elements);
             let mut local = 0i64;
             for i in lo..hi {
-                local = local.wrapping_add(
-                    ctx.get_value::<i64>(&arr, i).expect("reduce_sum: array owner is dead"),
-                );
+                match ctx.get_value::<i64>(&arr, i) {
+                    Ok(v) => local = local.wrapping_add(v),
+                    Err(_) => {
+                        // Best-effort: the flag's owner is the reducing
+                        // node, which is alive from its own perspective.
+                        let _ = flag.add(ctx, 1);
+                        return;
+                    }
+                }
             }
-            if local != 0 {
-                ctx.atomic_add(&acc.word, 0, local).expect("reduce_sum: accumulator owner is dead");
+            if local != 0 && acc.add(ctx, local).is_err() {
+                let _ = flag.add(ctx, 1);
             }
         },
     );
+    let failed = report.failed > 0 || flag.get(ctx)? > 0;
     let total = acc.get(ctx);
     acc.free(ctx);
+    flag.free(ctx);
+    if failed {
+        return Err(reduction_error(ctx, &report));
+    }
     total
 }
 
-/// Cluster-wide max reduction (CAS loop), same structure as
-/// [`reduce_sum`].
-pub fn reduce_max(ctx: &TaskCtx<'_>, arr: &GmtArray, elements: u64) -> i64 {
+/// Cluster-wide max reduction (CAS loop), same structure and failure
+/// semantics as [`reduce_sum`].
+pub fn reduce_max(ctx: &TaskCtx<'_>, arr: &GmtArray, elements: u64) -> Result<i64, GmtError> {
     assert!(elements > 0, "max of an empty range");
     let best = ctx.alloc(8, Distribution::Local);
-    ctx.put_value::<i64>(&best, 0, i64::MIN).expect("reduce_max: scratch owner is dead");
+    ctx.put_value::<i64>(&best, 0, i64::MIN)?;
+    let flag = GlobalCounter::new(ctx, Distribution::Local);
     let arr = *arr;
     let chunk = 64u32;
-    ctx.parfor(
-        crate::api::SpawnPolicy::Partition,
+    let report = ctx.parfor_report(
+        SpawnPolicy::Partition,
         elements.div_ceil(chunk as u64),
         4,
         move |ctx, task_idx| {
@@ -150,24 +285,43 @@ pub fn reduce_max(ctx: &TaskCtx<'_>, arr: &GmtArray, elements: u64) -> i64 {
             let hi = (lo + chunk as u64).min(elements);
             let mut local = i64::MIN;
             for i in lo..hi {
-                local = local
-                    .max(ctx.get_value::<i64>(&arr, i).expect("reduce_max: array owner is dead"));
+                match ctx.get_value::<i64>(&arr, i) {
+                    Ok(v) => local = local.max(v),
+                    Err(_) => {
+                        let _ = flag.add(ctx, 1);
+                        return;
+                    }
+                }
             }
             loop {
-                let cur = ctx.atomic_add(&best, 0, 0).expect("reduce_max: scratch owner is dead");
-                if local <= cur
-                    || ctx
-                        .atomic_cas(&best, 0, cur, local)
-                        .expect("reduce_max: scratch owner is dead")
-                        == cur
-                {
+                let cur = match ctx.atomic_add(&best, 0, 0) {
+                    Ok(c) => c,
+                    Err(_) => {
+                        let _ = flag.add(ctx, 1);
+                        return;
+                    }
+                };
+                if local <= cur {
                     break;
+                }
+                match ctx.atomic_cas(&best, 0, cur, local) {
+                    Ok(old) if old == cur => break,
+                    Ok(_) => continue,
+                    Err(_) => {
+                        let _ = flag.add(ctx, 1);
+                        return;
+                    }
                 }
             }
         },
     );
-    let m = ctx.get_value::<i64>(&best, 0).expect("reduce_max: scratch owner is dead");
+    let failed = report.failed > 0 || flag.get(ctx)? > 0;
+    let m = ctx.get_value::<i64>(&best, 0);
     ctx.free(best);
+    flag.free(ctx);
+    if failed {
+        return Err(reduction_error(ctx, &report));
+    }
     m
 }
 
@@ -182,9 +336,9 @@ mod tests {
         let v = cluster.node(0).run(|ctx| {
             let c = GlobalCounter::new(ctx, Distribution::Remote);
             ctx.parfor(SpawnPolicy::Partition, 100, 5, move |ctx, _| {
-                c.add(ctx, 2);
+                c.add(ctx, 2).unwrap();
             });
-            let v = c.get(ctx);
+            let v = c.get(ctx).unwrap();
             c.free(ctx);
             v
         });
@@ -203,13 +357,13 @@ mod tests {
             let c = GlobalCounter::new(ctx, Distribution::Partition);
             let bad = GlobalCounter::new(ctx, Distribution::Local);
             ctx.parfor(SpawnPolicy::Partition, parties, 1, move |ctx, _| {
-                c.add(ctx, 1);
-                bar.wait(ctx);
-                if c.get(ctx) < parties as i64 {
-                    bad.add(ctx, 1);
+                c.add(ctx, 1).unwrap();
+                bar.wait(ctx).unwrap();
+                if c.get(ctx).unwrap() < parties as i64 {
+                    bad.add(ctx, 1).unwrap();
                 }
             });
-            let v = bad.get(ctx);
+            let v = bad.get(ctx).unwrap();
             bar.free(ctx);
             c.free(ctx);
             bad.free(ctx);
@@ -228,11 +382,11 @@ mod tests {
             let c = GlobalCounter::new(ctx, Distribution::Partition);
             ctx.parfor(SpawnPolicy::Partition, parties, 1, move |ctx, _| {
                 for _round in 0..3 {
-                    c.add(ctx, 1);
-                    bar.wait(ctx);
+                    c.add(ctx, 1).unwrap();
+                    bar.wait(ctx).unwrap();
                 }
             });
-            let v = c.get(ctx);
+            let v = c.get(ctx).unwrap();
             bar.free(ctx);
             c.free(ctx);
             v
@@ -252,8 +406,8 @@ mod tests {
                 ctx.put_value_nb::<i64>(&arr, i, v);
                 ctx.wait_commands().unwrap();
             });
-            let s = reduce_sum(ctx, &arr, n);
-            let m = reduce_max(ctx, &arr, n);
+            let s = reduce_sum(ctx, &arr, n).unwrap();
+            let m = reduce_max(ctx, &arr, n).unwrap();
             ctx.free(arr);
             (s, m)
         });
@@ -268,11 +422,58 @@ mod tests {
         let cluster = Cluster::start(1, Config::small()).unwrap();
         let s = cluster.node(0).run(|ctx| {
             let arr = ctx.alloc(8, Distribution::Local);
-            let s = reduce_sum(ctx, &arr, 0);
+            let s = reduce_sum(ctx, &arr, 0).unwrap();
             ctx.free(arr);
             s
         });
         cluster.shutdown();
         assert_eq!(s, 0);
+    }
+
+    #[test]
+    fn broadcast_reaches_every_node_slot() {
+        let cluster = Cluster::start(3, Config::small()).unwrap();
+        let values = cluster.node(1).run(|ctx| {
+            let arr = ctx.alloc(ctx.nodes() as u64 * 8, Distribution::Partition);
+            let skipped = broadcast::<i64>(ctx, &arr, 42).unwrap();
+            assert!(skipped.is_empty());
+            let mut out = Vec::new();
+            for i in 0..ctx.nodes() as u64 {
+                out.push(ctx.get_value::<i64>(&arr, i).unwrap());
+            }
+            ctx.free(arr);
+            out
+        });
+        cluster.shutdown();
+        assert_eq!(values, vec![42, 42, 42]);
+    }
+
+    #[test]
+    fn alltoall_exchanges_every_pair() {
+        // One participant task per node; node i sends 10*i + j to node j.
+        let cluster = Cluster::start(3, Config::small()).unwrap();
+        let bad = cluster.node(0).run(|ctx| {
+            let n = ctx.nodes() as u64;
+            let matrix = ctx.alloc(n * n * 8, Distribution::Partition);
+            let bar = GlobalBarrier::new(ctx, n);
+            let bad = GlobalCounter::new(ctx, Distribution::Local);
+            ctx.parfor(SpawnPolicy::Partition, n, 1, move |ctx, _| {
+                let me = ctx.node_id() as i64;
+                let outgoing: Vec<i64> = (0..n as i64).map(|j| 10 * me + j).collect();
+                let incoming = alltoall::<i64>(ctx, &matrix, &outgoing, &bar).unwrap();
+                for (i, v) in incoming.iter().enumerate() {
+                    if *v != Some(10 * i as i64 + me) {
+                        bad.add(ctx, 1).unwrap();
+                    }
+                }
+            });
+            let v = bad.get(ctx).unwrap();
+            bar.free(ctx);
+            bad.free(ctx);
+            ctx.free(matrix);
+            v
+        });
+        cluster.shutdown();
+        assert_eq!(bad, 0);
     }
 }

@@ -16,7 +16,11 @@
 //! standalone acks when there is no return traffic to piggyback on,
 //! retransmits the queue head with exponential backoff, and declares peers
 //! dead when the retry budget runs out — failing every affected request
-//! token with `GmtError::RemoteDead`. It additionally runs the stuck-task
+//! token with `GmtError::RemoteDead`. The failure detector rides on the
+//! same sweep: idle links get heartbeats, silent peers are suspected and
+//! eventually confirmed dead, and death notices disseminate every
+//! confirmation so survivors converge on one membership view (see
+//! [`crate::reliable`]). It additionally runs the stuck-task
 //! watchdog sweep, since it is the one thread guaranteed to keep spinning
 //! while every worker is parked.
 //!
@@ -24,7 +28,7 @@
 //! per sweep, so one chatty worker cannot starve the others' queues.
 
 use crate::metrics::ThreadTracer;
-use crate::reliable::{self, PollAction, Recv, ReliableLink};
+use crate::reliable::{DeathReason, DetectorConfig, PollAction, Recv, ReliableLink};
 use crate::runtime::NodeShared;
 use gmt_net::{Endpoint, Payload, Tag};
 use std::sync::Arc;
@@ -70,7 +74,10 @@ fn send_buffer(
     match link {
         Some(link) => {
             if link.is_dead(dst) {
-                reliable::fail_tokens(&payload[reliable::HEADER_LEN..], dst);
+                // Emitted after (or racing) the death confirmation: the
+                // registry still holds these tokens — fail them now.
+                // Dropping `payload` returns the buffer to its pool.
+                fail_outstanding(node, dst);
                 return;
             }
             if link.has_pending_ack(dst) {
@@ -116,6 +123,26 @@ fn receive(
             node.metrics.dedup_hits.add(shard, 1);
         }
         Recv::AckOnly | Recv::FromDead => {}
+        Recv::Heartbeat => {
+            node.metrics.heartbeats_recv.add(shard, 1);
+        }
+        Recv::Notice { dead } => {
+            node.metrics.notices_received.add(shard, 1);
+            if dead == node.node_id {
+                // A survivor believes *we* are dead — there is no
+                // protocol to rejoin, so just log it; our own traffic
+                // to other survivors is unaffected.
+                if node.config.log_net_warnings {
+                    eprintln!(
+                        "[gmt] warn: node {}: node {src} disseminated a death notice \
+                         naming this node; ignoring",
+                        node.node_id
+                    );
+                }
+            } else if let Some(unacked) = link.confirm_death(dead) {
+                apply_death(node, dead, unacked, "death notice received");
+            }
+        }
         Recv::Malformed => {
             node.metrics.net_errors.add(shard, 1);
             if node.config.log_net_warnings {
@@ -127,6 +154,47 @@ fn receive(
             }
         }
     }
+}
+
+/// Error-completes every registered operation toward `dst` with
+/// `GmtError::RemoteDead`, returning how many failed. Covers the full
+/// in-flight window — unsent buffers, transport-unacked buffers, and
+/// requests already delivered whose application reply died with the peer.
+fn fail_outstanding(node: &NodeShared, dst: crate::NodeId) -> u32 {
+    let mut failed = 0u32;
+    for (token, count) in node.outstanding.drain_peer(dst) {
+        for _ in 0..count {
+            // SAFETY: each registry entry stands for exactly one token
+            // minted by `token_from` and not completed yet — a normal
+            // completion acquits its entry before touching the token, so
+            // draining the entry transfers sole completion rights here.
+            unsafe { crate::task::complete_token_err(token, dst) };
+        }
+        failed += count;
+    }
+    failed
+}
+
+/// Confirms a death in the node's membership view: marks the peer dead
+/// (bumping the epoch exactly once), fails every operation still awaiting
+/// a completion from it, and logs the cause. The reliability link has
+/// already drained its own state and scheduled notice dissemination.
+fn apply_death(node: &NodeShared, dst: crate::NodeId, unacked: Vec<Payload>, cause: &str) {
+    let shard = node.metrics.comm_shard();
+    if node.mark_peer_dead(dst) {
+        node.metrics.peers_dead.add(shard, 1);
+        node.metrics.epoch_bumps.add(shard, 1);
+    }
+    let failed = fail_outstanding(node, dst);
+    if node.config.log_net_warnings {
+        eprintln!(
+            "[gmt] warn: node {}: peer {dst} confirmed dead ({cause}); {failed} operation(s) \
+             failed; {} unacked buffer(s) dropped",
+            node.node_id,
+            unacked.len()
+        );
+    }
+    // Dropping `unacked` releases the pooled buffers.
 }
 
 /// Applies the outcomes of one reliability timer sweep.
@@ -142,22 +210,38 @@ fn apply(node: &NodeShared, endpoint: &Endpoint, action: PollAction) {
             node.metrics.acks_standalone.add(shard, 1);
             send(node, endpoint, dst, payload);
         }
-        PollAction::Dead { dst, unacked } => {
-            node.mark_peer_dead(dst);
-            node.metrics.peers_dead.add(shard, 1);
-            let mut failed = 0u32;
-            for p in &unacked {
-                failed += reliable::fail_tokens(&p[reliable::HEADER_LEN..], dst);
-            }
+        PollAction::Heartbeat { dst, payload } => {
+            node.metrics.heartbeats_sent.add(shard, 1);
+            send(node, endpoint, dst, payload);
+        }
+        PollAction::SendNotice { dst, payload } => {
+            node.metrics.notices_sent.add(shard, 1);
+            send(node, endpoint, dst, payload);
+        }
+        PollAction::Suspect { dst } => {
+            node.metrics.suspicions_raised.add(shard, 1);
             if node.config.log_net_warnings {
                 eprintln!(
-                    "[gmt] warn: node {}: peer {dst} declared dead (retry budget exhausted); \
-                     {failed} operation(s) failed across {} unacked buffer(s)",
-                    node.node_id,
-                    unacked.len()
+                    "[gmt] warn: node {}: peer {dst} is silent past the suspicion threshold",
+                    node.node_id
                 );
             }
-            // Dropping `unacked` releases the pooled buffers.
+        }
+        PollAction::SuspectCleared { dst } => {
+            node.metrics.suspicions_cleared.add(shard, 1);
+            if node.config.log_net_warnings {
+                eprintln!(
+                    "[gmt] warn: node {}: suspicion against peer {dst} cleared",
+                    node.node_id
+                );
+            }
+        }
+        PollAction::Dead { dst, unacked, reason } => {
+            let cause = match reason {
+                DeathReason::RetryExhausted => "retry budget exhausted",
+                DeathReason::HeartbeatTimeout => "silent past the death timeout",
+            };
+            apply_death(node, dst, unacked, cause);
         }
     }
 }
@@ -166,18 +250,38 @@ fn apply(node: &NodeShared, endpoint: &Endpoint, action: PollAction) {
 pub fn comm_main(node: Arc<NodeShared>, endpoint: Endpoint, tracer: ThreadTracer) {
     let mut link = node.config.reliable.then(|| {
         ReliableLink::new(
+            node.node_id,
             node.nodes,
             node.config.rto_base_ns,
             node.config.rto_max_ns,
             node.config.max_retries,
             node.config.ack_delay_ns,
+            DetectorConfig {
+                heartbeat_idle_ns: node.config.heartbeat_idle_ns,
+                suspect_after_ns: node.config.suspect_after_ns,
+                death_timeout_ns: node.config.peer_death_timeout_ns,
+            },
         )
     });
     let mut actions: Vec<PollAction> = Vec::new();
     // Watchdog sweeps are cheap but take the registry lock; run them at a
     // quarter of the reporting deadline (floor 1 ms) for ±25% precision.
-    let watchdog_period_ns = (node.config.stuck_task_deadline_ns / 4).max(1_000_000);
+    // An armed operation deadline tightens the period the same way so
+    // enforcement reacts within a quarter of the deadline too.
+    let mut watchdog_period_ns = (node.config.stuck_task_deadline_ns / 4).max(1_000_000);
+    if node.config.op_deadline_ns > 0 {
+        watchdog_period_ns =
+            watchdog_period_ns.min((node.config.op_deadline_ns / 4).max(1_000_000));
+    }
     let mut next_watchdog_ns = watchdog_period_ns;
+    // Fabric-kill observation shares the heartbeat cadence: checking the
+    // installed fault plan takes a lock, so it stays off the per-sweep
+    // path. Disabled with the detector (or by config).
+    let observe_kills = node.config.reliable
+        && node.config.observe_fabric_kills
+        && node.config.heartbeat_idle_ns > 0;
+    let kill_check_period_ns = node.config.heartbeat_idle_ns.max(1);
+    let mut next_kill_check_ns = 0u64;
     let mut idle: u32 = 0;
     // Coarse-clock stamp of the last sweep that moved traffic, for the
     // sweep-gap histogram.
@@ -206,8 +310,20 @@ pub fn comm_main(node: Arc<NodeShared>, endpoint: Endpoint, tracer: ThreadTracer
             receive(&node, &mut link, pkt.src, pkt.payload, now);
             progressed = true;
         }
-        // Reliability timers: standalone acks, retransmits, death.
+        // Reliability timers: standalone acks, retransmits, heartbeats,
+        // suspicion, death, notice dissemination.
         if let Some(l) = &mut link {
+            if observe_kills && now >= next_kill_check_ns {
+                next_kill_check_ns = now + kill_check_period_ns;
+                for peer in 0..node.nodes {
+                    if peer != node.node_id && !l.is_dead(peer) && endpoint.observed_kill(peer) {
+                        if let Some(unacked) = l.confirm_death(peer) {
+                            apply_death(&node, peer, unacked, "fabric kill observed");
+                            progressed = true;
+                        }
+                    }
+                }
+            }
             l.poll(now, &mut actions);
             for a in actions.drain(..) {
                 apply(&node, &endpoint, a);

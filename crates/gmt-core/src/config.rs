@@ -61,6 +61,34 @@ pub struct Config {
     /// Age (ns) past which a task parked on remote completions is reported
     /// by the stuck-task watchdog.
     pub stuck_task_deadline_ns: u64,
+    /// Failure detector: a link with no outbound traffic for this long gets
+    /// a standalone heartbeat packet. Busy links never emit heartbeats —
+    /// liveness rides on data/ack traffic for free. `0` disables the
+    /// detector entirely (no heartbeats, no suspicion, no silence deaths;
+    /// retry-budget exhaustion still declares peers dead).
+    pub heartbeat_idle_ns: u64,
+    /// Failure detector: silence from a peer past this age raises a
+    /// *suspicion* (counted, logged under `log_net_warnings`, cleared by
+    /// any packet from the peer). Purely diagnostic — no tokens fail.
+    pub suspect_after_ns: u64,
+    /// Failure detector: silence past this age *confirms* the peer dead;
+    /// its tokens are error-completed and a death notice is disseminated
+    /// to all survivors so the cluster converges on one membership view.
+    pub peer_death_timeout_ns: u64,
+    /// Enforcement deadline (ns) for blocking remote operations: a task
+    /// parked longer than this is force-woken and its wait returns
+    /// [`GmtError::DeadlineExceeded`](crate::error::GmtError::DeadlineExceeded).
+    /// `0` (the default) disables enforcement; per-task deadlines set via
+    /// the `*_deadline` API variants override this value.
+    pub op_deadline_ns: u64,
+    /// Let the comm server consult the installed [`FaultPlan`] for explicit
+    /// node kills and confirm them as deaths immediately, instead of
+    /// waiting out the retry budget or heartbeat timeout. Mirrors a
+    /// production fabric's link-down notification. Tests that exercise the
+    /// timeout paths themselves turn this off.
+    ///
+    /// [`FaultPlan`]: gmt_net::FaultPlan
+    pub observe_fabric_kills: bool,
     /// Events retained per thread lane by the ring-buffer tracer (a
     /// sliding window over the run's tail). Only consulted when the
     /// runtime is built with the `trace` cargo feature *and* `GMT_TRACE`
@@ -91,6 +119,11 @@ impl Config {
             max_retries: 8,
             ack_delay_ns: 200_000,
             stuck_task_deadline_ns: 1_000_000_000,
+            heartbeat_idle_ns: 50_000_000,
+            suspect_after_ns: 500_000_000,
+            peer_death_timeout_ns: 3_000_000_000,
+            op_deadline_ns: 0,
+            observe_fabric_kills: true,
             trace_capacity: 16_384,
             log_net_warnings: true,
         }
@@ -116,6 +149,11 @@ impl Config {
             max_retries: 6,
             ack_delay_ns: 100_000,
             stuck_task_deadline_ns: 1_000_000_000,
+            heartbeat_idle_ns: 25_000_000,
+            suspect_after_ns: 200_000_000,
+            peer_death_timeout_ns: 1_000_000_000,
+            op_deadline_ns: 0,
+            observe_fabric_kills: true,
             trace_capacity: 8_192,
             log_net_warnings: true,
         }
@@ -163,6 +201,14 @@ impl Config {
             }
             if self.max_retries == 0 {
                 return Err("max_retries must be at least 1 with reliability enabled".into());
+            }
+            if self.heartbeat_idle_ns > 0 {
+                if self.suspect_after_ns <= self.heartbeat_idle_ns {
+                    return Err("suspect_after_ns must exceed heartbeat_idle_ns".into());
+                }
+                if self.peer_death_timeout_ns <= self.suspect_after_ns {
+                    return Err("peer_death_timeout_ns must exceed suspect_after_ns".into());
+                }
             }
         }
         Ok(())
@@ -215,11 +261,24 @@ mod tests {
             |c: &mut Config| c.buffer_size = 16,
             |c: &mut Config| c.cmd_block_entries = 0,
             |c: &mut Config| c.task_stack_size = 64,
+            |c: &mut Config| c.suspect_after_ns = c.heartbeat_idle_ns,
+            |c: &mut Config| c.peer_death_timeout_ns = c.suspect_after_ns,
         ] {
             let mut c = Config::small();
             f(&mut c);
             assert!(c.validate().is_err(), "accepted bad config {c:?}");
         }
+    }
+
+    #[test]
+    fn detector_off_skips_timer_ordering() {
+        // heartbeat_idle_ns == 0 disables the detector; the suspicion /
+        // death timer ordering is then irrelevant and must not reject.
+        let mut c = Config::small();
+        c.heartbeat_idle_ns = 0;
+        c.suspect_after_ns = 0;
+        c.peer_death_timeout_ns = 0;
+        c.validate().unwrap();
     }
 
     #[test]

@@ -23,6 +23,15 @@ pub enum GmtError {
         /// How many of the waited-on operations failed against it.
         failed_ops: u32,
     },
+    /// The task's operation deadline (per-task override or
+    /// `Config::op_deadline_ns`) expired while it was parked on remote
+    /// completions. The in-flight operations were abandoned: their replies
+    /// will be discarded, and the values of any get destinations passed to
+    /// them are unspecified until the task re-waits to quiescence.
+    DeadlineExceeded {
+        /// Operations still in flight when the deadline fired.
+        pending: u32,
+    },
 }
 
 impl fmt::Display for GmtError {
@@ -30,6 +39,9 @@ impl fmt::Display for GmtError {
         match self {
             GmtError::RemoteDead { node, failed_ops } => {
                 write!(f, "node {node} declared dead; {failed_ops} operation(s) failed against it")
+            }
+            GmtError::DeadlineExceeded { pending } => {
+                write!(f, "operation deadline expired with {pending} operation(s) still in flight")
             }
         }
     }

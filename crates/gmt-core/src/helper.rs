@@ -77,27 +77,50 @@ fn process_buffer(
             }
 
             // ---- replies: complete operations of local tasks ----------
+            //
+            // Every completion first *acquits* its registry entry: if the
+            // acquit fails, the comm server's death sweep already
+            // error-completed the token (the reply raced a — possibly
+            // false-positive — death confirmation against `src`), so the
+            // token reference is gone and the reply must be dropped whole.
             Command::Ack { token } => {
-                // Safety: token minted by the issuing task, completed once.
-                unsafe { complete_token(token) };
+                if node.outstanding.acquit(token, src) {
+                    // Safety: token minted by the issuing task; the acquit
+                    // guarantees it has not been completed yet.
+                    unsafe { complete_token(token) };
+                }
             }
             Command::GetReply { token, dest, data } => {
                 // Safety: `dest` points into the buffer registered by the
                 // issuing task, which stays parked (and its stack alive)
-                // until this completion.
-                unsafe {
-                    std::ptr::copy_nonoverlapping(data.as_ptr(), dest as *mut u8, data.len());
-                    complete_token(token);
+                // until this completion — unless it abandoned the
+                // operation after a deadline expiry, in which case the
+                // write guard below refuses the write.
+                if node.outstanding.acquit(token, src) {
+                    unsafe {
+                        reply_write(node, token, || {
+                            std::ptr::copy_nonoverlapping(
+                                data.as_ptr(),
+                                dest as *mut u8,
+                                data.len(),
+                            );
+                        });
+                        complete_token(token);
+                    }
                 }
             }
             Command::AtomicReply { token, dest, old } => {
                 // Safety: as above; `dest` is an aligned i64 slot on the
                 // parked task's stack (0 = fire-and-forget).
-                unsafe {
-                    if dest != 0 {
-                        (dest as *mut i64).write(old);
+                if node.outstanding.acquit(token, src) {
+                    unsafe {
+                        if dest != 0 {
+                            reply_write(node, token, || {
+                                (dest as *mut i64).write(old);
+                            });
+                        }
+                        complete_token(token);
                     }
-                    complete_token(token);
                 }
             }
         }
@@ -108,6 +131,38 @@ fn process_buffer(
 #[inline]
 fn reply(dst: NodeId, cmd: &Command<'_>) {
     tls::with_sink(|s| s.emit(dst, cmd));
+}
+
+/// Performs a reply-data write through a task-provided destination
+/// pointer, guarded against the task having abandoned the operation after
+/// a deadline expiry (its stack frame may be gone by then).
+///
+/// While no deadline has ever been armed on this node the guard is one
+/// `Acquire` load; once armed, the write brackets itself in the
+/// writer-counter handshake of [`TaskControl::begin_reply_write`].
+///
+/// # Safety
+///
+/// `token` must be a live token minted by [`crate::task::token_from`]
+/// whose completion has not happened yet (this function does not complete
+/// it), and `write` must be safe to perform while the issuing task is
+/// parked.
+///
+/// [`TaskControl::begin_reply_write`]: crate::task::TaskControl::begin_reply_write
+#[inline]
+unsafe fn reply_write(node: &Arc<NodeShared>, token: u64, write: impl FnOnce()) {
+    use std::sync::atomic::Ordering;
+    if !node.deadlines_armed.load(Ordering::Acquire) {
+        write();
+        return;
+    }
+    // Safety: the token holds a strong reference until `complete_token`,
+    // so borrowing the TaskControl here (before completion) is sound.
+    let ctl = unsafe { &*(token as *const crate::task::TaskControl) };
+    if ctl.begin_reply_write() {
+        write();
+    }
+    ctl.end_reply_write();
 }
 
 /// Entry point of a helper thread. `chan` is the index of this helper's

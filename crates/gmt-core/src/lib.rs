@@ -63,14 +63,15 @@ pub mod tls;
 pub mod value;
 pub mod worker;
 
-pub use api::{SpawnPolicy, TaskCtx};
-pub use collectives::{GlobalBarrier, GlobalCounter};
+pub use api::{ParForReport, SpawnPolicy, TaskCtx};
+pub use collectives::{alltoall, broadcast, reduce_max, reduce_sum, GlobalBarrier, GlobalCounter};
 pub use config::Config;
 pub use error::GmtError;
 pub use gmt_metrics::MetricsSnapshot;
 pub use handle::{Distribution, GmtArray};
 pub use metrics::NodeMetrics;
-pub use runtime::{Cluster, NodeHandle};
+pub use reliable::DetectorConfig;
+pub use runtime::{Cluster, MembershipView, NodeHandle};
 pub use value::Scalar;
 
 /// Identifies a node (re-exported from `gmt-net`).

@@ -16,6 +16,10 @@
 //! | `comm.*`    | buffers/bytes over the wire, sweep-gap and buffers-per-sweep        |
 //! |             | histograms, transport errors                                        |
 //! | `reliable.*`| retransmits, piggybacked vs standalone acks, dedup hits, dead peers |
+//! | `detector.*`| failure detector: heartbeats sent/received, suspicions raised/      |
+//! |             | cleared, death notices sent/received, membership epoch bumps        |
+//! | `free.*`    | `gmt_free` toward dead peers (swallowed `RemoteDead`s)              |
+//! | `watchdog.*`| operation deadlines expired (enforcement force-wakes)               |
 //!
 //! Counters are sharded one cell per runtime thread (workers, helpers,
 //! plus one shard for the communication server), so hot-path updates are
@@ -95,6 +99,29 @@ pub struct NodeMetrics {
     /// Inbound buffers suppressed as duplicates.
     pub dedup_hits: Counter,
     pub peers_dead: Counter,
+
+    // -- failure detector / membership -------------------------------
+    /// Standalone heartbeats emitted (idle links only).
+    pub heartbeats_sent: Counter,
+    pub heartbeats_recv: Counter,
+    /// Suspicions raised against silent peers.
+    pub suspicions_raised: Counter,
+    /// Suspicions cleared by renewed traffic.
+    pub suspicions_cleared: Counter,
+    /// Death notices disseminated to survivors.
+    pub notices_sent: Counter,
+    /// Death notices received from survivors.
+    pub notices_received: Counter,
+    /// Membership epoch bumps (first confirmations of a death).
+    pub epoch_bumps: Counter,
+
+    // -- graceful degradation ----------------------------------------
+    /// `gmt_free` toward an already-dead peer: the `RemoteDead` is
+    /// swallowed by design (the allocation dies with the peer) but
+    /// counted here.
+    pub free_remote_dead_swallowed: Counter,
+    /// Operation deadlines expired by the watchdog (enforcement).
+    pub deadline_expired: Counter,
 }
 
 impl NodeMetrics {
@@ -137,6 +164,15 @@ impl NodeMetrics {
             acks_standalone: r.counter("reliable.acks_standalone"),
             dedup_hits: r.counter("reliable.dedup_hits"),
             peers_dead: r.counter("reliable.peers_dead"),
+            heartbeats_sent: r.counter("detector.heartbeats_sent"),
+            heartbeats_recv: r.counter("detector.heartbeats_recv"),
+            suspicions_raised: r.counter("detector.suspicions_raised"),
+            suspicions_cleared: r.counter("detector.suspicions_cleared"),
+            notices_sent: r.counter("detector.notices_sent"),
+            notices_received: r.counter("detector.notices_received"),
+            epoch_bumps: r.counter("detector.epoch_bumps"),
+            free_remote_dead_swallowed: r.counter("free.remote_dead_swallowed"),
+            deadline_expired: r.counter("watchdog.deadline_expired"),
             registry,
         })
     }

@@ -33,13 +33,35 @@
 //!   from that peer is dropped (a late reply from a "dead" peer must never
 //!   touch a token that already completed with an error).
 //!
+//! On top of delivery sits the **failure detector + membership** layer
+//! (SWIM-flavoured, sized for a fully-connected in-process cluster):
+//!
+//! * Liveness piggybacks on existing traffic: every valid packet from a
+//!   peer refreshes its `last_heard` stamp, and every outbound data/ack
+//!   packet refreshes `last_sent`. A healthy busy link costs **zero**
+//!   extra packets. Only when a link has been outbound-idle past
+//!   `heartbeat_idle_ns` does a standalone [`KIND_HEARTBEAT`] go out
+//!   (doubling as a cumulative ack carrier).
+//! * Inbound silence past `suspect_after_ns` raises a *suspicion*
+//!   (diagnostic: counted and logged, cleared by the next packet);
+//!   silence past `death_timeout_ns` *confirms* the peer dead, exactly
+//!   like retry-budget exhaustion does.
+//! * Every confirmed death — by retry exhaustion, by silence, by an
+//!   observed fabric kill, or learned from another survivor — is
+//!   **disseminated** as a [`KIND_NOTICE`] packet (the dead node's id in
+//!   the seq field) to every remaining peer, re-sent for a fixed number
+//!   of rounds since notices are not themselves acked. A notice about a
+//!   not-yet-dead peer confirms it locally and triggers one round of
+//!   gossip forwarding, so all survivors converge on an identical dead
+//!   set — and therefore an identical membership epoch — within a
+//!   bounded number of sweeps.
+//!
 //! All timing uses the runtime's coarse clock ([`AggShared::now_ns`]),
 //! which the communication server ticks every sweep.
 //!
 //! [`GmtError::RemoteDead`]: crate::error::GmtError::RemoteDead
 //! [`AggShared::now_ns`]: crate::aggregation::AggShared::now_ns
 
-use crate::command::CommandIter;
 use crate::NodeId;
 use gmt_net::Payload;
 use std::collections::{BTreeSet, VecDeque};
@@ -52,6 +74,17 @@ pub const HEADER_LEN: usize = 17;
 pub const KIND_DATA: u8 = 1;
 /// Header kind: a standalone cumulative ack (no commands).
 pub const KIND_ACK: u8 = 2;
+/// Header kind: a liveness heartbeat for an idle link. Carries the
+/// cumulative ack like [`KIND_ACK`]; `seq` is unused (0).
+pub const KIND_HEARTBEAT: u8 = 3;
+/// Header kind: a membership death notice. `seq` carries the dead node's
+/// id; `ack` carries the sender's dead-peer count (informational — the
+/// receiver's own count converges to the same value).
+pub const KIND_NOTICE: u8 = 4;
+
+/// How many times a death notice is re-sent to each survivor (notices are
+/// not acked; repetition rides out the same loss the data path survives).
+const NOTICE_ROUNDS: u32 = 3;
 
 /// A parsed transport header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,7 +110,7 @@ pub fn parse_header(buf: &[u8]) -> Option<Header> {
         return None;
     }
     let kind = buf[0];
-    if kind != KIND_DATA && kind != KIND_ACK {
+    if !(KIND_DATA..=KIND_NOTICE).contains(&kind) {
         return None;
     }
     Some(Header {
@@ -111,8 +144,16 @@ struct Peer {
     ooo: BTreeSet<u64>,
     /// When a pending ack must go out standalone (coarse ns; 0 = none).
     ack_due_ns: u64,
-    /// Retry budget exhausted: peer is dead.
+    /// Declared dead (retry exhaustion, silence, kill, or notice).
     dead: bool,
+    /// Coarse time of the last valid packet from this peer (0 = not yet
+    /// initialised; the first detector poll stamps it, so a quiet startup
+    /// is not mistaken for silence).
+    last_heard_ns: u64,
+    /// Coarse time of the last packet *to* this peer (0 = uninitialised).
+    last_sent_ns: u64,
+    /// A suspicion is currently raised against this peer.
+    suspected: bool,
 }
 
 impl Peer {
@@ -124,7 +165,17 @@ impl Peer {
             ooo: BTreeSet::new(),
             ack_due_ns: 0,
             dead: false,
+            last_heard_ns: 0,
+            last_sent_ns: 0,
+            suspected: false,
         }
+    }
+
+    /// Refreshes liveness on a valid inbound packet, reporting whether a
+    /// standing suspicion was cleared by it.
+    fn heard(&mut self, now_ns: u64) -> bool {
+        self.last_heard_ns = now_ns.max(1);
+        std::mem::take(&mut self.suspected)
     }
 }
 
@@ -140,8 +191,23 @@ pub enum Recv {
     /// From a peer already declared dead: drop without looking further (a
     /// late reply could complete a token that already failed).
     FromDead,
+    /// A liveness heartbeat (also carried a cumulative ack).
+    Heartbeat,
+    /// A death notice naming `dead`. The communication server decides how
+    /// to apply it (via [`ReliableLink::confirm_death`]) so it can fail
+    /// the drained tokens and count the event.
+    Notice { dead: NodeId },
     /// Header missing or unknown kind.
     Malformed,
+}
+
+/// Why a peer was confirmed dead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeathReason {
+    /// The retransmit budget toward the peer ran dry.
+    RetryExhausted,
+    /// The peer was silent past `death_timeout_ns`.
+    HeartbeatTimeout,
 }
 
 /// Work the communication server must perform after a [`ReliableLink::poll`].
@@ -150,35 +216,83 @@ pub enum PollAction {
     Retransmit { dst: NodeId, payload: Payload },
     /// Send this standalone ack packet to `dst`.
     SendAck { dst: NodeId, payload: Payload },
-    /// `dst` exhausted its retry budget: fail the request tokens inside
-    /// each unacked payload (after [`HEADER_LEN`]), then drop them.
-    Dead { dst: NodeId, unacked: Vec<Payload> },
+    /// Send this liveness heartbeat to `dst` (its link has been idle).
+    Heartbeat { dst: NodeId, payload: Payload },
+    /// `dst` has been silent past the suspicion threshold (diagnostic).
+    Suspect { dst: NodeId },
+    /// A previously suspected `dst` produced traffic again (diagnostic).
+    SuspectCleared { dst: NodeId },
+    /// Send this death notice to `dst` (membership dissemination).
+    SendNotice { dst: NodeId, payload: Payload },
+    /// `dst` was confirmed dead: fail the request tokens inside each
+    /// unacked payload (after [`HEADER_LEN`]), then drop them.
+    Dead { dst: NodeId, unacked: Vec<Payload>, reason: DeathReason },
+}
+
+/// Failure-detector timers (coarse-clock ns). `heartbeat_idle_ns == 0`
+/// disables the detector: no heartbeats, no suspicion, no silence deaths.
+#[derive(Debug, Clone, Copy)]
+pub struct DetectorConfig {
+    pub heartbeat_idle_ns: u64,
+    pub suspect_after_ns: u64,
+    pub death_timeout_ns: u64,
+}
+
+impl DetectorConfig {
+    /// A disabled detector (delivery-layer death detection only).
+    pub fn disabled() -> Self {
+        DetectorConfig { heartbeat_idle_ns: 0, suspect_after_ns: 0, death_timeout_ns: 0 }
+    }
+
+    fn enabled(&self) -> bool {
+        self.heartbeat_idle_ns > 0
+    }
+}
+
+/// A pending round of death-notice dissemination for one dead peer.
+struct NoticeRounds {
+    dead: NodeId,
+    remaining: u32,
+    next_ns: u64,
 }
 
 /// The reliability state machine for one node, covering all its peers.
 /// Owned and driven exclusively by the communication-server thread.
 pub struct ReliableLink {
+    me: NodeId,
     peers: Vec<Peer>,
     rto_base_ns: u64,
     rto_max_ns: u64,
     max_retries: u32,
     ack_delay_ns: u64,
+    detector: DetectorConfig,
+    /// Dead peers whose notices still have dissemination rounds left.
+    notices: Vec<NoticeRounds>,
+    /// Suspicions cleared by inbound packets since the last poll (drained
+    /// into [`PollAction::SuspectCleared`] for counting/logging).
+    cleared: Vec<NodeId>,
 }
 
 impl ReliableLink {
     pub fn new(
+        me: NodeId,
         nodes: usize,
         rto_base_ns: u64,
         rto_max_ns: u64,
         max_retries: u32,
         ack_delay_ns: u64,
+        detector: DetectorConfig,
     ) -> Self {
         ReliableLink {
+            me,
             peers: (0..nodes).map(|_| Peer::new()).collect(),
             rto_base_ns,
             rto_max_ns,
             max_retries,
             ack_delay_ns,
+            detector,
+            notices: Vec::new(),
+            cleared: Vec::new(),
         }
     }
 
@@ -198,6 +312,20 @@ impl ReliableLink {
         self.peers[node].rtx.len()
     }
 
+    /// Whether a suspicion is currently raised against `node` (tests).
+    pub fn is_suspected(&self, node: NodeId) -> bool {
+        self.peers[node].suspected
+    }
+
+    /// Peers confirmed dead so far, in id order.
+    pub fn dead_peers(&self) -> Vec<NodeId> {
+        (0..self.peers.len()).filter(|&n| self.peers[n].dead).collect()
+    }
+
+    fn dead_count(&self) -> u64 {
+        self.peers.iter().filter(|p| p.dead).count() as u64
+    }
+
     /// Stamps the transport header onto an outgoing data buffer, enqueues
     /// a shared handle for retransmission and returns the handle to put on
     /// the wire. The piggybacked ack clears any pending standalone ack.
@@ -210,6 +338,7 @@ impl ReliableLink {
         p.next_seq += 1;
         payload.patch(0, &encode_header(KIND_DATA, seq, p.cum_recv));
         p.ack_due_ns = 0;
+        p.last_sent_ns = now_ns.max(1);
         let wire = payload.share();
         p.rtx.push_back(Rtx { seq, payload, sent_ns: now_ns, attempts: 0 });
         wire
@@ -221,10 +350,23 @@ impl ReliableLink {
         if self.peers[src].dead {
             return Recv::FromDead;
         }
+        if self.peers[src].heard(now_ns) {
+            self.cleared.push(src);
+        }
+        if h.kind == KIND_NOTICE {
+            // `ack` is the sender's dead count, not a cumulative ack —
+            // it must not touch the retransmit queue.
+            let dead = h.seq as NodeId;
+            if dead >= self.peers.len() {
+                return Recv::Malformed;
+            }
+            return Recv::Notice { dead };
+        }
         self.process_ack(src, h.ack, now_ns);
         let p = &mut self.peers[src];
         match h.kind {
             KIND_ACK => Recv::AckOnly,
+            KIND_HEARTBEAT => Recv::Heartbeat,
             KIND_DATA => {
                 if h.seq <= p.cum_recv || p.ooo.contains(&h.seq) {
                     // Our ack got lost (or the fabric duplicated the
@@ -274,64 +416,134 @@ impl ReliableLink {
             .map_or(self.rto_max_ns, |v| v.min(self.rto_max_ns))
     }
 
-    /// Timer sweep: appends retransmissions, standalone acks and death
-    /// declarations to `out`. Called once per communication-server sweep.
+    /// Marks `dst` dead, drains its state, and schedules one dissemination
+    /// cycle of death notices. Returns the unacked payloads whose tokens
+    /// the caller must fail. The once-per-peer dissemination guard is the
+    /// `dead` flag itself: a peer is only ever marked dead once.
+    fn mark_dead_inner(&mut self, dst: NodeId) -> Vec<Payload> {
+        let p = &mut self.peers[dst];
+        debug_assert!(!p.dead);
+        p.dead = true;
+        p.ooo.clear();
+        p.ack_due_ns = 0;
+        p.suspected = false;
+        let unacked: Vec<Payload> = p.rtx.drain(..).map(|r| r.payload).collect();
+        self.notices.push(NoticeRounds { dead: dst, remaining: NOTICE_ROUNDS, next_ns: 0 });
+        unacked
+    }
+
+    /// Confirms `node` dead from an out-of-band source — a received death
+    /// notice or an observed fabric kill — and returns the unacked
+    /// payloads whose tokens must be failed. `None` if `node` is this
+    /// node itself or already dead (nothing to do, nothing to forward).
+    pub fn confirm_death(&mut self, node: NodeId) -> Option<Vec<Payload>> {
+        if node == self.me || self.peers[node].dead {
+            return None;
+        }
+        Some(self.mark_dead_inner(node))
+    }
+
+    /// Timer sweep: appends retransmissions, standalone acks, heartbeats,
+    /// suspicion transitions, death declarations and notice dissemination
+    /// to `out`. Called once per communication-server sweep.
     pub fn poll(&mut self, now_ns: u64, out: &mut Vec<PollAction>) {
+        for dst in self.cleared.split_off(0) {
+            out.push(PollAction::SuspectCleared { dst });
+        }
+        let det = self.detector;
         for dst in 0..self.peers.len() {
+            if dst == self.me || self.peers[dst].dead {
+                continue;
+            }
             let expired = {
                 let p = &self.peers[dst];
-                if p.dead {
-                    continue;
-                }
                 p.rtx
                     .front()
                     .is_some_and(|f| now_ns.saturating_sub(f.sent_ns) >= self.rto(f.attempts))
             };
-            let p = &mut self.peers[dst];
             if expired {
-                if p.rtx.front().unwrap().attempts >= self.max_retries {
-                    p.dead = true;
-                    let unacked: Vec<Payload> = p.rtx.drain(..).map(|r| r.payload).collect();
-                    p.ooo.clear();
-                    p.ack_due_ns = 0;
-                    out.push(PollAction::Dead { dst, unacked });
+                if self.peers[dst].rtx.front().unwrap().attempts >= self.max_retries {
+                    let unacked = self.mark_dead_inner(dst);
+                    out.push(PollAction::Dead {
+                        dst,
+                        unacked,
+                        reason: DeathReason::RetryExhausted,
+                    });
                     continue;
                 }
-                let front = p.rtx.front_mut().unwrap();
+                let peer = &mut self.peers[dst];
+                peer.last_sent_ns = now_ns.max(1);
+                let front = peer.rtx.front_mut().unwrap();
                 front.attempts += 1;
                 front.sent_ns = now_ns;
                 out.push(PollAction::Retransmit { dst, payload: front.payload.clone() });
             }
+            let p = &mut self.peers[dst];
+            if det.enabled() {
+                // Lazy liveness init: the first detector sweep defines
+                // "now" as the baseline, so clusters idle at startup (or
+                // with a clock that starts far from zero) see no silence.
+                if p.last_heard_ns == 0 {
+                    p.last_heard_ns = now_ns.max(1);
+                }
+                if p.last_sent_ns == 0 {
+                    p.last_sent_ns = now_ns.max(1);
+                }
+                let silence = now_ns.saturating_sub(p.last_heard_ns);
+                if silence >= det.death_timeout_ns {
+                    let unacked = self.mark_dead_inner(dst);
+                    out.push(PollAction::Dead {
+                        dst,
+                        unacked,
+                        reason: DeathReason::HeartbeatTimeout,
+                    });
+                    continue;
+                }
+                if silence >= det.suspect_after_ns && !p.suspected {
+                    p.suspected = true;
+                    out.push(PollAction::Suspect { dst });
+                }
+                if now_ns.saturating_sub(p.last_sent_ns) >= det.heartbeat_idle_ns {
+                    p.last_sent_ns = now_ns.max(1);
+                    p.ack_due_ns = 0;
+                    let hb = encode_header(KIND_HEARTBEAT, 0, p.cum_recv);
+                    out.push(PollAction::Heartbeat { dst, payload: Payload::from(hb.to_vec()) });
+                    continue;
+                }
+            }
             if p.ack_due_ns != 0 && now_ns >= p.ack_due_ns {
                 p.ack_due_ns = 0;
+                p.last_sent_ns = now_ns.max(1);
                 let ack = encode_header(KIND_ACK, 0, p.cum_recv);
                 out.push(PollAction::SendAck { dst, payload: Payload::from(ack.to_vec()) });
             }
         }
-    }
-}
-
-/// Completes every *request* command's token in `body` (a buffer with the
-/// transport header already stripped) with a remote-death error against
-/// `dead`, returning how many tokens failed.
-///
-/// Reply commands (`Ack`/`GetReply`/`AtomicReply`) are skipped: their
-/// tokens belong to tasks of the dead peer, so the references leak — the
-/// same policy the workers apply to tasks still live at shutdown.
-pub(crate) fn fail_tokens(body: &[u8], dead: NodeId) -> u32 {
-    let mut failed = 0;
-    for cmd in CommandIter::new(body) {
-        if cmd.is_reply() {
-            continue;
+        // Notice dissemination: each dead peer's notice goes to every
+        // still-alive peer, NOTICE_ROUNDS times spaced rto_base_ns apart
+        // (notices are unacked; repetition covers the loss budget).
+        if !self.notices.is_empty() {
+            let dead_count = self.dead_count();
+            let alive: Vec<NodeId> =
+                (0..self.peers.len()).filter(|&n| n != self.me && !self.peers[n].dead).collect();
+            for i in 0..self.notices.len() {
+                if now_ns < self.notices[i].next_ns {
+                    continue;
+                }
+                let dead = self.notices[i].dead;
+                self.notices[i].remaining -= 1;
+                self.notices[i].next_ns = now_ns.saturating_add(self.rto_base_ns).max(1);
+                let notice = encode_header(KIND_NOTICE, dead as u64, dead_count);
+                for &dst in &alive {
+                    self.peers[dst].last_sent_ns = now_ns.max(1);
+                    out.push(PollAction::SendNotice {
+                        dst,
+                        payload: Payload::from(notice.to_vec()),
+                    });
+                }
+            }
+            self.notices.retain(|n| n.remaining > 0);
         }
-        // SAFETY: request tokens in an outbound buffer were produced by
-        // this process as `Arc::into_raw` of live `TaskControl`s, and this
-        // buffer will never be sent (its peer is dead), so each token is
-        // consumed exactly once — here.
-        unsafe { crate::task::complete_token_err(cmd.token(), dead) };
-        failed += 1;
     }
-    failed
 }
 
 #[cfg(test)]
@@ -345,8 +557,33 @@ mod tests {
     }
 
     fn link(nodes: usize) -> ReliableLink {
-        // rto_base 100, rto_max 400, 2 retries, ack delay 50.
-        ReliableLink::new(nodes, 100, 400, 2, 50)
+        // rto_base 100, rto_max 400, 2 retries, ack delay 50, no detector.
+        ReliableLink::new(0, nodes, 100, 400, 2, 50, DetectorConfig::disabled())
+    }
+
+    fn link_det(nodes: usize) -> ReliableLink {
+        // Same delivery params; detector: heartbeat idle 100, suspect
+        // after 300, death at 1000.
+        let det = DetectorConfig {
+            heartbeat_idle_ns: 100,
+            suspect_after_ns: 300,
+            death_timeout_ns: 1000,
+        };
+        ReliableLink::new(0, nodes, 100, 400, 2, 50, det)
+    }
+
+    fn kinds(out: &[PollAction]) -> Vec<u8> {
+        out.iter()
+            .map(|a| match a {
+                PollAction::Retransmit { .. } => KIND_DATA,
+                PollAction::SendAck { .. } => KIND_ACK,
+                PollAction::Heartbeat { .. } => KIND_HEARTBEAT,
+                PollAction::SendNotice { .. } => KIND_NOTICE,
+                PollAction::Suspect { .. } => 100,
+                PollAction::SuspectCleared { .. } => 101,
+                PollAction::Dead { .. } => 102,
+            })
+            .collect()
     }
 
     #[test]
@@ -447,7 +684,9 @@ mod tests {
         out.clear();
         // attempts == max_retries (2): the next expiry declares death.
         l.poll(300 + 400, &mut out);
-        let [PollAction::Dead { dst: 1, unacked }] = out.as_slice() else {
+        let [PollAction::Dead { dst: 1, unacked, reason: DeathReason::RetryExhausted }] =
+            out.as_slice()
+        else {
             panic!("expected death declaration");
         };
         assert_eq!(unacked.len(), 2);
@@ -498,5 +737,191 @@ mod tests {
         let mut l = link(2);
         assert_eq!(l.on_packet(1, &[1, 2, 3], 10), Recv::Malformed);
         assert_eq!(l.on_packet(1, &encode_header(7, 1, 0), 10), Recv::Malformed);
+        // A notice naming an out-of-range node is malformed, not a panic.
+        assert_eq!(l.on_packet(1, &encode_header(KIND_NOTICE, 99, 0), 10), Recv::Malformed);
+    }
+
+    #[test]
+    fn busy_links_never_emit_heartbeats() {
+        let mut l = link_det(2);
+        let mut out = Vec::new();
+        // Outbound data every 50 ticks keeps the link under the 100-tick
+        // idle threshold; inbound acks keep the peer alive.
+        let mut t = 0;
+        for i in 0..40u64 {
+            t = i * 50;
+            l.prepare_data(1, data_payload(b"x"), t);
+            l.on_packet(1, &encode_header(KIND_ACK, 0, i + 1), t + 10);
+            l.poll(t + 10, &mut out);
+        }
+        assert!(
+            !out.iter().any(|a| matches!(a, PollAction::Heartbeat { .. })),
+            "busy link must not heartbeat"
+        );
+        assert!(!l.is_suspected(1) && !l.is_dead(1));
+        // Once the link idles past the threshold, exactly one heartbeat
+        // goes out per idle period.
+        out.clear();
+        l.poll(t + 10 + 100, &mut out);
+        assert_eq!(kinds(&out), vec![KIND_HEARTBEAT]);
+        out.clear();
+        l.poll(t + 10 + 150, &mut out);
+        assert!(out.is_empty(), "heartbeat interval not yet elapsed again");
+    }
+
+    #[test]
+    fn heartbeats_carry_the_cumulative_ack() {
+        let mut l = link_det(2);
+        l.on_packet(1, &encode_header(KIND_DATA, 1, 0), 10);
+        let mut out = Vec::new();
+        l.poll(10, &mut out); // baseline init
+        out.clear();
+        // The heartbeat subsumes the pending standalone ack.
+        l.poll(200, &mut out);
+        let hb = out
+            .iter()
+            .find_map(|a| match a {
+                PollAction::Heartbeat { payload, .. } => Some(parse_header(payload).unwrap()),
+                _ => None,
+            })
+            .expect("heartbeat emitted");
+        assert_eq!(hb.kind, KIND_HEARTBEAT);
+        assert_eq!(hb.ack, 1);
+        assert!(
+            !out.iter().any(|a| matches!(a, PollAction::SendAck { .. })),
+            "heartbeat replaces the standalone ack"
+        );
+        // Receiving a heartbeat acks our in-flight data and counts as
+        // liveness.
+        let mut l2 = link_det(2);
+        l2.prepare_data(1, data_payload(b"x"), 0);
+        assert_eq!(l2.on_packet(1, &encode_header(KIND_HEARTBEAT, 0, 1), 50), Recv::Heartbeat);
+        assert_eq!(l2.unacked(1), 0);
+    }
+
+    #[test]
+    fn silence_raises_suspicion_then_clears_on_traffic() {
+        let mut l = link_det(2);
+        let mut out = Vec::new();
+        l.poll(0, &mut out); // baseline init
+        assert!(out.is_empty() || kinds(&out) == vec![KIND_HEARTBEAT]);
+        out.clear();
+        l.poll(301, &mut out);
+        assert!(out.iter().any(|a| matches!(a, PollAction::Suspect { dst: 1 })));
+        assert!(l.is_suspected(1));
+        // Suspicion is raised once, not every sweep.
+        out.clear();
+        l.poll(400, &mut out);
+        assert!(!out.iter().any(|a| matches!(a, PollAction::Suspect { .. })));
+        // Any packet clears it; the clearance surfaces on the next poll.
+        l.on_packet(1, &encode_header(KIND_ACK, 0, 0), 450);
+        assert!(!l.is_suspected(1));
+        out.clear();
+        l.poll(460, &mut out);
+        assert!(out.iter().any(|a| matches!(a, PollAction::SuspectCleared { dst: 1 })));
+    }
+
+    #[test]
+    fn prolonged_silence_confirms_death_and_disseminates() {
+        let mut l = link_det(4);
+        let mut out = Vec::new();
+        l.poll(0, &mut out); // baseline for all peers
+                             // Keep peers 2 and 3 alive; peer 1 goes silent.
+        for t in (0..=1000).step_by(100) {
+            l.on_packet(2, &encode_header(KIND_ACK, 0, 0), t);
+            l.on_packet(3, &encode_header(KIND_ACK, 0, 0), t);
+        }
+        out.clear();
+        l.poll(1001, &mut out);
+        assert!(out.iter().any(|a| matches!(
+            a,
+            PollAction::Dead { dst: 1, reason: DeathReason::HeartbeatTimeout, .. }
+        )));
+        assert!(l.is_dead(1));
+        assert_eq!(l.dead_peers(), vec![1]);
+        // The same sweep disseminates notices to both survivors.
+        let notices: Vec<_> = out
+            .iter()
+            .filter_map(|a| match a {
+                PollAction::SendNotice { dst, payload } => {
+                    Some((*dst, parse_header(payload).unwrap()))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(notices.len(), 2);
+        for (dst, h) in &notices {
+            assert!(*dst == 2 || *dst == 3);
+            assert_eq!(h.kind, KIND_NOTICE);
+            assert_eq!(h.seq, 1, "notice names the dead node");
+        }
+        // Two more rounds follow, spaced rto_base apart, then it stops.
+        out.clear();
+        l.poll(1101, &mut out);
+        assert_eq!(out.iter().filter(|a| matches!(a, PollAction::SendNotice { .. })).count(), 2);
+        out.clear();
+        l.poll(1201, &mut out);
+        assert_eq!(out.iter().filter(|a| matches!(a, PollAction::SendNotice { .. })).count(), 2);
+        out.clear();
+        l.poll(1301, &mut out);
+        assert!(!out.iter().any(|a| matches!(a, PollAction::SendNotice { .. })));
+    }
+
+    #[test]
+    fn received_notice_confirms_death_exactly_once() {
+        let mut l = link_det(4);
+        l.prepare_data(2, data_payload(b"x"), 0);
+        // Peer 1 tells us node 2 is dead.
+        let notice = encode_header(KIND_NOTICE, 2, 1);
+        assert_eq!(l.on_packet(1, &notice, 10), Recv::Notice { dead: 2 });
+        let unacked = l.confirm_death(2).expect("first confirmation");
+        assert_eq!(unacked.len(), 1, "in-flight data toward the dead peer is drained");
+        assert!(l.is_dead(2));
+        // Re-confirmation (another survivor's notice) is a no-op.
+        assert_eq!(l.on_packet(3, &notice, 20), Recv::Notice { dead: 2 });
+        assert!(l.confirm_death(2).is_none());
+        // Confirming ourselves dead is refused.
+        assert!(l.confirm_death(0).is_none());
+        // Gossip: our own dissemination cycle for node 2 runs (to peers 1
+        // and 3), forwarding the death we learned second-hand.
+        let mut out = Vec::new();
+        l.poll(30, &mut out);
+        let fwd: Vec<_> = out
+            .iter()
+            .filter_map(|a| match a {
+                PollAction::SendNotice { dst, payload } => {
+                    Some((*dst, parse_header(payload).unwrap().seq))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(fwd.len(), 2);
+        assert!(fwd.iter().all(|(dst, dead)| (*dst == 1 || *dst == 3) && *dead == 2));
+    }
+
+    #[test]
+    fn detector_disabled_means_no_heartbeats_or_silence_deaths() {
+        let mut l = link(2);
+        let mut out = Vec::new();
+        l.poll(0, &mut out);
+        l.poll(1_000_000_000, &mut out);
+        assert!(out.is_empty());
+        assert!(!l.is_dead(1) && !l.is_suspected(1));
+    }
+
+    #[test]
+    fn notices_are_not_sent_to_the_dead() {
+        let mut l = link_det(4);
+        let mut out = Vec::new();
+        l.poll(0, &mut out);
+        l.confirm_death(1).unwrap();
+        l.confirm_death(2).unwrap();
+        out.clear();
+        l.poll(10, &mut out);
+        for a in &out {
+            if let PollAction::SendNotice { dst, .. } = a {
+                assert_eq!(*dst, 3, "only the survivor receives notices");
+            }
+        }
     }
 }

@@ -18,9 +18,158 @@ use crossbeam::queue::SegQueue;
 use gmt_metrics::MetricsSnapshot;
 use gmt_net::{DeliveryMode, Fabric, Payload, TrafficStats};
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
+
+/// One node's view of cluster membership: per-peer death flags plus a
+/// monotonic **epoch** counting confirmed deaths. Because every death is
+/// disseminated until all survivors confirm it, converged dead sets imply
+/// converged epochs — comparing a stored epoch against the current one is
+/// a constant-time "has anybody died since?" check, which is how barriers
+/// avoid hanging on dead participants.
+#[derive(Debug)]
+pub struct Membership {
+    dead: Vec<AtomicBool>,
+    epoch: AtomicU64,
+}
+
+/// A consistent point-in-time membership view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MembershipView {
+    /// Deaths confirmed so far (monotonic).
+    pub epoch: u64,
+    /// The confirmed-dead node ids, ascending.
+    pub dead: Vec<NodeId>,
+}
+
+impl Membership {
+    fn new(nodes: usize) -> Self {
+        Membership {
+            dead: (0..nodes).map(|_| AtomicBool::new(false)).collect(),
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether `node` is confirmed dead.
+    pub fn is_dead(&self, node: NodeId) -> bool {
+        self.dead[node].load(Ordering::Acquire)
+    }
+
+    /// Marks `node` dead; returns `true` (and bumps the epoch) only on the
+    /// first confirmation. The flag is set before the epoch moves, so a
+    /// reader that observes the new epoch also observes the death.
+    pub(crate) fn mark_dead(&self, node: NodeId) -> bool {
+        if !self.dead[node].swap(true, Ordering::AcqRel) {
+            self.epoch.fetch_add(1, Ordering::Release);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Deaths confirmed so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Confirmed-dead node ids, ascending.
+    pub fn dead_nodes(&self) -> Vec<NodeId> {
+        (0..self.dead.len()).filter(|&n| self.is_dead(n)).collect()
+    }
+
+    /// A consistent snapshot: the epoch is re-read after collecting the
+    /// dead set and the collection retried if a death landed in between.
+    pub fn view(&self) -> MembershipView {
+        loop {
+            let epoch = self.epoch();
+            let dead = self.dead_nodes();
+            if self.epoch() == epoch {
+                return MembershipView { epoch, dead };
+            }
+        }
+    }
+}
+
+/// Registry of remote operations awaiting an application-level completion
+/// (a reply or ack command), keyed by `(token, destination)` with a
+/// multiplicity — one task reuses one token value for all of its
+/// concurrent operations.
+///
+/// This is the communication server's handle for *error-completing*
+/// operations toward a peer confirmed dead. Transport-level tracking (the
+/// reliable link's unacked queue) cannot cover an operation whose request
+/// was delivered and transport-acked but whose application reply died
+/// with the peer — a `Spawn` awaiting its remote iteration block, a `Get`
+/// whose answer was in flight. So every request registers here at emit
+/// time and is acquitted by the helper that processes its completion;
+/// whatever is still registered toward a peer when its death is confirmed
+/// fails with `RemoteDead`. Sharded by token to keep the hot path
+/// (one register + one acquit per remote operation) off a single lock.
+pub(crate) struct OutstandingOps {
+    shards: Vec<Mutex<HashMap<(u64, NodeId), u32>>>,
+}
+
+impl OutstandingOps {
+    const SHARDS: usize = 16;
+
+    fn new() -> Self {
+        OutstandingOps { shards: (0..Self::SHARDS).map(|_| Mutex::new(HashMap::new())).collect() }
+    }
+
+    fn shard(&self, token: u64) -> &Mutex<HashMap<(u64, NodeId), u32>> {
+        // Tokens are `Arc` pointers: shift out the alignment bits before
+        // folding into a shard index.
+        &self.shards[((token >> 4) as usize) & (Self::SHARDS - 1)]
+    }
+
+    /// Records one emitted operation toward `dst` awaiting completion.
+    pub fn register(&self, token: u64, dst: NodeId) {
+        *self.shard(token).lock().entry((token, dst)).or_insert(0) += 1;
+    }
+
+    /// Removes one registered operation on receipt of its completion from
+    /// `src`. Returns `false` if the entry was already taken — the death
+    /// sweep error-completed the token first, so the caller must neither
+    /// complete it again nor apply the reply's data.
+    pub fn acquit(&self, token: u64, src: NodeId) -> bool {
+        let mut map = self.shard(token).lock();
+        match map.get_mut(&(token, src)) {
+            Some(n) => {
+                *n -= 1;
+                if *n == 0 {
+                    map.remove(&(token, src));
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes every operation toward `peer`, returning `(token,
+    /// multiplicity)` pairs for the caller to error-complete.
+    pub fn drain_peer(&self, peer: NodeId) -> Vec<(u64, u32)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            shard.lock().retain(|&(token, dst), count| {
+                if dst == peer {
+                    out.push((token, *count));
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for OutstandingOps {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OutstandingOps").finish()
+    }
+}
 
 /// State shared by every node of one cluster.
 #[derive(Debug)]
@@ -56,12 +205,23 @@ pub struct NodeShared {
     /// Shared view of the fabric's traffic counters, folded into
     /// [`NodeHandle::metrics_snapshot`] as `net.*`.
     pub net: Arc<TrafficStats>,
-    /// Per-peer death flags, set (once, never cleared) by the
-    /// communication server when a peer exhausts its retry budget.
-    pub peer_dead: Vec<AtomicBool>,
+    /// This node's membership view: per-peer death flags plus the epoch,
+    /// maintained by the communication server's failure detector.
+    pub membership: Membership,
     /// Stuck-task watchdog registry: weak handles to every task spawned on
     /// this node, swept periodically by the communication server.
     pub watch: Mutex<Vec<Weak<TaskControl>>>,
+    /// Set (never cleared) once any task on this node runs with an
+    /// operation deadline — config-wide or per-task. While clear, helpers
+    /// skip the reply-abandon handshake entirely, so undeadlined programs
+    /// pay one Acquire load per reply at most.
+    pub deadlines_armed: AtomicBool,
+    /// Per-peer "gmt_free toward this dead peer already warned" latches
+    /// (satellite of the swallowed-`RemoteDead` accounting).
+    pub free_warned: Vec<AtomicBool>,
+    /// Remote operations awaiting application-level completion, for
+    /// error-completion when their destination is confirmed dead.
+    pub(crate) outstanding: OutstandingOps,
 }
 
 impl NodeShared {
@@ -69,13 +229,15 @@ impl NodeShared {
         self.stop.load(Ordering::Relaxed)
     }
 
-    /// Whether `node` was declared dead by the reliability layer.
+    /// Whether `node` was confirmed dead by the failure detector.
     pub fn peer_is_dead(&self, node: NodeId) -> bool {
-        self.peer_dead[node].load(Ordering::Acquire)
+        self.membership.is_dead(node)
     }
 
-    pub(crate) fn mark_peer_dead(&self, node: NodeId) {
-        self.peer_dead[node].store(true, Ordering::Release);
+    /// Marks `node` dead in the membership view; `true` only on the first
+    /// confirmation (the epoch bumps exactly once per death).
+    pub(crate) fn mark_peer_dead(&self, node: NodeId) -> bool {
+        self.membership.mark_dead(node)
     }
 
     /// Registers a freshly spawned task with the stuck-task watchdog.
@@ -83,18 +245,40 @@ impl NodeShared {
         self.watch.lock().push(Arc::downgrade(ctl));
     }
 
-    /// Watchdog sweep: prunes finished tasks and reports tasks parked on
-    /// remote completions for longer than the configured deadline.
+    /// Watchdog sweep: prunes finished tasks, reports tasks parked on
+    /// remote completions for longer than the configured deadline, and —
+    /// when an operation deadline is armed — **enforces** it by
+    /// force-waking tasks parked past it (their `wait_commands` then
+    /// returns [`GmtError::DeadlineExceeded`]).
     /// Returns how many tasks are currently stuck. One diagnostic is
     /// printed per park (not per sweep), gated on `log_net_warnings`.
+    ///
+    /// [`GmtError::DeadlineExceeded`]: crate::error::GmtError::DeadlineExceeded
     pub fn sweep_stuck_tasks(&self, now_ns: u64) -> usize {
         let deadline = self.config.stuck_task_deadline_ns;
+        let op_deadline = self.config.op_deadline_ns;
         let mut stuck = 0usize;
         let mut watch = self.watch.lock();
         watch.retain(|w| {
             let Some(ctl) = w.upgrade() else { return false };
             if let Some((since_ns, dst, opcode, pending)) = ctl.parked_info() {
                 let age = now_ns.saturating_sub(since_ns);
+                let enforce = match ctl.op_deadline() {
+                    0 => op_deadline,
+                    per_task => per_task,
+                };
+                if enforce > 0 && age >= enforce && ctl.expire_deadline() {
+                    self.metrics.deadline_expired.add(self.metrics.comm_shard(), 1);
+                    if self.config.log_net_warnings {
+                        eprintln!(
+                            "[gmt] warn: node {}: operation deadline ({} ms) expired; \
+                             force-waking task with {pending} completion(s) in flight",
+                            self.node_id,
+                            enforce / 1_000_000,
+                        );
+                    }
+                    return true;
+                }
                 if age >= deadline {
                     stuck += 1;
                     if self.config.log_net_warnings && ctl.claim_warning() {
@@ -139,7 +323,9 @@ impl NodeHandle {
     ///
     /// # Panics
     ///
-    /// Panics if the task panicked or the runtime shut down under it.
+    /// If the task panicked, the panic payload is carried back and resumed
+    /// on the calling thread with its original message. Panics with a
+    /// generic message if the runtime shut down under the task.
     ///
     /// [`TaskCtx`]: crate::api::TaskCtx
     pub fn run<R, F>(&self, f: F) -> R
@@ -150,10 +336,17 @@ impl NodeHandle {
         let (tx, rx) = std::sync::mpsc::channel();
         self.shared.root_queue.push(RootTask {
             f: Box::new(move |ctx| {
-                let _ = tx.send(f(ctx));
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(ctx)));
+                let _ = tx.send(r);
             }),
         });
-        rx.recv().expect("GMT root task did not complete (panic or shutdown)")
+        match rx.recv() {
+            Ok(Ok(r)) => r,
+            // Re-raise the task's own panic (payload intact) on the
+            // submitting thread instead of a generic channel error.
+            Ok(Err(payload)) => std::panic::resume_unwind(payload),
+            Err(_) => panic!("GMT root task did not complete (runtime shut down)"),
+        }
     }
 
     /// This node's id.
@@ -199,9 +392,22 @@ impl NodeHandle {
         snap
     }
 
-    /// Peers this node has declared dead (retry budget exhausted).
+    /// Peers this node has confirmed dead (retry exhaustion, heartbeat
+    /// timeout, observed kill, or a death notice from another survivor).
     pub fn dead_peers(&self) -> Vec<NodeId> {
-        (0..self.shared.nodes).filter(|&n| self.shared.peer_is_dead(n)).collect()
+        self.shared.membership.dead_nodes()
+    }
+
+    /// This node's membership epoch (confirmed deaths so far). Survivors
+    /// of the same cluster converge to identical epochs once death
+    /// notices have propagated.
+    pub fn membership_epoch(&self) -> u64 {
+        self.shared.membership.epoch()
+    }
+
+    /// A consistent snapshot of this node's membership view.
+    pub fn membership(&self) -> MembershipView {
+        self.shared.membership.view()
     }
 
     /// Runs a watchdog sweep now and returns the number of tasks parked on
@@ -359,8 +565,11 @@ impl Cluster {
                 cluster: Arc::clone(&cluster_shared),
                 metrics,
                 net: fabric.stats_arc(),
-                peer_dead: (0..nodes).map(|_| AtomicBool::new(false)).collect(),
+                membership: Membership::new(nodes),
                 watch: Mutex::new(Vec::new()),
+                deadlines_armed: AtomicBool::new(config.op_deadline_ns > 0),
+                free_warned: (0..nodes).map(|_| AtomicBool::new(false)).collect(),
+                outstanding: OutstandingOps::new(),
             });
             for w in 0..config.num_workers {
                 let s = Arc::clone(&shared);

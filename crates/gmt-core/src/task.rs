@@ -45,7 +45,24 @@ pub struct TaskControl {
     last_op_kind: AtomicU8,
     /// The watchdog already reported this park (one diagnostic per park).
     warned: AtomicBool,
+    /// Per-task operation deadline (ns); 0 = use `Config::op_deadline_ns`.
+    deadline_ns: AtomicU64,
+    /// Watchdog expired this task's deadline; consumed by `wait_commands`.
+    deadline_hit: AtomicBool,
+    /// Reply-abandon state: [`REPLY_ACTIVE`], [`REPLY_ABANDONING`] or
+    /// [`REPLY_ABANDONED`]. While not ACTIVE, helpers must skip writing
+    /// reply data through task-provided destination pointers (the task's
+    /// stack frame holding them may have been popped).
+    abandoned: AtomicU8,
+    /// Helpers currently inside a reply write (Dekker-style counter
+    /// against `abandoned`, both SeqCst).
+    reply_writers: AtomicU32,
 }
+
+/// Reply-abandon states (see [`TaskControl::begin_reply_write`]).
+const REPLY_ACTIVE: u8 = 0;
+const REPLY_ABANDONING: u8 = 1;
+const REPLY_ABANDONED: u8 = 2;
 
 impl TaskControl {
     pub fn new(ready: Arc<SegQueue<usize>>, slot: usize) -> Arc<Self> {
@@ -61,7 +78,98 @@ impl TaskControl {
             last_op_dst: AtomicUsize::new(NO_NODE),
             last_op_kind: AtomicU8::new(0),
             warned: AtomicBool::new(false),
+            deadline_ns: AtomicU64::new(0),
+            deadline_hit: AtomicBool::new(false),
+            abandoned: AtomicU8::new(REPLY_ACTIVE),
+            reply_writers: AtomicU32::new(0),
         })
+    }
+
+    /// Sets (or clears, with 0) this task's per-operation deadline,
+    /// overriding `Config::op_deadline_ns`.
+    pub fn set_op_deadline(&self, ns: u64) {
+        self.deadline_ns.store(ns, Ordering::Relaxed);
+    }
+
+    /// This task's per-operation deadline (0 = none set).
+    pub fn op_deadline(&self) -> u64 {
+        self.deadline_ns.load(Ordering::Relaxed)
+    }
+
+    /// Watchdog side: expires the deadline of a parked task — marks the
+    /// hit and force-wakes it if it was parked. Returns `true` if this
+    /// call performed the wake (so the caller counts/logs exactly once
+    /// per expiry).
+    pub fn expire_deadline(&self) -> bool {
+        self.deadline_hit.store(true, Ordering::Release);
+        if self.parked.swap(false, Ordering::AcqRel) {
+            self.parked_since_ns.store(0, Ordering::Relaxed);
+            self.ready.push(self.slot);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Task side, on wake: consumes a deadline expiry.
+    pub fn take_deadline_hit(&self) -> bool {
+        self.deadline_hit.swap(false, Ordering::AcqRel)
+    }
+
+    /// Helper side, before writing reply data through a task-provided
+    /// destination pointer: registers as a writer and checks the task has
+    /// not abandoned its in-flight operations. If this returns `false`
+    /// the write must be skipped (the stack frame holding the destination
+    /// may be gone); [`Self::end_reply_write`] must be called either way.
+    ///
+    /// The SeqCst increment-then-load here pairs with the SeqCst
+    /// store-then-load in [`Self::abandon_pending_writes`]: either the
+    /// abandoner sees our registration and waits for us, or we see its
+    /// ABANDONING store and skip — a write never races the abandon.
+    pub fn begin_reply_write(&self) -> bool {
+        self.reply_writers.fetch_add(1, Ordering::SeqCst);
+        self.abandoned.load(Ordering::SeqCst) == REPLY_ACTIVE
+    }
+
+    /// Helper side: deregisters the writer from
+    /// [`Self::begin_reply_write`].
+    pub fn end_reply_write(&self) {
+        self.reply_writers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Task side, after a deadline expiry: forbids helpers from writing
+    /// reply data for the operations still in flight, then waits out any
+    /// helper already mid-write. After this returns, no helper will touch
+    /// task-provided destination pointers until [`Self::try_rearm`].
+    pub fn abandon_pending_writes(&self) {
+        self.abandoned.store(REPLY_ABANDONING, Ordering::SeqCst);
+        while self.reply_writers.load(Ordering::SeqCst) > 0 {
+            std::thread::yield_now();
+        }
+        self.abandoned.store(REPLY_ABANDONED, Ordering::SeqCst);
+    }
+
+    /// Task side: re-enables reply writes once every abandoned operation
+    /// has drained (`pending == 0`). Returns `true` if the task is (or
+    /// now is) active.
+    pub fn try_rearm(&self) -> bool {
+        match self.abandoned.load(Ordering::SeqCst) {
+            REPLY_ACTIVE => true,
+            REPLY_ABANDONED if self.pending.load(Ordering::Acquire) == 0 => {
+                self.abandoned.store(REPLY_ACTIVE, Ordering::SeqCst);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether reply delivery is currently disarmed by a deadline abandon
+    /// (stragglers from the abandoned batch have not drained yet). While
+    /// disarmed, helpers skip writes through task-provided destination
+    /// pointers, so new reply-carrying remote operations must not be
+    /// issued on this task.
+    pub fn reply_disarmed(&self) -> bool {
+        self.abandoned.load(Ordering::SeqCst) != REPLY_ACTIVE
     }
 
     /// Task side, right before a blocking yield: the upcoming suspension
@@ -490,6 +598,63 @@ mod tests {
         let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
         all.sort_unstable();
         assert_eq!(all, (0..10_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deadline_expiry_force_wakes_a_parked_task_once() {
+        let (c, q) = ctl();
+        c.set_op_deadline(500);
+        assert_eq!(c.op_deadline(), 500);
+        c.add_pending(1);
+        assert!(c.prepare_park());
+        c.note_parked(100);
+        assert!(c.expire_deadline(), "expiry performs the wake");
+        assert_eq!(q.pop(), Some(7));
+        assert!(!c.expire_deadline(), "task no longer parked");
+        assert!(q.pop().is_none(), "no duplicate wakeup");
+        assert!(c.take_deadline_hit());
+        assert!(!c.take_deadline_hit(), "hit is consumed");
+        // The straggler completion still balances the token refcount.
+        unsafe { complete_token(token_from(&c)) };
+        assert_eq!(c.pending(), 0);
+    }
+
+    #[test]
+    fn abandoned_tasks_refuse_reply_writes_until_rearmed() {
+        let (c, _q) = ctl();
+        assert!(c.begin_reply_write(), "active task accepts writes");
+        c.end_reply_write();
+        c.add_pending(1);
+        c.abandon_pending_writes();
+        assert!(!c.begin_reply_write(), "abandoned task refuses writes");
+        c.end_reply_write();
+        assert!(!c.try_rearm(), "cannot rearm with operations in flight");
+        c.op_completed();
+        assert!(c.try_rearm(), "rearms once drained");
+        assert!(c.begin_reply_write());
+        c.end_reply_write();
+    }
+
+    #[test]
+    fn abandon_waits_for_in_flight_reply_writers() {
+        for _ in 0..100 {
+            let (c, _q) = ctl();
+            let helper = {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    let ok = c.begin_reply_write();
+                    // Simulated reply write window.
+                    std::hint::black_box(&c);
+                    c.end_reply_write();
+                    ok
+                })
+            };
+            c.abandon_pending_writes();
+            // After abandon returns, no helper is mid-write: the writer
+            // either finished first (ok) or saw the abandon (skipped).
+            let _ = helper.join().unwrap();
+            assert_eq!(c.reply_writers.load(Ordering::SeqCst), 0);
+        }
     }
 
     #[test]

@@ -24,6 +24,11 @@ use std::time::Duration;
 struct Task {
     coro: Coroutine<()>,
     ctl: Arc<TaskControl>,
+    /// For parFor chunk tasks: the owning iteration block and this
+    /// chunk's claimed iteration count. Completion is booked at
+    /// retirement — normal *or* panicked — so a panicking iteration body
+    /// cannot orphan the parent waiting on the block's ack.
+    chunk: Option<(Arc<Itb>, u64)>,
 }
 
 struct Worker {
@@ -90,17 +95,17 @@ impl Worker {
         let node = Arc::clone(&self.node);
         let ctl2 = Arc::clone(&ctl);
         let stack = self.take_stack();
+        let n = range.end - range.start;
+        let itb2 = Arc::clone(&itb);
         let coro = Coroutine::with_stack(stack, move |y| {
             let ctx = TaskCtx::new(&node, &ctl2, y);
-            let n = range.end - range.start;
             for i in range {
-                (itb.body.f)(&ctx, i, &itb.args);
+                (itb2.body.f)(&ctx, i, &itb2.args);
             }
-            if itb.complete(n) {
-                notify_parent(&node, itb.parent);
-            }
+            // Block completion is booked by the worker at retirement (see
+            // `Task::chunk`), not here, so a panic cannot skip it.
         });
-        self.install(slot, Task { coro, ctl });
+        self.install(slot, Task { coro, ctl, chunk: Some((itb, n)) });
     }
 
     /// Spawns a root task ("task zero").
@@ -116,7 +121,7 @@ impl Worker {
             let ctx = TaskCtx::new(&node, &ctl2, y);
             f(&ctx);
         });
-        self.install(slot, Task { coro, ctl });
+        self.install(slot, Task { coro, ctl, chunk: None });
     }
 
     /// Resumes the task in `slot` until it yields or finishes.
@@ -155,8 +160,10 @@ impl Worker {
             Ok(Resume::Finished) => self.retire(slot, false),
             Err(payload) => {
                 // A panicking task must not take the worker down: report
-                // and retire. Root-task panics additionally surface at the
-                // submitter through the dropped result channel.
+                // and retire. Root tasks never reach this path — their
+                // submission wrapper catches the panic and carries the
+                // payload back to the submitter, which resumes it with
+                // the original message.
                 let msg = payload
                     .downcast_ref::<&str>()
                     .map(|s| s.to_string())
@@ -172,7 +179,18 @@ impl Worker {
     }
 
     fn retire(&mut self, slot: usize, panicked: bool) {
-        let task = self.tasks[slot].take().expect("retiring live slot");
+        let mut task = self.tasks[slot].take().expect("retiring live slot");
+        if let Some((itb, n)) = task.chunk.take() {
+            // Book the chunk against its iteration block whether the body
+            // finished or panicked: the parent parFor waits for an ack of
+            // the *block*, and a panicked chunk that never acked would
+            // hang it forever. Iterations lost to a panic are logged (and
+            // counted in `tasks_panicked`) but still count as executed
+            // toward the block.
+            if itb.complete(n) {
+                notify_parent(&self.node, itb.parent);
+            }
+        }
         self.node.metrics.tasks_finished.add(self.chan, 1);
         if panicked {
             self.node.metrics.tasks_panicked.add(self.chan, 1);

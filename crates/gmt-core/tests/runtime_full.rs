@@ -225,6 +225,27 @@ fn task_panic_does_not_kill_the_worker() {
 }
 
 #[test]
+fn root_task_panic_payload_reaches_the_submitter_intact() {
+    let cluster = Cluster::start(1, Config::small()).unwrap();
+    // The submission wrapper carries the payload across the worker and
+    // resumes it on the submitting thread: the original message (here a
+    // formatted String with runtime context) survives verbatim instead
+    // of degrading into a generic "root task did not complete".
+    let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        cluster.node(0).run(|ctx| {
+            let id = ctx.node_id();
+            panic!("invariant violated on node {id}: expected 7 got 13");
+        })
+    }))
+    .unwrap_err();
+    let msg = payload.downcast_ref::<String>().expect("String panic payload");
+    assert_eq!(msg, "invariant violated on node 0: expected 7 got 13");
+    // The worker that hosted the panicking task is still serving.
+    assert_eq!(cluster.node(0).run(|_ctx| 11u8), 11);
+    cluster.shutdown();
+}
+
+#[test]
 fn alloc_distributions_report_expected_segments() {
     let cluster = Cluster::start(3, Config::small()).unwrap();
     cluster.node(1).run(|ctx| {

@@ -41,7 +41,7 @@ pub fn gmt_cc(ctx: &TaskCtx<'_>, g: &DistGraph) -> Vec<u64> {
     let changed = GlobalCounter::new(ctx, Distribution::Partition);
     let g = *g;
     loop {
-        changed.set(ctx, 0);
+        changed.set(ctx, 0).expect("cc: changed counter owner is dead");
         ctx.parfor(SpawnPolicy::Partition, n, 16, move |ctx, u| {
             let lu = ctx.atomic_add(&labels, u * 8, 0).unwrap();
             let mut best = lu;
@@ -59,10 +59,10 @@ pub fn gmt_cc(ctx: &TaskCtx<'_>, g: &DistGraph) -> Vec<u64> {
                 any |= cas_min(ctx, &labels, t, best);
             }
             if any {
-                changed.add(ctx, 1);
+                changed.add(ctx, 1).expect("cc: changed counter owner is dead");
             }
         });
-        if changed.get(ctx) == 0 {
+        if changed.get(ctx).expect("cc: changed counter owner is dead") == 0 {
             break;
         }
     }

@@ -58,7 +58,7 @@ pub fn gmt_pagerank(ctx: &TaskCtx<'_>, g: &DistGraph, cfg: PageRankConfig) -> Ve
             ctx.put_value_nb::<i64>(&next, v, teleport);
             ctx.wait_commands().unwrap();
         });
-        dangling.set(ctx, 0);
+        dangling.set(ctx, 0).expect("pagerank: dangling counter owner is dead");
         // Scatter contributions along edges.
         let damping = cfg.damping;
         ctx.parfor(SpawnPolicy::Partition, n, 16, move |ctx, u| {
@@ -68,7 +68,9 @@ pub fn gmt_pagerank(ctx: &TaskCtx<'_>, g: &DistGraph, cfg: PageRankConfig) -> Ve
             g.neighbors_into(ctx, u, &mut nbrs);
             if nbrs.is_empty() {
                 // Dangling vertex: its mass is redistributed below.
-                dangling.add(ctx, to_fixed(contribution));
+                dangling
+                    .add(ctx, to_fixed(contribution))
+                    .expect("pagerank: dangling counter owner is dead");
                 return;
             }
             let share = to_fixed(contribution / nbrs.len() as f64);
@@ -77,7 +79,8 @@ pub fn gmt_pagerank(ctx: &TaskCtx<'_>, g: &DistGraph, cfg: PageRankConfig) -> Ve
             }
         });
         // Spread dangling mass uniformly.
-        let spread = dangling.get(ctx) / n as i64;
+        let spread =
+            dangling.get(ctx).expect("pagerank: dangling counter owner is dead") / n as i64;
         if spread != 0 {
             ctx.parfor(SpawnPolicy::Partition, n, 64, move |ctx, v| {
                 ctx.atomic_add(&next, v * 8, spread).unwrap();

@@ -173,7 +173,10 @@ fn killed_node_surfaces_remote_dead_within_retry_budget() {
     let seed = seed_from_env(0xDEAD);
     eprintln!("[fault_tolerance] killed_node_surfaces_remote_dead_within_retry_budget seed={seed}");
 
-    let config = Config::small();
+    // Pin the death to the retry-exhaustion path: no fabric-kill
+    // observation, no heartbeat/silence detector — this test is the
+    // end-to-end coverage for the retry budget itself.
+    let config = Config { observe_fabric_kills: false, heartbeat_idle_ns: 0, ..Config::small() };
     // Generous wall-clock budget: sum of backed-off RTOs plus scheduling
     // slack on a loaded single-core CI host.
     let rto_budget: u64 = (0..config.max_retries)

@@ -408,6 +408,14 @@ impl Endpoint {
         }
     }
 
+    /// Whether the installed [`FaultPlan`] kills `node` — the in-process
+    /// stand-in for a fabric's link-down/port-down notification, which
+    /// any survivor can observe. `false` when no plan is installed.
+    pub fn observed_kill(&self, node: NodeId) -> bool {
+        let plan = self.shared.plan.read();
+        plan.as_ref().is_some_and(|p| p.plan.is_killed(node))
+    }
+
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Option<Packet> {
         self.rx.try_recv().ok()
@@ -634,6 +642,19 @@ mod tests {
         fabric.clear_faults();
         eps[0].send(2, 0, vec![4]).unwrap();
         assert_eq!(eps[2].recv().unwrap().payload, vec![4]);
+    }
+
+    #[test]
+    fn kills_are_observable_by_any_endpoint() {
+        let fabric = Fabric::new(3, DeliveryMode::Instant);
+        assert!(!fabric.endpoint(0).observed_kill(2), "no plan installed");
+        fabric.install_faults(FaultPlan::new(0).kill(2));
+        for ep in fabric.endpoints() {
+            assert!(ep.observed_kill(2));
+            assert!(!ep.observed_kill(1));
+        }
+        fabric.clear_faults();
+        assert!(!fabric.endpoint(0).observed_kill(2));
     }
 
     #[test]
