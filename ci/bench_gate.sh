@@ -2,7 +2,7 @@
 # Benchmark regression gate.
 #
 # Runs the gated benchmarks (aggregation_emit, reliability_e2e,
-# ctx_switch), writes the medians to BENCH_pr.json, and compares every
+# ctx_switch, remote_ops), writes the medians to BENCH_pr.json, and compares every
 # benchmark listed in the committed baseline against the fresh run. A
 # median more than BENCH_GATE_THRESHOLD percent (default 15) slower than
 # baseline fails the gate. Benchmarks not listed in the baseline are
@@ -20,7 +20,7 @@ cd "$(dirname "$0")/.."
 BASELINE=${BENCH_GATE_BASELINE:-bench/baselines/BENCH_baseline.json}
 OUT=${BENCH_GATE_OUT:-BENCH_pr.json}
 THRESHOLD=${BENCH_GATE_THRESHOLD:-15}
-BENCHES=(aggregation reliability ctx_switch)
+BENCHES=(aggregation reliability ctx_switch remote_ops)
 
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT

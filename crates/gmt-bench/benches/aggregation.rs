@@ -48,14 +48,14 @@ fn bench_emit_throughput(c: &mut Criterion) {
     g.throughput(Throughput::Elements(N));
     // Normal two-level pipeline (64-entry command blocks).
     g.bench_function("pre_aggregation_on", |b| {
-        let shared = AggShared::new(2, 1, 4, 65536, 64, u64::MAX / 2, 0, 0);
+        let shared = AggShared::new(2, 1, 4, 65536, 64, u64::MAX / 2, 0, 0, 0);
         let mut sink = CommandSink::new(Arc::clone(&shared), 0);
         b.iter(|| pump_commands(&shared, &mut sink, N));
     });
     // Ablation: one-entry blocks — every command goes through the shared
     // MPMC queue, i.e. no thread-local pre-aggregation level.
     g.bench_function("pre_aggregation_off", |b| {
-        let shared = AggShared::new(2, 1, 4, 65536, 1, u64::MAX / 2, 0, 0);
+        let shared = AggShared::new(2, 1, 4, 65536, 1, u64::MAX / 2, 0, 0, 0);
         let mut sink = CommandSink::new(Arc::clone(&shared), 0);
         b.iter(|| pump_commands(&shared, &mut sink, N));
     });
@@ -63,7 +63,7 @@ fn bench_emit_throughput(c: &mut Criterion) {
     // at the front of every buffer, as `Config::reliable = true` runs it.
     g.bench_function("reliability_reserve_on", |b| {
         let shared =
-            AggShared::new(2, 1, 4, 65536, 64, u64::MAX / 2, 0, gmt_core::reliable::HEADER_LEN);
+            AggShared::new(2, 1, 4, 65536, 64, u64::MAX / 2, 0, gmt_core::reliable::HEADER_LEN, 0);
         let mut sink = CommandSink::new(Arc::clone(&shared), 0);
         b.iter(|| pump_commands(&shared, &mut sink, N));
     });
@@ -76,7 +76,7 @@ fn bench_buffer_size_sweep(c: &mut Criterion) {
     g.throughput(Throughput::Elements(N));
     for &size in &[4096usize, 16384, 65536, 262144] {
         g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
-            let shared = AggShared::new(2, 1, 4, size, 64, u64::MAX / 2, 0, 0);
+            let shared = AggShared::new(2, 1, 4, size, 64, u64::MAX / 2, 0, 0, 0);
             let mut sink = CommandSink::new(Arc::clone(&shared), 0);
             b.iter(|| pump_commands(&shared, &mut sink, N));
         });

@@ -1,0 +1,95 @@
+//! Remote-operation datapath microbenchmarks on a 2-node in-process
+//! cluster: blocking put and get storms, plus the headline case for
+//! command combining — a fire-and-forget atomic-add storm where many
+//! tasks hammer a few hot remote counters.
+//!
+//! `atomic_add_storm` runs twice, with the merge-at-source combining
+//! table on (`combine_window` at its default) and off (`combine_window
+//! = 0`). With combining on, adds from one task to the same cell
+//! collapse into a single `AddN` on the wire and come back as one entry
+//! in a vectorized `AckN`, so the on/off delta is the end-to-end value
+//! of the whole PR's datapath work. EXPERIMENTS.md records the measured
+//! ablation; the acceptance target is >= 2x for `combining_on` over
+//! `combining_off`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gmt_core::{Cluster, Config, Distribution, SpawnPolicy};
+
+const ELEMS: u64 = 2048;
+/// Hot counters for the add storm: few cells, many adds per cell, so
+/// the combining table gets real merge opportunities.
+const HOT_CELLS: u64 = 8;
+/// Adds in the storm — enough to amortize the per-iteration setup
+/// (collective alloc/free, task spawns) so the measurement is the add
+/// datapath itself.
+const STORM_ADDS: u64 = 16384;
+/// Tasks in the add storm; each performs `STORM_ADDS / STORM_TASKS`
+/// adds before awaiting completion — the natural shape for
+/// fire-and-forget updates (and the window combining needs to merge
+/// anything).
+const STORM_TASKS: u64 = 32;
+
+fn put_storm(cluster: &Cluster) {
+    cluster.node(0).run(|ctx| {
+        let arr = ctx.alloc(ELEMS * 8, Distribution::Remote);
+        ctx.parfor(SpawnPolicy::Local, ELEMS, 32, move |ctx, i| {
+            ctx.put_value::<u64>(&arr, i, i).unwrap();
+        });
+        ctx.free(arr);
+    });
+}
+
+fn get_storm(cluster: &Cluster) {
+    cluster.node(0).run(|ctx| {
+        let arr = ctx.alloc(ELEMS * 8, Distribution::Remote);
+        ctx.parfor(SpawnPolicy::Local, ELEMS, 32, move |ctx, i| {
+            let _ = ctx.get_value::<u64>(&arr, i).unwrap();
+        });
+        ctx.free(arr);
+    });
+}
+
+fn atomic_add_storm(cluster: &Cluster) {
+    cluster.node(0).run(|ctx| {
+        let arr = ctx.alloc(HOT_CELLS * 8, Distribution::Remote);
+        ctx.parfor(SpawnPolicy::Local, STORM_TASKS, 1, move |ctx, t| {
+            let per_task = STORM_ADDS / STORM_TASKS;
+            for k in 0..per_task {
+                ctx.atomic_add_nb(&arr, ((t * per_task + k) % HOT_CELLS) * 8, 1);
+            }
+            ctx.wait_commands().unwrap();
+        });
+        ctx.free(arr);
+    });
+}
+
+fn bench_remote_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("remote_ops");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(ELEMS));
+    for (name, f) in
+        [("put_storm", put_storm as fn(&Cluster)), ("get_storm", get_storm as fn(&Cluster))]
+    {
+        g.bench_function(name, |b| {
+            let cluster = Cluster::start(2, Config::small()).unwrap();
+            b.iter(|| f(&cluster));
+            cluster.shutdown();
+        });
+    }
+    g.throughput(Throughput::Elements(STORM_ADDS));
+    let default_window = Config::small().combine_window;
+    for (name, combine_window) in
+        [("atomic_add_storm/combining_on", default_window), ("atomic_add_storm/combining_off", 0)]
+    {
+        g.bench_function(name, |b| {
+            let config = Config { combine_window, ..Config::small() };
+            let cluster = Cluster::start(2, config).unwrap();
+            b.iter(|| atomic_add_storm(&cluster));
+            cluster.shutdown();
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_remote_ops);
+criterion_main!(benches);

@@ -75,6 +75,7 @@ fn report(cluster: &Cluster, config: &Config, elapsed_s: f64) {
         println!("node {node}:");
         print_switches(h, config);
         print_occupancy(&snap);
+        print_combining(&snap);
         print_rates(&snap, elapsed_s);
         print_comm(&snap);
     }
@@ -103,6 +104,21 @@ fn print_occupancy(snap: &MetricsSnapshot) {
     }
     let timeouts = snap.counter("agg.timeout_flushes").unwrap_or(0);
     println!(" (deadline-triggered: {timeouts})");
+}
+
+/// Merge-at-source combining effectiveness: how many fire-and-forget
+/// adds were absorbed before the wire, and into how many `AddN`s.
+fn print_combining(snap: &MetricsSnapshot) {
+    let hits = snap.counter("agg.combine_hits").unwrap_or(0);
+    let flushes = snap.counter("agg.combine_flushes").unwrap_or(0);
+    if flushes == 0 {
+        return;
+    }
+    println!(
+        "  combining: {} adds merged into {flushes} wire commands ({:.1} adds/cmd)",
+        hits + flushes,
+        (hits + flushes) as f64 / flushes as f64
+    );
 }
 
 /// Command execution rates by opcode (helpers' view).

@@ -52,6 +52,14 @@ use std::time::Instant;
 /// aggregation buffer's worth of queued bytes can consist of.
 const MIN_CMD_BYTES: usize = 9;
 
+/// Fixed part of an `AddN` on the wire (opcode + array + offset + delta +
+/// token-run length); each absorbed token adds 8 bytes.
+const ADD_N_FIXED_BYTES: usize = 1 + 8 + 8 + 8 + 4;
+
+/// Upper bound on tokens merged into one `AddN`, independent of buffer
+/// size (keeps per-entry token runs small and cache-friendly).
+const MAX_COMBINE_TOKENS: usize = 64;
+
 /// Per-destination aggregation queue: command blocks from all threads of a
 /// node, bound for one remote node.
 pub struct AggQueue {
@@ -154,6 +162,11 @@ pub struct AggStats {
     pub timeout_flushes: u64,
     /// Command blocks dropped (freed) because the block pool was full.
     pub block_pool_drops: u64,
+    /// Fire-and-forget adds absorbed into an existing combining-table
+    /// entry (each hit is one command that never reached the wire).
+    pub combine_hits: u64,
+    /// Combining-table entries flushed as `AddN` wire commands.
+    pub combine_flushes: u64,
 }
 
 /// The aggregation layer's registry instruments: sharded counters (one
@@ -168,6 +181,8 @@ struct AggMetrics {
     /// `aggregate` found the channel's buffer pool empty and left the
     /// blocks queued for a later retry.
     pool_waits: Counter,
+    combine_hits: Counter,
+    combine_flushes: Counter,
     /// Buffer length (header included) at flush, bucketed by fractions of
     /// `buffer_size` — the paper's buffer-occupancy view (Figure 9).
     flush_fill: Histogram,
@@ -190,6 +205,8 @@ impl AggMetrics {
             timeout_flushes: registry.counter("agg.timeout_flushes"),
             block_pool_drops: registry.counter("agg.block_pool_drops"),
             pool_waits: registry.counter("agg.pool_waits"),
+            combine_hits: registry.counter("agg.combine_hits"),
+            combine_flushes: registry.counter("agg.combine_flushes"),
             flush_fill: registry.histogram("agg.flush_fill_bytes", &bounds),
         }
     }
@@ -205,6 +222,12 @@ pub struct AggShared {
     cmd_block_entries: usize,
     cmd_block_timeout_ns: u64,
     aggregation_timeout_ns: u64,
+    /// Maximum distinct `(array, offset)` cells tracked per destination
+    /// in each sink's combining table; 0 disables combining.
+    combine_window: usize,
+    /// Maximum tokens merged into one entry before it flushes as `AddN`
+    /// (bounded so the command always fits one aggregation buffer).
+    combine_cap: usize,
     start: Instant,
     /// Coarse monotonic clock (ns since `start`), ticked by [`Self::tick`]
     /// from pump loops and the communication server. Hot paths read it
@@ -237,6 +260,7 @@ impl AggShared {
         cmd_block_timeout_ns: u64,
         aggregation_timeout_ns: u64,
         header_reserve: usize,
+        combine_window: usize,
     ) -> Arc<Self> {
         Self::new_in_registry(
             destinations,
@@ -247,6 +271,7 @@ impl AggShared {
             cmd_block_timeout_ns,
             aggregation_timeout_ns,
             header_reserve,
+            combine_window,
             &Registry::new(threads),
         )
     }
@@ -264,6 +289,7 @@ impl AggShared {
         cmd_block_timeout_ns: u64,
         aggregation_timeout_ns: u64,
         header_reserve: usize,
+        combine_window: usize,
         registry: &Registry,
     ) -> Arc<Self> {
         assert!(header_reserve < buffer_size, "header reserve must leave room for commands");
@@ -279,12 +305,18 @@ impl AggShared {
         let blocks_per_buffer = buffer_size / full_block_bytes + 2;
         let pool_cap = (threads * destinations * 2 + destinations * blocks_per_buffer).max(16);
         let block_pool = ArrayQueue::new(pool_cap);
+        // A full combining entry must encode into a command that fits one
+        // buffer's command capacity.
+        let combine_cap = ((buffer_size - header_reserve).saturating_sub(ADD_N_FIXED_BYTES) / 8)
+            .clamp(1, MAX_COMBINE_TOKENS);
         Arc::new(AggShared {
             buffer_size,
             header_reserve,
             cmd_block_entries,
             cmd_block_timeout_ns,
             aggregation_timeout_ns,
+            combine_window,
+            combine_cap,
             start: Instant::now(),
             clock_ns: AtomicU64::new(1),
             queues: (0..destinations).map(|_| AggQueue::new()).collect(),
@@ -341,6 +373,8 @@ impl AggShared {
             buffers_filled: self.metrics.buffers_filled.sum(),
             timeout_flushes: self.metrics.timeout_flushes.sum(),
             block_pool_drops: self.metrics.block_pool_drops.sum(),
+            combine_hits: self.metrics.combine_hits.sum(),
+            combine_flushes: self.metrics.combine_flushes.sum(),
         }
     }
 
@@ -378,6 +412,28 @@ struct ActiveBlock {
     born_ns: u64,
 }
 
+/// One cell of the combining table: the merged delta of every
+/// fire-and-forget `Add` to `(array, offset)` seen since the last flush,
+/// plus the completion tokens (8 LE bytes each) those adds carried.
+struct CombineEntry {
+    array: u64,
+    offset: u64,
+    delta: i64,
+    tokens: Vec<u8>,
+}
+
+/// Per-destination merge-at-source table (see `CommandSink::emit`).
+/// `entries[..live]` are occupied; dead entries keep their token buffers
+/// allocated for reuse.
+#[derive(Default)]
+struct CombineTable {
+    entries: Vec<CombineEntry>,
+    live: usize,
+    /// Coarse-clock stamp of the first add since the last flush (0 =
+    /// empty); pump flushes tables older than the command-block timeout.
+    born_ns: u64,
+}
+
 /// Per-thread front end of the aggregation pipeline.
 ///
 /// Owned by exactly one worker or helper thread; `emit` requires `&mut`
@@ -387,12 +443,19 @@ pub struct CommandSink {
     /// This thread's channel-queue index.
     chan: usize,
     active: Vec<Option<ActiveBlock>>,
+    /// Per-destination combining tables (empty when combining is off).
+    combine: Vec<CombineTable>,
 }
 
 impl CommandSink {
     pub fn new(shared: Arc<AggShared>, chan: usize) -> Self {
         let dests = shared.queues.len();
-        CommandSink { shared, chan, active: (0..dests).map(|_| None).collect() }
+        CommandSink {
+            shared,
+            chan,
+            active: (0..dests).map(|_| None).collect(),
+            combine: (0..dests).map(|_| CombineTable::default()).collect(),
+        }
     }
 
     /// This sink's statistics instruments (this thread writes only its
@@ -405,10 +468,110 @@ impl CommandSink {
     /// Appends `cmd` to the command block for `dst` (step 2 of Figure 3),
     /// handing the block to the aggregation queue if it fills up.
     ///
+    /// Fire-and-forget atomic adds (`Add` with `dest == 0`) are diverted
+    /// into the per-destination combining table first: adds to the same
+    /// `(array, offset)` merge into one delta (commutativity makes this
+    /// exact) and leave as a single [`Command::AddN`] carrying every
+    /// absorbed completion token. Purely pre-wire — the merged command is
+    /// one entry in one buffer, so reliability seq/dedup semantics are
+    /// untouched. A combined add may ship later than commands emitted
+    /// after it (bounded by the block timeout); GMT never ordered
+    /// independent commands anyway.
+    ///
     /// Hot path: no `Instant::now()` (block birth is stamped from the
     /// coarse clock) and no shared-cacheline RMW (counters go to this
     /// thread's padded shard).
+    #[inline]
     pub fn emit(&mut self, dst: NodeId, cmd: &Command<'_>) {
+        if self.shared.combine_window > 0 {
+            if let Command::Add { token, array, offset, delta, dest: 0 } = *cmd {
+                self.combine_add(dst, token, array, offset, delta);
+                return;
+            }
+        }
+        self.encode_cmd(dst, cmd);
+    }
+
+    /// Merges one fire-and-forget add into the combining table for `dst`,
+    /// flushing an entry (token cap) or the whole table (window overflow)
+    /// as needed.
+    fn combine_add(&mut self, dst: NodeId, token: u64, array: u64, offset: u64, delta: i64) {
+        let cap_bytes = self.shared.combine_cap * 8;
+        let table = &mut self.combine[dst];
+        if let Some(i) =
+            table.entries[..table.live].iter().position(|e| e.array == array && e.offset == offset)
+        {
+            let e = &mut table.entries[i];
+            e.delta = e.delta.wrapping_add(delta);
+            e.tokens.extend_from_slice(&token.to_le_bytes());
+            self.shared.metrics.combine_hits.add(self.chan, 1);
+            if e.tokens.len() >= cap_bytes {
+                // Entry full: flush it alone, keeping the rest merging.
+                let tokens = std::mem::take(&mut e.tokens);
+                let (array, offset, delta) = (e.array, e.offset, e.delta);
+                table.live -= 1;
+                table.entries.swap(i, table.live);
+                if table.live == 0 {
+                    table.born_ns = 0;
+                }
+                self.shared.metrics.combine_flushes.add(self.chan, 1);
+                self.encode_cmd(dst, &Command::AddN { array, offset, delta, tokens: &tokens });
+                // Hand the token buffer back to the (now dead) slot.
+                let table = &mut self.combine[dst];
+                let mut tokens = tokens;
+                tokens.clear();
+                table.entries[table.live].tokens = tokens;
+            }
+            return;
+        }
+        if table.live == self.shared.combine_window {
+            self.flush_combine(dst);
+        }
+        let now = self.shared.coarse_now_ns();
+        let table = &mut self.combine[dst];
+        if table.live == 0 {
+            table.born_ns = now;
+        }
+        if table.live == table.entries.len() {
+            table.entries.push(CombineEntry {
+                array,
+                offset,
+                delta,
+                tokens: Vec::with_capacity(cap_bytes),
+            });
+        } else {
+            let e = &mut table.entries[table.live];
+            e.array = array;
+            e.offset = offset;
+            e.delta = delta;
+            e.tokens.clear();
+        }
+        table.entries[table.live].tokens.extend_from_slice(&token.to_le_bytes());
+        table.live += 1;
+    }
+
+    /// Flushes every live combining-table entry for `dst` into the
+    /// command block as `AddN` commands.
+    fn flush_combine(&mut self, dst: NodeId) {
+        if self.combine[dst].live == 0 {
+            return;
+        }
+        let mut table = std::mem::take(&mut self.combine[dst]);
+        for e in &mut table.entries[..table.live] {
+            let cmd =
+                Command::AddN { array: e.array, offset: e.offset, delta: e.delta, tokens: &e.tokens };
+            self.encode_cmd(dst, &cmd);
+            e.tokens.clear();
+        }
+        self.shared.metrics.combine_flushes.add(self.chan, table.live as u64);
+        table.live = 0;
+        table.born_ns = 0;
+        self.combine[dst] = table;
+    }
+
+    /// Encodes `cmd` into the active block for `dst` (no combining).
+    #[inline]
+    fn encode_cmd(&mut self, dst: NodeId, cmd: &Command<'_>) {
         let size = cmd.encoded_len();
         let cap = self.shared.cmd_capacity();
         assert!(size <= cap, "command of {size} bytes exceeds aggregation buffer capacity {cap}");
@@ -548,6 +711,14 @@ impl CommandSink {
     pub fn pump(&mut self) {
         let now = self.shared.tick();
         for dst in 0..self.active.len() {
+            // Combining tables age on the block timeout: workers pump
+            // every scheduler loop, so a merged add is delayed at most
+            // one timeout past its emit — the liveness `wait_commands`
+            // depends on.
+            let t = &self.combine[dst];
+            if t.live > 0 && now.saturating_sub(t.born_ns) >= self.shared.cmd_block_timeout_ns {
+                self.flush_combine(dst);
+            }
             let aged = matches!(&self.active[dst], Some(a) if a.entries > 0
                 && now.saturating_sub(a.born_ns) >= self.shared.cmd_block_timeout_ns);
             if aged {
@@ -572,6 +743,7 @@ impl CommandSink {
     pub fn flush_all(&mut self) {
         const MAX_STALLS: u32 = 1 << 20;
         for dst in 0..self.active.len() {
+            self.flush_combine(dst);
             self.push_block(dst);
             let mut stalls: u32 = 0;
             while self.shared.queues[dst].queued_bytes() > 0 {
@@ -588,8 +760,10 @@ impl CommandSink {
         }
     }
 
-    /// Immediately pushes the active block for `dst` (no aggregation).
+    /// Immediately pushes the active block for `dst` (no aggregation),
+    /// flushing pending combined adds into it first.
     pub fn flush_block(&mut self, dst: NodeId) {
+        self.flush_combine(dst);
         self.push_block(dst);
     }
 
@@ -603,7 +777,7 @@ mod tests {
     use super::*;
 
     fn test_shared(buffer_size: usize, entries: usize) -> Arc<AggShared> {
-        AggShared::new(3, 2, 4, buffer_size, entries, u64::MAX / 2, u64::MAX / 2, 0)
+        AggShared::new(3, 2, 4, buffer_size, entries, u64::MAX / 2, u64::MAX / 2, 0, 0)
     }
 
     fn ack(token: u64) -> Command<'static> {
@@ -692,7 +866,7 @@ mod tests {
     #[test]
     fn pump_flushes_aged_blocks_and_queues() {
         let shared =
-            AggShared::new(2, 1, 4, 1024, 100, /*block timeout*/ 0, /*agg timeout*/ 0, 0);
+            AggShared::new(2, 1, 4, 1024, 100, /*block timeout*/ 0, /*agg timeout*/ 0, 0, 0);
         let mut sink = CommandSink::new(Arc::clone(&shared), 0);
         sink.emit(1, &ack(42));
         // Timeouts of zero: the next pump must push and aggregate.
@@ -825,7 +999,7 @@ mod tests {
         // by the coarse clock (no per-emit Instant reads). The block is
         // re-stamped when it enters the aggregation queue, so the two
         // levels age across two pump intervals.
-        let shared = AggShared::new(2, 1, 4, 1024, 100, 1_000, 1_000, 0);
+        let shared = AggShared::new(2, 1, 4, 1024, 100, 1_000, 1_000, 0, 0);
         let mut sink = CommandSink::new(Arc::clone(&shared), 0);
         sink.emit(1, &ack(7));
         assert!(drain(&shared, 0).is_empty());
@@ -844,7 +1018,7 @@ mod tests {
         // bytes and the commands decode from the slice after them; the
         // buffer still returns whole to the pool.
         const HDR: usize = 17;
-        let shared = AggShared::new(2, 1, 4, 256, 4, u64::MAX / 2, u64::MAX / 2, HDR);
+        let shared = AggShared::new(2, 1, 4, 256, 4, u64::MAX / 2, u64::MAX / 2, HDR, 0);
         assert_eq!(shared.header_reserve(), HDR);
         let mut sink = CommandSink::new(Arc::clone(&shared), 0);
         for i in 0..8 {
@@ -868,7 +1042,7 @@ mod tests {
         // through both the full-flush and timeout-flush paths. At
         // quiescence every buffer must be back in its pool.
         use std::sync::atomic::AtomicBool;
-        let shared = AggShared::new(3, 2, 4, 128, 4, 0, 0, 0);
+        let shared = AggShared::new(3, 2, 4, 128, 4, 0, 0, 0, 0);
         let stop = Arc::new(AtomicBool::new(false));
         let per_thread = 3_000u64;
 
@@ -933,5 +1107,134 @@ mod tests {
             assert_eq!(q.backlog(), 0);
             assert_eq!(q.free_buffers(), q.pool_capacity(), "channel {chan} leaked buffers");
         }
+    }
+
+    /// An AggShared with combining enabled (window 16) and huge timeouts.
+    fn combining_shared(buffer_size: usize) -> Arc<AggShared> {
+        AggShared::new(3, 2, 4, buffer_size, 64, u64::MAX / 2, u64::MAX / 2, 0, 16)
+    }
+
+    fn add(token: u64, offset: u64, delta: i64) -> Command<'static> {
+        Command::Add { token, array: 1, offset, delta, dest: 0 }
+    }
+
+    /// Drains every wire command from one channel.
+    fn drain_cmds(shared: &AggShared, chan: usize) -> Vec<(u64, u64, i64, Vec<u64>)> {
+        // (array, offset, delta, tokens) per AddN; plain Adds map to a
+        // one-token entry so tests can compare the two modes.
+        let mut out = Vec::new();
+        while let Some((_, payload)) = shared.channel(chan).pop_filled() {
+            for cmd in crate::command::CommandIter::new(&payload) {
+                match cmd {
+                    Command::AddN { array, offset, delta, tokens } => {
+                        out.push((array, offset, delta, crate::command::tokens(tokens).collect()))
+                    }
+                    Command::Add { token, array, offset, delta, .. } => {
+                        out.push((array, offset, delta, vec![token]))
+                    }
+                    other => panic!("unexpected command {other:?}"),
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn combining_merges_same_cell_adds_into_one_command() {
+        let shared = combining_shared(1024);
+        let mut sink = CommandSink::new(Arc::clone(&shared), 0);
+        for t in 0..5 {
+            sink.emit(1, &add(100 + t, 8, 3));
+        }
+        sink.emit(1, &add(200, 16, -1)); // different cell
+        sink.flush_all();
+        let mut got = drain_cmds(&shared, 0);
+        got.sort_by_key(|&(_, offset, _, _)| offset);
+        assert_eq!(got.len(), 2, "two cells → two wire commands");
+        assert_eq!(got[0], (1, 8, 15, vec![100, 101, 102, 103, 104]));
+        assert_eq!(got[1], (1, 16, -1, vec![200]));
+        let stats = shared.stats();
+        assert_eq!(stats.combine_hits, 4, "4 of 5 same-cell adds absorbed");
+        assert_eq!(stats.combine_flushes, 2);
+        assert_eq!(stats.commands, 2, "only wire commands are counted");
+    }
+
+    #[test]
+    fn combining_off_passes_adds_through() {
+        let shared = test_shared(1024, 64); // window 0
+        let mut sink = CommandSink::new(Arc::clone(&shared), 0);
+        for t in 0..5 {
+            sink.emit(1, &add(t, 8, 3));
+        }
+        sink.flush_all();
+        let got = drain_cmds(&shared, 0);
+        assert_eq!(got.len(), 5);
+        for (i, g) in got.iter().enumerate() {
+            assert_eq!(g, &(1, 8, 3, vec![i as u64]));
+        }
+        assert_eq!(shared.stats().combine_hits, 0);
+    }
+
+    #[test]
+    fn window_overflow_flushes_whole_table() {
+        let shared = combining_shared(4096);
+        let mut sink = CommandSink::new(Arc::clone(&shared), 0);
+        // 17 distinct cells: the 17th insert overflows the 16-wide table.
+        for i in 0..17u64 {
+            sink.emit(1, &add(i, i * 8, 1));
+        }
+        assert_eq!(shared.stats().combine_flushes, 16);
+        sink.flush_all();
+        let got = drain_cmds(&shared, 0);
+        assert_eq!(got.len(), 17);
+    }
+
+    #[test]
+    fn full_entry_flushes_alone_and_merging_continues() {
+        // Buffer 64 → combine_cap = (64 - 29) / 8 = 4 tokens per entry.
+        let shared = combining_shared(64);
+        let mut sink = CommandSink::new(Arc::clone(&shared), 0);
+        for t in 0..6 {
+            sink.emit(1, &add(t, 8, 1));
+        }
+        sink.flush_all();
+        let got = drain_cmds(&shared, 0);
+        assert_eq!(got.len(), 2);
+        let total: i64 = got.iter().map(|g| g.2).sum();
+        assert_eq!(total, 6);
+        let mut tokens: Vec<u64> = got.iter().flat_map(|g| g.3.iter().copied()).collect();
+        tokens.sort_unstable();
+        assert_eq!(tokens, (0..6).collect::<Vec<_>>());
+        assert!(got.iter().any(|g| g.3.len() == 4), "one entry flushed at the token cap");
+    }
+
+    #[test]
+    fn blocking_adds_bypass_combining() {
+        let shared = combining_shared(1024);
+        let mut sink = CommandSink::new(Arc::clone(&shared), 0);
+        // dest != 0: the caller wants the old value, must not merge.
+        sink.emit(1, &Command::Add { token: 1, array: 1, offset: 8, delta: 1, dest: 0xBEEF });
+        sink.emit(1, &Command::Add { token: 2, array: 1, offset: 8, delta: 1, dest: 0xBEEF });
+        sink.flush_all();
+        let got = drain_cmds(&shared, 0);
+        assert_eq!(got.len(), 2);
+        assert_eq!(shared.stats().combine_hits, 0);
+    }
+
+    #[test]
+    fn pump_flushes_aged_combining_table() {
+        let shared = AggShared::new(2, 1, 4, 1024, 100, 1_000, 1_000, 0, 16);
+        let mut sink = CommandSink::new(Arc::clone(&shared), 0);
+        sink.emit(1, &add(9, 8, 2));
+        sink.emit(1, &add(10, 8, 2));
+        assert!(drain_cmds(&shared, 0).is_empty(), "still merging");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        sink.pump(); // table aged → AddN into a block
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        sink.pump(); // block + queue age out
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        sink.pump();
+        let got = drain_cmds(&shared, 0);
+        assert_eq!(got, vec![(1, 8, 4, vec![9, 10])]);
     }
 }

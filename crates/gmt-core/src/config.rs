@@ -35,6 +35,12 @@ pub struct Config {
     /// and sent even if a full buffer's worth has not accumulated.
     /// Same coarse-clock granularity as [`Config::cmd_block_timeout_ns`].
     pub aggregation_timeout_ns: u64,
+    /// Maximum distinct `(array, offset)` cells tracked per destination in
+    /// the command sink's combining table, which merges fire-and-forget
+    /// atomic adds to the same cell into one wire command. 0 disables
+    /// combining. Tables flush on overflow, on block flush, and on the
+    /// same coarse-clock timeout as command blocks.
+    pub combine_window: usize,
     /// Stack size for user-level tasks, bytes.
     pub task_stack_size: usize,
     /// Network cost model enforced by the fabric, or `None` for instant
@@ -111,6 +117,7 @@ impl Config {
             cmd_block_entries: 64,
             cmd_block_timeout_ns: 10_000,
             aggregation_timeout_ns: 30_000,
+            combine_window: 16,
             task_stack_size: 64 * 1024,
             network: Some(NetworkModel::olympus()),
             reliable: true,
@@ -141,6 +148,7 @@ impl Config {
             cmd_block_entries: 16,
             cmd_block_timeout_ns: 5_000,
             aggregation_timeout_ns: 10_000,
+            combine_window: 16,
             task_stack_size: 64 * 1024,
             network: None,
             reliable: true,

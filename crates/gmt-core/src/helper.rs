@@ -8,7 +8,7 @@ use crate::command::{Command, CommandIter};
 use crate::handle::{Distribution, Layout};
 use crate::metrics::ThreadTracer;
 use crate::runtime::NodeShared;
-use crate::task::{complete_token, Itb, ParForBody, ParentRef};
+use crate::task::{complete_token, complete_token_n, Itb, ParForBody, ParentRef};
 use crate::tls;
 use crate::NodeId;
 use std::sync::Arc;
@@ -19,13 +19,20 @@ use std::time::Duration;
 /// counter shard.
 ///
 /// `src` is the node the buffer came from (replies go back there).
+/// `scratch` and `acks` are per-thread buffers reused across calls:
+/// `scratch` holds `GetReply` payloads, `acks` collects the completion
+/// tokens of every token-only acknowledgement (Put/Alloc/Free/AddN) so
+/// one vectorized [`Command::AckN`] answers the whole buffer instead of
+/// one `Ack` per command.
 fn process_buffer(
     node: &Arc<NodeShared>,
     src: NodeId,
     buf: &[u8],
     scratch: &mut Vec<u8>,
+    acks: &mut Vec<u8>,
     chan: usize,
 ) -> u64 {
+    debug_assert!(acks.is_empty());
     let mut executed = 0u64;
     for cmd in CommandIter::new(buf) {
         node.metrics.cmd_counter(cmd.opcode()).add(chan, 1);
@@ -34,17 +41,29 @@ fn process_buffer(
             // ---- requests: execute against local memory, reply --------
             Command::Put { token, array, offset, data } => {
                 node.memory.with(array, |s| s.write(offset as usize, data));
-                reply(src, &Command::Ack { token });
+                acks.extend_from_slice(&token.to_le_bytes());
             }
             Command::Get { token, array, offset, len, dest } => {
-                scratch.clear();
-                scratch.resize(len as usize, 0);
-                node.memory.with(array, |s| s.read(offset as usize, scratch));
-                reply(src, &Command::GetReply { token, dest, data: scratch });
+                let len = len as usize;
+                // Grow-only: `Segment::read` overwrites every byte of the
+                // slice, so zero-filling (or clearing stale bytes from an
+                // earlier reply) would be pure waste.
+                if scratch.len() < len {
+                    scratch.resize(len, 0);
+                }
+                let out = &mut scratch[..len];
+                node.memory.with(array, |s| s.read(offset as usize, out));
+                reply(src, &Command::GetReply { token, dest, data: out });
             }
             Command::Add { token, array, offset, delta, dest } => {
                 let old = node.memory.with(array, |s| s.atomic_add(offset as usize, delta));
                 reply(src, &Command::AtomicReply { token, dest, old });
+            }
+            Command::AddN { array, offset, delta, tokens } => {
+                // The merged delta of several fire-and-forget adds:
+                // applied once, acknowledged once per absorbed token.
+                node.memory.with(array, |s| s.atomic_add(offset as usize, delta));
+                acks.extend_from_slice(tokens);
             }
             Command::Cas { token, array, offset, expected, new, dest } => {
                 let old = node.memory.with(array, |s| s.atomic_cas(offset as usize, expected, new));
@@ -54,11 +73,11 @@ fn process_buffer(
                 let dist = Distribution::from_u8(dist).expect("valid distribution on wire");
                 let layout = Layout::new(nbytes, dist, origin as NodeId, node.nodes);
                 node.memory.alloc(id, &layout, node.node_id);
-                reply(src, &Command::Ack { token });
+                acks.extend_from_slice(&token.to_le_bytes());
             }
             Command::Free { token, id } => {
                 node.memory.free(id);
-                reply(src, &Command::Ack { token });
+                acks.extend_from_slice(&token.to_le_bytes());
             }
             Command::Spawn { token, body, start, count, chunk, args } => {
                 // Safety: the wire pointer carries one strong reference,
@@ -88,6 +107,23 @@ fn process_buffer(
                     // Safety: token minted by the issuing task; the acquit
                     // guarantees it has not been completed yet.
                     unsafe { complete_token(token) };
+                }
+            }
+            Command::AckN { tokens } => {
+                // Runs of equal tokens (one task's merged adds, or its
+                // burst of puts) acquit and complete in one batch each.
+                let mut it = crate::command::tokens(tokens).peekable();
+                while let Some(token) = it.next() {
+                    let mut n = 1u32;
+                    while it.peek() == Some(&token) {
+                        it.next();
+                        n += 1;
+                    }
+                    let acquitted = node.outstanding.acquit_n(token, src, n);
+                    // Safety: each acquit guarantees one uncompleted mint
+                    // of `token`; shortfall means the death sweep already
+                    // error-completed the rest.
+                    unsafe { complete_token_n(token, acquitted) };
                 }
             }
             Command::GetReply { token, dest, data } => {
@@ -125,7 +161,29 @@ fn process_buffer(
             }
         }
     }
+    flush_acks(node, src, acks);
     executed
+}
+
+/// Sends the batched token-only acknowledgements for one processed buffer:
+/// a single token degenerates to a plain `Ack`; larger batches go out as
+/// `AckN` commands chunked to the aggregation buffer capacity.
+fn flush_acks(node: &Arc<NodeShared>, src: NodeId, acks: &mut Vec<u8>) {
+    if acks.is_empty() {
+        return;
+    }
+    if acks.len() == 8 {
+        let token = u64::from_le_bytes(acks[..8].try_into().unwrap());
+        reply(src, &Command::Ack { token });
+    } else {
+        // Whole tokens per chunk, within the buffer's command capacity.
+        let cap = node.config.buffer_size - node.agg.header_reserve();
+        let chunk_bytes = (cap.saturating_sub(5) / 8 * 8).max(8);
+        for chunk in acks.chunks(chunk_bytes) {
+            reply(src, &Command::AckN { tokens: chunk });
+        }
+    }
+    acks.clear();
 }
 
 #[inline]
@@ -170,6 +228,7 @@ unsafe fn reply_write(node: &Arc<NodeShared>, token: u64, write: impl FnOnce()) 
 pub fn helper_main(node: Arc<NodeShared>, chan: usize, tracer: ThreadTracer) {
     tls::install(CommandSink::new(Arc::clone(&node.agg), chan));
     let mut scratch = Vec::new();
+    let mut acks = Vec::new();
     let mut idle: u32 = 0;
     // Commands start after the transport header the sender reserved (the
     // communication server validated its presence before delivering).
@@ -178,7 +237,7 @@ pub fn helper_main(node: Arc<NodeShared>, chan: usize, tracer: ThreadTracer) {
         let mut progressed = false;
         while let Some((src, buf)) = node.helper_in.pop() {
             let t0 = tracer.now_ns();
-            let executed = process_buffer(&node, src, &buf[hdr..], &mut scratch, chan);
+            let executed = process_buffer(&node, src, &buf[hdr..], &mut scratch, &mut acks, chan);
             tracer.span("process_buffer", t0, executed);
             progressed = true;
         }

@@ -44,7 +44,7 @@ use gmt_metrics::{Counter, Gauge, Histogram, Registry};
 use std::sync::Arc;
 
 /// Number of wire opcodes (`command::op_name` covers `1..=N_OPCODES`).
-pub const N_OPCODES: usize = 10;
+pub const N_OPCODES: usize = 12;
 
 /// Every named instrument of one node, with resolved handles so hot paths
 /// never touch the registry lock.

@@ -147,6 +147,28 @@ impl OutstandingOps {
         }
     }
 
+    /// Removes up to `n` registered operations for `(token, src)` at once
+    /// (vectorized ack path). Returns how many were actually acquitted —
+    /// fewer than `n` means the death sweep already error-completed the
+    /// rest, and the caller must only complete the returned count.
+    pub fn acquit_n(&self, token: u64, src: NodeId, n: u32) -> u32 {
+        if n == 0 {
+            return 0;
+        }
+        let mut map = self.shard(token).lock();
+        match map.get_mut(&(token, src)) {
+            Some(have) => {
+                let taken = n.min(*have);
+                *have -= taken;
+                if *have == 0 {
+                    map.remove(&(token, src));
+                }
+                taken
+            }
+            None => 0,
+        }
+    }
+
     /// Removes every operation toward `peer`, returning `(token,
     /// multiplicity)` pairs for the caller to error-complete.
     pub fn drain_peer(&self, peer: NodeId) -> Vec<(u64, u32)> {
@@ -550,6 +572,7 @@ impl Cluster {
                 config.cmd_block_timeout_ns,
                 config.aggregation_timeout_ns,
                 if config.reliable { crate::reliable::HEADER_LEN } else { 0 },
+                config.combine_window,
                 metrics.registry(),
             );
             let shared = Arc::new(NodeShared {

@@ -45,6 +45,10 @@ pub struct TaskControl {
     last_op_kind: AtomicU8,
     /// The watchdog already reported this park (one diagnostic per park).
     warned: AtomicBool,
+    /// The owning worker counted this park in the `parked_tasks` gauge;
+    /// consumed by the single genuine unpark so stale wakeups for a
+    /// retired-and-reused slot cannot skew the gauge.
+    gauge_parked: AtomicBool,
     /// Per-task operation deadline (ns); 0 = use `Config::op_deadline_ns`.
     deadline_ns: AtomicU64,
     /// Watchdog expired this task's deadline; consumed by `wait_commands`.
@@ -78,6 +82,7 @@ impl TaskControl {
             last_op_dst: AtomicUsize::new(NO_NODE),
             last_op_kind: AtomicU8::new(0),
             warned: AtomicBool::new(false),
+            gauge_parked: AtomicBool::new(false),
             deadline_ns: AtomicU64::new(0),
             deadline_hit: AtomicBool::new(false),
             abandoned: AtomicU8::new(REPLY_ACTIVE),
@@ -203,9 +208,19 @@ impl TaskControl {
     /// Completer side: one operation finished. Wakes the task if this was
     /// the last outstanding operation and the task is parked.
     pub fn op_completed(&self) {
-        let prev = self.pending.fetch_sub(1, Ordering::AcqRel);
-        debug_assert!(prev > 0, "op_completed without matching add_pending");
-        if prev == 1 && self.parked.swap(false, Ordering::AcqRel) {
+        self.ops_completed(1);
+    }
+
+    /// Completer side: `n` operations finished at once (vectorized ack
+    /// path). One decrement, one wake check — equivalent to `n` calls of
+    /// [`op_completed`](Self::op_completed).
+    pub fn ops_completed(&self, n: u32) {
+        if n == 0 {
+            return;
+        }
+        let prev = self.pending.fetch_sub(n, Ordering::AcqRel);
+        debug_assert!(prev >= n, "ops_completed without matching add_pending");
+        if prev == n && self.parked.swap(false, Ordering::AcqRel) {
             self.parked_since_ns.store(0, Ordering::Relaxed);
             self.ready.push(self.slot);
         }
@@ -243,6 +258,15 @@ impl TaskControl {
     pub fn note_parked(&self, now_ns: u64) {
         self.parked_since_ns.store(now_ns.max(1), Ordering::Relaxed);
         self.warned.store(false, Ordering::Relaxed);
+        self.gauge_parked.store(true, Ordering::Relaxed);
+    }
+
+    /// Worker side, on a wakeup: whether this task was counted in the
+    /// `parked_tasks` gauge (consumes the mark). `false` means the wakeup
+    /// is stale — the slot was retired and possibly reused — and the gauge
+    /// must not be decremented.
+    pub fn take_gauge_parked(&self) -> bool {
+        self.gauge_parked.swap(false, Ordering::Relaxed)
     }
 
     /// Watchdog side: `(parked_since_ns, last_dst, last_opcode, pending)`
@@ -316,6 +340,26 @@ pub fn token_from(ctl: &Arc<TaskControl>) -> u64 {
 pub unsafe fn complete_token(token: u64) {
     let ctl = unsafe { Arc::from_raw(token as *const TaskControl) };
     ctl.op_completed();
+}
+
+/// Completes `n` operations at once for the task identified by `token`
+/// (vectorized ack path: every mint of the same token leaked one strong
+/// reference, so `n` references are consumed here along with one batched
+/// pending decrement).
+///
+/// # Safety
+///
+/// `token` must come from [`token_from`], minted at least `n` times, with
+/// `n` of those mints not yet completed.
+pub unsafe fn complete_token_n(token: u64, n: u32) {
+    if n == 0 {
+        return;
+    }
+    let ctl = unsafe { Arc::from_raw(token as *const TaskControl) };
+    for _ in 1..n {
+        unsafe { Arc::decrement_strong_count(token as *const TaskControl) };
+    }
+    ctl.ops_completed(n);
 }
 
 /// Completes one operation *with an error*: the destination `node` was
@@ -501,6 +545,37 @@ mod tests {
         assert_eq!(c.pending(), 0);
         // All token references were consumed: only `c` remains.
         assert_eq!(Arc::strong_count(&c), 1);
+    }
+
+    #[test]
+    fn batched_token_completion_matches_singles() {
+        let (c, q) = ctl();
+        c.add_pending(5);
+        assert!(c.prepare_park());
+        let t = token_from(&c);
+        for _ in 0..2 {
+            let _ = token_from(&c);
+        }
+        unsafe { complete_token_n(t, 3) };
+        assert!(q.pop().is_none(), "woke with completions still pending");
+        assert_eq!(c.pending(), 2);
+        let t2 = token_from(&c);
+        let _ = token_from(&c);
+        unsafe { complete_token_n(t2, 2) };
+        assert_eq!(q.pop(), Some(7));
+        assert_eq!(c.pending(), 0);
+        // Every minted reference was consumed: only `c` remains.
+        assert_eq!(Arc::strong_count(&c), 1);
+        unsafe { complete_token_n(0xdead, 0) }; // n == 0 touches nothing
+    }
+
+    #[test]
+    fn gauge_park_mark_is_consumed_once() {
+        let (c, _q) = ctl();
+        assert!(!c.take_gauge_parked(), "fresh task never counted");
+        c.note_parked(5);
+        assert!(c.take_gauge_parked());
+        assert!(!c.take_gauge_parked(), "mark must be one-shot");
     }
 
     #[test]

@@ -273,7 +273,15 @@ pub fn worker_main(node: Arc<NodeShared>, chan: usize, tracer: ThreadTracer) {
         // 1. Wakeups from helpers.
         while let Some(slot) = w.ready.pop() {
             w.node.metrics.wakeups.add(w.chan, 1);
-            if w.tasks.get(slot).is_some_and(Option::is_some) {
+            // Decrement the parked gauge only for a genuine unpark: a
+            // stale wakeup can name a slot that was retired and reused by
+            // a task that never parked, which used to skew the gauge.
+            let genuine = w
+                .tasks
+                .get(slot)
+                .and_then(Option::as_ref)
+                .is_some_and(|t| t.ctl.take_gauge_parked());
+            if genuine {
                 w.node.metrics.parked_tasks.dec();
             }
             w.runnable.push_back(slot);

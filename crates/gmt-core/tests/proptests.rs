@@ -76,7 +76,17 @@ fn arb_command() -> impl Strategy<Value = OwnedCommand> {
                 chunk,
                 args
             }),
+        (any::<u64>(), any::<u64>(), any::<i64>(), arb_token_run()).prop_map(
+            |(array, offset, delta, tokens)| OwnedCommand::AddN { array, offset, delta, tokens }
+        ),
+        arb_token_run().prop_map(|tokens| OwnedCommand::AckN { tokens }),
     ]
+}
+
+/// A wire token run: whole little-endian u64s, as combining emits them.
+fn arb_token_run() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u64>(), 1..20)
+        .prop_map(|ts| ts.iter().flat_map(|t| t.to_le_bytes()).collect())
 }
 
 /// Owned mirror of `Command` so proptest can generate it.
@@ -92,6 +102,8 @@ enum OwnedCommand {
     Alloc { token: u64, id: u64, nbytes: u64, dist: u8, origin: u32 },
     Free { token: u64, id: u64 },
     Spawn { token: u64, body: u64, start: u64, count: u64, chunk: u32, args: Vec<u8> },
+    AddN { array: u64, offset: u64, delta: i64, tokens: Vec<u8> },
+    AckN { tokens: Vec<u8> },
 }
 
 impl OwnedCommand {
@@ -145,6 +157,10 @@ impl OwnedCommand {
                 chunk: *chunk,
                 args,
             },
+            OwnedCommand::AddN { array, offset, delta, tokens } => {
+                Command::AddN { array: *array, offset: *offset, delta: *delta, tokens }
+            }
+            OwnedCommand::AckN { tokens } => Command::AckN { tokens },
         }
     }
 }
@@ -336,6 +352,67 @@ proptest! {
                         model[word..word + 8].copy_from_slice(&new.to_le_bytes());
                     }
                 }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Vectorized ack completion
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// A vectorized `AckN` completes exactly what the equivalent stream
+    /// of plain `Ack`s would: for any interleaving of tokens minted by a
+    /// few tasks, the helper's run-length batching through
+    /// `complete_token_n` drains the same pending counts and releases
+    /// the same token references as completing each token individually.
+    #[test]
+    fn ackn_completion_equals_ack_stream(stream in proptest::collection::vec(0usize..3, 1..40)) {
+        use crossbeam::queue::SegQueue;
+        use gmt_core::task::{complete_token, complete_token_n, token_from, TaskControl};
+        use std::sync::Arc;
+
+        for batched in [false, true] {
+            let ready = Arc::new(SegQueue::new());
+            let ctls: Vec<_> =
+                (0..3).map(|slot| TaskControl::new(Arc::clone(&ready), slot)).collect();
+            // Mint one token per stream element, as the issuing tasks'
+            // emit paths do (each mint = one pending op + one strong
+            // reference; mints of the same task share the numeric token).
+            let tokens: Vec<u64> = stream
+                .iter()
+                .map(|&i| {
+                    ctls[i].add_pending(1);
+                    token_from(&ctls[i])
+                })
+                .collect();
+            if batched {
+                // The helper's RLE grouping over an `AckN` token run.
+                let mut k = 0;
+                while k < tokens.len() {
+                    let mut n = 1u32;
+                    while k + (n as usize) < tokens.len() && tokens[k + n as usize] == tokens[k] {
+                        n += 1;
+                    }
+                    unsafe { complete_token_n(tokens[k], n) };
+                    k += n as usize;
+                }
+            } else {
+                for &t in &tokens {
+                    unsafe { complete_token(t) };
+                }
+            }
+            for (i, ctl) in ctls.iter().enumerate() {
+                prop_assert_eq!(ctl.pending(), 0, "task {} pending (batched={})", i, batched);
+                // Every minted reference was released: only ours is left.
+                prop_assert_eq!(
+                    Arc::strong_count(ctl),
+                    1,
+                    "task {} leaked token refs (batched={})",
+                    i,
+                    batched
+                );
             }
         }
     }

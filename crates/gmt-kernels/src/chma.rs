@@ -147,7 +147,10 @@ pub fn gmt_chma_populate(ctx: &TaskCtx<'_>, map: &GmtHashMap, cfg: &ChmaConfig) 
     ctx.parfor(SpawnPolicy::Partition, pool, 8, move |ctx, i| {
         let s = pool_string(seed, i);
         if map.insert(ctx, &s) {
-            ctx.atomic_add(&inserted, 0, 1).unwrap();
+            // Fire-and-forget: one hot counter cell, so adds from the
+            // same chunk merge in the sink's combining table.
+            ctx.atomic_add_nb(&inserted, 0, 1);
+            ctx.wait_commands().unwrap();
         }
     });
     let n = ctx.atomic_add(&inserted, 0, 0).unwrap() as u64;
@@ -179,9 +182,10 @@ pub fn gmt_chma_access(ctx: &TaskCtx<'_>, map: &GmtHashMap, cfg: &ChmaConfig) ->
                 s = pool_string(cfg.seed, rng.gen_range(0..cfg.pool));
             }
         }
-        ctx.atomic_add(&counters, 0, hits).unwrap();
-        ctx.atomic_add(&counters, 8, misses).unwrap();
-        ctx.atomic_add(&counters, 16, inserts).unwrap();
+        ctx.atomic_add_nb(&counters, 0, hits);
+        ctx.atomic_add_nb(&counters, 8, misses);
+        ctx.atomic_add_nb(&counters, 16, inserts);
+        ctx.wait_commands().unwrap();
     });
     let hits = ctx.atomic_add(&counters, 0, 0).unwrap() as u64;
     let misses = ctx.atomic_add(&counters, 8, 0).unwrap() as u64;

@@ -74,16 +74,21 @@ pub fn gmt_pagerank(ctx: &TaskCtx<'_>, g: &DistGraph, cfg: PageRankConfig) -> Ve
                 return;
             }
             let share = to_fixed(contribution / nbrs.len() as f64);
+            // Fire-and-forget: the old value is unused, so the scatter
+            // rides the non-blocking path (and the sink's combining
+            // table merges shares targeting the same vertex).
             for &t in &nbrs {
-                ctx.atomic_add(&next, t * 8, share).unwrap();
+                ctx.atomic_add_nb(&next, t * 8, share);
             }
+            ctx.wait_commands().unwrap();
         });
         // Spread dangling mass uniformly.
         let spread =
             dangling.get(ctx).expect("pagerank: dangling counter owner is dead") / n as i64;
         if spread != 0 {
             ctx.parfor(SpawnPolicy::Partition, n, 64, move |ctx, v| {
-                ctx.atomic_add(&next, v * 8, spread).unwrap();
+                ctx.atomic_add_nb(&next, v * 8, spread);
+                ctx.wait_commands().unwrap();
             });
         }
         // next -> rank.
