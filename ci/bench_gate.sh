@@ -51,6 +51,13 @@ if [ -z "$pairs" ]; then
     exit 1
 fi
 
+# Every parsed median, gated or not, so a regression is attributable to
+# the exact benchmark (and new benchmarks are visible before they ever
+# enter the baseline).
+echo
+echo "== per-benchmark medians =="
+printf '%s\n' "$pairs" | awk '{ printf "  %-55s %14.1f ns\n", $1, $2 }'
+
 # Render "<id> <ns>" pairs as the JSON artifact (one entry per line, the
 # same shape the baseline is committed in).
 write_json() {
@@ -93,6 +100,7 @@ json_pairs "$BASELINE" | awk -v thr="$THRESHOLD" -v prs="$pairs" '
     }
     {
         id = $1; base = $2
+        seen[id] = 1
         if (!(id in pr)) {
             printf "%-55s MISSING from PR run\n", id
             status = 1
@@ -104,6 +112,8 @@ json_pairs "$BASELINE" | awk -v thr="$THRESHOLD" -v prs="$pairs" '
         printf "%-55s base %12.1f ns   pr %12.1f ns   %+7.1f%%  %s\n", id, base, pr[id], delta, flag
     }
     END {
+        for (id in pr) if (!(id in seen))
+            printf "%-55s pr %12.1f ns   (new, not gated)\n", id, pr[id]
         if (status) {
             printf "\nbench gate: FAILED (median regression over %s%%)\n", thr
         } else {

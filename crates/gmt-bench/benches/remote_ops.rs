@@ -1,16 +1,27 @@
 //! Remote-operation datapath microbenchmarks on a 2-node in-process
-//! cluster: blocking put and get storms, plus the headline case for
+//! cluster: blocking put and get storms, mixed-opcode and get-heavy
+//! storms for the batched helper datapath, plus the headline case for
 //! command combining — a fire-and-forget atomic-add storm where many
 //! tasks hammer a few hot remote counters.
 //!
-//! `atomic_add_storm` runs twice, with the merge-at-source combining
-//! table on (`combine_window` at its default) and off (`combine_window
-//! = 0`). With combining on, adds from one task to the same cell
-//! collapse into a single `AddN` on the wire and come back as one entry
-//! in a vectorized `AckN`, so the on/off delta is the end-to-end value
-//! of the whole PR's datapath work. EXPERIMENTS.md records the measured
-//! ablation; the acceptance target is >= 2x for `combining_on` over
-//! `combining_off`.
+//! `atomic_add_storm` runs three ways:
+//!
+//! * `combining_on` — merge-at-source combining table on
+//!   (`combine_window` at its default), batched helper apply on.
+//! * `combining_off` — combining off (`combine_window = 0`), batched
+//!   helper apply on: every add crosses the wire individually and the
+//!   receive side does the merging (`atomic_add_batch` collapses
+//!   same-cell runs into one RMW, acks come back in one `AckN`).
+//! * `batch_off` — combining off *and* `batch_apply = false`: the
+//!   scalar one-command-at-a-time helper loop, one segment resolution
+//!   and one `AtomicReply` per add.
+//!
+//! The `combining_off` / `batch_off` delta is the end-to-end value of
+//! the batched receive pipeline alone; `combining_on` / `combining_off`
+//! is the value of merging at the source. EXPERIMENTS.md records the
+//! measured ablations; acceptance targets are >= 2x for `combining_on`
+//! over `combining_off` and >= 1.3x for `combining_off` over
+//! `batch_off`.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use gmt_core::{Cluster, Config, Distribution, SpawnPolicy};
@@ -28,6 +39,8 @@ const STORM_ADDS: u64 = 16384;
 /// fire-and-forget updates (and the window combining needs to merge
 /// anything).
 const STORM_TASKS: u64 = 32;
+/// Operations in the mixed and get-heavy storms.
+const MIXED_OPS: u64 = 8192;
 
 fn put_storm(cluster: &Cluster) {
     cluster.node(0).run(|ctx| {
@@ -63,6 +76,51 @@ fn atomic_add_storm(cluster: &Cluster) {
     });
 }
 
+/// Every batchable opcode in flight at once across two arrays: buffers
+/// reach the helper carrying interleaved puts, gets, fire-and-forget
+/// adds and cas — the bucketing stage has to split them by class and
+/// segment instead of riding one long run.
+fn mixed_storm(cluster: &Cluster) {
+    cluster.node(0).run(|ctx| {
+        let data = ctx.alloc(ELEMS * 8, Distribution::Remote);
+        let counters = ctx.alloc(HOT_CELLS * 8, Distribution::Remote);
+        ctx.parfor(SpawnPolicy::Local, STORM_TASKS, 1, move |ctx, t| {
+            let per_task = MIXED_OPS / STORM_TASKS;
+            for k in 0..per_task {
+                let i = (t * per_task + k) % ELEMS;
+                match k % 4 {
+                    0 => ctx.put_value_nb::<u64>(&data, i, i),
+                    1 => ctx.atomic_add_nb(&counters, (i % HOT_CELLS) * 8, 1),
+                    2 => {
+                        let _ = ctx.get_value::<u64>(&data, i).unwrap();
+                    }
+                    _ => {
+                        let _ = ctx.atomic_cas(&counters, (i % HOT_CELLS) * 8, 0, 0).unwrap();
+                    }
+                }
+            }
+            ctx.wait_commands().unwrap();
+        });
+        ctx.free(data);
+        ctx.free(counters);
+    });
+}
+
+/// Get-dominated traffic: overlapped non-blocking gathers, so helper
+/// buffers arrive as long same-segment `Get` runs and the reply side
+/// streams `GetReply`s through one sink reservation per run.
+fn get_heavy_storm(cluster: &Cluster) {
+    cluster.node(0).run(|ctx| {
+        let arr = ctx.alloc(ELEMS * 8, Distribution::Remote);
+        ctx.parfor(SpawnPolicy::Local, STORM_TASKS, 1, move |ctx, t| {
+            let per_task = MIXED_OPS / STORM_TASKS;
+            let indices: Vec<u64> = (0..per_task).map(|k| (t * per_task + k) % ELEMS).collect();
+            let _ = ctx.gather::<u64>(&arr, &indices).unwrap();
+        });
+        ctx.free(arr);
+    });
+}
+
 fn bench_remote_ops(c: &mut Criterion) {
     let mut g = c.benchmark_group("remote_ops");
     g.sample_size(20);
@@ -76,13 +134,26 @@ fn bench_remote_ops(c: &mut Criterion) {
             cluster.shutdown();
         });
     }
+    g.throughput(Throughput::Elements(MIXED_OPS));
+    for (name, f) in [
+        ("mixed_storm", mixed_storm as fn(&Cluster)),
+        ("get_heavy_storm", get_heavy_storm as fn(&Cluster)),
+    ] {
+        g.bench_function(name, |b| {
+            let cluster = Cluster::start(2, Config::small()).unwrap();
+            b.iter(|| f(&cluster));
+            cluster.shutdown();
+        });
+    }
     g.throughput(Throughput::Elements(STORM_ADDS));
     let default_window = Config::small().combine_window;
-    for (name, combine_window) in
-        [("atomic_add_storm/combining_on", default_window), ("atomic_add_storm/combining_off", 0)]
-    {
+    for (name, combine_window, batch_apply) in [
+        ("atomic_add_storm/combining_on", default_window, true),
+        ("atomic_add_storm/combining_off", 0, true),
+        ("atomic_add_storm/batch_off", 0, false),
+    ] {
         g.bench_function(name, |b| {
-            let config = Config { combine_window, ..Config::small() };
+            let config = Config { combine_window, batch_apply, ..Config::small() };
             let cluster = Cluster::start(2, config).unwrap();
             b.iter(|| atomic_add_storm(&cluster));
             cluster.shutdown();

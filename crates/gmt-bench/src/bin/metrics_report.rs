@@ -76,6 +76,7 @@ fn report(cluster: &Cluster, config: &Config, elapsed_s: f64) {
         print_switches(h, config);
         print_occupancy(&snap);
         print_combining(&snap);
+        print_batching(&snap);
         print_rates(&snap, elapsed_s);
         print_comm(&snap);
     }
@@ -119,6 +120,39 @@ fn print_combining(snap: &MetricsSnapshot) {
         hits + flushes,
         (hits + flushes) as f64 / flushes as f64
     );
+}
+
+/// Batched helper datapath effectiveness: same-segment run lengths,
+/// segments resolved per buffer, and RMWs saved by same-offset merging.
+fn print_batching(snap: &MetricsSnapshot) {
+    let buffers = snap.counter("helper.batch.buffers").unwrap_or(0);
+    if buffers == 0 {
+        return;
+    }
+    print!("  batching: {buffers} buffers");
+    if let Some(h) = snap.histogram("helper.batch.run_len") {
+        print!(", run lens");
+        print_hist_buckets(h);
+    }
+    if let Some(h) = snap.histogram("helper.batch.segments_per_buffer") {
+        print!(", segments/buffer");
+        print_hist_buckets(h);
+    }
+    let merged = snap.counter("helper.batch.rmw_merged").unwrap_or(0);
+    println!(", rmw merged {merged}");
+}
+
+/// Prints one histogram's non-empty buckets as ` <=b:count` pairs.
+fn print_hist_buckets(hist: &gmt_core::HistogramSnapshot) {
+    for (i, &c) in hist.counts.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        match hist.bounds.get(i) {
+            Some(b) => print!(" <={b}:{c}"),
+            None => print!(" >{}:{c}", hist.bounds.last().unwrap()),
+        }
+    }
 }
 
 /// Command execution rates by opcode (helpers' view).

@@ -558,8 +558,12 @@ impl CommandSink {
         }
         let mut table = std::mem::take(&mut self.combine[dst]);
         for e in &mut table.entries[..table.live] {
-            let cmd =
-                Command::AddN { array: e.array, offset: e.offset, delta: e.delta, tokens: &e.tokens };
+            let cmd = Command::AddN {
+                array: e.array,
+                offset: e.offset,
+                delta: e.delta,
+                tokens: &e.tokens,
+            };
             self.encode_cmd(dst, &cmd);
             e.tokens.clear();
         }
@@ -865,8 +869,9 @@ mod tests {
 
     #[test]
     fn pump_flushes_aged_blocks_and_queues() {
-        let shared =
-            AggShared::new(2, 1, 4, 1024, 100, /*block timeout*/ 0, /*agg timeout*/ 0, 0, 0);
+        let shared = AggShared::new(
+            2, 1, 4, 1024, 100, /*block timeout*/ 0, /*agg timeout*/ 0, 0, 0,
+        );
         let mut sink = CommandSink::new(Arc::clone(&shared), 0);
         sink.emit(1, &ack(42));
         // Timeouts of zero: the next pump must push and aggregate.

@@ -41,6 +41,15 @@ pub struct Config {
     /// combining. Tables flush on overflow, on block flush, and on the
     /// same coarse-clock timeout as command blocks.
     pub combine_window: usize,
+    /// Process received aggregation buffers through the batched helper
+    /// datapath: one decode pass extracts request commands into
+    /// struct-of-arrays staging, requests are bucketed by target segment
+    /// so each run pays the segment-table lookup once, and runs apply
+    /// through vectorized kernels (same-offset atomic adds pre-merged
+    /// into one RMW, word-wise batch copies, replies emitted per run).
+    /// `false` restores the scalar one-command-at-a-time loop — the
+    /// ablation baseline, observably equivalent by construction.
+    pub batch_apply: bool,
     /// Stack size for user-level tasks, bytes.
     pub task_stack_size: usize,
     /// Network cost model enforced by the fabric, or `None` for instant
@@ -118,6 +127,7 @@ impl Config {
             cmd_block_timeout_ns: 10_000,
             aggregation_timeout_ns: 30_000,
             combine_window: 16,
+            batch_apply: true,
             task_stack_size: 64 * 1024,
             network: Some(NetworkModel::olympus()),
             reliable: true,
@@ -149,6 +159,7 @@ impl Config {
             cmd_block_timeout_ns: 5_000,
             aggregation_timeout_ns: 10_000,
             combine_window: 16,
+            batch_apply: true,
             task_stack_size: 64 * 1024,
             network: None,
             reliable: true,

@@ -67,7 +67,7 @@ pub use api::{ParForReport, SpawnPolicy, TaskCtx};
 pub use collectives::{alltoall, broadcast, reduce_max, reduce_sum, GlobalBarrier, GlobalCounter};
 pub use config::Config;
 pub use error::GmtError;
-pub use gmt_metrics::MetricsSnapshot;
+pub use gmt_metrics::{HistogramSnapshot, MetricsSnapshot};
 pub use handle::{Distribution, GmtArray};
 pub use metrics::NodeMetrics;
 pub use reliable::DetectorConfig;

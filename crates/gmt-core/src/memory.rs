@@ -120,6 +120,57 @@ impl Segment {
         self.word_at(offset).fetch_add(delta as u64, Ordering::AcqRel) as i64
     }
 
+    /// Applies a sorted run of atomic fetch-adds given as parallel
+    /// `(offsets, deltas)` columns, pre-merging same-offset entries into
+    /// a single RMW (exact, by commutativity — the same argument that
+    /// lets the command sink merge at the source). Returns the number of
+    /// RMWs actually performed; `offsets.len() - performed` adds were
+    /// absorbed by the merge.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a misaligned or out-of-bounds offset (as
+    /// [`Segment::atomic_add`]) and if `offsets` is not sorted — the
+    /// caller buckets and sorts, this kernel only walks runs.
+    pub fn atomic_add_batch(&self, offsets: &[u64], deltas: &[i64]) -> usize {
+        debug_assert_eq!(offsets.len(), deltas.len());
+        let mut performed = 0;
+        let mut i = 0;
+        while i < offsets.len() {
+            let offset = offsets[i];
+            let mut merged = deltas[i];
+            let mut j = i + 1;
+            while j < offsets.len() && offsets[j] == offset {
+                merged = merged.wrapping_add(deltas[j]);
+                j += 1;
+            }
+            assert!(j >= offsets.len() || offsets[j] > offset, "atomic_add_batch: unsorted run");
+            self.atomic_add(offset as usize, merged);
+            performed += 1;
+            i = j;
+        }
+        performed
+    }
+
+    /// Applies a run of writes in one call (each through the word-wise
+    /// copy fast path of [`Segment::write`]); the batched helper datapath
+    /// resolves the segment once for the whole run instead of once per
+    /// command.
+    pub fn write_batch<'a>(&self, ops: impl IntoIterator<Item = (usize, &'a [u8])>) {
+        for (offset, data) in ops {
+            self.write(offset, data);
+        }
+    }
+
+    /// Reads a run of ranges in one call (the gather dual of
+    /// [`Segment::write_batch`]), each through the word-wise copy fast
+    /// path of [`Segment::read`].
+    pub fn gather_batch<'a>(&self, ops: impl IntoIterator<Item = (usize, &'a mut [u8])>) {
+        for (offset, dst) in ops {
+            self.read(offset, dst);
+        }
+    }
+
     /// Atomic compare-and-swap on the i64 at `offset`; returns the old
     /// value (the paper's `gmt_atomicCAS`).
     pub fn atomic_cas(&self, offset: usize, expected: i64, new: i64) -> i64 {
@@ -150,7 +201,7 @@ const N_CHUNKS: usize = 4096;
 /// monotonic cluster-wide counter and never reused, so the id itself is
 /// the generation: a slot goes null → live → tombstone exactly once.
 fn tombstone() -> *mut Segment {
-    1 as *mut Segment
+    std::ptr::dangling_mut::<Segment>()
 }
 
 /// Second-level chunk: a fixed run of segment-pointer slots.
@@ -183,6 +234,10 @@ impl Chunk {
 pub struct NodeMemory {
     chunks: Box<[AtomicPtr<Chunk>]>,
     live: AtomicUsize,
+    // Each segment must stay at the address its slot-table pointer was
+    // minted from (racing readers may still hold it), so the graveyard
+    // stores the original boxes rather than moving segments into a Vec.
+    #[allow(clippy::vec_box)]
     graveyard: Mutex<Vec<Box<Segment>>>,
 }
 
@@ -277,7 +332,23 @@ impl NodeMemory {
     /// Panics if the array is unknown on this node (use-after-free or
     /// never-allocated — both programming errors in GMT as well).
     pub fn with<R>(&self, id: u64, f: impl FnOnce(&Segment) -> R) -> R {
-        let seg = self.slot(id, false).map(|s| s.load(Ordering::Acquire)).unwrap_or(std::ptr::null_mut());
+        self.with_batch(id, f)
+    }
+
+    /// Runs `f` with the segment for `id`, resolved **once** for a whole
+    /// run of commands. Identical semantics to [`NodeMemory::with`] —
+    /// the distinct name marks the call sites where the batched helper
+    /// datapath amortizes the generation-checked lookup across a
+    /// same-segment run instead of paying it per command.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array is unknown on this node (use-after-free or
+    /// never-allocated — both programming errors in GMT as well).
+    #[inline]
+    pub fn with_batch<R>(&self, id: u64, f: impl FnOnce(&Segment) -> R) -> R {
+        let seg =
+            self.slot(id, false).map(|s| s.load(Ordering::Acquire)).unwrap_or(std::ptr::null_mut());
         if seg.is_null() || seg == tombstone() {
             panic!("global array {id} is not allocated on this node");
         }
@@ -507,5 +578,61 @@ mod tests {
         m.alloc(3, &layout, 0);
         m.free(3);
         m.with(3, |_| ());
+    }
+
+    #[test]
+    fn atomic_add_batch_merges_same_offset_runs() {
+        let s = Segment::new(32);
+        s.atomic_add(8, 100);
+        // Sorted by offset; three adds to offset 8 merge into one RMW.
+        let offsets = [0u64, 8, 8, 8, 16];
+        let deltas = [1i64, 2, 3, -4, 7];
+        assert_eq!(s.atomic_add_batch(&offsets, &deltas), 3);
+        assert_eq!(s.atomic_add(0, 0), 1);
+        assert_eq!(s.atomic_add(8, 0), 101);
+        assert_eq!(s.atomic_add(16, 0), 7);
+    }
+
+    #[test]
+    fn atomic_add_batch_matches_scalar_adds() {
+        let batched = Segment::new(64);
+        let scalar = Segment::new(64);
+        let mut ops: Vec<(u64, i64)> =
+            (0..40).map(|i: i64| (((i * 13) % 8 * 8) as u64, i.wrapping_mul(0x9e37) - 7)).collect();
+        ops.sort_unstable_by_key(|&(o, _)| o);
+        let offsets: Vec<u64> = ops.iter().map(|&(o, _)| o).collect();
+        let deltas: Vec<i64> = ops.iter().map(|&(_, d)| d).collect();
+        batched.atomic_add_batch(&offsets, &deltas);
+        for &(o, d) in &ops {
+            scalar.atomic_add(o as usize, d);
+        }
+        for cell in 0..8 {
+            assert_eq!(batched.atomic_add(cell * 8, 0), scalar.atomic_add(cell * 8, 0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsorted run")]
+    fn atomic_add_batch_rejects_unsorted_input() {
+        let s = Segment::new(32);
+        s.atomic_add_batch(&[8, 0], &[1, 1]);
+    }
+
+    #[test]
+    fn write_and_gather_batch_roundtrip() {
+        let s = Segment::new(64);
+        // Overlap-free run with unaligned offsets and lengths.
+        let writes: [(usize, &[u8]); 3] = [(3, &[1, 2, 3, 4, 5]), (16, &[9; 8]), (33, &[7])];
+        s.write_batch(writes.iter().map(|&(o, d)| (o, d)));
+        let mut a = [0u8; 5];
+        let mut b = [0u8; 8];
+        let mut c = [0u8; 1];
+        {
+            let outs: [(usize, &mut [u8]); 3] = [(3, &mut a), (16, &mut b), (33, &mut c)];
+            s.gather_batch(outs);
+        }
+        assert_eq!(a, [1, 2, 3, 4, 5]);
+        assert_eq!(b, [9; 8]);
+        assert_eq!(c, [7]);
     }
 }

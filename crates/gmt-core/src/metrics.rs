@@ -12,7 +12,9 @@
 //! | `agg.*`     | aggregation pipeline: commands, blocks, buffers, timeout flushes,   |
 //! |             | pool waits/drops, buffer fill-level histogram (registered by        |
 //! |             | [`AggShared::new_in_registry`])                                     |
-//! | `helper.*`  | commands executed, by opcode                                        |
+//! | `helper.*`  | commands executed, by opcode; batched-datapath efficiency           |
+//! |             | (`helper.batch.*`: buffers batched, same-segment run lengths,       |
+//! |             | segments resolved per buffer, same-offset RMWs merged)              |
 //! | `comm.*`    | buffers/bytes over the wire, sweep-gap and buffers-per-sweep        |
 //! |             | histograms, transport errors                                        |
 //! | `reliable.*`| retransmits, piggybacked vs standalone acks, dedup hits, dead peers |
@@ -77,6 +79,18 @@ pub struct NodeMetrics {
     /// Commands executed, indexed by `opcode - 1`
     /// (`helper.cmd.<op_name>`).
     pub cmd_counters: Vec<Counter>,
+    /// Received buffers processed through the batched (SoA) datapath.
+    pub batch_buffers: Counter,
+    /// Length of each same-segment run applied through one
+    /// `NodeMemory::with_batch` resolution (batching efficiency: long
+    /// runs amortize the generation-checked lookup well).
+    pub batch_run_len: Histogram,
+    /// Distinct segment resolutions per batched buffer (lower is
+    /// better; the scalar path pays one per command).
+    pub batch_segments_per_buffer: Histogram,
+    /// Atomic adds absorbed by the same-offset pre-merge (each is one
+    /// RMW that never happened).
+    pub batch_rmw_merged: Counter,
 
     // -- communication server ----------------------------------------
     pub comm_buffers_sent: Counter,
@@ -146,6 +160,11 @@ impl NodeMetrics {
             cmd_counters: (1..=N_OPCODES as u8)
                 .map(|op| r.counter(&format!("helper.cmd.{}", command::op_name(op))))
                 .collect(),
+            batch_buffers: r.counter("helper.batch.buffers"),
+            batch_run_len: r.histogram("helper.batch.run_len", &[1, 2, 4, 8, 16, 32, 64, 128]),
+            batch_segments_per_buffer: r
+                .histogram("helper.batch.segments_per_buffer", &[1, 2, 4, 8, 16, 32]),
+            batch_rmw_merged: r.counter("helper.batch.rmw_merged"),
             comm_buffers_sent: r.counter("comm.buffers_sent"),
             comm_bytes_sent: r.counter("comm.bytes_sent"),
             comm_buffers_recv: r.counter("comm.buffers_recv"),

@@ -1,0 +1,217 @@
+//! Batched ≡ scalar helper-datapath equivalence.
+//!
+//! The helper receive path has two implementations selected by
+//! `Config::batch_apply`: the scalar one-command-at-a-time loop and the
+//! batched decode → bucket → apply pipeline (same-offset RMW merging,
+//! run-wise segment resolution, `AckN` assembly from staged token
+//! columns). They must be observably identical: same final memory, same
+//! completion multiplicities (a lost or duplicated completion hangs or
+//! corrupts `wait_commands`, so the runs below double as multiplicity
+//! checks), same values returned by blocking atomics.
+//!
+//! Each property case runs one seeded mixed-opcode workload — puts to
+//! disjoint slots (some duplicated same-bytes), fire-and-forget adds to
+//! a small set of shared cells (heavy duplicate offsets → the merge
+//! path), blocking adds, per-task cas chains (order-sensitive), and
+//! interleaved gets — across three arrays with different distributions,
+//! once with batching on and once off, and compares both against each
+//! other and against a host-side model. Only outcomes that GMT defines
+//! are compared: slots are single-writer, adds commute, cas chains are
+//! per-task sequenced by their blocking replies.
+
+use gmt_core::{Cluster, Config, Distribution, SpawnPolicy};
+use proptest::prelude::*;
+
+const TASKS: u64 = 8;
+/// Shared 8-byte cells hammered by every task's adds (small on purpose:
+/// duplicate offsets within one aggregation buffer drive the RMW merge).
+const CELLS: u64 = 8;
+/// Maximum bytes per put slot (odd lengths exercise the unaligned
+/// head/tail of the word-wise batch copy).
+const SLOT: u64 = 24;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Write `len` copies of `byte` at this op's private slot; `dup`
+    /// issues the identical put twice (same bytes, so the undefined
+    /// relative order of the two in-flight puts is unobservable).
+    Put { slot: u64, len: usize, byte: u8, dup: bool },
+    /// Fire-and-forget add to a shared cell.
+    AddNb { cell: u64, delta: i64 },
+    /// Blocking add to a shared cell (old value is racy across tasks and
+    /// not asserted; the reply datapath is what's exercised).
+    Add { cell: u64, delta: i64 },
+    /// CAS on the task's own cell; each task's chain is sequenced by the
+    /// blocking replies, so every old value is asserted in-task.
+    Cas { new: i64 },
+    /// Blocking read of a shared cell (value racy, not asserted).
+    Get { cell: u64 },
+}
+
+/// The deterministic op sequence of one task — shared by the executing
+/// task and the host-side model.
+fn gen_ops(seed: u64, task: u64, n_ops: usize) -> Vec<Op> {
+    let mut rng = seed ^ task.wrapping_mul(0xa076_1d64_78bd_642f);
+    (0..n_ops)
+        .map(|j| {
+            let r = splitmix(&mut rng);
+            let slot = (task * n_ops as u64 + j as u64) * SLOT;
+            match r % 8 {
+                0 | 1 => Op::Put {
+                    slot,
+                    len: 1 + (r >> 8) as usize % SLOT as usize,
+                    byte: (r >> 16) as u8,
+                    dup: r & (1 << 40) != 0,
+                },
+                2..=4 => Op::AddNb { cell: (r >> 8) % CELLS, delta: (r >> 16) as i64 % 1000 },
+                5 => Op::Add { cell: (r >> 8) % CELLS, delta: -((r >> 16) as i64 % 1000) },
+                6 => Op::Cas { new: (r >> 8) as i64 | 1 },
+                _ => Op::Get { cell: (r >> 8) % CELLS },
+            }
+        })
+        .collect()
+}
+
+/// What memory must hold once every task finished: the put array's
+/// bytes, the shared add cells, and each task's final cas value.
+fn model(seed: u64, n_ops: usize) -> (Vec<u8>, Vec<i64>, Vec<i64>) {
+    let mut puts = vec![0u8; (TASKS * n_ops as u64 * SLOT) as usize];
+    let mut adds = vec![0i64; CELLS as usize];
+    let mut cas = vec![0i64; TASKS as usize];
+    for task in 0..TASKS {
+        for op in gen_ops(seed, task, n_ops) {
+            match op {
+                Op::Put { slot, len, byte, .. } => {
+                    puts[slot as usize..slot as usize + len].fill(byte);
+                }
+                Op::AddNb { cell, delta } | Op::Add { cell, delta } => {
+                    adds[cell as usize] = adds[cell as usize].wrapping_add(delta);
+                }
+                Op::Cas { new } => cas[task as usize] = new,
+                Op::Get { .. } => {}
+            }
+        }
+    }
+    (puts, adds, cas)
+}
+
+/// Runs the seeded workload on a fresh cluster and returns the final
+/// memory of all three arrays.
+fn run_workload(
+    batch: bool,
+    seed: u64,
+    n_ops: usize,
+    nodes: usize,
+) -> (Vec<u8>, Vec<i64>, Vec<i64>) {
+    let config = Config { batch_apply: batch, ..Config::small() };
+    let cluster = Cluster::start(nodes, config).unwrap();
+    let result = cluster.node(0).run(move |ctx| {
+        let put_bytes = TASKS * n_ops as u64 * SLOT;
+        let puts = ctx.alloc(put_bytes, Distribution::Partition);
+        let adds = ctx.alloc(CELLS * 8, Distribution::Remote);
+        let cas = ctx.alloc(TASKS * 8, Distribution::Partition);
+        ctx.parfor(SpawnPolicy::Partition, TASKS, 1, move |ctx, task| {
+            let mut cas_prev = 0i64;
+            for op in gen_ops(seed, task, n_ops) {
+                match op {
+                    Op::Put { slot, len, byte, dup } => {
+                        let data = [byte; SLOT as usize];
+                        ctx.put_nb(&puts, slot, &data[..len]);
+                        if dup {
+                            ctx.put_nb(&puts, slot, &data[..len]);
+                        }
+                    }
+                    Op::AddNb { cell, delta } => ctx.atomic_add_nb(&adds, cell * 8, delta),
+                    Op::Add { cell, delta } => {
+                        ctx.atomic_add(&adds, cell * 8, delta).unwrap();
+                    }
+                    Op::Cas { new } => {
+                        let old = ctx.atomic_cas(&cas, task * 8, cas_prev, new).unwrap();
+                        assert_eq!(old, cas_prev, "cas chain broken for task {task}");
+                        cas_prev = new;
+                    }
+                    Op::Get { cell } => {
+                        ctx.get_value::<i64>(&adds, cell).unwrap();
+                    }
+                }
+            }
+            ctx.wait_commands().unwrap();
+            // Re-read this task's own slots: the put must be fully
+            // visible once wait_commands returned.
+            for op in gen_ops(seed, task, n_ops) {
+                if let Op::Put { slot, len, byte, .. } = op {
+                    let mut back = vec![0u8; len];
+                    ctx.get(&puts, slot, &mut back).unwrap();
+                    assert!(
+                        back.iter().all(|&b| b == byte),
+                        "task {task} slot {slot} readback mismatch"
+                    );
+                }
+            }
+        });
+        let mut put_mem = vec![0u8; put_bytes as usize];
+        ctx.get(&puts, 0, &mut put_mem).unwrap();
+        let add_mem: Vec<i64> =
+            (0..CELLS).map(|c| ctx.get_value::<i64>(&adds, c).unwrap()).collect();
+        let cas_mem: Vec<i64> =
+            (0..TASKS).map(|t| ctx.get_value::<i64>(&cas, t).unwrap()).collect();
+        ctx.free(puts);
+        ctx.free(adds);
+        ctx.free(cas);
+        (put_mem, add_mem, cas_mem)
+    });
+    cluster.shutdown();
+    result
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    #[test]
+    fn batched_and_scalar_datapaths_are_observably_identical(
+        seed in any::<u64>(),
+        n_ops in 12usize..40,
+        nodes in 2usize..4,
+    ) {
+        let batched = run_workload(true, seed, n_ops, nodes);
+        let scalar = run_workload(false, seed, n_ops, nodes);
+        prop_assert_eq!(&batched, &scalar, "batched vs scalar mismatch (seed {})", seed);
+        let expected = model(seed, n_ops);
+        prop_assert_eq!(batched, expected, "batched vs model mismatch (seed {})", seed);
+    }
+}
+
+/// One deterministic case with maximal duplicate-offset pressure: every
+/// task's every add lands on cell 0, so whole buffers collapse into
+/// single RMWs through `atomic_add_batch` (and into `AddN` wire commands
+/// through the source combining table before that).
+#[test]
+fn single_cell_storm_sums_exactly() {
+    for batch in [true, false] {
+        let config = Config { batch_apply: batch, ..Config::small() };
+        let cluster = Cluster::start(2, config).unwrap();
+        let total = cluster.node(0).run(move |ctx| {
+            let arr = ctx.alloc(8, Distribution::Remote);
+            ctx.parfor(SpawnPolicy::Partition, 64, 4, move |ctx, i| {
+                for k in 0..32 {
+                    ctx.atomic_add_nb(&arr, 0, (i * 37 + k) as i64 % 101);
+                }
+                ctx.wait_commands().unwrap();
+            });
+            let v = ctx.atomic_add(&arr, 0, 0).unwrap();
+            ctx.free(arr);
+            v
+        });
+        let expected: i64 = (0..64).flat_map(|i| (0..32).map(move |k| (i * 37 + k) % 101)).sum();
+        assert_eq!(total, expected, "batch_apply={batch}");
+        cluster.shutdown();
+    }
+}

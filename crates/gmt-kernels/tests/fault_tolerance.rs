@@ -92,6 +92,41 @@ fn bfs_is_bit_identical_under_drops_and_flaps() {
     assert_pools_whole(&aggs);
 }
 
+/// The batched helper datapath under fault injection: the 4-node BFS
+/// with `batch_apply` explicitly on, over a lossy/flapping/duplicating
+/// fabric, must match the fault-free *scalar* run bit-for-bit — batching
+/// may not change what retransmitted, duplicated or delayed buffers do
+/// (duplicate delivery exercises the staged path twice; the outstanding
+/// registry's acquit still decides which completions count).
+#[test]
+fn bfs_with_batched_datapath_survives_fault_injection() {
+    let seed = seed_from_env(0xBA7C);
+    eprintln!("[fault_tolerance] bfs_with_batched_datapath_survives_fault_injection seed={seed}");
+
+    let scalar_cluster =
+        Cluster::start(4, Config { batch_apply: false, ..Config::small() }).unwrap();
+    let clean = run_bfs(&scalar_cluster, 200, 4, 31);
+    scalar_cluster.shutdown();
+
+    let cluster = Cluster::start(4, Config { batch_apply: true, ..Config::small() }).unwrap();
+    cluster.fabric().install_faults(
+        FaultPlan::new(seed)
+            .drop_all(0.05)
+            .flap_period(1, 2, 10_000_000, 2_000_000)
+            .dup(2, 1, 0.02),
+    );
+    let aggs = pool_handles(&cluster);
+    let faulty = run_bfs(&cluster, 200, 4, 31);
+    assert_eq!(faulty, clean, "batched BFS diverged from scalar under faults (seed {seed})");
+    for i in 0..cluster.nodes() {
+        assert_eq!(cluster.node(i).stuck_tasks(), 0, "node {i} has stuck tasks (seed {seed})");
+    }
+    let total = cluster.net_stats().total();
+    assert!(total.dropped_msgs > 0, "fault plan never dropped a packet (seed {seed})");
+    cluster.shutdown();
+    assert_pools_whole(&aggs);
+}
+
 /// Satellite: faults compose with the throttled cost model. A random walk
 /// under `DeliveryMode::Throttled` with loss, jitter and a flapping link
 /// still matches the sequential reference checksum exactly.
