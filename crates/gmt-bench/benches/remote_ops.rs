@@ -1,8 +1,10 @@
 //! Remote-operation datapath microbenchmarks on a 2-node in-process
-//! cluster: blocking put and get storms, mixed-opcode and get-heavy
-//! storms for the batched helper datapath, plus the headline case for
-//! command combining — a fire-and-forget atomic-add storm where many
-//! tasks hammer a few hot remote counters.
+//! cluster: blocking put and get storms (the put storm also run as a
+//! flow-window ablation — off / 8 / 32 — to price the credit machinery
+//! on a healthy link), mixed-opcode and get-heavy storms for the batched
+//! helper datapath, plus the headline case for command combining — a
+//! fire-and-forget atomic-add storm where many tasks hammer a few hot
+//! remote counters.
 //!
 //! `atomic_add_storm` runs three ways:
 //!
@@ -131,6 +133,22 @@ fn bench_remote_ops(c: &mut Criterion) {
         g.bench_function(name, |b| {
             let cluster = Cluster::start(2, Config::small()).unwrap();
             b.iter(|| f(&cluster));
+            cluster.shutdown();
+        });
+    }
+    // Flow-window ablation on the blocking put storm: `flow_off` removes
+    // the in-flight cap entirely (the pre-flow-control datapath), 8 is a
+    // window tight enough to bind under load, 32 is the default. On a
+    // healthy in-process link the three must be within noise of each
+    // other — the cost of the credit machinery itself — which is what the
+    // bench gate holds the default to.
+    for (name, flow_window) in
+        [("put_storm/flow_off", 0usize), ("put_storm/flow_8", 8), ("put_storm/flow_32", 32)]
+    {
+        g.bench_function(name, |b| {
+            let config = Config { flow_window, ..Config::small() };
+            let cluster = Cluster::start(2, config).unwrap();
+            b.iter(|| put_storm(&cluster));
             cluster.shutdown();
         });
     }

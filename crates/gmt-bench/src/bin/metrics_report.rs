@@ -79,6 +79,7 @@ fn report(cluster: &Cluster, config: &Config, elapsed_s: f64) {
         print_batching(&snap);
         print_rates(&snap, elapsed_s);
         print_comm(&snap);
+        print_flow(&snap);
     }
 }
 
@@ -185,4 +186,33 @@ fn print_comm(snap: &MetricsSnapshot) {
         snap.counter("reliable.acks_standalone").unwrap_or(0),
         snap.counter("reliable.dedup_hits").unwrap_or(0),
     );
+}
+
+/// Flow-control watermarks: window occupancy at stamp time, the unacked
+/// high-water mark, backpressure events and emitter park time.
+fn print_flow(snap: &MetricsSnapshot) {
+    let holds = snap.counter("net.flow.holds").unwrap_or(0);
+    let parks = snap.counter("net.flow.parks").unwrap_or(0);
+    let sheds = snap.counter("net.flow.sheds").unwrap_or(0);
+    let events = snap.counter("net.flow.backpressure_events").unwrap_or(0);
+    let watermark = snap.gauge("net.flow.unacked_watermark").unwrap_or(0);
+    print!(
+        "  flow: unacked watermark {watermark}, {events} backpressure event(s), {holds} hold(s), \
+         {parks} park(s), {sheds} shed(s)"
+    );
+    if let Some(h) = snap.histogram("net.flow.window") {
+        if h.count() > 0 {
+            print!(", window occupancy");
+            print_hist_buckets(h);
+        }
+    }
+    if let Some(h) = snap.histogram("net.flow.park_ns") {
+        if h.count() > 0 {
+            print!(", park ns");
+            print_hist_buckets(h);
+        }
+    }
+    let dry = snap.counter("agg.pool_dry_waits").unwrap_or(0);
+    let deferrals = snap.counter("watchdog.backpressure_deferrals").unwrap_or(0);
+    println!("; pool dry waits {dry}, watchdog deferrals {deferrals}");
 }

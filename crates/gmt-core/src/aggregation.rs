@@ -44,7 +44,8 @@ use crate::NodeId;
 use crossbeam::queue::{ArrayQueue, SegQueue};
 use gmt_metrics::{Counter, Histogram, Registry};
 use gmt_net::{BufRelease, Payload};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -59,6 +60,20 @@ const ADD_N_FIXED_BYTES: usize = 1 + 8 + 8 + 8 + 4;
 /// Upper bound on tokens merged into one `AddN`, independent of buffer
 /// size (keeps per-entry token runs small and cache-friendly).
 const MAX_COMBINE_TOKENS: usize = 64;
+
+/// First retry delay after `aggregate` finds its buffer pool empty.
+const POOL_BACKOFF_MIN_NS: u64 = 10_000;
+
+/// Ceiling of the empty-pool retry backoff: buffers come back on the
+/// receiver's schedule, so there is no point in hammering the pool, but a
+/// bounded cap keeps the retry latency within one pump interval or two.
+const POOL_BACKOFF_MAX_NS: u64 = 1_000_000;
+
+/// A shed (deferred) combine-table flush toward a backpressured peer is
+/// forced through once the table ages past this many block timeouts —
+/// bounds how long fire-and-forget adds can be delayed, preserving the
+/// `wait_commands` liveness contract even under persistent backpressure.
+const SHED_MAX_AGE_MULT: u64 = 8;
 
 /// Per-destination aggregation queue: command blocks from all threads of a
 /// node, bound for one remote node.
@@ -167,6 +182,85 @@ pub struct AggStats {
     pub combine_hits: u64,
     /// Combining-table entries flushed as `AddN` wire commands.
     pub combine_flushes: u64,
+    /// `aggregate` attempts skipped because the empty-pool backoff gate
+    /// was still closed (satellite of the flow-control work: the retry
+    /// path no longer busy-spins on a dry pool).
+    pub pool_dry_waits: u64,
+    /// Combine-table age-flushes deferred because the destination peer
+    /// was backpressured (`flow_shed`).
+    pub sheds: u64,
+}
+
+/// Node-wide per-destination flow-control state, published by the
+/// communication server (the only writer) and read by emitters and the
+/// watchdog. A destination is *backpressured* when the reliability layer
+/// is holding buffers for it because its in-flight window is full — the
+/// peer is slow or its link is throttled, but it is **not** dead.
+///
+/// `active` counts backpressured destinations so the hot path can rule
+/// out flow checks with one relaxed load when nothing is backpressured.
+pub struct FlowState {
+    backpressured: Vec<AtomicBool>,
+    active: AtomicUsize,
+    /// Mirror of [`crate::config::Config::flow_shed`]: pump defers
+    /// combine-table age-flushes toward backpressured peers.
+    shed: AtomicBool,
+}
+
+impl FlowState {
+    fn new(destinations: usize) -> Self {
+        FlowState {
+            backpressured: (0..destinations).map(|_| AtomicBool::new(false)).collect(),
+            active: AtomicUsize::new(0),
+            shed: AtomicBool::new(false),
+        }
+    }
+
+    /// Marks `dst` backpressured (or clears it). Called only from the
+    /// communication-server thread, so the flag/count pair needs no
+    /// stronger ordering than release.
+    pub fn set_backpressured(&self, dst: NodeId, on: bool) {
+        let prev = self.backpressured[dst].swap(on, Ordering::Release);
+        if prev != on {
+            if on {
+                self.active.fetch_add(1, Ordering::Release);
+            } else {
+                self.active.fetch_sub(1, Ordering::Release);
+            }
+        }
+    }
+
+    /// Is the window toward `dst` currently full?
+    #[inline]
+    pub fn is_backpressured(&self, dst: NodeId) -> bool {
+        self.backpressured[dst].load(Ordering::Acquire)
+    }
+
+    /// Is *any* destination backpressured? One relaxed load — the hot
+    /// path's fast-out.
+    #[inline]
+    pub fn any(&self) -> bool {
+        self.active.load(Ordering::Relaxed) > 0
+    }
+
+    /// Every currently backpressured destination (watchdog reporting).
+    pub fn backpressured_peers(&self) -> Vec<NodeId> {
+        if !self.any() {
+            return Vec::new();
+        }
+        (0..self.backpressured.len()).filter(|&d| self.is_backpressured(d)).collect()
+    }
+
+    /// Enables/disables load shedding (set once at runtime start from
+    /// `Config::flow_shed`).
+    pub fn set_shed(&self, on: bool) {
+        self.shed.store(on, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn shed(&self) -> bool {
+        self.shed.load(Ordering::Relaxed)
+    }
 }
 
 /// The aggregation layer's registry instruments: sharded counters (one
@@ -181,6 +275,11 @@ struct AggMetrics {
     /// `aggregate` found the channel's buffer pool empty and left the
     /// blocks queued for a later retry.
     pool_waits: Counter,
+    /// `aggregate` attempts skipped outright because the empty-pool
+    /// backoff gate had not expired yet.
+    pool_dry_waits: Counter,
+    /// Combine-table age-flushes deferred toward backpressured peers.
+    sheds: Counter,
     combine_hits: Counter,
     combine_flushes: Counter,
     /// Buffer length (header included) at flush, bucketed by fractions of
@@ -205,6 +304,8 @@ impl AggMetrics {
             timeout_flushes: registry.counter("agg.timeout_flushes"),
             block_pool_drops: registry.counter("agg.block_pool_drops"),
             pool_waits: registry.counter("agg.pool_waits"),
+            pool_dry_waits: registry.counter("agg.pool_dry_waits"),
+            sheds: registry.counter("net.flow.sheds"),
             combine_hits: registry.counter("agg.combine_hits"),
             combine_flushes: registry.counter("agg.combine_flushes"),
             flush_fill: registry.histogram("agg.flush_fill_bytes", &bounds),
@@ -237,6 +338,9 @@ pub struct AggShared {
     block_pool: ArrayQueue<Vec<u8>>,
     channels: Vec<ChannelQueue>,
     metrics: AggMetrics,
+    /// Per-destination backpressure flags (written by the communication
+    /// server, read by emitters, pump and the watchdog).
+    flow: FlowState,
 }
 
 impl AggShared {
@@ -325,6 +429,7 @@ impl AggShared {
                 .map(|_| ChannelQueue::new(num_buf_per_channel, buffer_size))
                 .collect(),
             metrics: AggMetrics::register(registry, buffer_size),
+            flow: FlowState::new(destinations),
         })
     }
 
@@ -375,7 +480,15 @@ impl AggShared {
             block_pool_drops: self.metrics.block_pool_drops.sum(),
             combine_hits: self.metrics.combine_hits.sum(),
             combine_flushes: self.metrics.combine_flushes.sum(),
+            pool_dry_waits: self.metrics.pool_dry_waits.sum(),
+            sheds: self.metrics.sheds.sum(),
         }
+    }
+
+    /// The node's flow-control state (backpressure flags per peer).
+    #[inline]
+    pub fn flow(&self) -> &FlowState {
+        &self.flow
     }
 
     /// The channel queue of thread `idx` (communication-server side).
@@ -445,6 +558,12 @@ pub struct CommandSink {
     active: Vec<Option<ActiveBlock>>,
     /// Per-destination combining tables (empty when combining is off).
     combine: Vec<CombineTable>,
+    /// Current empty-pool retry backoff (0 = pool was not dry last time).
+    /// `Cell` because `aggregate` takes `&self`; the sink is owned by one
+    /// thread, so interior mutability is purely local.
+    pool_backoff_ns: Cell<u64>,
+    /// Coarse-clock time before which `aggregate` skips the pool pop.
+    pool_retry_at_ns: Cell<u64>,
 }
 
 impl CommandSink {
@@ -455,6 +574,8 @@ impl CommandSink {
             chan,
             active: (0..dests).map(|_| None).collect(),
             combine: (0..dests).map(|_| CombineTable::default()).collect(),
+            pool_backoff_ns: Cell::new(0),
+            pool_retry_at_ns: Cell::new(0),
         }
     }
 
@@ -638,14 +759,34 @@ impl CommandSink {
     /// distributed deadlock: with zero-copy sends, buffers return only
     /// when the *receiving* helper drops the payload, and that helper may
     /// itself be aggregating replies from a starved pool.
+    ///
+    /// A dry pool opens a bounded exponential backoff gate (timed on the
+    /// coarse clock): retries before the gate expires are skipped without
+    /// touching the pool at all, so a starved emitter stops hammering the
+    /// shared `ArrayQueue` head. `agg.pool_waits` counts genuine dry
+    /// pops, `agg.pool_dry_waits` counts gated skips.
     fn aggregate(&self, dst: NodeId, timeout_flush: bool) -> bool {
         let shared = &self.shared;
         let chan = &shared.channels[self.chan];
         let q = &shared.queues[dst];
+        let now = shared.coarse_now_ns();
+        if now < self.pool_retry_at_ns.get() {
+            self.metrics().pool_dry_waits.add(self.chan, 1);
+            return false;
+        }
         let Some(mut buf) = chan.pool.free.pop() else {
             self.metrics().pool_waits.add(self.chan, 1);
+            let backoff = self
+                .pool_backoff_ns
+                .get()
+                .saturating_mul(2)
+                .clamp(POOL_BACKOFF_MIN_NS, POOL_BACKOFF_MAX_NS);
+            self.pool_backoff_ns.set(backoff);
+            self.pool_retry_at_ns.set(now.saturating_add(backoff));
             return false;
         };
+        self.pool_backoff_ns.set(0);
+        self.pool_retry_at_ns.set(0);
         debug_assert!(buf.is_empty());
         // Reserve (zeroed) space for the transport header; the
         // communication server patches it in place before the send.
@@ -718,10 +859,23 @@ impl CommandSink {
             // Combining tables age on the block timeout: workers pump
             // every scheduler loop, so a merged add is delayed at most
             // one timeout past its emit — the liveness `wait_commands`
-            // depends on.
+            // depends on. Exception: toward a backpressured peer with
+            // `flow_shed` on, the age-flush is deferred (the table keeps
+            // merging, shedding fire-and-forget load off the full
+            // window) until the peer recovers or the table ages past
+            // `SHED_MAX_AGE_MULT` timeouts — the liveness bound holds,
+            // just stretched while the peer is quarantined.
             let t = &self.combine[dst];
             if t.live > 0 && now.saturating_sub(t.born_ns) >= self.shared.cmd_block_timeout_ns {
-                self.flush_combine(dst);
+                let shed = self.shared.flow.shed()
+                    && self.shared.flow.is_backpressured(dst)
+                    && now.saturating_sub(t.born_ns)
+                        < self.shared.cmd_block_timeout_ns.saturating_mul(SHED_MAX_AGE_MULT);
+                if shed {
+                    self.metrics().sheds.add(self.chan, 1);
+                } else {
+                    self.flush_combine(dst);
+                }
             }
             let aged = matches!(&self.active[dst], Some(a) if a.entries > 0
                 && now.saturating_sub(a.born_ns) >= self.shared.cmd_block_timeout_ns);
@@ -758,6 +912,10 @@ impl CommandSink {
                     if stalls > MAX_STALLS {
                         break;
                     }
+                    // The empty-pool backoff gate times against the
+                    // coarse clock, and at shutdown nobody else may be
+                    // ticking it — advance it here so the gate can open.
+                    self.shared.tick();
                     std::thread::yield_now();
                 }
             }
@@ -1241,5 +1399,121 @@ mod tests {
         sink.pump();
         let got = drain_cmds(&shared, 0);
         assert_eq!(got, vec![(1, 8, 4, vec![9, 10])]);
+    }
+
+    #[test]
+    fn flow_state_tracks_backpressured_peers() {
+        let flow = FlowState::new(4);
+        assert!(!flow.any());
+        flow.set_backpressured(2, true);
+        flow.set_backpressured(2, true); // idempotent
+        assert!(flow.any());
+        assert!(flow.is_backpressured(2));
+        assert_eq!(flow.backpressured_peers(), vec![2]);
+        flow.set_backpressured(1, true);
+        assert_eq!(flow.backpressured_peers(), vec![1, 2]);
+        flow.set_backpressured(2, false);
+        flow.set_backpressured(2, false); // idempotent clear
+        flow.set_backpressured(1, false);
+        assert!(!flow.any());
+        assert!(flow.backpressured_peers().is_empty());
+    }
+
+    #[test]
+    fn dry_pool_retries_are_gated_by_backoff() {
+        // 64-byte buffers, 4 per channel; hold every popped payload so
+        // the pool runs dry, then keep crossing the aggregation
+        // threshold. With the coarse clock frozen, the first dry pop
+        // opens the backoff gate and every further attempt must be
+        // swallowed by the gate instead of hitting the pool.
+        let shared = test_shared(64, 2);
+        shared.tick();
+        let mut sink = CommandSink::new(Arc::clone(&shared), 0);
+        let mut held = Vec::new();
+        let mut i = 0u64;
+        while shared.channel(0).free_buffers() > 0 {
+            sink.emit(1, &ack(i));
+            i += 1;
+            while let Some((_, p)) = shared.channel(0).pop_filled() {
+                held.push(p);
+            }
+        }
+        let dry_pops_before = shared.metrics.pool_waits.sum();
+        for _ in 0..50 {
+            for _ in 0..8 {
+                sink.emit(1, &ack(i));
+                i += 1;
+            }
+        }
+        let dry_pops = shared.metrics.pool_waits.sum() - dry_pops_before;
+        let stats = shared.stats();
+        assert!(dry_pops >= 1, "the pool must have been found dry");
+        assert!(stats.pool_dry_waits > 0, "the gate must swallow retries");
+        assert!(
+            stats.pool_dry_waits > dry_pops,
+            "gated skips ({}) must outnumber dry pops ({dry_pops}) while the clock is frozen",
+            stats.pool_dry_waits,
+        );
+        // Release the buffers and advance the clock past the gate: the
+        // next threshold crossing must fill a buffer again, and a
+        // successful pop resets the backoff.
+        drop(held);
+        shared.tick();
+        let filled_before = shared.metrics.buffers_filled.sum();
+        for _ in 0..8 {
+            sink.emit(1, &ack(i));
+            i += 1;
+        }
+        assert!(
+            shared.metrics.buffers_filled.sum() > filled_before,
+            "aggregation must resume once buffers return and the gate expires"
+        );
+        assert_eq!(sink.pool_backoff_ns.get(), 0, "success resets the backoff");
+        drain(&shared, 0);
+    }
+
+    #[test]
+    fn backpressured_peer_sheds_combine_age_flush() {
+        // Millisecond timeouts so a 2 ms sleep lands the table's age
+        // inside the shed window [timeout, 8 * timeout).
+        let shared = AggShared::new(2, 1, 4, 1024, 100, 1_000_000, 1_000_000, 0, 16);
+        shared.flow().set_shed(true);
+        shared.flow().set_backpressured(1, true);
+        let mut sink = CommandSink::new(Arc::clone(&shared), 0);
+        sink.emit(1, &add(9, 8, 2));
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        sink.pump(); // aged, but backpressured → deferred, keeps merging
+        assert!(drain_cmds(&shared, 0).is_empty(), "flush deferred while backpressured");
+        assert!(shared.stats().sheds >= 1);
+        sink.emit(1, &add(10, 8, 2)); // absorbed into the still-live entry
+        assert_eq!(shared.stats().combine_hits, 1);
+        shared.flow().set_backpressured(1, false);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        sink.pump(); // recovered → table flushes into a block
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        sink.pump(); // block + queue age out
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        sink.pump();
+        let got = drain_cmds(&shared, 0);
+        assert_eq!(got, vec![(1, 8, 4, vec![9, 10])]);
+    }
+
+    #[test]
+    fn shed_deferral_is_bounded() {
+        // The peer never recovers, but the table still flushes once it
+        // ages past SHED_MAX_AGE_MULT block timeouts (2 ms ≫ 8 µs).
+        let shared = AggShared::new(2, 1, 4, 1024, 100, 1_000, 1_000, 0, 16);
+        shared.flow().set_shed(true);
+        shared.flow().set_backpressured(1, true);
+        let mut sink = CommandSink::new(Arc::clone(&shared), 0);
+        sink.emit(1, &add(5, 8, 1));
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        sink.pump(); // past the deferral bound → forced flush
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        sink.pump();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        sink.pump();
+        let got = drain_cmds(&shared, 0);
+        assert_eq!(got, vec![(1, 8, 1, vec![5])]);
     }
 }

@@ -820,6 +820,11 @@ impl<'a> TaskCtx<'a> {
         debug_assert!(!cmd.is_reply(), "tasks emit requests; helpers emit replies");
         // Remember the last remote command for watchdog diagnostics.
         self.ctl.note_op(dst, cmd.opcode());
+        // Flow-control admission: toward a backpressured peer the task
+        // yields/parks (bounded by `flow_park_ns`) *before* the command
+        // enters the pipeline, so a slow peer's full window stalls the
+        // emitters instead of piling buffers behind the link.
+        self.flow_admit(dst);
         // Register before the command becomes visible anywhere: only
         // registered operations are error-completed if `dst` is (or is
         // later confirmed) dead, and the comm server re-drains the
@@ -827,6 +832,50 @@ impl<'a> TaskCtx<'a> {
         // an emit racing the death confirmation is still covered.
         self.node.outstanding.register(cmd.token(), dst);
         tls::with_sink(|s| s.emit(dst, cmd));
+    }
+
+    /// Backpressure admission for one command toward `dst`. The fast path
+    /// (no peer backpressured anywhere, or flow parking disabled) is two
+    /// relaxed loads. The slow path yields cooperatively a few times —
+    /// backpressure often clears within one comm-server sweep — then
+    /// parks the task on [`NodeShared::flow_waiters`] until the window
+    /// reopens, the peer dies, the node stops, or `flow_park_ns` elapses.
+    /// After the deadline the command is admitted anyway (the pipeline's
+    /// own holds and pool bounds take over): flow parking trades latency
+    /// for bounded queueing, it never blocks an emit forever.
+    fn flow_admit(&self, dst: NodeId) {
+        let node = &**self.node;
+        let flow = node.agg.flow();
+        if node.config.flow_park_ns == 0 || !flow.any() || !flow.is_backpressured(dst) {
+            return;
+        }
+        // Task context: counters go to shard 0 (same convention as the
+        // other task-side counters); the histogram is unsharded.
+        node.metrics.flow_parks.add(0, 1);
+        let start = node.agg.now_ns();
+        let mut spins = 0u32;
+        while flow.is_backpressured(dst)
+            && !node.peer_is_dead(dst)
+            && !node.stopping()
+            && node.agg.now_ns().saturating_sub(start) < node.config.flow_park_ns
+        {
+            spins += 1;
+            if spins <= 4 {
+                self.yielder.yield_now();
+                continue;
+            }
+            // Genuine park: enqueue on the flow-waiter list *before*
+            // publishing the parked flag so the comm server's next drain
+            // (every sweep, on window-reopen, and at shutdown) cannot
+            // miss us; a drain racing this park at worst wakes us once
+            // spuriously, which the loop re-check absorbs. The watchdog
+            // exempts parks toward backpressured peers from stuck/
+            // deadline accounting, so this wait cannot trip either.
+            node.flow_waiters.push(Arc::clone(self.ctl));
+            self.ctl.set_park_intent();
+            self.yielder.yield_now();
+        }
+        node.metrics.flow_park_ns.record(node.agg.now_ns().saturating_sub(start));
     }
 }
 

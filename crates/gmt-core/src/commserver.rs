@@ -16,7 +16,11 @@
 //! standalone acks when there is no return traffic to piggyback on,
 //! retransmits the queue head with exponential backoff, and declares peers
 //! dead when the retry budget runs out — failing every affected request
-//! token with `GmtError::RemoteDead`. The failure detector rides on the
+//! token with `GmtError::RemoteDead`. It also drives end-to-end flow
+//! control: buffers beyond a peer's in-flight window are held inside the
+//! link (the peer enters the **Backpressured** state — slow, not dead),
+//! released as acks open the window, and the node's own receive credit is
+//! re-advertised each sweep from the helper backlog. The failure detector rides on the
 //! same sweep: idle links get heartbeats, silent peers are suspected and
 //! eventually confirmed dead, and death notices disseminate every
 //! confirmation so survivors converge on one membership view (see
@@ -60,9 +64,12 @@ fn send(node: &NodeShared, endpoint: &Endpoint, dst: crate::NodeId, payload: Pay
 }
 
 /// Ships one filled aggregation buffer: through the reliability layer
-/// (header stamp + retransmit queue) when enabled, raw otherwise. Buffers
-/// bound for a dead peer are never sent — their request tokens fail
-/// immediately and the buffer returns to its pool.
+/// (header stamp + retransmit queue + flow window) when enabled, raw
+/// otherwise. Buffers bound for a dead peer are never sent — their
+/// request tokens fail immediately and the buffer returns to its pool.
+/// Buffers the flow window refuses are *held* inside the link (the peer
+/// enters the Backpressured state) and drained by the release pass once
+/// acks open the window again.
 fn send_buffer(
     node: &NodeShared,
     endpoint: &Endpoint,
@@ -80,15 +87,39 @@ fn send_buffer(
                 fail_outstanding(node, dst);
                 return;
             }
-            if link.has_pending_ack(dst) {
-                // This data buffer will carry the deferred cumulative ack,
-                // sparing a standalone ack packet.
-                node.metrics.acks_piggybacked.add(node.metrics.comm_shard(), 1);
+            let had_pending_ack = link.has_pending_ack(dst);
+            match link.submit_data(dst, payload, now_ns) {
+                Some(wire) => {
+                    if had_pending_ack {
+                        // This data buffer carries the deferred cumulative
+                        // ack, sparing a standalone ack packet.
+                        node.metrics.acks_piggybacked.add(node.metrics.comm_shard(), 1);
+                    }
+                    node.metrics.flow_window_occupancy.record(link.unacked(dst) as u64);
+                    send(node, endpoint, dst, wire);
+                }
+                None => {
+                    // Window full: the link holds the buffer, the peer is
+                    // now Backpressured (slow, not dead).
+                    let shard = node.metrics.comm_shard();
+                    node.metrics.flow_holds.add(shard, 1);
+                    if !node.agg.flow().is_backpressured(dst) {
+                        node.metrics.flow_backpressure_events.add(shard, 1);
+                        node.agg.flow().set_backpressured(dst, true);
+                    }
+                }
             }
-            let wire = link.prepare_data(dst, payload, now_ns);
-            send(node, endpoint, dst, wire);
         }
         None => send(node, endpoint, dst, payload),
+    }
+}
+
+/// Wakes every task parked on flow-control admission. Spurious wakeups
+/// are absorbed by the waiters' re-check loop (they re-enqueue themselves
+/// if still backpressured), so draining unconditionally is always safe.
+fn wake_flow_waiters(node: &NodeShared) {
+    while let Some(ctl) = node.flow_waiters.pop() {
+        ctl.unpark_remote();
     }
 }
 
@@ -186,6 +217,11 @@ fn apply_death(node: &NodeShared, dst: crate::NodeId, unacked: Vec<Payload>, cau
         node.metrics.epoch_bumps.add(shard, 1);
     }
     let failed = fail_outstanding(node, dst);
+    // Death supersedes backpressure: clear the flag and wake any
+    // flow-parked emitters so they observe the death instead of waiting
+    // out their park deadline.
+    node.agg.flow().set_backpressured(dst, false);
+    wake_flow_waiters(node);
     if node.config.log_net_warnings {
         eprintln!(
             "[gmt] warn: node {}: peer {dst} confirmed dead ({cause}); {failed} operation(s) \
@@ -256,6 +292,7 @@ pub fn comm_main(node: Arc<NodeShared>, endpoint: Endpoint, tracer: ThreadTracer
             node.config.rto_max_ns,
             node.config.max_retries,
             node.config.ack_delay_ns,
+            node.config.flow_window,
             DetectorConfig {
                 heartbeat_idle_ns: node.config.heartbeat_idle_ns,
                 suspect_after_ns: node.config.suspect_after_ns,
@@ -286,6 +323,12 @@ pub fn comm_main(node: Arc<NodeShared>, endpoint: Endpoint, tracer: ThreadTracer
     // Coarse-clock stamp of the last sweep that moved traffic, for the
     // sweep-gap histogram.
     let mut last_progress_ns = node.agg.tick();
+    // Flow-control bookkeeping: scratch vector for released buffers, plus
+    // the last published values of the held gauge and the unacked
+    // watermark (gauges move by delta, so the deltas are tracked here).
+    let mut released: Vec<Payload> = Vec::new();
+    let mut held_published: i64 = 0;
+    let mut watermark_published: usize = 0;
     loop {
         // Keep the node's coarse clock fresh even when every worker is
         // stalled inside a long task and nobody pumps.
@@ -313,6 +356,60 @@ pub fn comm_main(node: Arc<NodeShared>, endpoint: Endpoint, tracer: ThreadTracer
         // Reliability timers: standalone acks, retransmits, heartbeats,
         // suspicion, death, notice dissemination.
         if let Some(l) = &mut link {
+            if node.config.flow_window > 0 {
+                // Re-advertise receive credit from the inbound backlog:
+                // a node drowning in unprocessed buffers tells its peers
+                // to narrow their windows toward it (piggybacked on every
+                // outgoing header). Floor of 1 — the zero-credit probe
+                // keeps the link from wedging.
+                let backlog = node.helper_in.len();
+                let credit = node.config.flow_window.saturating_sub(backlog).max(1) as u16;
+                l.set_local_credit(credit);
+            }
+            if node.agg.flow().any() {
+                // Release pass: acks processed above may have opened
+                // windows — stamp and ship what each one now admits, and
+                // clear the Backpressured state (waking flow-parked
+                // emitters) once a held queue drains.
+                for dst in 0..node.nodes {
+                    if !node.agg.flow().is_backpressured(dst) || l.is_dead(dst) {
+                        continue;
+                    }
+                    let opened = l.release_window(dst, now, &mut released);
+                    for wire in released.drain(..) {
+                        node.metrics.flow_window_occupancy.record(l.unacked(dst) as u64);
+                        send(&node, &endpoint, dst, wire);
+                        progressed = true;
+                    }
+                    if opened {
+                        node.agg.flow().set_backpressured(dst, false);
+                        wake_flow_waiters(&node);
+                        progressed = true;
+                    }
+                }
+            }
+            if node.config.flow_window > 0 {
+                // Publish the held-buffer gauge and the unacked
+                // watermark (both by delta — gauges have no set). The
+                // O(nodes) scan is cheap at in-process cluster sizes and
+                // also absorbs held buffers drained by a death.
+                let mut held_now: i64 = 0;
+                let mut watermark = watermark_published;
+                for dst in 0..node.nodes {
+                    held_now += l.held_len(dst) as i64;
+                    watermark = watermark.max(l.unacked_watermark(dst));
+                }
+                if held_now != held_published {
+                    node.metrics.flow_held.add(held_now - held_published);
+                    held_published = held_now;
+                }
+                if watermark > watermark_published {
+                    node.metrics
+                        .flow_unacked_watermark
+                        .add((watermark - watermark_published) as i64);
+                    watermark_published = watermark;
+                }
+            }
             if observe_kills && now >= next_kill_check_ns {
                 next_kill_check_ns = now + kill_check_period_ns;
                 for peer in 0..node.nodes {
@@ -333,6 +430,10 @@ pub fn comm_main(node: Arc<NodeShared>, endpoint: Endpoint, tracer: ThreadTracer
         if now >= next_watchdog_ns {
             next_watchdog_ns = now + watchdog_period_ns;
             node.sweep_stuck_tasks(now);
+            // Periodic flow-waiter drain: the lost-wake safety net. A
+            // waiter that enqueued itself after the release pass cleared
+            // its peer wakes at the latest here, re-checks, and proceeds.
+            wake_flow_waiters(&node);
         }
         if progressed {
             node.metrics.sweep_gap_ns.record(now.saturating_sub(last_progress_ns));
@@ -354,6 +455,9 @@ pub fn comm_main(node: Arc<NodeShared>, endpoint: Endpoint, tracer: ThreadTracer
             }
         }
     }
+    // Shutdown: release every flow-parked emitter (they observe
+    // `stopping` and return) before the final channel drain.
+    wake_flow_waiters(&node);
     // Best-effort final drain so peers unblock during shutdown; sweep
     // round-robin until every channel is empty.
     loop {

@@ -73,6 +73,28 @@ pub struct Config {
     /// piggyback it on return traffic before a standalone ack packet is
     /// emitted (ns).
     pub ack_delay_ns: u64,
+    /// Per-peer flow-control window: the maximum unacked data buffers in
+    /// flight toward one peer before further buffers are held back at the
+    /// sender and the peer enters the **Backpressured** state (distinct
+    /// from death — nothing fails, the window just stops growing).
+    /// Receivers additionally advertise credit from their inbound backlog
+    /// and the effective window is the smaller of the two. `0` disables
+    /// flow control (pre-window behaviour: sender memory toward a slow
+    /// peer is bounded only by pool exhaustion). Capped at `u16::MAX - 1`
+    /// by the credit wire encoding.
+    pub flow_window: usize,
+    /// How long an emitting task may be parked waiting for a
+    /// backpressured peer's window to reopen before the emit proceeds
+    /// anyway (ns, coarse-clock granularity; the buffer then waits in the
+    /// hold queue instead of the task spinning). `0` disables
+    /// backpressure parking — emits never block on flow control.
+    pub flow_park_ns: u64,
+    /// Shed load toward backpressured peers: while a peer is
+    /// backpressured, the combining table's age-based flushes toward it
+    /// are deferred (bounded memory — the table is fixed-size), so
+    /// fire-and-forget updates keep merging instead of piling up buffers
+    /// behind the window. Explicit flushes still go out.
+    pub flow_shed: bool,
     /// Age (ns) past which a task parked on remote completions is reported
     /// by the stuck-task watchdog.
     pub stuck_task_deadline_ns: u64,
@@ -135,6 +157,9 @@ impl Config {
             rto_max_ns: 80_000_000,
             max_retries: 8,
             ack_delay_ns: 200_000,
+            flow_window: 32,
+            flow_park_ns: 2_000_000,
+            flow_shed: true,
             stuck_task_deadline_ns: 1_000_000_000,
             heartbeat_idle_ns: 50_000_000,
             suspect_after_ns: 500_000_000,
@@ -167,6 +192,9 @@ impl Config {
             rto_max_ns: 20_000_000,
             max_retries: 6,
             ack_delay_ns: 100_000,
+            flow_window: 32,
+            flow_park_ns: 2_000_000,
+            flow_shed: true,
             stuck_task_deadline_ns: 1_000_000_000,
             heartbeat_idle_ns: 25_000_000,
             suspect_after_ns: 200_000_000,
@@ -220,6 +248,13 @@ impl Config {
             }
             if self.max_retries == 0 {
                 return Err("max_retries must be at least 1 with reliability enabled".into());
+            }
+            if self.flow_window >= u16::MAX as usize {
+                return Err(format!(
+                    "flow_window {} does not fit the u16 credit encoding (max {})",
+                    self.flow_window,
+                    u16::MAX - 1
+                ));
             }
             if self.heartbeat_idle_ns > 0 {
                 if self.suspect_after_ns <= self.heartbeat_idle_ns {
@@ -280,6 +315,7 @@ mod tests {
             |c: &mut Config| c.buffer_size = 16,
             |c: &mut Config| c.cmd_block_entries = 0,
             |c: &mut Config| c.task_stack_size = 64,
+            |c: &mut Config| c.flow_window = u16::MAX as usize,
             |c: &mut Config| c.suspect_after_ns = c.heartbeat_idle_ns,
             |c: &mut Config| c.peer_death_timeout_ns = c.suspect_after_ns,
         ] {

@@ -18,10 +18,14 @@
 //! | `comm.*`    | buffers/bytes over the wire, sweep-gap and buffers-per-sweep        |
 //! |             | histograms, transport errors                                        |
 //! | `reliable.*`| retransmits, piggybacked vs standalone acks, dedup hits, dead peers |
+//! | `net.flow.*`| flow control: window-occupancy histogram at stamp time, unacked     |
+//! |             | high-water gauge, buffers held at the window, backpressure          |
+//! |             | transitions, emit parks + park-time histogram, shed combine-flushes |
 //! | `detector.*`| failure detector: heartbeats sent/received, suspicions raised/      |
 //! |             | cleared, death notices sent/received, membership epoch bumps        |
 //! | `free.*`    | `gmt_free` toward dead peers (swallowed `RemoteDead`s)              |
-//! | `watchdog.*`| operation deadlines expired (enforcement force-wakes)               |
+//! | `watchdog.*`| operation deadlines expired (enforcement force-wakes);              |
+//! |             | backpressure deferrals (parked tasks excused from stuck reporting)  |
 //!
 //! Counters are sharded one cell per runtime thread (workers, helpers,
 //! plus one shard for the communication server), so hot-path updates are
@@ -114,6 +118,27 @@ pub struct NodeMetrics {
     pub dedup_hits: Counter,
     pub peers_dead: Counter,
 
+    // -- flow control (`net.flow.*`) ---------------------------------
+    /// Unacked in-flight buffers toward the destination at each data
+    /// stamp (window occupancy; a full histogram tail means the window
+    /// binds).
+    pub flow_window_occupancy: Histogram,
+    /// High-water mark of any peer's unacked count (the slow-peer soak
+    /// asserts this never exceeds `flow_window`). Comm-thread-only
+    /// writer; maintained as a max via add-the-delta.
+    pub flow_unacked_watermark: Gauge,
+    /// Buffers currently held back at the sender by a closed window.
+    pub flow_held: Gauge,
+    /// Buffers that had to be held at submission (window full).
+    pub flow_holds: Counter,
+    /// Peer transitions into the Backpressured state.
+    pub flow_backpressure_events: Counter,
+    /// Emitting tasks parked on a backpressured destination.
+    pub flow_parks: Counter,
+    /// Coarse time each such park lasted before the window reopened (or
+    /// the park deadline let the emit proceed).
+    pub flow_park_ns: Histogram,
+
     // -- failure detector / membership -------------------------------
     /// Standalone heartbeats emitted (idle links only).
     pub heartbeats_sent: Counter,
@@ -136,6 +161,10 @@ pub struct NodeMetrics {
     pub free_remote_dead_swallowed: Counter,
     /// Operation deadlines expired by the watchdog (enforcement).
     pub deadline_expired: Counter,
+    /// Watchdog sweeps that excused a parked task because its destination
+    /// peer was merely backpressured: the park's age clock restarts
+    /// instead of reporting it stuck or expiring its deadline.
+    pub backpressure_deferrals: Counter,
 }
 
 impl NodeMetrics {
@@ -183,6 +212,23 @@ impl NodeMetrics {
             acks_standalone: r.counter("reliable.acks_standalone"),
             dedup_hits: r.counter("reliable.dedup_hits"),
             peers_dead: r.counter("reliable.peers_dead"),
+            flow_window_occupancy: r.histogram(
+                "net.flow.window",
+                // Power-of-two occupancy buckets around the default
+                // window of 32; the tail bucket collects windowless runs.
+                &[1, 2, 4, 8, 16, 32, 64, 128],
+            ),
+            flow_unacked_watermark: r.gauge("net.flow.unacked_watermark"),
+            flow_held: r.gauge("net.flow.held"),
+            flow_holds: r.counter("net.flow.holds"),
+            flow_backpressure_events: r.counter("net.flow.backpressure_events"),
+            flow_parks: r.counter("net.flow.parks"),
+            flow_park_ns: r.histogram(
+                "net.flow.park_ns",
+                // 10 µs .. 10 ms: sub-sweep parks land in the first
+                // buckets, watchdog-bounded parks in the tail.
+                &[10_000, 50_000, 100_000, 500_000, 1_000_000, 10_000_000],
+            ),
             heartbeats_sent: r.counter("detector.heartbeats_sent"),
             heartbeats_recv: r.counter("detector.heartbeats_recv"),
             suspicions_raised: r.counter("detector.suspicions_raised"),
@@ -192,6 +238,7 @@ impl NodeMetrics {
             epoch_bumps: r.counter("detector.epoch_bumps"),
             free_remote_dead_swallowed: r.counter("free.remote_dead_swallowed"),
             deadline_expired: r.counter("watchdog.deadline_expired"),
+            backpressure_deferrals: r.counter("watchdog.backpressure_deferrals"),
             registry,
         })
     }

@@ -12,9 +12,12 @@
 //!
 //! * Every data buffer carries a [`HEADER_LEN`]-byte header patched into
 //!   the space the aggregation layer reserved at its front:
-//!   `[kind u8][seq u64 LE][ack u64 LE]`. Sequence numbers are 1-based and
-//!   per-(src,dst); `ack` piggybacks the sender's cumulative receive state
-//!   for the reverse direction on every outgoing buffer.
+//!   `[kind u8][seq u64 LE][ack u64 LE][credit u16 LE]`. Sequence numbers
+//!   are 1-based and per-(src,dst); `ack` piggybacks the sender's
+//!   cumulative receive state for the reverse direction on every outgoing
+//!   buffer, and `credit` advertises how many more data buffers the
+//!   sender of the packet is currently willing to absorb as a receiver
+//!   ([`CREDIT_UNLIMITED`] when it does not care).
 //! * The receiver deduplicates (cumulative counter + out-of-order set) and
 //!   delivers new buffers immediately — GMT commands are independent, so
 //!   ordering is not reconstructed, only duplicate suppression.
@@ -23,15 +26,29 @@
 //!   been pending longer than `ack_delay_ns`.
 //! * The sender keeps every unacked buffer in a retransmit queue **as a
 //!   shared payload handle**, so the pooled buffer cannot return to its
-//!   pool until the peer acknowledged it — backpressure against a lossy
-//!   link falls out of pool exhaustion, with no extra window logic.
+//!   pool until the peer acknowledged it.
+//! * **Flow control**: with a nonzero `flow_window`, the sender stops
+//!   stamping new data buffers once `min(flow_window, peer credit)`
+//!   buffers are unacked. Further submissions are *held back* unstamped
+//!   ([`ReliableLink::submit_data`] returns `None`) and the peer enters
+//!   the **Backpressured** state — distinct from death: nothing is
+//!   error-completed, the accrual detector is not tripped, and held
+//!   buffers drain in order as acks open the window
+//!   ([`ReliableLink::release_window`]). Before this window existed,
+//!   backpressure against a slow link only fell out of pool exhaustion;
+//!   the explicit window bounds per-peer sender memory and gives the
+//!   runtime a state it can report and shed load against.
 //! * Only the queue head is retransmitted (cumulative acks make the rest
 //!   redundant), with exponential backoff from `rto_base_ns` to
 //!   `rto_max_ns`. After `max_retries` retransmissions of the same buffer
 //!   the peer is declared **dead**: every queued buffer's request tokens
 //!   complete with [`GmtError::RemoteDead`] and all further traffic to or
 //!   from that peer is dropped (a late reply from a "dead" peer must never
-//!   touch a token that already completed with an error).
+//!   touch a token that already completed with an error). When the
+//!   failure detector is enabled, retry exhaustion alone does *not* kill
+//!   a peer that has been heard from within `suspect_after_ns` — a slow
+//!   peer that still acks keeps being retransmitted to at the capped
+//!   backoff instead of being declared dead by an RTO miscalibration.
 //!
 //! On top of delivery sits the **failure detector + membership** layer
 //! (SWIM-flavoured, sized for a fully-connected in-process cluster):
@@ -67,8 +84,13 @@ use gmt_net::Payload;
 use std::collections::{BTreeSet, VecDeque};
 
 /// Bytes of transport header at the front of every aggregation buffer when
-/// reliability is enabled: `[kind u8][seq u64 LE][ack u64 LE]`.
-pub const HEADER_LEN: usize = 17;
+/// reliability is enabled: `[kind u8][seq u64 LE][ack u64 LE][credit u16 LE]`.
+pub const HEADER_LEN: usize = 19;
+
+/// Credit value meaning "no receiver-imposed bound": the sender's own
+/// `flow_window` (if any) is the only limit. Also what a node advertises
+/// when flow control is disabled.
+pub const CREDIT_UNLIMITED: u16 = u16::MAX;
 
 /// Header kind: a data buffer (commands follow the header).
 pub const KIND_DATA: u8 = 1;
@@ -92,14 +114,19 @@ pub struct Header {
     pub kind: u8,
     pub seq: u64,
     pub ack: u64,
+    /// Receive credit advertised by the packet's sender: how many more
+    /// data buffers it is willing to absorb ([`CREDIT_UNLIMITED`] = no
+    /// bound). Meaningless on [`KIND_NOTICE`] packets.
+    pub credit: u16,
 }
 
 /// Encodes a header into its wire form.
-pub fn encode_header(kind: u8, seq: u64, ack: u64) -> [u8; HEADER_LEN] {
+pub fn encode_header(kind: u8, seq: u64, ack: u64, credit: u16) -> [u8; HEADER_LEN] {
     let mut h = [0u8; HEADER_LEN];
     h[0] = kind;
     h[1..9].copy_from_slice(&seq.to_le_bytes());
     h[9..17].copy_from_slice(&ack.to_le_bytes());
+    h[17..19].copy_from_slice(&credit.to_le_bytes());
     h
 }
 
@@ -117,6 +144,7 @@ pub fn parse_header(buf: &[u8]) -> Option<Header> {
         kind,
         seq: u64::from_le_bytes(buf[1..9].try_into().unwrap()),
         ack: u64::from_le_bytes(buf[9..17].try_into().unwrap()),
+        credit: u16::from_le_bytes(buf[17..19].try_into().unwrap()),
     })
 }
 
@@ -138,6 +166,9 @@ struct Peer {
     next_seq: u64,
     /// Unacked data buffers, in sequence order.
     rtx: VecDeque<Rtx>,
+    /// Data buffers held back (unstamped) by flow control, in submission
+    /// order. Non-empty iff `backpressured`.
+    held: VecDeque<Payload>,
     /// Highest sequence received contiguously from this peer.
     cum_recv: u64,
     /// Received-out-of-order sequences above `cum_recv`.
@@ -146,6 +177,14 @@ struct Peer {
     ack_due_ns: u64,
     /// Declared dead (retry exhaustion, silence, kill, or notice).
     dead: bool,
+    /// In the Backpressured state: the flow window toward this peer is
+    /// full and at least one buffer is (or recently was) held back.
+    backpressured: bool,
+    /// Latest receive credit this peer advertised.
+    credit: u16,
+    /// High-water mark of `rtx.len()` (introspection: the soak asserts
+    /// it never exceeds the effective window).
+    max_unacked: usize,
     /// Coarse time of the last valid packet from this peer (0 = not yet
     /// initialised; the first detector poll stamps it, so a quiet startup
     /// is not mistaken for silence).
@@ -161,10 +200,14 @@ impl Peer {
         Peer {
             next_seq: 1,
             rtx: VecDeque::new(),
+            held: VecDeque::new(),
             cum_recv: 0,
             ooo: BTreeSet::new(),
             ack_due_ns: 0,
             dead: false,
+            backpressured: false,
+            credit: CREDIT_UNLIMITED,
+            max_unacked: 0,
             last_heard_ns: 0,
             last_sent_ns: 0,
             suspected: false,
@@ -266,6 +309,12 @@ pub struct ReliableLink {
     max_retries: u32,
     ack_delay_ns: u64,
     detector: DetectorConfig,
+    /// Max unacked data buffers per peer before new submissions are held
+    /// back (0 = flow control off).
+    flow_window: usize,
+    /// The receive credit this node currently advertises in every
+    /// outgoing header (data, ack, heartbeat).
+    local_credit: u16,
     /// Dead peers whose notices still have dissemination rounds left.
     notices: Vec<NoticeRounds>,
     /// Suspicions cleared by inbound packets since the last poll (drained
@@ -274,6 +323,7 @@ pub struct ReliableLink {
 }
 
 impl ReliableLink {
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         me: NodeId,
         nodes: usize,
@@ -281,6 +331,7 @@ impl ReliableLink {
         rto_max_ns: u64,
         max_retries: u32,
         ack_delay_ns: u64,
+        flow_window: usize,
         detector: DetectorConfig,
     ) -> Self {
         ReliableLink {
@@ -291,6 +342,8 @@ impl ReliableLink {
             max_retries,
             ack_delay_ns,
             detector,
+            flow_window,
+            local_credit: CREDIT_UNLIMITED,
             notices: Vec::new(),
             cleared: Vec::new(),
         }
@@ -312,6 +365,42 @@ impl ReliableLink {
         self.peers[node].rtx.len()
     }
 
+    /// High-water mark of the unacked count toward `node`.
+    pub fn unacked_watermark(&self, node: NodeId) -> usize {
+        self.peers[node].max_unacked
+    }
+
+    /// Whether `node` is currently in the Backpressured state (its flow
+    /// window filled and submissions were held back). Distinct from
+    /// death: cleared as soon as acks drain the held queue.
+    pub fn is_backpressured(&self, node: NodeId) -> bool {
+        self.peers[node].backpressured
+    }
+
+    /// Data buffers currently held back (unstamped) toward `node`.
+    pub fn held_len(&self, node: NodeId) -> usize {
+        self.peers[node].held.len()
+    }
+
+    /// Updates the receive credit this node advertises on every outgoing
+    /// header. The communication server recomputes it each sweep from its
+    /// inbound backlog.
+    pub fn set_local_credit(&mut self, credit: u16) {
+        self.local_credit = credit;
+    }
+
+    /// How many data buffers may currently be unacked toward `dst`:
+    /// `min(flow_window, advertised credit)`, with a floor of one so a
+    /// zero-credit peer can never wedge the link — the window reopens
+    /// from the ack of that one probe buffer.
+    fn effective_window(&self, dst: NodeId) -> usize {
+        if self.flow_window == 0 {
+            return usize::MAX;
+        }
+        let credit = (self.peers[dst].credit as usize).max(1);
+        self.flow_window.min(credit)
+    }
+
     /// Whether a suspicion is currently raised against `node` (tests).
     pub fn is_suspected(&self, node: NodeId) -> bool {
         self.peers[node].suspected
@@ -330,18 +419,63 @@ impl ReliableLink {
     /// a shared handle for retransmission and returns the handle to put on
     /// the wire. The piggybacked ack clears any pending standalone ack.
     ///
-    /// The caller must have checked [`Self::is_dead`] first.
+    /// Bypasses the flow window — callers that want windowing go through
+    /// [`Self::submit_data`]. The caller must have checked
+    /// [`Self::is_dead`] first.
     pub fn prepare_data(&mut self, dst: NodeId, mut payload: Payload, now_ns: u64) -> Payload {
+        let credit = self.local_credit;
         let p = &mut self.peers[dst];
         assert!(!p.dead, "prepare_data for a dead peer");
         let seq = p.next_seq;
         p.next_seq += 1;
-        payload.patch(0, &encode_header(KIND_DATA, seq, p.cum_recv));
+        payload.patch(0, &encode_header(KIND_DATA, seq, p.cum_recv, credit));
         p.ack_due_ns = 0;
         p.last_sent_ns = now_ns.max(1);
         let wire = payload.share();
         p.rtx.push_back(Rtx { seq, payload, sent_ns: now_ns, attempts: 0 });
+        p.max_unacked = p.max_unacked.max(p.rtx.len());
         wire
+    }
+
+    /// Flow-controlled variant of [`Self::prepare_data`]: stamps and
+    /// returns the wire handle if the window toward `dst` is open *and*
+    /// nothing is already held (held buffers keep submission order);
+    /// otherwise holds the buffer back unstamped, moves the peer into the
+    /// Backpressured state, and returns `None`. Held buffers drain via
+    /// [`Self::release_window`].
+    pub fn submit_data(&mut self, dst: NodeId, payload: Payload, now_ns: u64) -> Option<Payload> {
+        let window = self.effective_window(dst);
+        let p = &mut self.peers[dst];
+        assert!(!p.dead, "submit_data for a dead peer");
+        if p.held.is_empty() && p.rtx.len() < window {
+            return Some(self.prepare_data(dst, payload, now_ns));
+        }
+        p.held.push_back(payload);
+        p.backpressured = true;
+        None
+    }
+
+    /// Stamps and appends to `out` every held buffer the (re-evaluated)
+    /// window toward `dst` now admits. Returns `true` when this call
+    /// cleared the Backpressured state — held queue drained and the
+    /// window no longer full.
+    pub fn release_window(&mut self, dst: NodeId, now_ns: u64, out: &mut Vec<Payload>) -> bool {
+        if self.peers[dst].dead || !self.peers[dst].backpressured {
+            return false;
+        }
+        loop {
+            let window = self.effective_window(dst);
+            let p = &mut self.peers[dst];
+            if p.rtx.len() >= window {
+                return false;
+            }
+            let Some(payload) = p.held.pop_front() else {
+                p.backpressured = false;
+                return true;
+            };
+            let wire = self.prepare_data(dst, payload, now_ns);
+            out.push(wire);
+        }
     }
 
     /// Processes an inbound packet from `src` and classifies it.
@@ -355,13 +489,15 @@ impl ReliableLink {
         }
         if h.kind == KIND_NOTICE {
             // `ack` is the sender's dead count, not a cumulative ack —
-            // it must not touch the retransmit queue.
+            // it must not touch the retransmit queue (and `credit` is
+            // meaningless on notices).
             let dead = h.seq as NodeId;
             if dead >= self.peers.len() {
                 return Recv::Malformed;
             }
             return Recv::Notice { dead };
         }
+        self.peers[src].credit = h.credit;
         self.process_ack(src, h.ack, now_ns);
         let p = &mut self.peers[src];
         match h.kind {
@@ -427,7 +563,12 @@ impl ReliableLink {
         p.ooo.clear();
         p.ack_due_ns = 0;
         p.suspected = false;
-        let unacked: Vec<Payload> = p.rtx.drain(..).map(|r| r.payload).collect();
+        p.backpressured = false;
+        p.credit = CREDIT_UNLIMITED;
+        // Held (never-stamped) buffers carry request tokens just like
+        // unacked ones: both must be error-completed.
+        let mut unacked: Vec<Payload> = p.rtx.drain(..).map(|r| r.payload).collect();
+        unacked.extend(p.held.drain(..));
         self.notices.push(NoticeRounds { dead: dst, remaining: NOTICE_ROUNDS, next_ns: 0 });
         unacked
     }
@@ -451,9 +592,24 @@ impl ReliableLink {
             out.push(PollAction::SuspectCleared { dst });
         }
         let det = self.detector;
+        let local_credit = self.local_credit;
         for dst in 0..self.peers.len() {
             if dst == self.me || self.peers[dst].dead {
                 continue;
+            }
+            if det.enabled() {
+                // Lazy liveness init: the first detector sweep defines
+                // "now" as the baseline, so clusters idle at startup (or
+                // with a clock that starts far from zero) see no silence.
+                // Done before the retransmit check so the exhaustion
+                // suppression below never reads an uninitialised stamp.
+                let p = &mut self.peers[dst];
+                if p.last_heard_ns == 0 {
+                    p.last_heard_ns = now_ns.max(1);
+                }
+                if p.last_sent_ns == 0 {
+                    p.last_sent_ns = now_ns.max(1);
+                }
             }
             let expired = {
                 let p = &self.peers[dst];
@@ -463,32 +619,39 @@ impl ReliableLink {
             };
             if expired {
                 if self.peers[dst].rtx.front().unwrap().attempts >= self.max_retries {
-                    let unacked = self.mark_dead_inner(dst);
-                    out.push(PollAction::Dead {
-                        dst,
-                        unacked,
-                        reason: DeathReason::RetryExhausted,
-                    });
-                    continue;
+                    // With the detector on, retry exhaustion alone is not
+                    // proof of death: a slow (throttled, backpressured)
+                    // peer that produced *any* packet within the
+                    // suspicion threshold keeps being retransmitted to at
+                    // the capped backoff. True silence still kills —
+                    // either right here once the peer stops acking, or
+                    // via the detector's own silence timeout.
+                    let heard_recently = det.enabled()
+                        && now_ns.saturating_sub(self.peers[dst].last_heard_ns)
+                            < det.suspect_after_ns;
+                    if !heard_recently {
+                        let unacked = self.mark_dead_inner(dst);
+                        out.push(PollAction::Dead {
+                            dst,
+                            unacked,
+                            reason: DeathReason::RetryExhausted,
+                        });
+                        continue;
+                    }
                 }
                 let peer = &mut self.peers[dst];
                 peer.last_sent_ns = now_ns.max(1);
                 let front = peer.rtx.front_mut().unwrap();
-                front.attempts += 1;
+                // Pin attempts at the budget: backoff stays capped and
+                // the next expiry re-evaluates death vs. suppression.
+                if front.attempts < self.max_retries {
+                    front.attempts += 1;
+                }
                 front.sent_ns = now_ns;
                 out.push(PollAction::Retransmit { dst, payload: front.payload.clone() });
             }
             let p = &mut self.peers[dst];
             if det.enabled() {
-                // Lazy liveness init: the first detector sweep defines
-                // "now" as the baseline, so clusters idle at startup (or
-                // with a clock that starts far from zero) see no silence.
-                if p.last_heard_ns == 0 {
-                    p.last_heard_ns = now_ns.max(1);
-                }
-                if p.last_sent_ns == 0 {
-                    p.last_sent_ns = now_ns.max(1);
-                }
                 let silence = now_ns.saturating_sub(p.last_heard_ns);
                 if silence >= det.death_timeout_ns {
                     let unacked = self.mark_dead_inner(dst);
@@ -506,7 +669,7 @@ impl ReliableLink {
                 if now_ns.saturating_sub(p.last_sent_ns) >= det.heartbeat_idle_ns {
                     p.last_sent_ns = now_ns.max(1);
                     p.ack_due_ns = 0;
-                    let hb = encode_header(KIND_HEARTBEAT, 0, p.cum_recv);
+                    let hb = encode_header(KIND_HEARTBEAT, 0, p.cum_recv, local_credit);
                     out.push(PollAction::Heartbeat { dst, payload: Payload::from(hb.to_vec()) });
                     continue;
                 }
@@ -514,7 +677,7 @@ impl ReliableLink {
             if p.ack_due_ns != 0 && now_ns >= p.ack_due_ns {
                 p.ack_due_ns = 0;
                 p.last_sent_ns = now_ns.max(1);
-                let ack = encode_header(KIND_ACK, 0, p.cum_recv);
+                let ack = encode_header(KIND_ACK, 0, p.cum_recv, local_credit);
                 out.push(PollAction::SendAck { dst, payload: Payload::from(ack.to_vec()) });
             }
         }
@@ -532,7 +695,7 @@ impl ReliableLink {
                 let dead = self.notices[i].dead;
                 self.notices[i].remaining -= 1;
                 self.notices[i].next_ns = now_ns.saturating_add(self.rto_base_ns).max(1);
-                let notice = encode_header(KIND_NOTICE, dead as u64, dead_count);
+                let notice = encode_header(KIND_NOTICE, dead as u64, dead_count, CREDIT_UNLIMITED);
                 for &dst in &alive {
                     self.peers[dst].last_sent_ns = now_ns.max(1);
                     out.push(PollAction::SendNotice {
@@ -556,9 +719,21 @@ mod tests {
         Payload::from(v)
     }
 
+    /// Test shorthand: encode with unlimited credit (most tests predate
+    /// — and are indifferent to — flow control).
+    fn hdr(kind: u8, seq: u64, ack: u64) -> [u8; HEADER_LEN] {
+        encode_header(kind, seq, ack, CREDIT_UNLIMITED)
+    }
+
     fn link(nodes: usize) -> ReliableLink {
-        // rto_base 100, rto_max 400, 2 retries, ack delay 50, no detector.
-        ReliableLink::new(0, nodes, 100, 400, 2, 50, DetectorConfig::disabled())
+        // rto_base 100, rto_max 400, 2 retries, ack delay 50, no flow
+        // window, no detector.
+        ReliableLink::new(0, nodes, 100, 400, 2, 50, 0, DetectorConfig::disabled())
+    }
+
+    fn link_flow(nodes: usize, flow_window: usize) -> ReliableLink {
+        // Same delivery params as `link`, with a flow window.
+        ReliableLink::new(0, nodes, 100, 400, 2, 50, flow_window, DetectorConfig::disabled())
     }
 
     fn link_det(nodes: usize) -> ReliableLink {
@@ -569,7 +744,7 @@ mod tests {
             suspect_after_ns: 300,
             death_timeout_ns: 1000,
         };
-        ReliableLink::new(0, nodes, 100, 400, 2, 50, det)
+        ReliableLink::new(0, nodes, 100, 400, 2, 50, 0, det)
     }
 
     fn kinds(out: &[PollAction]) -> Vec<u8> {
@@ -588,11 +763,11 @@ mod tests {
 
     #[test]
     fn header_roundtrip() {
-        let h = encode_header(KIND_DATA, 7, 12);
+        let h = encode_header(KIND_DATA, 7, 12, 33);
         let parsed = parse_header(&h).unwrap();
-        assert_eq!(parsed, Header { kind: KIND_DATA, seq: 7, ack: 12 });
+        assert_eq!(parsed, Header { kind: KIND_DATA, seq: 7, ack: 12, credit: 33 });
         assert_eq!(parse_header(&h[..HEADER_LEN - 1]), None);
-        assert_eq!(parse_header(&encode_header(9, 0, 0)), None);
+        assert_eq!(parse_header(&hdr(9, 0, 0)), None);
     }
 
     #[test]
@@ -611,7 +786,7 @@ mod tests {
     #[test]
     fn duplicates_are_suppressed_and_reacked() {
         let mut l = link(2);
-        let pkt = encode_header(KIND_DATA, 1, 0);
+        let pkt = hdr(KIND_DATA, 1, 0);
         assert_eq!(l.on_packet(1, &pkt, 10), Recv::Deliver);
         assert_eq!(l.on_packet(1, &pkt, 20), Recv::Duplicate);
         // Duplicate forces a prompt standalone re-ack.
@@ -625,10 +800,10 @@ mod tests {
     fn out_of_order_data_is_delivered_once_and_acked_cumulatively() {
         let mut l = link(2);
         // 2 and 3 arrive before 1.
-        assert_eq!(l.on_packet(1, &encode_header(KIND_DATA, 2, 0), 10), Recv::Deliver);
-        assert_eq!(l.on_packet(1, &encode_header(KIND_DATA, 3, 0), 11), Recv::Deliver);
-        assert_eq!(l.on_packet(1, &encode_header(KIND_DATA, 2, 0), 12), Recv::Duplicate);
-        assert_eq!(l.on_packet(1, &encode_header(KIND_DATA, 1, 0), 13), Recv::Deliver);
+        assert_eq!(l.on_packet(1, &hdr(KIND_DATA, 2, 0), 10), Recv::Deliver);
+        assert_eq!(l.on_packet(1, &hdr(KIND_DATA, 3, 0), 11), Recv::Deliver);
+        assert_eq!(l.on_packet(1, &hdr(KIND_DATA, 2, 0), 12), Recv::Duplicate);
+        assert_eq!(l.on_packet(1, &hdr(KIND_DATA, 1, 0), 13), Recv::Deliver);
         // Ack (after the delay) covers all three.
         let mut out = Vec::new();
         l.poll(13 + 50, &mut out);
@@ -646,9 +821,9 @@ mod tests {
         }
         assert_eq!(l.unacked(1), 3);
         // A standalone ack for seq 2 pops the first two.
-        assert_eq!(l.on_packet(1, &encode_header(KIND_ACK, 0, 2), 20), Recv::AckOnly);
+        assert_eq!(l.on_packet(1, &hdr(KIND_ACK, 0, 2), 20), Recv::AckOnly);
         assert_eq!(l.unacked(1), 1);
-        assert_eq!(l.on_packet(1, &encode_header(KIND_ACK, 0, 3), 30), Recv::AckOnly);
+        assert_eq!(l.on_packet(1, &hdr(KIND_ACK, 0, 3), 30), Recv::AckOnly);
         assert_eq!(l.unacked(1), 0);
     }
 
@@ -656,7 +831,7 @@ mod tests {
     fn piggybacked_ack_on_data_also_acks() {
         let mut l = link(2);
         l.prepare_data(1, data_payload(b"x"), 10);
-        assert_eq!(l.on_packet(1, &encode_header(KIND_DATA, 1, 1), 20), Recv::Deliver);
+        assert_eq!(l.on_packet(1, &hdr(KIND_DATA, 1, 1), 20), Recv::Deliver);
         assert_eq!(l.unacked(1), 0);
     }
 
@@ -695,7 +870,7 @@ mod tests {
         out.clear();
         l.poll(10_000, &mut out);
         assert!(out.is_empty());
-        assert_eq!(l.on_packet(1, &encode_header(KIND_DATA, 5, 0), 10_000), Recv::FromDead);
+        assert_eq!(l.on_packet(1, &hdr(KIND_DATA, 5, 0), 10_000), Recv::FromDead);
     }
 
     #[test]
@@ -707,7 +882,7 @@ mod tests {
         l.poll(100, &mut out); // head seq 1 retransmitted, attempts=1
         out.clear();
         // Ack seq 1 at t=150: new head (seq 2) restarts its timer there.
-        l.on_packet(1, &encode_header(KIND_ACK, 0, 1), 150);
+        l.on_packet(1, &hdr(KIND_ACK, 0, 1), 150);
         l.poll(249, &mut out);
         assert!(out.is_empty(), "timer restarted at ack time");
         l.poll(250, &mut out);
@@ -718,7 +893,7 @@ mod tests {
     #[test]
     fn standalone_ack_waits_for_the_delay_and_piggyback_cancels_it() {
         let mut l = link(2);
-        assert_eq!(l.on_packet(1, &encode_header(KIND_DATA, 1, 0), 10), Recv::Deliver);
+        assert_eq!(l.on_packet(1, &hdr(KIND_DATA, 1, 0), 10), Recv::Deliver);
         let mut out = Vec::new();
         l.poll(59, &mut out);
         assert!(out.is_empty(), "ack delay (50) not yet elapsed");
@@ -736,9 +911,9 @@ mod tests {
     fn malformed_and_short_buffers_are_flagged() {
         let mut l = link(2);
         assert_eq!(l.on_packet(1, &[1, 2, 3], 10), Recv::Malformed);
-        assert_eq!(l.on_packet(1, &encode_header(7, 1, 0), 10), Recv::Malformed);
+        assert_eq!(l.on_packet(1, &hdr(7, 1, 0), 10), Recv::Malformed);
         // A notice naming an out-of-range node is malformed, not a panic.
-        assert_eq!(l.on_packet(1, &encode_header(KIND_NOTICE, 99, 0), 10), Recv::Malformed);
+        assert_eq!(l.on_packet(1, &hdr(KIND_NOTICE, 99, 0), 10), Recv::Malformed);
     }
 
     #[test]
@@ -751,7 +926,7 @@ mod tests {
         for i in 0..40u64 {
             t = i * 50;
             l.prepare_data(1, data_payload(b"x"), t);
-            l.on_packet(1, &encode_header(KIND_ACK, 0, i + 1), t + 10);
+            l.on_packet(1, &hdr(KIND_ACK, 0, i + 1), t + 10);
             l.poll(t + 10, &mut out);
         }
         assert!(
@@ -772,7 +947,7 @@ mod tests {
     #[test]
     fn heartbeats_carry_the_cumulative_ack() {
         let mut l = link_det(2);
-        l.on_packet(1, &encode_header(KIND_DATA, 1, 0), 10);
+        l.on_packet(1, &hdr(KIND_DATA, 1, 0), 10);
         let mut out = Vec::new();
         l.poll(10, &mut out); // baseline init
         out.clear();
@@ -795,7 +970,7 @@ mod tests {
         // liveness.
         let mut l2 = link_det(2);
         l2.prepare_data(1, data_payload(b"x"), 0);
-        assert_eq!(l2.on_packet(1, &encode_header(KIND_HEARTBEAT, 0, 1), 50), Recv::Heartbeat);
+        assert_eq!(l2.on_packet(1, &hdr(KIND_HEARTBEAT, 0, 1), 50), Recv::Heartbeat);
         assert_eq!(l2.unacked(1), 0);
     }
 
@@ -814,7 +989,7 @@ mod tests {
         l.poll(400, &mut out);
         assert!(!out.iter().any(|a| matches!(a, PollAction::Suspect { .. })));
         // Any packet clears it; the clearance surfaces on the next poll.
-        l.on_packet(1, &encode_header(KIND_ACK, 0, 0), 450);
+        l.on_packet(1, &hdr(KIND_ACK, 0, 0), 450);
         assert!(!l.is_suspected(1));
         out.clear();
         l.poll(460, &mut out);
@@ -828,8 +1003,8 @@ mod tests {
         l.poll(0, &mut out); // baseline for all peers
                              // Keep peers 2 and 3 alive; peer 1 goes silent.
         for t in (0..=1000).step_by(100) {
-            l.on_packet(2, &encode_header(KIND_ACK, 0, 0), t);
-            l.on_packet(3, &encode_header(KIND_ACK, 0, 0), t);
+            l.on_packet(2, &hdr(KIND_ACK, 0, 0), t);
+            l.on_packet(3, &hdr(KIND_ACK, 0, 0), t);
         }
         out.clear();
         l.poll(1001, &mut out);
@@ -872,7 +1047,7 @@ mod tests {
         let mut l = link_det(4);
         l.prepare_data(2, data_payload(b"x"), 0);
         // Peer 1 tells us node 2 is dead.
-        let notice = encode_header(KIND_NOTICE, 2, 1);
+        let notice = hdr(KIND_NOTICE, 2, 1);
         assert_eq!(l.on_packet(1, &notice, 10), Recv::Notice { dead: 2 });
         let unacked = l.confirm_death(2).expect("first confirmation");
         assert_eq!(unacked.len(), 1, "in-flight data toward the dead peer is drained");
@@ -923,5 +1098,135 @@ mod tests {
                 assert_eq!(*dst, 3, "only the survivor receives notices");
             }
         }
+    }
+
+    #[test]
+    fn flow_window_holds_submissions_and_releases_in_order() {
+        let mut l = link_flow(2, 2);
+        assert!(l.submit_data(1, data_payload(b"a"), 10).is_some());
+        assert!(l.submit_data(1, data_payload(b"b"), 10).is_some());
+        // Window full: further submissions are held unstamped.
+        assert!(l.submit_data(1, data_payload(b"c"), 10).is_none());
+        assert!(l.submit_data(1, data_payload(b"d"), 10).is_none());
+        assert!(l.is_backpressured(1));
+        assert_eq!(l.unacked(1), 2);
+        assert_eq!(l.held_len(1), 2);
+        assert_eq!(l.unacked_watermark(1), 2);
+        // Ack seq 1: one slot opens; exactly one held buffer is stamped,
+        // in submission order (it gets seq 3).
+        l.on_packet(1, &hdr(KIND_ACK, 0, 1), 20);
+        let mut released = Vec::new();
+        assert!(!l.release_window(1, 20, &mut released), "still one held");
+        assert_eq!(released.len(), 1);
+        let h = parse_header(&released[0]).unwrap();
+        assert_eq!((h.seq, &released[0][HEADER_LEN..]), (3, &b"c"[..]));
+        assert!(l.is_backpressured(1));
+        // Ack everything in flight: the last held buffer drains and the
+        // Backpressured state clears.
+        l.on_packet(1, &hdr(KIND_ACK, 0, 3), 30);
+        released.clear();
+        assert!(l.release_window(1, 30, &mut released));
+        assert_eq!(released.len(), 1);
+        assert_eq!(parse_header(&released[0]).unwrap().seq, 4);
+        assert!(!l.is_backpressured(1));
+        assert_eq!(l.held_len(1), 0);
+        // Window never overshot its bound.
+        assert_eq!(l.unacked_watermark(1), 2);
+        // And the window is usable again.
+        assert!(l.submit_data(1, data_payload(b"e"), 40).is_some());
+    }
+
+    #[test]
+    fn receiver_credit_shrinks_the_window_and_zero_credit_keeps_one_probe() {
+        let mut l = link_flow(2, 8);
+        // Peer advertises credit 1: effective window min(8, 1).
+        l.on_packet(1, &encode_header(KIND_ACK, 0, 0, 1), 10);
+        assert!(l.submit_data(1, data_payload(b"a"), 10).is_some());
+        assert!(l.submit_data(1, data_payload(b"b"), 10).is_none());
+        assert!(l.is_backpressured(1));
+        // Credit 0 floors at one in-flight probe buffer, so the window
+        // can reopen from that probe's ack (never wedges).
+        let mut l2 = link_flow(2, 8);
+        l2.on_packet(1, &encode_header(KIND_ACK, 0, 0, 0), 10);
+        assert!(l2.submit_data(1, data_payload(b"a"), 10).is_some());
+        assert!(l2.submit_data(1, data_payload(b"b"), 10).is_none());
+        // The probe's ack (with restored credit) releases the rest.
+        l2.on_packet(1, &encode_header(KIND_ACK, 0, 1, 4), 20);
+        let mut released = Vec::new();
+        assert!(l2.release_window(1, 20, &mut released));
+        assert_eq!(released.len(), 1);
+    }
+
+    #[test]
+    fn zero_flow_window_disables_flow_control() {
+        let mut l = link(2); // flow_window 0
+        for i in 0..64u8 {
+            assert!(l.submit_data(1, data_payload(&[i]), 10).is_some());
+        }
+        assert!(!l.is_backpressured(1));
+        assert_eq!(l.unacked(1), 64);
+    }
+
+    #[test]
+    fn death_drains_held_buffers_alongside_unacked() {
+        let mut l = link_flow(2, 1);
+        assert!(l.submit_data(1, data_payload(b"a"), 10).is_some());
+        assert!(l.submit_data(1, data_payload(b"b"), 10).is_none());
+        assert!(l.submit_data(1, data_payload(b"c"), 10).is_none());
+        let unacked = l.confirm_death(1).expect("first confirmation");
+        // 1 in-flight + 2 held: all three carry tokens that must fail.
+        assert_eq!(unacked.len(), 3);
+        assert!(!l.is_backpressured(1));
+        assert_eq!(l.held_len(1), 0);
+    }
+
+    #[test]
+    fn retry_exhaustion_is_suppressed_while_the_peer_is_heard() {
+        // Detector on: a peer that keeps talking (acks with no progress —
+        // the slow-receiver shape) is retransmitted to indefinitely at
+        // the capped backoff instead of being declared dead.
+        let mut l = link_det(2);
+        let mut out = Vec::new();
+        l.poll(0, &mut out); // baseline init
+        l.prepare_data(1, data_payload(b"x"), 0);
+        // Expiries at 100 (attempts→1), 300 (→2), 700 (at budget).
+        for t in [100, 300] {
+            out.clear();
+            l.poll(t, &mut out);
+            assert!(out.iter().any(|a| matches!(a, PollAction::Retransmit { dst: 1, .. })));
+        }
+        // Keep the peer audibly alive just before the budget expiry.
+        l.on_packet(1, &hdr(KIND_ACK, 0, 0), 650);
+        out.clear();
+        l.poll(700, &mut out);
+        assert!(!l.is_dead(1), "heard 50ns ago: exhaustion suppressed");
+        assert!(
+            out.iter().any(|a| matches!(a, PollAction::Retransmit { dst: 1, .. })),
+            "suppression keeps retransmitting the head"
+        );
+        // Silence past suspect_after (300): the next expiry now kills.
+        out.clear();
+        l.poll(1100, &mut out);
+        assert!(out.iter().any(|a| matches!(
+            a,
+            PollAction::Dead { dst: 1, reason: DeathReason::RetryExhausted, .. }
+        )));
+        assert!(l.is_dead(1));
+    }
+
+    #[test]
+    fn retry_exhaustion_kills_immediately_when_detector_is_disabled() {
+        // Without a detector there is no liveness evidence to suppress
+        // on: the original budget semantics hold even if packets arrive.
+        let mut l = link(2);
+        l.prepare_data(1, data_payload(b"x"), 0);
+        let mut out = Vec::new();
+        for t in [100, 300] {
+            l.poll(t, &mut out);
+        }
+        l.on_packet(1, &hdr(KIND_ACK, 0, 0), 650);
+        out.clear();
+        l.poll(700, &mut out);
+        assert!(l.is_dead(1));
     }
 }

@@ -233,6 +233,11 @@ pub struct NodeShared {
     /// Stuck-task watchdog registry: weak handles to every task spawned on
     /// this node, swept periodically by the communication server.
     pub watch: Mutex<Vec<Weak<TaskControl>>>,
+    /// Workers parked by flow-control admission (`emit` toward a
+    /// backpressured peer). The communication server drains and wakes
+    /// these when a window reopens, a peer dies, or the node stops;
+    /// spurious wakeups are harmless by the worker loop's design.
+    pub flow_waiters: SegQueue<Arc<TaskControl>>,
     /// Set (never cleared) once any task on this node runs with an
     /// operation deadline — config-wide or per-task. While clear, helpers
     /// skip the reply-abandon handshake entirely, so undeadlined programs
@@ -275,15 +280,38 @@ impl NodeShared {
     /// Returns how many tasks are currently stuck. One diagnostic is
     /// printed per park (not per sweep), gated on `log_net_warnings`.
     ///
+    /// Tasks parked toward a **backpressured** peer are exempt from both
+    /// the stuck count and deadline enforcement (their park clock keeps
+    /// restarting, counted in `watchdog.backpressure_deferrals`): a
+    /// throttled link must not read as stuck tasks or trip
+    /// `op_deadline_ns` false positives.
+    ///
     /// [`GmtError::DeadlineExceeded`]: crate::error::GmtError::DeadlineExceeded
     pub fn sweep_stuck_tasks(&self, now_ns: u64) -> usize {
         let deadline = self.config.stuck_task_deadline_ns;
         let op_deadline = self.config.op_deadline_ns;
+        let flow = self.agg.flow();
+        let any_backpressured = flow.any();
         let mut stuck = 0usize;
         let mut watch = self.watch.lock();
         watch.retain(|w| {
             let Some(ctl) = w.upgrade() else { return false };
             if let Some((since_ns, dst, opcode, pending)) = ctl.parked_info() {
+                // A task waiting on a *backpressured* peer is slow, not
+                // stuck: the peer is alive, its window is just full. The
+                // park clock restarts so neither the stuck report nor
+                // op-deadline enforcement fires while flow control is
+                // the cause — both re-arm from now once the peer
+                // recovers (or its death converts the wait to an error).
+                if any_backpressured {
+                    if let Some(d) = dst {
+                        if flow.is_backpressured(d) {
+                            self.metrics.backpressure_deferrals.add(self.metrics.comm_shard(), 1);
+                            ctl.note_parked(now_ns);
+                            return true;
+                        }
+                    }
+                }
                 let age = now_ns.saturating_sub(since_ns);
                 let enforce = match ctl.op_deadline() {
                     0 => op_deadline,
@@ -433,10 +461,19 @@ impl NodeHandle {
     }
 
     /// Runs a watchdog sweep now and returns the number of tasks parked on
-    /// remote completions past the configured deadline.
+    /// remote completions past the configured deadline. Tasks waiting on
+    /// a [backpressured](Self::backpressured_peers) peer are reported
+    /// separately, never as stuck.
     pub fn stuck_tasks(&self) -> usize {
         let now = self.shared.agg.tick();
         self.shared.sweep_stuck_tasks(now)
+    }
+
+    /// Peers this node currently holds traffic for because their
+    /// in-flight window is full (slow or throttled, but **alive** —
+    /// disjoint from [`dead_peers`](Self::dead_peers)).
+    pub fn backpressured_peers(&self) -> Vec<NodeId> {
+        self.shared.agg.flow().backpressured_peers()
     }
 
     /// Live global allocations on this node.
@@ -575,6 +612,7 @@ impl Cluster {
                 config.combine_window,
                 metrics.registry(),
             );
+            agg.flow().set_shed(config.flow_shed);
             let shared = Arc::new(NodeShared {
                 node_id,
                 nodes,
@@ -590,6 +628,7 @@ impl Cluster {
                 net: fabric.stats_arc(),
                 membership: Membership::new(nodes),
                 watch: Mutex::new(Vec::new()),
+                flow_waiters: SegQueue::new(),
                 deadlines_armed: AtomicBool::new(config.op_deadline_ns > 0),
                 free_warned: (0..nodes).map(|_| AtomicBool::new(false)).collect(),
                 outstanding: OutstandingOps::new(),

@@ -121,6 +121,22 @@ impl TaskControl {
         self.deadline_hit.swap(false, Ordering::AcqRel)
     }
 
+    /// Remote side (communication server): force-wakes the task if it is
+    /// parked, without marking anything — used to resume flow-parked
+    /// workers when a peer's backpressure clears. Returns `true` if this
+    /// call performed the wake. Safe against every park state: a task
+    /// that is not parked is untouched, and the worker loop tolerates
+    /// spurious wakeups of reused slots by design.
+    pub fn unpark_remote(&self) -> bool {
+        if self.parked.swap(false, Ordering::AcqRel) {
+            self.parked_since_ns.store(0, Ordering::Relaxed);
+            self.ready.push(self.slot);
+            true
+        } else {
+            false
+        }
+    }
+
     /// Helper side, before writing reply data through a task-provided
     /// destination pointer: registers as a writer and checks the task has
     /// not abandoned its in-flight operations. If this returns `false`
@@ -689,6 +705,24 @@ mod tests {
         assert!(q.pop().is_none(), "no duplicate wakeup");
         assert!(c.take_deadline_hit());
         assert!(!c.take_deadline_hit(), "hit is consumed");
+        // The straggler completion still balances the token refcount.
+        unsafe { complete_token(token_from(&c)) };
+        assert_eq!(c.pending(), 0);
+    }
+
+    #[test]
+    fn unpark_remote_wakes_only_parked_tasks() {
+        let (c, q) = ctl();
+        assert!(!c.unpark_remote(), "unparked task is untouched");
+        assert!(q.pop().is_none());
+        c.add_pending(1);
+        assert!(c.prepare_park());
+        c.note_parked(100);
+        assert!(c.unpark_remote(), "parked task is woken");
+        assert_eq!(q.pop(), Some(7));
+        assert!(!c.unpark_remote(), "second wake is a no-op");
+        assert!(q.pop().is_none(), "no duplicate wakeup");
+        assert!(!c.take_deadline_hit(), "flow unpark is not a deadline expiry");
         // The straggler completion still balances the token refcount.
         unsafe { complete_token(token_from(&c)) };
         assert_eq!(c.pending(), 0);

@@ -386,13 +386,24 @@ impl Endpoint {
                     let mut port = shared.ports[self.node].lock();
                     let now = Instant::now();
                     let start = port.busy_until.max(now);
-                    let busy = Duration::from_nanos(model.serialization_ns(bytes));
+                    // A bandwidth-throttle fault inflates serialization:
+                    // the port stays busy longer, so the slowdown
+                    // backpressures later sends exactly like a slow NIC.
+                    let mut ser_ns = model.serialization_ns(bytes);
+                    if decision.throttle_factor > 1.0 {
+                        ser_ns = (ser_ns as f64 * decision.throttle_factor) as u64;
+                        shared.stats.record_throttle(self.node);
+                    }
+                    let busy = Duration::from_nanos(ser_ns);
                     port.busy_until = start + busy;
                     port.busy_until + Duration::from_nanos(model.wire_latency_ns)
                 };
                 if decision.drop {
                     shared.stats.record_drop(self.node);
                     return Ok(());
+                }
+                if decision.stalled {
+                    shared.stats.record_stall(self.node);
                 }
                 let deadline = deadline + Duration::from_nanos(decision.extra_delay_ns);
                 let guard = shared.wire_tx.read();

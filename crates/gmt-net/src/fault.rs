@@ -24,6 +24,16 @@
 //! * **delay jitter** — throttled mode only: a uniform extra wire delay in
 //!   `[0, jitter_ns)` is added to the delivery deadline, reordering
 //!   packets across links. Instant mode ignores jitter.
+//! * **bandwidth throttle** — throttled mode only: a per-link multiplier
+//!   on the cost model's serialization time, so one link can be made 10x
+//!   slower than the rest without touching loss. Slowness becomes
+//!   injectable exactly like drops are. Instant mode (no cost model, no
+//!   serialization) ignores it, like jitter.
+//! * **stall** — throttled mode only: with probability `stall_prob` a
+//!   packet is parked for an extra `stall_ns` before delivery (a GC
+//!   pause / deep queue on the path — the head-of-line blocking shape,
+//!   rather than the uniformly-slow throttle shape). Rides the same
+//!   extra-delay mechanism as jitter and composes with it.
 //!
 //! Silent loss and duplication are only safe for traffic protected by a
 //! delivery layer (gmt-core's `reliable` module) or for raw-fabric tests
@@ -60,6 +70,15 @@ pub struct LinkFaults {
     /// the first `down_ns` of every `period_ns` cycle. Composes with
     /// `flaps`.
     pub flap_period: Option<(u64, u64)>,
+    /// Serialization-time multiplier (throttled mode only). Values `<= 1`
+    /// (including the default `0.0`) mean "no throttle"; `10.0` makes the
+    /// link push bytes ten times slower.
+    pub throttle_factor: f64,
+    /// Probability in `[0, 1]` that a packet stalls for `stall_ns` extra
+    /// before delivery (throttled mode only).
+    pub stall_prob: f64,
+    /// Stall duration applied when `stall_prob` fires.
+    pub stall_ns: u64,
 }
 
 impl LinkFaults {
@@ -69,6 +88,8 @@ impl LinkFaults {
             && self.jitter_ns == 0
             && self.flaps.is_empty()
             && self.flap_period.is_none()
+            && self.throttle_factor <= 1.0
+            && (self.stall_prob <= 0.0 || self.stall_ns == 0)
     }
 
     /// `true` if the link is flapped down at `t_ns` since plan install.
@@ -84,16 +105,29 @@ impl LinkFaults {
 }
 
 /// What the plan decided for one packet.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub(crate) struct FaultDecision {
     pub drop: bool,
     pub duplicate: bool,
     pub extra_delay_ns: u64,
+    /// Serialization-time multiplier (`1.0` = untouched; only meaningful
+    /// to throttled delivery, which owns a cost model).
+    pub throttle_factor: f64,
+    /// A stall fault fired (its duration is already folded into
+    /// `extra_delay_ns`); lets the fabric count stalls apart from jitter.
+    pub stalled: bool,
 }
 
 impl FaultDecision {
-    pub(crate) const CLEAN: FaultDecision =
-        FaultDecision { drop: false, duplicate: false, extra_delay_ns: 0 };
+    pub(crate) const CLEAN: FaultDecision = FaultDecision {
+        drop: false,
+        duplicate: false,
+        extra_delay_ns: 0,
+        throttle_factor: 1.0,
+        stalled: false,
+    };
+
+    pub(crate) const DROP: FaultDecision = FaultDecision { drop: true, ..FaultDecision::CLEAN };
 }
 
 /// A seeded, deterministic description of how the fabric misbehaves.
@@ -197,6 +231,48 @@ impl FaultPlan {
         self
     }
 
+    /// Throttles the bandwidth of `src -> dst`: serialization time is
+    /// multiplied by `factor` (throttled delivery only). `factor <= 1`
+    /// removes the throttle.
+    pub fn throttle(mut self, src: NodeId, dst: NodeId, factor: f64) -> Self {
+        assert!(factor.is_finite() && factor >= 0.0, "throttle factor out of range");
+        self.link_mut(src, dst).throttle_factor = factor;
+        self
+    }
+
+    /// Throttles every link's bandwidth by `factor`.
+    pub fn throttle_all(mut self, factor: f64) -> Self {
+        assert!(factor.is_finite() && factor >= 0.0, "throttle factor out of range");
+        self.all.throttle_factor = factor;
+        for l in self.links.values_mut() {
+            l.throttle_factor = factor;
+        }
+        self
+    }
+
+    /// Makes packets on `src -> dst` stall for `stall_ns` extra with
+    /// probability `prob` (throttled delivery only).
+    pub fn stall(mut self, src: NodeId, dst: NodeId, prob: f64, stall_ns: u64) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "stall probability out of range");
+        let l = self.link_mut(src, dst);
+        l.stall_prob = prob;
+        l.stall_ns = stall_ns;
+        self
+    }
+
+    /// Makes packets on every link stall for `stall_ns` with probability
+    /// `prob`.
+    pub fn stall_all(mut self, prob: f64, stall_ns: u64) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "stall probability out of range");
+        self.all.stall_prob = prob;
+        self.all.stall_ns = stall_ns;
+        for l in self.links.values_mut() {
+            l.stall_prob = prob;
+            l.stall_ns = stall_ns;
+        }
+        self
+    }
+
     /// Hard-kills `node`: every packet to or from it is silently dropped.
     pub fn kill(mut self, node: NodeId) -> Self {
         if !self.killed.contains(&node) {
@@ -224,28 +300,37 @@ impl FaultPlan {
     /// decision.
     pub(crate) fn decide(&self, src: NodeId, dst: NodeId, n: u64, t_ns: u64) -> FaultDecision {
         if self.is_killed(src) || self.is_killed(dst) {
-            return FaultDecision { drop: true, duplicate: false, extra_delay_ns: 0 };
+            return FaultDecision::DROP;
         }
         let l = self.link(src, dst);
         if l.is_noop() {
             return FaultDecision::CLEAN;
         }
+        // Dropped packets on a throttled link still consume their
+        // (inflated) serialization time, so the factor rides every
+        // decision once the link config is known.
+        let throttle_factor = if l.throttle_factor > 1.0 { l.throttle_factor } else { 1.0 };
         if l.down_at(t_ns) {
-            return FaultDecision { drop: true, duplicate: false, extra_delay_ns: 0 };
+            return FaultDecision { throttle_factor, ..FaultDecision::DROP };
         }
-        // Three independent uniform draws from one hash keyed by
+        // Four independent uniform draws from one hash keyed by
         // (seed, link, counter): stateless, per-link deterministic.
         let link_key = (src as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (dst as u64);
         let h0 = splitmix64(self.seed ^ link_key ^ n.wrapping_mul(0xD134_2543_DE82_EF95));
         let h1 = splitmix64(h0);
         let h2 = splitmix64(h1);
+        let h3 = splitmix64(h2);
         let drop = l.drop_prob > 0.0 && unit(h0) < l.drop_prob;
         if drop {
-            return FaultDecision { drop: true, duplicate: false, extra_delay_ns: 0 };
+            return FaultDecision { throttle_factor, ..FaultDecision::DROP };
         }
         let duplicate = l.dup_prob > 0.0 && unit(h1) < l.dup_prob;
-        let extra_delay_ns = if l.jitter_ns > 0 { h2 % l.jitter_ns } else { 0 };
-        FaultDecision { drop, duplicate, extra_delay_ns }
+        let mut extra_delay_ns = if l.jitter_ns > 0 { h2 % l.jitter_ns } else { 0 };
+        let stalled = l.stall_prob > 0.0 && l.stall_ns > 0 && unit(h3) < l.stall_prob;
+        if stalled {
+            extra_delay_ns = extra_delay_ns.saturating_add(l.stall_ns);
+        }
+        FaultDecision { drop, duplicate, extra_delay_ns, throttle_factor, stalled }
     }
 }
 
@@ -349,6 +434,45 @@ mod tests {
         let delays: Vec<u64> = (0..100).map(|n| plan.decide(0, 1, n, 0).extra_delay_ns).collect();
         assert!(delays.iter().all(|&d| d < 5_000));
         assert!(delays.iter().any(|&d| d > 0), "jitter never fired");
+    }
+
+    #[test]
+    fn throttle_rides_every_decision_on_the_link() {
+        let plan = FaultPlan::new(3).throttle(0, 1, 10.0).drop(0, 1, 0.5);
+        let mut saw_drop = false;
+        for n in 0..200 {
+            let d = plan.decide(0, 1, n, 0);
+            assert_eq!(d.throttle_factor, 10.0, "throttle applies whether or not the packet drops");
+            saw_drop |= d.drop;
+        }
+        assert!(saw_drop);
+        // Other links and factors <= 1 are untouched.
+        assert_eq!(plan.decide(1, 0, 0, 0).throttle_factor, 1.0);
+        let noop = FaultPlan::new(3).throttle(0, 1, 0.5);
+        assert!(noop.is_noop(), "factor <= 1 is not a fault");
+    }
+
+    #[test]
+    fn stall_fires_at_roughly_its_probability_and_composes_with_jitter() {
+        let plan = FaultPlan::new(17).stall(0, 1, 0.25, 100_000);
+        let stalled =
+            (0..100_000).filter(|&n| plan.decide(0, 1, n, 0).extra_delay_ns >= 100_000).count();
+        assert!((20_000..30_000).contains(&stalled), "25% of 100k ended up as {stalled}");
+        // With jitter on top, a stalled packet's delay is stall + [0, jitter).
+        let both = FaultPlan::new(17).stall(0, 1, 1.0, 100_000).jitter(0, 1, 5_000);
+        for n in 0..100 {
+            let d = both.decide(0, 1, n, 0).extra_delay_ns;
+            assert!((100_000..105_000).contains(&d));
+        }
+    }
+
+    #[test]
+    fn throttle_and_stall_are_deterministic_per_seed() {
+        let a = FaultPlan::new(42).throttle_all(4.0).stall_all(0.1, 50_000).drop_all(0.05);
+        let b = FaultPlan::new(42).throttle_all(4.0).stall_all(0.1, 50_000).drop_all(0.05);
+        for n in 0..1000 {
+            assert_eq!(a.decide(2, 3, n, 7), b.decide(2, 3, n, 7));
+        }
     }
 
     #[test]

@@ -24,6 +24,12 @@ struct NodeCounters {
     /// Packets this node's reliability layer sent again after a timeout
     /// (recorded by the transport layer above the fabric).
     retransmits: AtomicU64,
+    /// Packets from this node whose serialization time was inflated by a
+    /// bandwidth-throttle fault (throttled delivery only).
+    throttled_msgs: AtomicU64,
+    /// Packets from this node held up by a stall fault (throttled
+    /// delivery only).
+    stalled_msgs: AtomicU64,
 }
 
 /// Traffic counters for every node of a fabric.
@@ -45,6 +51,10 @@ pub struct NodeTraffic {
     pub duplicated_msgs: u64,
     /// Retransmissions performed by the reliability layer above the fabric.
     pub retransmits: u64,
+    /// Packets whose serialization a throttle fault inflated (counted at the src).
+    pub throttled_msgs: u64,
+    /// Packets a stall fault held up (counted at the src).
+    pub stalled_msgs: u64,
 }
 
 impl TrafficStats {
@@ -86,6 +96,18 @@ impl TrafficStats {
         self.nodes[node].retransmits.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a throttle-inflated serialization on a packet from `node`.
+    #[inline]
+    pub fn record_throttle(&self, node: usize) {
+        self.nodes[node].throttled_msgs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a stall fault on a packet from `node`.
+    #[inline]
+    pub fn record_stall(&self, node: usize) {
+        self.nodes[node].stalled_msgs.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Snapshot of one node's counters.
     pub fn node(&self, node: usize) -> NodeTraffic {
         let c = &self.nodes[node];
@@ -97,6 +119,8 @@ impl TrafficStats {
             dropped_msgs: c.dropped_msgs.load(Ordering::Relaxed),
             duplicated_msgs: c.duplicated_msgs.load(Ordering::Relaxed),
             retransmits: c.retransmits.load(Ordering::Relaxed),
+            throttled_msgs: c.throttled_msgs.load(Ordering::Relaxed),
+            stalled_msgs: c.stalled_msgs.load(Ordering::Relaxed),
         }
     }
 
@@ -112,6 +136,8 @@ impl TrafficStats {
             t.dropped_msgs += n.dropped_msgs;
             t.duplicated_msgs += n.duplicated_msgs;
             t.retransmits += n.retransmits;
+            t.throttled_msgs += n.throttled_msgs;
+            t.stalled_msgs += n.stalled_msgs;
         }
         t
     }
