@@ -51,6 +51,14 @@ if [ -z "$pairs" ]; then
     exit 1
 fi
 
+# The benches honor GMT_TRANSPORT (sim fabric vs TCP loopback). Tag every
+# id with a non-default transport so runs against different backends can
+# never be mistaken for one another in artifacts or baselines.
+TRANSPORT=${GMT_TRANSPORT:-sim}
+if [ "$TRANSPORT" != "sim" ] && [ -n "$TRANSPORT" ]; then
+    pairs=$(printf '%s\n' "$pairs" | awk -v t="$TRANSPORT" '{ printf "%s/%s %s\n", t, $1, $2 }')
+fi
+
 # Every parsed median, gated or not, so a regression is attributable to
 # the exact benchmark (and new benchmarks are visible before they ever
 # enter the baseline).
@@ -78,6 +86,13 @@ fi
 
 printf '%s\n' "$pairs" | write_json > "$OUT"
 echo "bench gate: results written to $OUT"
+
+# The committed baseline is a *sim* baseline; numbers from another
+# transport are recorded for tracking but never gated against it.
+if [ "$TRANSPORT" != "sim" ] && [ -n "$TRANSPORT" ]; then
+    echo "bench gate: transport '$TRANSPORT' is not gated (sim baseline); results recorded only"
+    exit 0
+fi
 
 if [ ! -f "$BASELINE" ]; then
     echo "bench gate: no baseline at $BASELINE; nothing to compare" >&2

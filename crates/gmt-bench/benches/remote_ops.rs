@@ -177,6 +177,24 @@ fn bench_remote_ops(c: &mut Criterion) {
             cluster.shutdown();
         });
     }
+    // The same storms over real sockets: frames cross the kernel loopback
+    // path instead of the sim's in-memory queues, pricing syscalls,
+    // copies and wakeups per emitted buffer. Recorded by the gate script
+    // but *not* gated — loopback latency on shared CI runners is too
+    // noisy to hold to a 15% threshold (EXPERIMENTS.md tracks the
+    // numbers instead).
+    g.throughput(Throughput::Elements(ELEMS));
+    g.bench_function("put_storm/tcp_loopback", |b| {
+        let cluster = Cluster::start_tcp_loopback(2, Config::small()).unwrap();
+        b.iter(|| put_storm(&cluster));
+        cluster.shutdown();
+    });
+    g.throughput(Throughput::Elements(STORM_ADDS));
+    g.bench_function("atomic_add_storm/tcp_loopback", |b| {
+        let cluster = Cluster::start_tcp_loopback(2, Config::small()).unwrap();
+        b.iter(|| atomic_add_storm(&cluster));
+        cluster.shutdown();
+    });
     g.finish();
 }
 

@@ -137,7 +137,13 @@ impl<'a> TaskCtx<'a> {
     /// `gmt_alloc`.
     pub fn alloc(&self, nbytes: u64, dist: Distribution) -> GmtArray {
         let me = self.node.node_id;
-        let id = self.node.cluster.next_alloc_id.fetch_add(1, Ordering::Relaxed);
+        // Stride-minted: 1 in-process, the cluster size when each node is
+        // its own process (disjoint interleaved sequences, still dense).
+        let id = self
+            .node
+            .cluster
+            .next_alloc_id
+            .fetch_add(self.node.cluster.alloc_stride, Ordering::Relaxed);
         let arr = GmtArray::new(id, nbytes, dist, me);
         let layout = self.layout(&arr);
         self.node.memory.alloc(id, &layout, me);
@@ -774,6 +780,17 @@ impl<'a> TaskCtx<'a> {
                     chunk,
                     ParentRef { node: me, token },
                 ));
+            } else if self.node.cluster.cross_process {
+                // The peer is another OS process: ship the body by value
+                // (vtable offset + captured bytes packed ahead of the
+                // args) — a raw Arc pointer would be a foreign address
+                // there. See `ParForBody::to_wire_bytes` for the
+                // plain-data-captures obligation this places on `f`.
+                let (body_off, packed) = ParForBody::to_wire_bytes(&body, args);
+                self.emit(
+                    dst,
+                    &Command::Spawn { token, body: body_off, start, count, chunk, args: &packed },
+                );
             } else {
                 self.emit(
                     dst,

@@ -34,7 +34,7 @@
 use crate::metrics::ThreadTracer;
 use crate::reliable::{DeathReason, DetectorConfig, PollAction, Recv, ReliableLink};
 use crate::runtime::NodeShared;
-use gmt_net::{Endpoint, Payload, Tag};
+use gmt_net::{Payload, Tag, Transport};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -45,10 +45,10 @@ pub const TAG_AGG: Tag = 1;
 /// Transmits one payload, counting and (optionally) logging failures.
 /// The destination and buffer size go into the warning so a flaky link is
 /// attributable from the log alone.
-fn send(node: &NodeShared, endpoint: &Endpoint, dst: crate::NodeId, payload: Payload) {
+fn send(node: &NodeShared, transport: &dyn Transport, dst: crate::NodeId, payload: Payload) {
     let nbytes = payload.len();
     let shard = node.metrics.comm_shard();
-    if let Err(e) = endpoint.send(dst, TAG_AGG, payload) {
+    if let Err(e) = transport.send(dst, TAG_AGG, payload) {
         node.metrics.net_errors.add(shard, 1);
         if node.config.log_net_warnings {
             eprintln!(
@@ -72,7 +72,7 @@ fn send(node: &NodeShared, endpoint: &Endpoint, dst: crate::NodeId, payload: Pay
 /// acks open the window again.
 fn send_buffer(
     node: &NodeShared,
-    endpoint: &Endpoint,
+    transport: &dyn Transport,
     link: &mut Option<ReliableLink>,
     dst: crate::NodeId,
     payload: Payload,
@@ -96,7 +96,7 @@ fn send_buffer(
                         node.metrics.acks_piggybacked.add(node.metrics.comm_shard(), 1);
                     }
                     node.metrics.flow_window_occupancy.record(link.unacked(dst) as u64);
-                    send(node, endpoint, dst, wire);
+                    send(node, transport, dst, wire);
                 }
                 None => {
                     // Window full: the link holds the buffer, the peer is
@@ -110,7 +110,7 @@ fn send_buffer(
                 }
             }
         }
-        None => send(node, endpoint, dst, payload),
+        None => send(node, transport, dst, payload),
     }
 }
 
@@ -234,25 +234,25 @@ fn apply_death(node: &NodeShared, dst: crate::NodeId, unacked: Vec<Payload>, cau
 }
 
 /// Applies the outcomes of one reliability timer sweep.
-fn apply(node: &NodeShared, endpoint: &Endpoint, action: PollAction) {
+fn apply(node: &NodeShared, transport: &dyn Transport, action: PollAction) {
     let shard = node.metrics.comm_shard();
     match action {
         PollAction::Retransmit { dst, payload } => {
-            endpoint.stats().record_retransmit(node.node_id);
+            transport.stats().record_retransmit(node.node_id);
             node.metrics.retransmits.add(shard, 1);
-            send(node, endpoint, dst, payload);
+            send(node, transport, dst, payload);
         }
         PollAction::SendAck { dst, payload } => {
             node.metrics.acks_standalone.add(shard, 1);
-            send(node, endpoint, dst, payload);
+            send(node, transport, dst, payload);
         }
         PollAction::Heartbeat { dst, payload } => {
             node.metrics.heartbeats_sent.add(shard, 1);
-            send(node, endpoint, dst, payload);
+            send(node, transport, dst, payload);
         }
         PollAction::SendNotice { dst, payload } => {
             node.metrics.notices_sent.add(shard, 1);
-            send(node, endpoint, dst, payload);
+            send(node, transport, dst, payload);
         }
         PollAction::Suspect { dst } => {
             node.metrics.suspicions_raised.add(shard, 1);
@@ -283,7 +283,7 @@ fn apply(node: &NodeShared, endpoint: &Endpoint, action: PollAction) {
 }
 
 /// Entry point of the communication-server thread.
-pub fn comm_main(node: Arc<NodeShared>, endpoint: Endpoint, tracer: ThreadTracer) {
+pub fn comm_main(node: Arc<NodeShared>, transport: Arc<dyn Transport>, tracer: ThreadTracer) {
     let mut link = node.config.reliable.then(|| {
         ReliableLink::new(
             node.node_id,
@@ -343,13 +343,13 @@ pub fn comm_main(node: Arc<NodeShared>, endpoint: Endpoint, tracer: ThreadTracer
                 // queue's once acked) returns the buffer to this
                 // channel's pool, as in the paper ("returns the
                 // aggregation buffer into the pool").
-                send_buffer(&node, &endpoint, &mut link, dst, payload, now);
+                send_buffer(&node, &*transport, &mut link, dst, payload, now);
                 sent_this_sweep += 1;
                 progressed = true;
             }
         }
         // Incoming: hand received buffers to the helpers.
-        while let Some(pkt) = endpoint.try_recv() {
+        while let Some(pkt) = transport.try_recv() {
             receive(&node, &mut link, pkt.src, pkt.payload, now);
             progressed = true;
         }
@@ -378,7 +378,7 @@ pub fn comm_main(node: Arc<NodeShared>, endpoint: Endpoint, tracer: ThreadTracer
                     let opened = l.release_window(dst, now, &mut released);
                     for wire in released.drain(..) {
                         node.metrics.flow_window_occupancy.record(l.unacked(dst) as u64);
-                        send(&node, &endpoint, dst, wire);
+                        send(&node, &*transport, dst, wire);
                         progressed = true;
                     }
                     if opened {
@@ -413,7 +413,7 @@ pub fn comm_main(node: Arc<NodeShared>, endpoint: Endpoint, tracer: ThreadTracer
             if observe_kills && now >= next_kill_check_ns {
                 next_kill_check_ns = now + kill_check_period_ns;
                 for peer in 0..node.nodes {
-                    if peer != node.node_id && !l.is_dead(peer) && endpoint.observed_kill(peer) {
+                    if peer != node.node_id && !l.is_dead(peer) && transport.observed_kill(peer) {
                         if let Some(unacked) = l.confirm_death(peer) {
                             apply_death(&node, peer, unacked, "fabric kill observed");
                             progressed = true;
@@ -423,7 +423,7 @@ pub fn comm_main(node: Arc<NodeShared>, endpoint: Endpoint, tracer: ThreadTracer
             }
             l.poll(now, &mut actions);
             for a in actions.drain(..) {
-                apply(&node, &endpoint, a);
+                apply(&node, &*transport, a);
                 progressed = true;
             }
         }
@@ -465,7 +465,7 @@ pub fn comm_main(node: Arc<NodeShared>, endpoint: Endpoint, tracer: ThreadTracer
         let mut progressed = false;
         for c in 0..node.agg.channels() {
             if let Some((dst, payload)) = node.agg.channel(c).pop_filled() {
-                send_buffer(&node, &endpoint, &mut link, dst, payload, now);
+                send_buffer(&node, &*transport, &mut link, dst, payload, now);
                 progressed = true;
             }
         }

@@ -188,12 +188,21 @@ fn execute_control_or_reply(
             acks.extend_from_slice(&token.to_le_bytes());
         }
         Command::Spawn { token, body, start, count, chunk, args } => {
-            // Safety: the wire pointer carries one strong reference,
-            // minted by the issuing parFor.
-            let body = unsafe { ParForBody::from_wire(body) };
+            let (body, args) = if node.cluster.cross_process {
+                // `body` is a vtable offset and `args` packs the closure's
+                // captured bytes ahead of the user args — rebuild both.
+                // The reliability layer has already verified delivery, so
+                // a malformed packing is a protocol bug, not line noise.
+                unsafe { ParForBody::from_wire_bytes(body, args) }
+                    .expect("malformed cross-process Spawn body")
+            } else {
+                // Safety: the wire pointer carries one strong reference,
+                // minted by the issuing parFor.
+                (unsafe { ParForBody::from_wire(body) }, Arc::from(args))
+            };
             node.itb_queue.push(Itb::new(
                 body,
-                Arc::from(args),
+                args,
                 start,
                 count,
                 chunk,

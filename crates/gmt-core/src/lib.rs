@@ -71,8 +71,13 @@ pub use gmt_metrics::{HistogramSnapshot, MetricsSnapshot};
 pub use handle::{Distribution, GmtArray};
 pub use metrics::NodeMetrics;
 pub use reliable::DetectorConfig;
-pub use runtime::{Cluster, MembershipView, NodeHandle};
+pub use runtime::{Cluster, MembershipView, NodeHandle, NodeRuntime};
 pub use value::Scalar;
+
+/// The pluggable transport abstraction (re-exported from `gmt-net`):
+/// what [`NodeRuntime`] attaches to and what `GMT_TRANSPORT` selects
+/// for [`Cluster::start`].
+pub use gmt_net::{Transport, TransportSelect};
 
 /// Identifies a node (re-exported from `gmt-net`).
 pub type NodeId = gmt_net::NodeId;

@@ -1,10 +1,15 @@
 //! Node bring-up, thread specialization and the cluster facade.
 //!
 //! "Each node executes an instance of GMT, and the various instances
-//! communicate through commands" (§IV-A). Here a [`Cluster`] hosts all
-//! node instances in one process, wired through a [`gmt_net::Fabric`];
-//! every node runs its configured worker threads, helper threads and the
-//! single communication server, exactly as in Figure 1.
+//! communicate through commands" (§IV-A). A [`Cluster`] hosts all node
+//! instances in one process, wired through a pluggable
+//! [`gmt_net::Transport`] backend — the simulated [`gmt_net::Fabric`]
+//! (default; deterministic, fault-injectable) or a TCP loopback mesh
+//! (`GMT_TRANSPORT=tcp-loopback`). A [`NodeRuntime`] is the
+//! multi-process shape: one node per OS process over a transport built
+//! by [`gmt_net::tcp::rendezvous`], booted by `gmt-launch`. Either way,
+//! every node runs its configured worker threads, helper threads and
+//! the single communication server, exactly as in Figure 1.
 
 use crate::aggregation::{AggShared, AggStats};
 use crate::commserver;
@@ -16,7 +21,7 @@ use crate::worker;
 use crate::{memory::NodeMemory, NodeId};
 use crossbeam::queue::SegQueue;
 use gmt_metrics::MetricsSnapshot;
-use gmt_net::{DeliveryMode, Fabric, Payload, TrafficStats};
+use gmt_net::{tcp, DeliveryMode, Fabric, Payload, TrafficStats, Transport, TransportSelect};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -197,9 +202,24 @@ impl std::fmt::Debug for OutstandingOps {
 #[derive(Debug)]
 pub struct ClusterShared {
     /// Allocation-id source. The real GMT derives unique ids from a
-    /// collective allocation protocol; a process-wide counter is the
-    /// in-process equivalent.
+    /// collective allocation protocol; a counter is the local
+    /// equivalent. Minting steps by [`alloc_stride`](Self::alloc_stride)
+    /// so multi-process nodes (which cannot share one counter) carve
+    /// disjoint, interleaved id sequences: node `k` of `N` starts at
+    /// `k + 1` and steps by `N`. Ids stay *dense* either way —
+    /// `NodeMemory`'s two-level segment table indexes by id and caps out
+    /// at a few million, so high-bit namespacing is not an option.
     pub next_alloc_id: AtomicU64,
+    /// Step between consecutive ids minted by this runtime instance:
+    /// `1` in-process (one shared counter), the cluster size when each
+    /// node is its own process.
+    pub alloc_stride: u64,
+    /// True when peers live in **other OS processes** (`NodeRuntime` /
+    /// gmt-launch). Spawn commands then ship parFor bodies by value —
+    /// vtable offset plus captured bytes ([`ParForBody::to_wire_bytes`])
+    /// — instead of the in-process `Arc` pointer, which would be a
+    /// foreign address on arrival.
+    pub cross_process: bool,
 }
 
 /// Everything the threads of one node share.
@@ -494,10 +514,19 @@ impl std::fmt::Debug for NodeHandle {
     }
 }
 
-/// A running in-process GMT cluster.
+/// A running in-process GMT cluster (every node as threads of this
+/// process, over the sim fabric or a TCP loopback mesh).
 pub struct Cluster {
     nodes: Vec<NodeHandle>,
-    fabric: Fabric,
+    /// `Some` on the sim backend only; its `Drop` is the sim's bounded
+    /// drain. TCP-backed clusters drain per-transport instead.
+    fabric: Option<Fabric>,
+    /// One transport per node; explicitly shut down (drained) after the
+    /// comm threads join.
+    transports: Vec<Arc<dyn Transport>>,
+    /// Cluster-wide traffic counters (all transports of one in-process
+    /// cluster share a single table on either backend).
+    net: Arc<TrafficStats>,
     threads: Vec<JoinHandle<()>>,
     stopped: bool,
     #[cfg(feature = "trace")]
@@ -564,19 +593,165 @@ mod trace_hub {
     }
 }
 
+/// One booted node: its shared state plus the runtime threads serving
+/// it (workers, helpers, comm server — in that spawn order).
+struct NodeBoot {
+    shared: Arc<NodeShared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+/// Brings up one node over an already-built transport: allocates its
+/// shared state and spawns its worker/helper/comm threads. Common to
+/// [`Cluster`] (N nodes in-process) and [`NodeRuntime`] (one node per
+/// process).
+fn boot_node(
+    node_id: NodeId,
+    nodes: usize,
+    config: &Config,
+    cluster_shared: &Arc<ClusterShared>,
+    transport: Arc<dyn Transport>,
+    make_tracer: &dyn Fn(usize, usize) -> ThreadTracer,
+) -> Result<NodeBoot, String> {
+    let threads_per_node = config.num_workers + config.num_helpers;
+    let metrics = NodeMetrics::new(config.num_workers, config.num_helpers);
+    let agg = AggShared::new_in_registry(
+        nodes,
+        threads_per_node,
+        config.num_buf_per_channel,
+        config.buffer_size,
+        config.cmd_block_entries,
+        config.cmd_block_timeout_ns,
+        config.aggregation_timeout_ns,
+        if config.reliable { crate::reliable::HEADER_LEN } else { 0 },
+        config.combine_window,
+        metrics.registry(),
+    );
+    agg.flow().set_shed(config.flow_shed);
+    let shared = Arc::new(NodeShared {
+        node_id,
+        nodes,
+        config: config.clone(),
+        memory: NodeMemory::new(),
+        agg,
+        itb_queue: SegQueue::new(),
+        root_queue: SegQueue::new(),
+        helper_in: SegQueue::new(),
+        stop: AtomicBool::new(false),
+        cluster: Arc::clone(cluster_shared),
+        metrics,
+        net: transport.stats_arc(),
+        membership: Membership::new(nodes),
+        watch: Mutex::new(Vec::new()),
+        flow_waiters: SegQueue::new(),
+        deadlines_armed: AtomicBool::new(config.op_deadline_ns > 0),
+        free_warned: (0..nodes).map(|_| AtomicBool::new(false)).collect(),
+        outstanding: OutstandingOps::new(),
+    });
+    let mut threads = Vec::with_capacity(threads_per_node + 1);
+    for w in 0..config.num_workers {
+        let s = Arc::clone(&shared);
+        let tracer = make_tracer(node_id, w);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("gmt-n{node_id}-w{w}"))
+                .spawn(move || worker::worker_main(s, w, tracer))
+                .map_err(|e| format!("spawning worker: {e}"))?,
+        );
+    }
+    for h in 0..config.num_helpers {
+        let s = Arc::clone(&shared);
+        let chan = config.num_workers + h;
+        let tracer = make_tracer(node_id, chan);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("gmt-n{node_id}-h{h}"))
+                .spawn(move || helper::helper_main(s, chan, tracer))
+                .map_err(|e| format!("spawning helper: {e}"))?,
+        );
+    }
+    let s = Arc::clone(&shared);
+    let tracer = make_tracer(node_id, threads_per_node);
+    threads.push(
+        std::thread::Builder::new()
+            .name(format!("gmt-n{node_id}-comm"))
+            .spawn(move || commserver::comm_main(s, transport, tracer))
+            .map_err(|e| format!("spawning comm server: {e}"))?,
+    );
+    Ok(NodeBoot { shared, threads })
+}
+
 impl Cluster {
-    /// Starts `nodes` GMT node instances with the given per-node config.
+    /// Starts `nodes` GMT node instances with the given per-node config,
+    /// on the backend the `GMT_TRANSPORT` environment variable selects
+    /// (`sim`, the default, or `tcp-loopback` — the CI transport
+    /// matrix). A config with a network cost model always runs on the
+    /// sim: throttled delivery is what enforces the model.
+    ///
+    /// Tests that inject faults or read [`Cluster::fabric`] must pin the
+    /// backend with [`Cluster::start_sim`] instead.
     pub fn start(nodes: usize, config: Config) -> Result<Cluster, String> {
+        let select = if config.network.is_some() {
+            TransportSelect::Sim
+        } else {
+            TransportSelect::from_env()?
+        };
+        Self::start_with(nodes, config, select)
+    }
+
+    /// Starts a cluster pinned to the simulated fabric, regardless of
+    /// `GMT_TRANSPORT`. Deterministic fault injection
+    /// ([`Cluster::fabric`], `install_faults`, `set_link`) and network
+    /// cost models only exist here.
+    pub fn start_sim(nodes: usize, config: Config) -> Result<Cluster, String> {
+        Self::start_with(nodes, config, TransportSelect::Sim)
+    }
+
+    /// Starts a cluster pinned to the TCP loopback mesh: real sockets,
+    /// real framing, one process. The comm stack (reliability,
+    /// membership, flow control) runs unchanged; fault injection and
+    /// cost models are not available.
+    pub fn start_tcp_loopback(nodes: usize, config: Config) -> Result<Cluster, String> {
+        Self::start_with(nodes, config, TransportSelect::TcpLoopback)
+    }
+
+    fn start_with(
+        nodes: usize,
+        config: Config,
+        select: TransportSelect,
+    ) -> Result<Cluster, String> {
         if nodes == 0 {
             return Err("a cluster needs at least one node".into());
         }
         config.validate()?;
-        let mode = match config.network {
-            Some(model) => DeliveryMode::Throttled(model),
-            None => DeliveryMode::Instant,
+        if select == TransportSelect::TcpLoopback && config.network.is_some() {
+            return Err("a network cost model needs the sim backend (throttled delivery); \
+                 use Cluster::start_sim"
+                .into());
+        }
+        let (fabric, transports): (Option<Fabric>, Vec<Arc<dyn Transport>>) = match select {
+            TransportSelect::Sim => {
+                let mode = match config.network {
+                    Some(model) => DeliveryMode::Throttled(model),
+                    None => DeliveryMode::Instant,
+                };
+                let fabric = Fabric::new(nodes, mode);
+                let transports = (0..nodes)
+                    .map(|n| Arc::new(fabric.endpoint(n)) as Arc<dyn Transport>)
+                    .collect();
+                (Some(fabric), transports)
+            }
+            TransportSelect::TcpLoopback => {
+                let mesh = tcp::loopback_mesh(nodes)
+                    .map_err(|e| format!("building the TCP loopback mesh: {e}"))?;
+                (None, mesh.into_iter().map(|t| Arc::new(t) as Arc<dyn Transport>).collect())
+            }
         };
-        let fabric = Fabric::new(nodes, mode);
-        let cluster_shared = Arc::new(ClusterShared { next_alloc_id: AtomicU64::new(1) });
+        let net = transports[0].stats_arc();
+        let cluster_shared = Arc::new(ClusterShared {
+            next_alloc_id: AtomicU64::new(1),
+            alloc_stride: 1,
+            cross_process: false,
+        });
         #[cfg(feature = "trace")]
         let trace = trace_hub::TraceHub::from_env(
             nodes,
@@ -597,77 +772,23 @@ impl Cluster {
         };
         let mut handles = Vec::with_capacity(nodes);
         let mut threads = Vec::new();
-        for node_id in 0..nodes {
-            let threads_per_node = config.num_workers + config.num_helpers;
-            let metrics = NodeMetrics::new(config.num_workers, config.num_helpers);
-            let agg = AggShared::new_in_registry(
-                nodes,
-                threads_per_node,
-                config.num_buf_per_channel,
-                config.buffer_size,
-                config.cmd_block_entries,
-                config.cmd_block_timeout_ns,
-                config.aggregation_timeout_ns,
-                if config.reliable { crate::reliable::HEADER_LEN } else { 0 },
-                config.combine_window,
-                metrics.registry(),
-            );
-            agg.flow().set_shed(config.flow_shed);
-            let shared = Arc::new(NodeShared {
+        for (node_id, transport) in transports.iter().enumerate() {
+            let boot = boot_node(
                 node_id,
                 nodes,
-                config: config.clone(),
-                memory: NodeMemory::new(),
-                agg,
-                itb_queue: SegQueue::new(),
-                root_queue: SegQueue::new(),
-                helper_in: SegQueue::new(),
-                stop: AtomicBool::new(false),
-                cluster: Arc::clone(&cluster_shared),
-                metrics,
-                net: fabric.stats_arc(),
-                membership: Membership::new(nodes),
-                watch: Mutex::new(Vec::new()),
-                flow_waiters: SegQueue::new(),
-                deadlines_armed: AtomicBool::new(config.op_deadline_ns > 0),
-                free_warned: (0..nodes).map(|_| AtomicBool::new(false)).collect(),
-                outstanding: OutstandingOps::new(),
-            });
-            for w in 0..config.num_workers {
-                let s = Arc::clone(&shared);
-                let tracer = make_tracer(node_id, w);
-                threads.push(
-                    std::thread::Builder::new()
-                        .name(format!("gmt-n{node_id}-w{w}"))
-                        .spawn(move || worker::worker_main(s, w, tracer))
-                        .map_err(|e| format!("spawning worker: {e}"))?,
-                );
-            }
-            for h in 0..config.num_helpers {
-                let s = Arc::clone(&shared);
-                let chan = config.num_workers + h;
-                let tracer = make_tracer(node_id, chan);
-                threads.push(
-                    std::thread::Builder::new()
-                        .name(format!("gmt-n{node_id}-h{h}"))
-                        .spawn(move || helper::helper_main(s, chan, tracer))
-                        .map_err(|e| format!("spawning helper: {e}"))?,
-                );
-            }
-            let s = Arc::clone(&shared);
-            let ep = fabric.endpoint(node_id);
-            let tracer = make_tracer(node_id, threads_per_node);
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("gmt-n{node_id}-comm"))
-                    .spawn(move || commserver::comm_main(s, ep, tracer))
-                    .map_err(|e| format!("spawning comm server: {e}"))?,
-            );
-            handles.push(NodeHandle { shared });
+                &config,
+                &cluster_shared,
+                Arc::clone(transport),
+                &make_tracer,
+            )?;
+            threads.extend(boot.threads);
+            handles.push(NodeHandle { shared: boot.shared });
         }
         Ok(Cluster {
             nodes: handles,
             fabric,
+            transports,
+            net,
             threads,
             stopped: false,
             #[cfg(feature = "trace")]
@@ -685,14 +806,23 @@ impl Cluster {
         self.nodes.len()
     }
 
-    /// Network traffic counters (messages/bytes per node).
+    /// Network traffic counters (messages/bytes per node), whichever
+    /// backend carries them.
     pub fn net_stats(&self) -> &TrafficStats {
-        self.fabric.stats()
+        &self.net
     }
 
-    /// The underlying fabric (fault injection in tests).
+    /// The underlying simulated fabric (fault injection in tests).
+    ///
+    /// # Panics
+    ///
+    /// If the cluster runs on the TCP backend — fault-injecting tests
+    /// must pin the sim with [`Cluster::start_sim`].
     pub fn fabric(&self) -> &Fabric {
-        &self.fabric
+        self.fabric.as_ref().expect(
+            "this cluster runs on the TCP backend (GMT_TRANSPORT); fault injection and \
+             cost models need the sim — start it with Cluster::start_sim",
+        )
     }
 
     /// Stops every node and joins all runtime threads.
@@ -713,6 +843,13 @@ impl Cluster {
         }
         for t in self.threads.drain(..) {
             let _ = t.join();
+        }
+        // Drain the transports after every comm thread is gone (the
+        // Transport contract: bounded, idempotent, pools stay whole).
+        // On the sim this is a no-op per endpoint — the fabric's own
+        // `Drop` performs the wire-thread drain when `self.fabric` goes.
+        for t in &self.transports {
+            t.shutdown();
         }
         #[cfg(feature = "trace")]
         if let Some(hub) = self.trace.take() {
@@ -746,5 +883,111 @@ impl Drop for Cluster {
 impl std::fmt::Debug for Cluster {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Cluster").field("nodes", &self.nodes.len()).finish()
+    }
+}
+
+/// One GMT node running in *this* process as part of a multi-process
+/// cluster — the shape `gmt-launch` boots N of.
+///
+/// Where [`Cluster`] owns every node, a `NodeRuntime` owns exactly one:
+/// the same worker/helper/comm thread complement, attached to an
+/// externally-built [`Transport`] (normally from
+/// [`gmt_net::tcp::rendezvous`]) whose `node()`/`nodes()` determine this
+/// node's identity. The reliability, membership and flow-control layers
+/// run unchanged; every peer is simply in another process.
+///
+/// Allocation ids are minted process-locally with a stride (node `k` of
+/// `N` mints `k+1, k+1+N, k+2N+1, …`), so no cross-process counter is
+/// needed and ids from different nodes never collide.
+pub struct NodeRuntime {
+    node: NodeHandle,
+    transport: Arc<dyn Transport>,
+    threads: Vec<JoinHandle<()>>,
+    stopped: bool,
+}
+
+impl NodeRuntime {
+    /// Boots this process's node over `transport`.
+    ///
+    /// Fails on an invalid config or one with a network cost model —
+    /// cost models are enforced by the sim fabric's throttled delivery,
+    /// which has no multi-process equivalent.
+    pub fn start(transport: Arc<dyn Transport>, config: Config) -> Result<NodeRuntime, String> {
+        config.validate()?;
+        if config.network.is_some() {
+            return Err("a network cost model needs the sim backend (Cluster::start_sim)".into());
+        }
+        let node_id = transport.node();
+        let nodes = transport.nodes();
+        let cluster_shared = Arc::new(ClusterShared {
+            next_alloc_id: AtomicU64::new(1 + node_id as u64),
+            alloc_stride: nodes as u64,
+            cross_process: true,
+        });
+        let make_tracer = |_node: usize, _lane: usize| ThreadTracer::disabled();
+        let boot = boot_node(
+            node_id,
+            nodes,
+            &config,
+            &cluster_shared,
+            Arc::clone(&transport),
+            &make_tracer,
+        )?;
+        Ok(NodeRuntime {
+            node: NodeHandle { shared: boot.shared },
+            transport,
+            threads: boot.threads,
+            stopped: false,
+        })
+    }
+
+    /// Handle to this process's node (submit root tasks, read metrics).
+    pub fn node(&self) -> &NodeHandle {
+        &self.node
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.node.id()
+    }
+
+    /// Cluster size.
+    pub fn nodes(&self) -> usize {
+        self.node.shared().nodes
+    }
+
+    /// Stops this node's threads and drains its transport. Peers are
+    /// *not* told — coordinate end-of-job first (gmt-launch uses the
+    /// rendezvous control channel), or surviving peers will eventually
+    /// declare this node dead.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.stopped {
+            return;
+        }
+        self.stopped = true;
+        self.node.shared().stop.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        self.transport.shutdown();
+    }
+}
+
+impl Drop for NodeRuntime {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+impl std::fmt::Debug for NodeRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeRuntime")
+            .field("node", &self.node.id())
+            .field("nodes", &self.nodes())
+            .finish()
     }
 }

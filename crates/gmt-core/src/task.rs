@@ -401,6 +401,30 @@ pub struct ParForBody {
     pub f: Box<dyn Fn(&crate::api::TaskCtx<'_>, u64, &[u8]) + Send + Sync>,
 }
 
+/// The erased closure type behind [`ParForBody::f`].
+type BodyFn = dyn Fn(&crate::api::TaskCtx<'_>, u64, &[u8]) + Send + Sync;
+
+/// The de-facto layout of a `*mut dyn Trait` fat pointer. Not guaranteed
+/// by the language, but load-bearing across the entire Rust ecosystem and
+/// checked by `closure_roundtrips_through_the_cross_process_wire_form`.
+#[repr(C)]
+struct RawDyn {
+    data: *mut u8,
+    vtable: *mut u8,
+}
+
+/// Anchor for position-independent vtable offsets. Every process running
+/// the *same executable* maps `.text` and the vtables at the same offset
+/// from its (per-process, ASLR-randomized) load base, so
+/// `vtable - wire_anchor` is a process-independent constant while
+/// `vtable` itself is not.
+#[inline(never)]
+fn wire_anchor() {}
+
+fn anchor_addr() -> u64 {
+    wire_anchor as fn() as usize as u64
+}
+
 impl ParForBody {
     /// Leaks one strong reference as a wire pointer for a Spawn command.
     pub fn to_wire(body: &Arc<ParForBody>) -> u64 {
@@ -414,6 +438,73 @@ impl ParForBody {
     /// Must be called exactly once per minted pointer.
     pub unsafe fn from_wire(ptr: u64) -> Arc<ParForBody> {
         unsafe { Arc::from_raw(ptr as *const ParForBody) }
+    }
+
+    /// Cross-process wire form, used when the peer is in **another OS
+    /// process** of the same SPMD binary (`gmt-launch`): the body travels
+    /// as its vtable's anchor-relative offset (returned) plus its
+    /// captured bytes packed in front of the user args
+    /// (`[size: u32][align: u32][captures][args]`). This is exactly the
+    /// C runtime's "function pointer + argument buffer" contract with the
+    /// same obligation on the program: captures must be plain data
+    /// (handles, indices, scalars — anything `memcpy`-safe). An `Arc` or
+    /// `&T` capture would smuggle a process-local pointer and is UB, just
+    /// as it would be in the original.
+    pub fn to_wire_bytes(body: &Arc<ParForBody>, args: &[u8]) -> (u64, Vec<u8>) {
+        let f: &BodyFn = &*body.f;
+        let size = std::mem::size_of_val(f);
+        let align = std::mem::align_of_val(f);
+        // Safety: RawDyn matches the fat-pointer layout (tested below).
+        let raw: RawDyn = unsafe { std::mem::transmute(f as *const BodyFn) };
+        let off = (raw.vtable as u64).wrapping_sub(anchor_addr());
+        let mut packed = Vec::with_capacity(8 + size + args.len());
+        packed.extend_from_slice(&(size as u32).to_le_bytes());
+        packed.extend_from_slice(&(align as u32).to_le_bytes());
+        // Safety: `raw.data` points at the live closure, `size` bytes.
+        packed.extend_from_slice(unsafe { std::slice::from_raw_parts(raw.data, size) });
+        packed.extend_from_slice(args);
+        (off, packed)
+    }
+
+    /// Rebuilds a body shipped by [`ParForBody::to_wire_bytes`] in this
+    /// process, returning it plus the user args that followed the
+    /// captures. `None` on a malformed packing (truncated, bad align).
+    ///
+    /// # Safety
+    ///
+    /// `off` and `packed` must come from `to_wire_bytes` in a process
+    /// running this same executable image.
+    pub unsafe fn from_wire_bytes(off: u64, packed: &[u8]) -> Option<(Arc<ParForBody>, Arc<[u8]>)> {
+        if packed.len() < 8 {
+            return None;
+        }
+        let size = u32::from_le_bytes(packed[0..4].try_into().unwrap()) as usize;
+        let align = u32::from_le_bytes(packed[4..8].try_into().unwrap()) as usize;
+        if !align.is_power_of_two() || packed.len() < 8 + size {
+            return None;
+        }
+        let captures = &packed[8..8 + size];
+        let args: Arc<[u8]> = Arc::from(&packed[8 + size..]);
+        let data = if size == 0 {
+            // Zero-sized closure: any well-aligned dangling pointer.
+            align as *mut u8
+        } else {
+            let layout = std::alloc::Layout::from_size_align(size, align).ok()?;
+            // Safety: non-zero-sized layout; the box built below frees it
+            // with the identical layout (recomputed from the vtable).
+            let p = unsafe { std::alloc::alloc(layout) };
+            if p.is_null() {
+                std::alloc::handle_alloc_error(layout);
+            }
+            unsafe { std::ptr::copy_nonoverlapping(captures.as_ptr(), p, size) };
+            p
+        };
+        let vtable = anchor_addr().wrapping_add(off) as *mut u8;
+        // Safety: same executable image, so the local vtable at this
+        // offset describes the same closure type; RawDyn layout as above.
+        let fat: *mut BodyFn = unsafe { std::mem::transmute(RawDyn { data, vtable }) };
+        let f: Box<BodyFn> = unsafe { Box::from_raw(fat) };
+        Some((Arc::new(ParForBody { f }), args))
     }
 }
 
@@ -780,5 +871,47 @@ mod tests {
         assert_eq!(Arc::strong_count(&body), 2);
         drop(back);
         assert_eq!(Arc::strong_count(&body), 1);
+    }
+
+    /// The cross-process wire form round-trips within one process (the
+    /// strongest check available in a unit test — gmt-launch's CI job
+    /// covers the genuinely-two-processes case): captured plain data is
+    /// carried in the packed bytes, user args are recovered exactly, and
+    /// this also validates the `RawDyn` fat-pointer layout assumption.
+    #[test]
+    fn closure_roundtrips_through_the_cross_process_wire_form() {
+        // Captures: 24 bytes of plain data, deliberately not zero-sized.
+        let (a, b, c) = (0x1111_2222_3333_4444u64, 7u64, 13u64);
+        let body = Arc::new(ParForBody {
+            f: Box::new(move |_, i, args| {
+                assert_eq!((a, b, c), (0x1111_2222_3333_4444, 7, 13));
+                assert_eq!(args, b"user-args");
+                assert_eq!(i, 42);
+            }),
+        });
+        let (off, packed) = ParForBody::to_wire_bytes(&body, b"user-args");
+        let (back, args) = unsafe { ParForBody::from_wire_bytes(off, &packed) }.unwrap();
+        assert_eq!(&args[..], b"user-args");
+        // Calling the rebuilt closure needs a TaskCtx, which needs a full
+        // runtime; integration tests cover the call. Here, exercise its
+        // drop glue (frees the copied captures with the right layout).
+        drop(back);
+        drop(args);
+
+        // Zero-sized closure: no captures, args only.
+        let zst = Arc::new(ParForBody { f: Box::new(|_, _, _| {}) });
+        let (off, packed) = ParForBody::to_wire_bytes(&zst, b"");
+        assert_eq!(packed.len(), 8, "ZST closure packs to header only");
+        let (_back, args) = unsafe { ParForBody::from_wire_bytes(off, &packed) }.unwrap();
+        assert!(args.is_empty());
+
+        // Malformed packings are rejected, not dereferenced.
+        assert!(unsafe { ParForBody::from_wire_bytes(off, &[1, 2, 3]) }.is_none());
+        let mut bad_align = packed.clone();
+        bad_align[4..8].copy_from_slice(&3u32.to_le_bytes());
+        assert!(unsafe { ParForBody::from_wire_bytes(off, &bad_align) }.is_none());
+        let mut truncated = packed;
+        truncated[0..4].copy_from_slice(&64u32.to_le_bytes());
+        assert!(unsafe { ParForBody::from_wire_bytes(off, &truncated) }.is_none());
     }
 }

@@ -321,7 +321,8 @@ fn aggregation_actually_batches_commands() {
 
 #[test]
 fn link_failure_is_surfaced_as_net_error() {
-    let cluster = Cluster::start(2, Config::small()).unwrap();
+    // Pinned to the sim backend: set_link is a fabric-only fault switch.
+    let cluster = Cluster::start_sim(2, Config::small()).unwrap();
     // Pre-allocate while the link is up.
     let arr = cluster.node(0).run(|ctx| ctx.alloc(64, Distribution::Remote));
     cluster.fabric().set_link(0, 1, false);

@@ -131,12 +131,17 @@ fn deeply_nested_parfor() {
 /// Zero-copy pool accounting: after a remote-put workload and a full
 /// shutdown, every aggregation buffer has flowed out through the comm
 /// server and back into its pool via `Payload` drop — nothing leaked in
-/// flight, nothing double-released.
-#[test]
-fn buffer_pools_whole_after_shutdown() {
+/// flight, nothing double-released. This is the transport shutdown/drain
+/// contract (see `gmt_net::transport`), so it runs against **both**
+/// backends: the sim fabric's wire-thread drain and the TCP transport's
+/// socket teardown mid-traffic must each keep the pools whole.
+fn pools_whole_after_shutdown(
+    start: impl FnOnce(usize, Config) -> Result<Cluster, String>,
+    backend: &str,
+) {
     let mut config = Config::small();
     config.buffer_size = 1024;
-    let cluster = Cluster::start(2, config).unwrap();
+    let cluster = start(2, config).unwrap();
     let aggs: Vec<_> = (0..2).map(|n| Arc::clone(&cluster.node(n).shared().agg)).collect();
     cluster.node(0).run(|ctx| {
         let arr = ctx.alloc(1024 * 8, Distribution::Remote);
@@ -152,14 +157,24 @@ fn buffer_pools_whole_after_shutdown() {
     for (n, agg) in aggs.iter().enumerate() {
         for c in 0..agg.channels() {
             let q = agg.channel(c);
-            assert_eq!(q.backlog(), 0, "node {n} channel {c} still has filled buffers");
+            assert_eq!(q.backlog(), 0, "[{backend}] node {n} channel {c} still has filled buffers");
             assert_eq!(
                 q.free_buffers(),
                 q.pool_capacity(),
-                "node {n} channel {c} pool not whole after shutdown"
+                "[{backend}] node {n} channel {c} pool not whole after shutdown"
             );
         }
     }
+}
+
+#[test]
+fn buffer_pools_whole_after_shutdown() {
+    pools_whole_after_shutdown(Cluster::start_sim, "sim");
+}
+
+#[test]
+fn buffer_pools_whole_after_shutdown_tcp() {
+    pools_whole_after_shutdown(Cluster::start_tcp_loopback, "tcp-loopback");
 }
 
 /// Soak: repeated cluster lifecycles must not leak OS threads or wedge.

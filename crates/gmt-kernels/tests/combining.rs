@@ -147,7 +147,7 @@ fn combined_adds_survive_faults_without_double_apply() {
     let expected = run_pagerank(&clean);
     clean.shutdown();
 
-    let cluster = Cluster::start(3, Config::small()).unwrap();
+    let cluster = Cluster::start_sim(3, Config::small()).unwrap();
     cluster.fabric().install_faults(
         FaultPlan::new(seed)
             .drop_all(0.05)
@@ -181,7 +181,7 @@ fn chma_under_faults_matches_clean_run_with_combining_on() {
     let expected = run_chma(&clean);
     clean.shutdown();
 
-    let cluster = Cluster::start(2, Config::small()).unwrap();
+    let cluster = Cluster::start_sim(2, Config::small()).unwrap();
     cluster.fabric().install_faults(FaultPlan::new(seed).drop_all(0.08).dup_all(0.10));
     let aggs = pool_handles(&cluster);
     let got = run_chma(&cluster);

@@ -100,12 +100,12 @@ fn bfs_is_bit_identical_under_drops_and_flaps() {
     let seed = seed_from_env(0xF417);
     eprintln!("[fault_tolerance] bfs_is_bit_identical_under_drops_and_flaps seed={seed}");
 
-    let clean_cluster = Cluster::start(4, Config::small()).unwrap();
+    let clean_cluster = Cluster::start_sim(4, Config::small()).unwrap();
     let clean = run_bfs(&clean_cluster, 200, 4, 31);
     clean_cluster.shutdown();
     assert!(clean.visited > 1, "graph too sparse to exercise the fabric");
 
-    let cluster = Cluster::start(4, Config::small()).unwrap();
+    let cluster = Cluster::start_sim(4, Config::small()).unwrap();
     // 5% loss on every link, a link that is down 20% of the time in 10 ms
     // cycles, and 2% duplication on the return path of that link.
     cluster.fabric().install_faults(
@@ -145,11 +145,11 @@ fn bfs_with_batched_datapath_survives_fault_injection() {
     eprintln!("[fault_tolerance] bfs_with_batched_datapath_survives_fault_injection seed={seed}");
 
     let scalar_cluster =
-        Cluster::start(4, Config { batch_apply: false, ..Config::small() }).unwrap();
+        Cluster::start_sim(4, Config { batch_apply: false, ..Config::small() }).unwrap();
     let clean = run_bfs(&scalar_cluster, 200, 4, 31);
     scalar_cluster.shutdown();
 
-    let cluster = Cluster::start(4, Config { batch_apply: true, ..Config::small() }).unwrap();
+    let cluster = Cluster::start_sim(4, Config { batch_apply: true, ..Config::small() }).unwrap();
     cluster.fabric().install_faults(
         FaultPlan::new(seed)
             .drop_all(0.05)
@@ -181,7 +181,7 @@ fn grw_under_throttled_fabric_with_faults_matches_reference() {
     let csr = uniform_random(GraphSpec { vertices: 80, avg_degree: 4, seed: 17 });
     let expected = seq_grw(&csr, 24, 6, 99);
 
-    let cluster = Cluster::start(2, Config::small_throttled()).unwrap();
+    let cluster = Cluster::start_sim(2, Config::small_throttled()).unwrap();
     cluster.fabric().install_faults(
         FaultPlan::new(seed)
             .drop_all(0.05)
@@ -213,7 +213,7 @@ fn duplication_storm_is_deduplicated_exactly() {
     let seed = seed_from_env(0xD0_D0);
     eprintln!("[fault_tolerance] duplication_storm_is_deduplicated_exactly seed={seed}");
 
-    let cluster = Cluster::start(2, Config::small()).unwrap();
+    let cluster = Cluster::start_sim(2, Config::small()).unwrap();
     cluster.fabric().install_faults(FaultPlan::new(seed).dup_all(0.30).drop_all(0.10));
     let aggs = pool_handles(&cluster);
     let bad = cluster.node(0).run(|ctx| {
@@ -260,7 +260,7 @@ fn killed_node_surfaces_remote_dead_within_retry_budget() {
         .sum();
     let deadline = std::time::Duration::from_nanos(rto_budget * 20 + 2_000_000_000);
 
-    let cluster = Cluster::start(4, config).unwrap();
+    let cluster = Cluster::start_sim(4, config).unwrap();
     let aggs = pool_handles(&cluster);
     // Allocate while the fabric is healthy: 32 u64 words block-partitioned
     // over 4 nodes — elements 24..32 live on node 3.
@@ -331,7 +331,7 @@ fn watchdog_reports_stuck_tokens_when_reliability_is_off() {
     );
 
     let config = Config { reliable: false, stuck_task_deadline_ns: 50_000_000, ..Config::small() };
-    let cluster = Cluster::start(2, config).unwrap();
+    let cluster = Cluster::start_sim(2, config).unwrap();
     // Allocate while the fabric is healthy; elements 16..32 live on node 1.
     let arr = cluster.node(0).run(|ctx| ctx.alloc(32 * 8, Distribution::Partition));
 
@@ -380,7 +380,7 @@ fn flow_window_bounds_inflight_under_composed_faults() {
 
     const FLOW_WINDOW: usize = 4;
     let config = Config { flow_window: FLOW_WINDOW, ..Config::small_throttled() };
-    let cluster = Cluster::start(2, config).unwrap();
+    let cluster = Cluster::start_sim(2, config).unwrap();
     cluster.fabric().install_faults(
         FaultPlan::new(seed)
             .drop_all(0.05)
@@ -450,12 +450,12 @@ fn slow_peer_soak_survives_throttled_link() {
     const FLOW_WINDOW: usize = 4;
     let config = Config { flow_window: FLOW_WINDOW, ..Config::small_throttled() };
 
-    let clean_cluster = Cluster::start(4, config.clone()).unwrap();
+    let clean_cluster = Cluster::start_sim(4, config.clone()).unwrap();
     let clean = run_bfs(&clean_cluster, 1024, 8, 77);
     clean_cluster.shutdown();
     assert!(clean.visited > 1, "graph too sparse to exercise the fabric");
 
-    let cluster = Cluster::start(4, config).unwrap();
+    let cluster = Cluster::start_sim(4, config).unwrap();
     cluster.fabric().install_faults(FaultPlan::new(seed).throttle(0, 3, 10.0).throttle(3, 0, 10.0));
     let aggs = pool_handles(&cluster);
     let slow = run_bfs(&cluster, 1024, 8, 77);

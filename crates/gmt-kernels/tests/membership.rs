@@ -117,7 +117,7 @@ fn eight_node_kill_converges_membership_and_fails_collectives() {
         "[membership] eight_node_kill_converges_membership_and_fails_collectives seed={seed}"
     );
 
-    let cluster = Cluster::start(8, kill_config()).unwrap();
+    let cluster = Cluster::start_sim(8, kill_config()).unwrap();
     let aggs = pool_handles(&cluster);
 
     // A two-party barrier with a single arrival: it can only complete if
@@ -198,7 +198,7 @@ fn silent_peer_is_confirmed_dead_by_heartbeat_timeout() {
         peer_death_timeout_ns: 400_000_000,
         ..Config::small()
     };
-    let cluster = Cluster::start(3, config).unwrap();
+    let cluster = Cluster::start_sim(3, config).unwrap();
     cluster.fabric().install_faults(FaultPlan::new(seed).kill(2));
 
     let dead = vec![2usize];
@@ -231,7 +231,7 @@ fn deadline_bounds_the_wait_when_detection_is_impossible() {
 
     // op_deadline_ns also tightens the watchdog sweep period (deadline/4).
     let config = Config { reliable: false, op_deadline_ns: 2_000_000_000, ..Config::small() };
-    let cluster = Cluster::start(2, config).unwrap();
+    let cluster = Cluster::start_sim(2, config).unwrap();
     // Elements 16..32 live on node 1 (32*8 bytes partitioned over 2).
     let arr = cluster.node(0).run(|ctx| ctx.alloc(32 * 8, Distribution::Partition));
 
@@ -292,7 +292,7 @@ fn kill_scenario(tag: &str, seed: u64, victims: &[NodeId], delay: Duration) {
     eprintln!("[membership] {tag} seed={seed} victims={victims:?} delay={delay:?}");
     assert!(!victims.contains(&0), "node 0 hosts the driver tasks");
     let budget = Duration::from_secs(60);
-    let cluster = Cluster::start(8, kill_config()).unwrap();
+    let cluster = Cluster::start_sim(8, kill_config()).unwrap();
     let aggs = pool_handles(&cluster);
 
     let bar = cluster.node(0).run(|ctx| GlobalBarrier::new(ctx, 2));

@@ -1,0 +1,328 @@
+//! # gmt-launch — multi-process GMT
+//!
+//! Boots a GMT cluster as **N OS processes** talking TCP — the shape the
+//! paper's runtime actually deploys as (one process per cluster node) —
+//! and runs a named workload on it. The same binary is both the parent
+//! (spawns children, waits) and the child (rendezvous → [`NodeRuntime`] →
+//! serve or drive the workload), selected by the `GMT_NODE_ID` env var.
+//!
+//! ```text
+//! gmt-launch -n 4 --bin bfs            # 4 processes over loopback TCP
+//! gmt-launch -n 4 --bin bfs --single   # same nodes, one process, sim fabric
+//! ```
+//!
+//! Workload results go to **stdout** as `RESULT …` lines printed only by
+//! node 0, and are schedule-independent by construction — so piping both
+//! invocations above to files and `diff`ing them is the cross-process
+//! bit-identical check CI runs. Everything else (progress, timing) goes
+//! to stderr.
+//!
+//! End-of-job protocol: node 0 drives the workload while peers serve
+//! remote accesses; when node 0 finishes it signals DONE over the
+//! rendezvous control channel, and only then does anyone shut down — no
+//! peer mistakes job completion for a death (the failure detector stays
+//! armed the whole run).
+//!
+//! If `GMT_METRICS_OUT` names a directory, every node process drops a
+//! metrics snapshot there (`<bin>-node<i>.json`) before exiting.
+
+use gmt_core::{Cluster, Config, NodeRuntime, Transport};
+use gmt_graph::{uniform_random, DistGraph, GraphSpec};
+use gmt_kernels::bfs::gmt_bfs;
+use gmt_kernels::chma::{fnv1a, gmt_chma_access, gmt_chma_populate, ChmaConfig, GmtHashMap};
+use gmt_net::{rendezvous, Bootstrap};
+use std::process::{Command, ExitCode};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Everything the CLI controls. One instance is parsed in the parent and
+/// re-parsed identically in each child (children get the same argv).
+#[derive(Debug, Clone)]
+struct Opts {
+    nodes: usize,
+    bin: String,
+    single: bool,
+    vertices: u64,
+    degree: u64,
+    seed: u64,
+    source: u64,
+    bootstrap: Option<String>,
+}
+
+const USAGE: &str = "\
+gmt-launch — run a GMT workload across N node processes over TCP
+
+USAGE:
+    gmt-launch -n <nodes> --bin <bfs|chma> [options]
+
+OPTIONS:
+    -n, --nodes <N>       node processes to spawn [default: 2]
+        --bin <NAME>      workload: bfs | chma (required)
+        --single          run all nodes in ONE process over the sim
+                          fabric instead; prints identical RESULT lines
+        --vertices <V>    bfs: graph vertices [default: 512]
+        --degree <D>      bfs: average out-degree [default: 8]
+        --seed <S>        bfs: graph seed [default: 42]
+        --source <V>      bfs: source vertex [default: 0]
+        --bootstrap <B>   rendezvous point: 'file:<path>' or '<ip:port>'
+                          [default: file:<tmp>/gmt-launch-<pid>.addr]
+
+ENVIRONMENT:
+    GMT_NODE_ID, GMT_NODES, GMT_BOOTSTRAP   set by the parent on children
+    GMT_METRICS_OUT   directory for per-node metrics snapshots
+";
+
+fn parse_opts() -> Result<Opts, String> {
+    let mut opts = Opts {
+        nodes: 2,
+        bin: String::new(),
+        single: false,
+        vertices: 512,
+        degree: 8,
+        seed: 42,
+        source: 0,
+        bootstrap: None,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i).cloned().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "-n" | "--nodes" => {
+                opts.nodes = value(&mut i, "--nodes")?.parse().map_err(|e| format!("-n: {e}"))?
+            }
+            "--bin" => opts.bin = value(&mut i, "--bin")?,
+            "--single" => opts.single = true,
+            "--vertices" => {
+                opts.vertices =
+                    value(&mut i, "--vertices")?.parse().map_err(|e| format!("--vertices: {e}"))?
+            }
+            "--degree" => {
+                opts.degree =
+                    value(&mut i, "--degree")?.parse().map_err(|e| format!("--degree: {e}"))?
+            }
+            "--seed" => {
+                opts.seed = value(&mut i, "--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
+            }
+            "--source" => {
+                opts.source =
+                    value(&mut i, "--source")?.parse().map_err(|e| format!("--source: {e}"))?
+            }
+            "--bootstrap" => opts.bootstrap = Some(value(&mut i, "--bootstrap")?),
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}' (try --help)")),
+        }
+        i += 1;
+    }
+    if opts.nodes == 0 {
+        return Err("-n must be at least 1".into());
+    }
+    match opts.bin.as_str() {
+        "bfs" | "chma" => Ok(opts),
+        "" => Err("--bin is required (bfs | chma)".into()),
+        other => Err(format!("unknown workload '{other}' (bfs | chma)")),
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_opts() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("gmt-launch: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let role = std::env::var("GMT_NODE_ID").ok();
+    let result = match role {
+        Some(id) => child(&opts, &id),
+        None if opts.single => single_process(&opts),
+        None => parent(&opts),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("gmt-launch: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parent: pick a rendezvous point, spawn one child per node with its
+/// identity in the environment, and wait for all of them.
+fn parent(opts: &Opts) -> Result<(), String> {
+    let bootstrap = match &opts.bootstrap {
+        Some(b) => b.clone(),
+        None => {
+            let mut p = std::env::temp_dir();
+            p.push(format!("gmt-launch-{}.addr", std::process::id()));
+            format!("file:{}", p.display())
+        }
+    };
+    // Validate now so a typo fails in the parent, not in N children.
+    Bootstrap::parse(&bootstrap)?;
+
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut children = Vec::with_capacity(opts.nodes);
+    for node in 0..opts.nodes {
+        let child = Command::new(&exe)
+            .args(&args)
+            .env("GMT_NODE_ID", node.to_string())
+            .env("GMT_NODES", opts.nodes.to_string())
+            .env("GMT_BOOTSTRAP", &bootstrap)
+            .spawn()
+            .map_err(|e| format!("spawning node {node}: {e}"))?;
+        children.push((node, child));
+    }
+    let mut failed = Vec::new();
+    for (node, mut child) in children {
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => failed.push(format!("node {node} exited with {status}")),
+            Err(e) => failed.push(format!("waiting for node {node}: {e}")),
+        }
+    }
+    if let Some(path) = bootstrap.strip_prefix("file:") {
+        let _ = std::fs::remove_file(path);
+    }
+    if failed.is_empty() {
+        Ok(())
+    } else {
+        Err(failed.join("; "))
+    }
+}
+
+/// Child: join the mesh, boot this process's node, then either drive the
+/// workload (node 0) or serve until node 0 signals done.
+fn child(opts: &Opts, id: &str) -> Result<(), String> {
+    let node: usize = id.parse().map_err(|e| format!("GMT_NODE_ID: {e}"))?;
+    let nodes: usize = std::env::var("GMT_NODES")
+        .map_err(|_| "GMT_NODES not set".to_string())?
+        .parse()
+        .map_err(|e| format!("GMT_NODES: {e}"))?;
+    let bootstrap =
+        Bootstrap::parse(&std::env::var("GMT_BOOTSTRAP").map_err(|_| "GMT_BOOTSTRAP not set")?)?;
+
+    let t0 = Instant::now();
+    let (transport, mut control) =
+        rendezvous(node, nodes, &bootstrap).map_err(|e| format!("rendezvous: {e}"))?;
+    eprintln!(
+        "[gmt-launch] node {node}/{nodes} meshed in {:.0?} (pid {})",
+        t0.elapsed(),
+        std::process::id()
+    );
+    let runtime = NodeRuntime::start(Arc::new(transport) as Arc<dyn Transport>, Config::small())?;
+    eprintln!("[gmt-launch] node {node} runtime up");
+
+    if node == 0 {
+        run_workload(opts, runtime.node(), "tcp");
+        control.signal_done();
+    } else {
+        control.wait_done();
+    }
+    write_metrics(&opts.bin, runtime.node(), node);
+    runtime.shutdown();
+    Ok(())
+}
+
+/// `--single`: the same nodes and workload in one process over the sim
+/// fabric — the reference run the TCP output is diffed against.
+fn single_process(opts: &Opts) -> Result<(), String> {
+    let cluster = Cluster::start_sim(opts.nodes, Config::small())?;
+    run_workload(opts, cluster.node(0), "sim");
+    for node in 0..opts.nodes {
+        write_metrics(&opts.bin, cluster.node(node), node);
+    }
+    cluster.shutdown();
+    Ok(())
+}
+
+fn run_workload(opts: &Opts, driver: &gmt_core::NodeHandle, backend: &str) {
+    let t0 = Instant::now();
+    match opts.bin.as_str() {
+        "bfs" => run_bfs(opts, driver),
+        "chma" => run_chma(driver),
+        other => unreachable!("workload '{other}' rejected at parse time"),
+    }
+    eprintln!("[gmt-launch] {} over {backend} took {:.0?}", opts.bin, t0.elapsed());
+}
+
+/// BFS over a uniform random graph. Per-vertex levels are
+/// schedule-independent (level-synchronous traversal; each vertex is
+/// claimed by CAS at exactly one level), so the FNV-1a digest of the
+/// level array is comparable across backends and process layouts.
+fn run_bfs(opts: &Opts, driver: &gmt_core::NodeHandle) {
+    let spec = GraphSpec { vertices: opts.vertices, avg_degree: opts.degree, seed: opts.seed };
+    let source = opts.source;
+    let r = driver.run(move |ctx| {
+        let csr = uniform_random(spec);
+        let g = DistGraph::from_csr(ctx, &csr);
+        let r = gmt_bfs(ctx, &g, source);
+        g.free(ctx);
+        r
+    });
+    let mut bytes = Vec::with_capacity(r.levels.len() * 8);
+    for l in &r.levels {
+        bytes.extend_from_slice(&l.to_le_bytes());
+    }
+    println!(
+        "RESULT bfs vertices={} degree={} seed={} source={} visited={} traversed_edges={} \
+         levels_fnv=0x{:016x}",
+        opts.vertices,
+        opts.degree,
+        opts.seed,
+        source,
+        r.visited,
+        r.traversed_edges,
+        fnv1a(&bytes)
+    );
+}
+
+/// CHMA on a collision-free configuration: every pool string and its
+/// reversal hashes to a private slot, so hit/miss/insert totals are a
+/// pure function of the config — no CAS race can tilt them (the same
+/// construction combining.rs uses for its determinism tests).
+fn run_chma(driver: &gmt_core::NodeHandle) {
+    let cfg = ChmaConfig { entries: 65536, pool: 128, tasks: 8, steps: 16, seed: 1 };
+    let (inserted, r) = driver.run(move |ctx| {
+        let map = GmtHashMap::alloc(ctx, cfg.entries);
+        let inserted = gmt_chma_populate(ctx, &map, &cfg);
+        let r = gmt_chma_access(ctx, &map, &cfg);
+        map.free(ctx);
+        (inserted, r)
+    });
+    println!(
+        "RESULT chma entries={} pool={} tasks={} steps={} seed={} populated={} hits={} misses={} \
+         inserts={} accesses={}",
+        cfg.entries,
+        cfg.pool,
+        cfg.tasks,
+        cfg.steps,
+        cfg.seed,
+        inserted,
+        r.hits,
+        r.misses,
+        r.inserts,
+        r.accesses
+    );
+}
+
+/// Honors `GMT_METRICS_OUT`: one JSON snapshot per node, same layout the
+/// fault-injection CI jobs upload as failure artifacts.
+fn write_metrics(bin: &str, node: &gmt_core::NodeHandle, id: usize) {
+    let Ok(dir) = std::env::var("GMT_METRICS_OUT") else { return };
+    if dir.is_empty() {
+        return;
+    }
+    let _ = std::fs::create_dir_all(&dir);
+    let path = format!("{dir}/{bin}-node{id}.json");
+    if let Err(e) = std::fs::write(&path, node.metrics_snapshot().to_json()) {
+        eprintln!("[gmt-launch] could not write {path}: {e}");
+    }
+}

@@ -16,6 +16,11 @@
 //! * [`stats`] — per-node traffic counters used by the benchmark harness to
 //!   compute effective bandwidth in *modeled* time, independent of host
 //!   scheduling noise.
+//! * [`transport`] — the object-safe [`Transport`] trait both backends
+//!   implement; everything above the wire is written against it.
+//! * [`tcp`] — the real multi-process backend: length-prefixed frames over
+//!   per-peer `TcpStream`s, an in-process loopback mesh for CI, and the
+//!   rendezvous protocol `gmt-launch` boots clusters with.
 //!
 //! # Calibration note
 //!
@@ -31,12 +36,16 @@ pub mod fault;
 pub mod model;
 pub mod payload;
 pub mod stats;
+pub mod tcp;
+pub mod transport;
 
 pub use fabric::{DeliveryMode, Endpoint, Fabric, NetError, Packet, Tag};
 pub use fault::{seed_from_env, FaultPlan, FlapWindow};
 pub use model::NetworkModel;
 pub use payload::{BufRelease, Payload};
 pub use stats::TrafficStats;
+pub use tcp::{loopback_mesh, rendezvous, Bootstrap, Control, TcpTransport};
+pub use transport::{Transport, TransportSelect};
 
 /// Identifies a node (an MPI rank in the paper's terms).
 pub type NodeId = usize;

@@ -1,0 +1,971 @@
+//! Multi-process TCP transport.
+//!
+//! Where [`fabric`](crate::fabric) simulates the interconnect inside one
+//! process, this module is the real thing: one runtime node per OS
+//! process (or per mesh slot in-process for CI), length-prefixed frames
+//! over one `TcpStream` per directed peer pair, and a nonblocking reader
+//! thread that reassembles frames across partial reads and feeds the
+//! same inbox path the sim uses. The reliability, membership and
+//! flow-control layers above run unchanged.
+//!
+//! # Wire format
+//!
+//! Every message is one frame: `[len: u32 LE][tag: u32 LE]` followed by
+//! `len` payload bytes. Connections open with a 12-byte hello —
+//! `[magic][src node][cluster size]`, all `u32 LE` — so the acceptor can
+//! attribute inbound frames to a [`NodeId`] without trusting addresses.
+//!
+//! # Construction
+//!
+//! * [`loopback_mesh`] wires N transports inside one process over
+//!   127.0.0.1 — the CI `tcp-loopback` backend. They share one
+//!   [`TrafficStats`] table so cluster-wide counters keep working.
+//! * [`rendezvous`] is the multi-process path used by `gmt-launch`:
+//!   node 0 listens at a bootstrap address (given directly or published
+//!   through a file), peers dial in and register their data-listener
+//!   addresses, node 0 broadcasts the full `NodeId` ↔ address map, and
+//!   every pair then connects directly. The registration connections are
+//!   kept as a [`Control`] side channel for end-of-job signalling.
+//!
+//! # Fault shim
+//!
+//! [`TcpTransport::install_faults`] applies a [`FaultPlan`] *in
+//! userspace at the frame layer*: drop skips the write, duplicate writes
+//! the frame twice, and both fragment the header across separate writes
+//! so reassembly over partial reads is exercised deterministically.
+//! Decisions reuse `FaultPlan::decide` with the same per-link counters
+//! as the fabric, so a seed replays the same loss pattern over real
+//! sockets. Jitter/throttle/stall shapes need the cost model and stay
+//! sim-only.
+
+use crate::fabric::{NetError, Packet, Tag};
+use crate::fault::FaultPlan;
+use crate::payload::{BufRelease, Payload};
+use crate::stats::TrafficStats;
+use crate::transport::Transport;
+use crate::NodeId;
+use crossbeam::channel::{self, Receiver, Sender};
+use crossbeam::queue::SegQueue;
+use parking_lot::{Mutex, RwLock};
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Frame header: payload length + tag, both `u32` little-endian.
+const FRAME_HEADER: usize = 8;
+
+/// Refuse frames larger than this (a corrupt or hostile length prefix
+/// must not allocate gigabytes). The aggregation layer's buffers are a
+/// few KiB; 64 MiB leaves room for any future bulk path.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Connection hello magic ("GMT1").
+const HELLO_MAGIC: u32 = 0x474D_5431;
+
+/// Done byte on the [`Control`] channel.
+const CONTROL_DONE: u8 = 0xD0;
+
+/// Receive buffers cached per transport; beyond this, spent buffers are
+/// freed instead of re-pooled.
+const RECV_POOL_CAP: usize = 256;
+
+/// How long construction-time handshakes (rendezvous registration, mesh
+/// accepts, hello reads) may take before giving up with an error — a
+/// crashed peer must fail the launch, not hang it.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Pool of receive buffers. Incoming frames are copied out of the reader
+/// thread's staging area into a pooled `Vec` and delivered as a pooled
+/// [`Payload`], so the receive side recycles buffers exactly like the
+/// sim's channel pools do.
+struct RecvPool {
+    bufs: SegQueue<Vec<u8>>,
+}
+
+impl RecvPool {
+    fn new() -> Arc<Self> {
+        Arc::new(RecvPool { bufs: SegQueue::new() })
+    }
+
+    fn get(&self) -> Vec<u8> {
+        self.bufs.pop().unwrap_or_default()
+    }
+}
+
+impl BufRelease for RecvPool {
+    fn release(&self, mut buf: Vec<u8>) {
+        if self.bufs.len() < RECV_POOL_CAP {
+            buf.clear();
+            self.bufs.push(buf);
+        }
+    }
+}
+
+/// A [`FaultPlan`] installed on the send side, with the fabric's
+/// per-directed-link counters so the n-th packet on a link always gets
+/// the n-th decision.
+struct InstalledShim {
+    plan: FaultPlan,
+    installed_at: Instant,
+    /// Indexed by destination; this transport only ever sends from its
+    /// own node.
+    counters: Vec<AtomicU64>,
+}
+
+struct TcpShared {
+    node: NodeId,
+    nodes: usize,
+    stats: Arc<TrafficStats>,
+    /// Outbound stream per peer (`None` for self and for torn-down
+    /// links). Each slot's mutex also serializes frame writes.
+    outbound: Vec<Mutex<Option<TcpStream>>>,
+    inbox_tx: Sender<Packet>,
+    stop: AtomicBool,
+    shim: RwLock<Option<InstalledShim>>,
+    pool: Arc<RecvPool>,
+}
+
+/// One node's attachment to a TCP mesh. See the module docs; the
+/// [`Transport`] contract (FIFO per link, no delivery guarantee, pooled
+/// receive payloads, bounded shutdown) is documented on the trait.
+pub struct TcpTransport {
+    shared: Arc<TcpShared>,
+    inbox_rx: Receiver<Packet>,
+    reader: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl TcpTransport {
+    /// Assembles a transport from already-handshaked streams and spawns
+    /// the reader thread. `inbound[i] = (src, stream)`; `outbound[dst]`
+    /// is `None` for `dst == node`.
+    fn assemble(
+        node: NodeId,
+        nodes: usize,
+        inbound: Vec<(NodeId, TcpStream)>,
+        outbound: Vec<Option<TcpStream>>,
+        stats: Arc<TrafficStats>,
+    ) -> io::Result<TcpTransport> {
+        debug_assert_eq!(outbound.len(), nodes);
+        let (inbox_tx, inbox_rx) = channel::unbounded();
+        let shared = Arc::new(TcpShared {
+            node,
+            nodes,
+            stats,
+            outbound: outbound.into_iter().map(Mutex::new).collect(),
+            inbox_tx,
+            stop: AtomicBool::new(false),
+            shim: RwLock::new(None),
+            pool: RecvPool::new(),
+        });
+        let reader = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("gmt-tcp-rx-{node}"))
+                .spawn(move || reader_loop(shared, inbound))?
+        };
+        Ok(TcpTransport { shared, inbox_rx, reader: Mutex::new(Some(reader)) })
+    }
+
+    /// Installs a seeded [`FaultPlan`] as a userspace shim on this
+    /// sender's frame layer (drop and duplicate; time-shaping faults are
+    /// ignored — no cost model over real sockets). Replaces any previous
+    /// plan; decisions restart from packet 0 like the fabric's
+    /// `install_faults`.
+    pub fn install_faults(&self, plan: FaultPlan) {
+        let counters = (0..self.shared.nodes).map(|_| AtomicU64::new(0)).collect();
+        *self.shared.shim.write() =
+            Some(InstalledShim { plan, installed_at: Instant::now(), counters });
+    }
+
+    /// Removes the fault shim; the send path writes every frame again.
+    pub fn clear_faults(&self) {
+        *self.shared.shim.write() = None;
+    }
+}
+
+impl Transport for TcpTransport {
+    fn node(&self) -> NodeId {
+        self.shared.node
+    }
+
+    fn nodes(&self) -> usize {
+        self.shared.nodes
+    }
+
+    fn send(&self, dst: NodeId, tag: Tag, payload: Payload) -> Result<(), NetError> {
+        let shared = &*self.shared;
+        if dst >= shared.nodes {
+            return Err(NetError::NoSuchNode { dst, nodes: shared.nodes });
+        }
+        if shared.stop.load(Ordering::Acquire) {
+            return Err(NetError::Closed);
+        }
+        let bytes = payload.as_slice();
+        assert!(bytes.len() <= MAX_FRAME, "frame larger than MAX_FRAME");
+        shared.stats.record_send(shared.node, bytes.len());
+
+        // Fault shim: same decision function and per-link counters as the
+        // fabric, applied before the bytes reach the socket.
+        let mut duplicate = false;
+        let mut fragment = false;
+        if let Some(shim) = shared.shim.read().as_ref() {
+            let n = shim.counters[dst].fetch_add(1, Ordering::Relaxed);
+            let t_ns = shim.installed_at.elapsed().as_nanos() as u64;
+            let d = shim.plan.decide(shared.node, dst, n, t_ns);
+            if d.drop {
+                // Silent loss: the sender's NIC does not know the switch
+                // ate the frame. Dropping the payload here releases any
+                // pooled buffer.
+                shared.stats.record_drop(shared.node);
+                return Ok(());
+            }
+            duplicate = d.duplicate;
+            // Under a shim, fragment every frame's header and body across
+            // separate writes so reassembly over partial reads is
+            // exercised, not just loss.
+            fragment = true;
+        }
+        if duplicate {
+            shared.stats.record_dup(shared.node);
+        }
+
+        if dst == shared.node {
+            // Self-send: loop straight into the inbox, zero-copy.
+            if duplicate {
+                let copy = payload.clone();
+                let _ = shared.inbox_tx.send(Packet { src: shared.node, dst, tag, payload: copy });
+                shared.stats.record_recv(shared.node, bytes.len());
+            }
+            shared.stats.record_recv(shared.node, bytes.len());
+            let _ = shared.inbox_tx.send(Packet { src: shared.node, dst, tag, payload });
+            return Ok(());
+        }
+
+        let mut slot = shared.outbound[dst].lock();
+        let stream = match slot.as_mut() {
+            Some(s) => s,
+            None => {
+                return Err(if shared.stop.load(Ordering::Acquire) {
+                    NetError::Closed
+                } else {
+                    NetError::LinkDown { src: shared.node, dst }
+                });
+            }
+        };
+        let writes = if duplicate { 2 } else { 1 };
+        for _ in 0..writes {
+            if let Err(_e) = write_frame(stream, tag, bytes, fragment) {
+                // The connection is gone; drop it so later sends fail
+                // fast. Recovering the peer is the reliability layer's
+                // job, not the socket's.
+                stream.shutdown(Shutdown::Both).ok();
+                *slot = None;
+                return Err(NetError::LinkDown { src: shared.node, dst });
+            }
+        }
+        Ok(())
+    }
+
+    fn try_recv(&self) -> Option<Packet> {
+        self.inbox_rx.try_recv().ok()
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Option<Packet> {
+        self.inbox_rx.recv_timeout(timeout).ok()
+    }
+
+    fn pending(&self) -> usize {
+        self.inbox_rx.len()
+    }
+
+    fn observed_kill(&self, node: NodeId) -> bool {
+        self.shared.shim.read().as_ref().is_some_and(|s| s.plan.is_killed(node))
+    }
+
+    fn stats(&self) -> &TrafficStats {
+        &self.shared.stats
+    }
+
+    fn stats_arc(&self) -> Arc<TrafficStats> {
+        Arc::clone(&self.shared.stats)
+    }
+
+    fn shutdown(&self) {
+        if self.shared.stop.swap(true, Ordering::AcqRel) {
+            return; // idempotent
+        }
+        // Close outbound links; peers observe EOF on their reader side.
+        for slot in &self.shared.outbound {
+            if let Some(s) = slot.lock().take() {
+                s.shutdown(Shutdown::Both).ok();
+            }
+        }
+        // The reader polls `stop` between nonblocking sweeps, so this
+        // join is bounded. Frames it already parsed stay in the inbox;
+        // partial frames in its staging buffers are dropped (plain Vecs,
+        // nothing pooled below the inbox on this backend).
+        if let Some(h) = self.reader.lock().take() {
+            h.join().ok();
+        }
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        Transport::shutdown(self);
+    }
+}
+
+/// Writes one frame. `fragment` splits the header and body across
+/// separate flushed writes (fault-shim mode) so the receiver's partial
+/// read reassembly is exercised deterministically.
+fn write_frame(stream: &mut TcpStream, tag: Tag, bytes: &[u8], fragment: bool) -> io::Result<()> {
+    let mut hdr = [0u8; FRAME_HEADER];
+    hdr[..4].copy_from_slice(&(bytes.len() as u32).to_le_bytes());
+    hdr[4..].copy_from_slice(&tag.to_le_bytes());
+    if fragment {
+        stream.write_all(&hdr[..5])?;
+        stream.flush()?;
+        stream.write_all(&hdr[5..])?;
+        if !bytes.is_empty() {
+            let mid = bytes.len() / 2;
+            stream.write_all(&bytes[..mid])?;
+            stream.flush()?;
+            stream.write_all(&bytes[mid..])?;
+        }
+    } else {
+        stream.write_all(&hdr)?;
+        stream.write_all(bytes)?;
+    }
+    stream.flush()
+}
+
+/// One inbound connection being reassembled by the reader thread.
+struct InboundConn {
+    src: NodeId,
+    stream: TcpStream,
+    /// Bytes received but not yet parsed into whole frames.
+    staging: Vec<u8>,
+    open: bool,
+}
+
+/// The reader thread: sweeps all inbound connections nonblocking,
+/// reassembles frames across partial reads, and delivers them to the
+/// inbox as pooled payloads. Exits when `stop` is set or every
+/// connection has closed.
+fn reader_loop(shared: Arc<TcpShared>, inbound: Vec<(NodeId, TcpStream)>) {
+    let mut conns: Vec<InboundConn> = inbound
+        .into_iter()
+        .map(|(src, stream)| {
+            stream.set_nonblocking(true).ok();
+            InboundConn { src, stream, staging: Vec::new(), open: true }
+        })
+        .collect();
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let mut progressed = false;
+        let mut any_open = false;
+        for c in conns.iter_mut().filter(|c| c.open) {
+            match c.stream.read(&mut chunk) {
+                Ok(0) => {
+                    // EOF: the peer closed. A partial frame left in
+                    // staging is a torn tail; discard it — retransmission
+                    // is the reliability layer's problem.
+                    c.open = false;
+                }
+                Ok(n) => {
+                    c.staging.extend_from_slice(&chunk[..n]);
+                    if drain_frames(&shared, c.src, &mut c.staging).is_err() {
+                        // Corrupt length prefix: this stream can never
+                        // re-synchronize, close it.
+                        c.stream.shutdown(Shutdown::Both).ok();
+                        c.open = false;
+                    }
+                    progressed = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {}
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    c.open = false;
+                }
+            }
+            any_open |= c.open;
+        }
+        if !any_open && !conns.is_empty() {
+            return; // every peer hung up; nothing left to read
+        }
+        if conns.is_empty() {
+            // Single-node cluster: nothing inbound, just wait for stop.
+            std::thread::sleep(Duration::from_millis(1));
+        } else if !progressed {
+            std::thread::sleep(Duration::from_micros(100));
+        }
+    }
+}
+
+/// Parses every complete frame out of `staging`, delivering each to the
+/// inbox; leftover bytes (a partial frame) stay for the next read.
+/// `Err` means an invalid length prefix.
+fn drain_frames(shared: &TcpShared, src: NodeId, staging: &mut Vec<u8>) -> Result<(), ()> {
+    let mut consumed = 0;
+    while staging.len() - consumed >= FRAME_HEADER {
+        let at = consumed;
+        let len =
+            u32::from_le_bytes(staging[at..at + 4].try_into().expect("4-byte slice")) as usize;
+        if len > MAX_FRAME {
+            staging.clear();
+            return Err(());
+        }
+        if staging.len() - at - FRAME_HEADER < len {
+            break; // incomplete body; wait for more bytes
+        }
+        let tag = Tag::from_le_bytes(staging[at + 4..at + 8].try_into().expect("4-byte slice"));
+        let body = &staging[at + FRAME_HEADER..at + FRAME_HEADER + len];
+        let mut buf = shared.pool.get();
+        buf.extend_from_slice(body);
+        let payload = Payload::pooled(buf, Arc::clone(&shared.pool) as Arc<dyn BufRelease>);
+        shared.stats.record_recv(shared.node, len);
+        // A full inbox channel cannot happen (unbounded); a closed one
+        // means the transport is gone and the packet is moot.
+        let _ = shared.inbox_tx.send(Packet { src, dst: shared.node, tag, payload });
+        consumed = at + FRAME_HEADER + len;
+    }
+    staging.drain(..consumed);
+    Ok(())
+}
+
+fn write_hello(stream: &mut TcpStream, src: NodeId, nodes: usize) -> io::Result<()> {
+    let mut hello = [0u8; 12];
+    hello[..4].copy_from_slice(&HELLO_MAGIC.to_le_bytes());
+    hello[4..8].copy_from_slice(&(src as u32).to_le_bytes());
+    hello[8..].copy_from_slice(&(nodes as u32).to_le_bytes());
+    stream.write_all(&hello)?;
+    stream.flush()
+}
+
+fn read_hello(stream: &mut TcpStream, nodes: usize) -> io::Result<NodeId> {
+    let mut hello = [0u8; 12];
+    stream.read_exact(&mut hello)?;
+    let magic = u32::from_le_bytes(hello[..4].try_into().expect("4-byte slice"));
+    let src = u32::from_le_bytes(hello[4..8].try_into().expect("4-byte slice")) as usize;
+    let peer_nodes = u32::from_le_bytes(hello[8..].try_into().expect("4-byte slice")) as usize;
+    if magic != HELLO_MAGIC {
+        return Err(io::Error::new(ErrorKind::InvalidData, "bad hello magic"));
+    }
+    if peer_nodes != nodes || src >= nodes {
+        return Err(io::Error::new(
+            ErrorKind::InvalidData,
+            format!("hello from node {src} of {peer_nodes} in a {nodes}-node cluster"),
+        ));
+    }
+    Ok(src)
+}
+
+/// Accepts one connection, polling nonblocking until `deadline` — a
+/// crashed peer fails the launch instead of hanging it.
+fn accept_with_deadline(listener: &TcpListener, deadline: Instant) -> io::Result<TcpStream> {
+    listener.set_nonblocking(true)?;
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false)?;
+                return Ok(stream);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(io::Error::new(
+                        ErrorKind::TimedOut,
+                        "timed out waiting for a peer to connect",
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Performs the hello handshake on a freshly-accepted data connection
+/// with a read timeout, so a stuck peer cannot hang construction.
+fn accept_peer(
+    listener: &TcpListener,
+    nodes: usize,
+    deadline: Instant,
+) -> io::Result<(NodeId, TcpStream)> {
+    let mut stream = accept_with_deadline(listener, deadline)?;
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
+    let src = read_hello(&mut stream, nodes)?;
+    stream.set_read_timeout(None)?;
+    Ok((src, stream))
+}
+
+/// Builds an N-node TCP mesh inside one process over 127.0.0.1 — the
+/// `tcp-loopback` CI backend. All transports share one [`TrafficStats`]
+/// table, so cluster-wide counters (metrics snapshots, bench harness)
+/// behave exactly as over the sim fabric.
+pub fn loopback_mesh(nodes: usize) -> io::Result<Vec<TcpTransport>> {
+    assert!(nodes > 0, "a mesh needs at least one node");
+    let stats = Arc::new(TrafficStats::new(nodes));
+    let listeners: Vec<TcpListener> =
+        (0..nodes).map(|_| TcpListener::bind("127.0.0.1:0")).collect::<io::Result<_>>()?;
+    let addrs: Vec<SocketAddr> =
+        listeners.iter().map(|l| l.local_addr()).collect::<io::Result<_>>()?;
+    // Dial every directed pair first: connects complete against the
+    // kernel's accept backlog and the 12-byte hellos fit in the socket
+    // buffer, so no accept needs to run concurrently (deadlock-free).
+    let mut outbound: Vec<Vec<Option<TcpStream>>> =
+        (0..nodes).map(|_| (0..nodes).map(|_| None).collect()).collect();
+    for (src, row) in outbound.iter_mut().enumerate() {
+        for (dst, slot) in row.iter_mut().enumerate() {
+            if src == dst {
+                continue;
+            }
+            let mut s = TcpStream::connect(addrs[dst])?;
+            s.set_nodelay(true).ok();
+            write_hello(&mut s, src, nodes)?;
+            *slot = Some(s);
+        }
+    }
+    let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
+    let mut transports = Vec::with_capacity(nodes);
+    for (node, listener) in listeners.into_iter().enumerate() {
+        let mut inbound = Vec::with_capacity(nodes - 1);
+        for _ in 0..nodes - 1 {
+            inbound.push(accept_peer(&listener, nodes, deadline)?);
+        }
+        transports.push(TcpTransport::assemble(
+            node,
+            nodes,
+            inbound,
+            std::mem::take(&mut outbound[node]),
+            Arc::clone(&stats),
+        )?);
+    }
+    Ok(transports)
+}
+
+/// How a peer process finds node 0's rendezvous listener.
+#[derive(Debug, Clone)]
+pub enum Bootstrap {
+    /// The address is known up front (env-style bootstrap). Node 0 binds
+    /// it; peers dial it.
+    Addr(SocketAddr),
+    /// Node 0 binds an ephemeral port and publishes `ip:port` to this
+    /// file (written to a temp name, then renamed, so readers never see
+    /// a partial write); peers poll the file until it appears.
+    File(PathBuf),
+}
+
+impl Bootstrap {
+    /// Parses the `GMT_BOOTSTRAP` syntax: `file:<path>` or a literal
+    /// `ip:port`.
+    pub fn parse(s: &str) -> Result<Bootstrap, String> {
+        if let Some(path) = s.strip_prefix("file:") {
+            if path.is_empty() {
+                return Err("empty bootstrap file path".into());
+            }
+            Ok(Bootstrap::File(PathBuf::from(path)))
+        } else {
+            s.parse::<SocketAddr>()
+                .map(Bootstrap::Addr)
+                .map_err(|e| format!("bad bootstrap address {s:?}: {e}"))
+        }
+    }
+}
+
+/// The rendezvous side channel left over after [`rendezvous`]: node 0
+/// keeps one stream per peer, each peer keeps its stream to node 0. The
+/// launcher uses it to signal end-of-job so peers know when to shut
+/// down (a runtime has no application-level "job finished" broadcast).
+pub enum Control {
+    /// Node 0's end: one stream per peer, indexed by registration order.
+    Coordinator(Vec<TcpStream>),
+    /// A peer's end: the stream to node 0.
+    Peer(TcpStream),
+}
+
+impl Control {
+    /// Sends the done byte to the other side(s). Errors are swallowed —
+    /// a peer that already exited has effectively acknowledged.
+    pub fn signal_done(&mut self) {
+        let streams: &mut [TcpStream] = match self {
+            Control::Coordinator(v) => v,
+            Control::Peer(s) => std::slice::from_mut(s),
+        };
+        for s in streams {
+            s.write_all(&[CONTROL_DONE]).ok();
+            s.flush().ok();
+        }
+    }
+
+    /// Blocks until the other side(s) send the done byte or hang up
+    /// (process exit counts as done — EOF is an acknowledgement).
+    pub fn wait_done(&mut self) {
+        let streams: &mut [TcpStream] = match self {
+            Control::Coordinator(v) => v,
+            Control::Peer(s) => std::slice::from_mut(s),
+        };
+        for s in streams {
+            s.set_read_timeout(None).ok();
+            let mut byte = [0u8; 1];
+            let _ = s.read(&mut byte);
+        }
+    }
+}
+
+/// Registration message a peer sends node 0: magic, node id, cluster
+/// size, then its data-listener address as a length-prefixed string.
+fn write_registration(
+    stream: &mut TcpStream,
+    node: NodeId,
+    nodes: usize,
+    addr: &SocketAddr,
+) -> io::Result<()> {
+    write_hello(stream, node, nodes)?;
+    let text = addr.to_string();
+    let bytes = text.as_bytes();
+    stream.write_all(&(bytes.len() as u16).to_le_bytes())?;
+    stream.write_all(bytes)?;
+    stream.flush()
+}
+
+fn read_addr(stream: &mut TcpStream) -> io::Result<SocketAddr> {
+    let mut len = [0u8; 2];
+    stream.read_exact(&mut len)?;
+    let mut text = vec![0u8; u16::from_le_bytes(len) as usize];
+    stream.read_exact(&mut text)?;
+    let text = std::str::from_utf8(&text)
+        .map_err(|e| io::Error::new(ErrorKind::InvalidData, format!("bad addr utf8: {e}")))?;
+    text.parse()
+        .map_err(|e| io::Error::new(ErrorKind::InvalidData, format!("bad addr {text:?}: {e}")))
+}
+
+/// Publishes node 0's rendezvous address: write to a temp name in the
+/// same directory, then rename, so a polling peer never reads a torn
+/// write.
+fn publish_addr(path: &Path, addr: &SocketAddr) -> io::Result<()> {
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    std::fs::write(&tmp, addr.to_string())?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Polls the bootstrap file until node 0 publishes its address.
+fn poll_addr(path: &Path, deadline: Instant) -> io::Result<SocketAddr> {
+    loop {
+        if let Ok(text) = std::fs::read_to_string(path) {
+            if let Ok(addr) = text.trim().parse() {
+                return Ok(addr);
+            }
+        }
+        if Instant::now() >= deadline {
+            return Err(io::Error::new(
+                ErrorKind::TimedOut,
+                format!("bootstrap file {} never appeared", path.display()),
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Multi-process rendezvous: brings up this node's slice of an N-node
+/// TCP mesh and returns the transport plus the [`Control`] side channel.
+///
+/// The protocol (node 0 listens, peers dial — per the launcher design):
+///
+/// 1. every node binds its *data* listener on an ephemeral port;
+/// 2. node 0 binds the *rendezvous* listener ([`Bootstrap::Addr`]: that
+///    address; [`Bootstrap::File`]: an ephemeral port, published to the
+///    file atomically);
+/// 3. each peer dials the rendezvous listener and registers
+///    `(node id, data address)`;
+/// 4. node 0 broadcasts the complete `NodeId` ↔ address map over the
+///    registration connections — which then stay open as the control
+///    channel;
+/// 5. everyone dials every higher-numbered peer's data listener (hello
+///    identifies the dialer) and accepts from every lower-numbered one,
+///    completing the full mesh.
+///
+/// Every blocking step carries a ~60 s deadline so one crashed process
+/// fails the whole launch instead of wedging it.
+pub fn rendezvous(
+    node: NodeId,
+    nodes: usize,
+    bootstrap: &Bootstrap,
+) -> io::Result<(TcpTransport, Control)> {
+    assert!(nodes > 0 && node < nodes, "node {node} out of range for {nodes} nodes");
+    let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
+    let data_listener = TcpListener::bind("127.0.0.1:0")?;
+    let data_addr = data_listener.local_addr()?;
+
+    // Phase 1: learn the full address map through node 0.
+    let (addrs, control) = if node == 0 {
+        let rdv = match bootstrap {
+            Bootstrap::Addr(a) => TcpListener::bind(a)?,
+            Bootstrap::File(path) => {
+                let l = TcpListener::bind("127.0.0.1:0")?;
+                publish_addr(path, &l.local_addr()?)?;
+                l
+            }
+        };
+        let mut addrs: Vec<Option<SocketAddr>> = vec![None; nodes];
+        addrs[0] = Some(data_addr);
+        let mut regs: Vec<(NodeId, TcpStream)> = Vec::with_capacity(nodes - 1);
+        for _ in 0..nodes - 1 {
+            let mut s = accept_with_deadline(&rdv, deadline)?;
+            s.set_nodelay(true).ok();
+            s.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
+            let peer = read_hello(&mut s, nodes)?;
+            let addr = read_addr(&mut s)?;
+            if addrs[peer].replace(addr).is_some() {
+                return Err(io::Error::new(
+                    ErrorKind::InvalidData,
+                    format!("node {peer} registered twice"),
+                ));
+            }
+            regs.push((peer, s));
+        }
+        let addrs: Vec<SocketAddr> =
+            addrs.into_iter().map(|a| a.expect("all slots filled")).collect();
+        // Broadcast the map.
+        for (_, s) in regs.iter_mut() {
+            for a in &addrs {
+                let text = a.to_string();
+                s.write_all(&(text.len() as u16).to_le_bytes())?;
+                s.write_all(text.as_bytes())?;
+            }
+            s.flush()?;
+        }
+        (addrs, Control::Coordinator(regs.into_iter().map(|(_, s)| s).collect()))
+    } else {
+        let rdv_addr = match bootstrap {
+            Bootstrap::Addr(a) => *a,
+            Bootstrap::File(path) => poll_addr(path, deadline)?,
+        };
+        // Node 0 may not be listening yet; retry until the deadline.
+        let mut s = loop {
+            match TcpStream::connect(rdv_addr) {
+                Ok(s) => break s,
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        };
+        s.set_nodelay(true).ok();
+        write_registration(&mut s, node, nodes, &data_addr)?;
+        s.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
+        let addrs: Vec<SocketAddr> =
+            (0..nodes).map(|_| read_addr(&mut s)).collect::<io::Result<_>>()?;
+        s.set_read_timeout(None)?;
+        (addrs, Control::Peer(s))
+    };
+
+    // Phase 2: full mesh. Dial higher-numbered peers, accept
+    // lower-numbered ones — each pair gets exactly one (bidirectional)
+    // stream, and dialing cannot deadlock against accepting (connects
+    // complete via the kernel backlog). Both sides clone the stream so
+    // the reader thread and the send path each hold a handle.
+    let mut outbound: Vec<Option<TcpStream>> = (0..nodes).map(|_| None).collect();
+    let mut inbound = Vec::with_capacity(nodes - 1);
+    for dst in node + 1..nodes {
+        let mut s = loop {
+            match TcpStream::connect(addrs[dst]) {
+                Ok(s) => break s,
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        };
+        s.set_nodelay(true).ok();
+        write_hello(&mut s, node, nodes)?;
+        inbound.push((dst, s.try_clone()?));
+        outbound[dst] = Some(s);
+    }
+    for _ in 0..node {
+        let (src, stream) = accept_peer(&data_listener, nodes, deadline)?;
+        outbound[src] = Some(stream.try_clone()?);
+        inbound.push((src, stream));
+    }
+
+    let stats = Arc::new(TrafficStats::new(nodes));
+    let transport = TcpTransport::assemble(node, nodes, inbound, outbound, stats)?;
+    Ok((transport, control))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bootstrap_parses_both_forms() {
+        match Bootstrap::parse("file:/tmp/x") {
+            Ok(Bootstrap::File(p)) => assert_eq!(p, PathBuf::from("/tmp/x")),
+            other => panic!("unexpected: {other:?}"),
+        }
+        match Bootstrap::parse("127.0.0.1:9000") {
+            Ok(Bootstrap::Addr(a)) => assert_eq!(a.port(), 9000),
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert!(Bootstrap::parse("file:").is_err());
+        assert!(Bootstrap::parse("not-an-addr").is_err());
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_loopback_pair() {
+        let mesh = loopback_mesh(2).expect("mesh");
+        let (a, b) = (&mesh[0], &mesh[1]);
+        for len in [0usize, 1, 7, 4096, 100_000] {
+            let bytes: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            a.send(1, 42, Payload::from(bytes.clone())).expect("send");
+            let got = b.recv_timeout(Duration::from_secs(10)).expect("frame arrives");
+            assert_eq!(got.src, 0);
+            assert_eq!(got.dst, 1);
+            assert_eq!(got.tag, 42);
+            assert_eq!(got.payload.as_slice(), &bytes[..]);
+            assert!(got.payload.is_pooled(), "receive side must pool buffers");
+        }
+        assert_eq!(a.stats().node(0).sent_msgs, 5);
+        assert_eq!(b.stats().node(1).recv_msgs, 5);
+    }
+
+    #[test]
+    fn self_send_loops_back() {
+        let mesh = loopback_mesh(1).expect("mesh");
+        mesh[0].send(0, 7, Payload::from(vec![1, 2, 3])).expect("send");
+        let got = mesh[0].recv_timeout(Duration::from_secs(5)).expect("self packet");
+        assert_eq!((got.src, got.dst, got.tag), (0, 0, 7));
+        assert_eq!(got.payload.as_slice(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn per_link_fifo_is_preserved() {
+        let mesh = loopback_mesh(2).expect("mesh");
+        for i in 0..500u32 {
+            mesh[0].send(1, i, Payload::from(i.to_le_bytes().to_vec())).expect("send");
+        }
+        for i in 0..500u32 {
+            let got = mesh[1].recv_timeout(Duration::from_secs(10)).expect("packet");
+            assert_eq!(got.tag, i, "frames arrived out of order");
+        }
+    }
+
+    #[test]
+    fn shim_drop_blackholes_and_counts() {
+        let mesh = loopback_mesh(2).expect("mesh");
+        mesh[0].install_faults(FaultPlan::new(1).drop(0, 1, 1.0));
+        mesh[0].send(1, 9, Payload::from(vec![0u8; 64])).expect("drop is a successful send");
+        assert_eq!(mesh[0].stats().node(0).dropped_msgs, 1);
+        assert!(mesh[1].recv_timeout(Duration::from_millis(200)).is_none());
+        mesh[0].clear_faults();
+        mesh[0].send(1, 10, Payload::from(vec![1])).expect("send");
+        assert!(mesh[1].recv_timeout(Duration::from_secs(10)).is_some());
+    }
+
+    #[test]
+    fn shim_dup_delivers_twice_over_real_framing() {
+        let mesh = loopback_mesh(2).expect("mesh");
+        mesh[0].install_faults(FaultPlan::new(1).dup(0, 1, 1.0));
+        mesh[0].send(1, 3, Payload::from(vec![9u8; 33])).expect("send");
+        let first = mesh[1].recv_timeout(Duration::from_secs(10)).expect("first copy");
+        let second = mesh[1].recv_timeout(Duration::from_secs(10)).expect("second copy");
+        assert_eq!(first.payload, second.payload);
+        assert_eq!(mesh[0].stats().node(0).duplicated_msgs, 1);
+    }
+
+    #[test]
+    fn killed_peer_is_observed_and_blackholed() {
+        let mesh = loopback_mesh(2).expect("mesh");
+        mesh[0].install_faults(FaultPlan::new(1).kill(1));
+        assert!(mesh[0].observed_kill(1));
+        assert!(!mesh[0].observed_kill(0));
+        mesh[0].send(1, 1, Payload::from(vec![1])).expect("blackholed send succeeds");
+        assert!(mesh[1].recv_timeout(Duration::from_millis(200)).is_none());
+    }
+
+    #[test]
+    fn shutdown_mid_traffic_neither_hangs_nor_errors_the_receiver() {
+        let mesh = loopback_mesh(2).expect("mesh");
+        let mut it = mesh.into_iter();
+        let a = it.next().unwrap();
+        let b = it.next().unwrap();
+        let sender = std::thread::spawn(move || {
+            // Hammer until the transport reports closed/down.
+            loop {
+                match a.send(1, 0, Payload::from(vec![5u8; 512])) {
+                    Ok(()) => {}
+                    Err(NetError::Closed) | Err(NetError::LinkDown { .. }) => break,
+                    Err(e) => panic!("unexpected send error: {e:?}"),
+                }
+            }
+            Transport::shutdown(&a);
+            drop(a);
+        });
+        // Receive some traffic, then shut down while the peer still sends.
+        for _ in 0..50 {
+            if b.recv_timeout(Duration::from_secs(10)).is_none() {
+                break;
+            }
+        }
+        Transport::shutdown(&b);
+        Transport::shutdown(&b); // idempotent
+        assert!(matches!(b.send(0, 0, Payload::from(vec![1])), Err(NetError::Closed)));
+        // Already-queued packets stay receivable after shutdown.
+        while b.try_recv().is_some() {}
+        drop(b); // peer sees EOF (if it had not already hit LinkDown)
+        sender.join().expect("sender thread");
+    }
+
+    #[test]
+    fn rendezvous_builds_a_mesh_across_threads() {
+        let nodes = 3;
+        let dir = std::env::temp_dir().join(format!("gmt-rdv-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let file = dir.join("bootstrap");
+        std::fs::remove_file(&file).ok();
+        let boot = Bootstrap::File(file.clone());
+        let handles: Vec<_> = (0..nodes)
+            .map(|node| {
+                let boot = boot.clone();
+                std::thread::spawn(move || {
+                    let (t, mut control) = rendezvous(node, nodes, &boot).expect("rendezvous");
+                    // Everyone sends to everyone (including itself).
+                    for dst in 0..nodes {
+                        t.send(dst, node as Tag, Payload::from(vec![node as u8; 8])).expect("send");
+                    }
+                    // ... and receives one frame from everyone.
+                    let mut seen = vec![false; nodes];
+                    for _ in 0..nodes {
+                        let p = t.recv_timeout(Duration::from_secs(30)).expect("frame");
+                        assert_eq!(p.payload.as_slice(), &[p.src as u8; 8][..]);
+                        assert!(!seen[p.src], "duplicate from {}", p.src);
+                        seen[p.src] = true;
+                    }
+                    if node == 0 {
+                        control.signal_done();
+                        control.wait_done();
+                    } else {
+                        control.wait_done();
+                    }
+                    Transport::shutdown(&t);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("node thread");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

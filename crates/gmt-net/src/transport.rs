@@ -1,0 +1,176 @@
+//! The pluggable transport abstraction.
+//!
+//! Everything above the wire — the reliability layer, the failure
+//! detector, flow control, the aggregation datapath — talks to the
+//! network through the object-safe [`Transport`] trait. Two backends
+//! implement it:
+//!
+//! * the in-process simulated fabric ([`Endpoint`]) — deterministic,
+//!   fault-injectable, optionally enforcing the network cost model in
+//!   wall time. This is the test and experimentation backend.
+//! * [`TcpTransport`](crate::tcp::TcpTransport) — length-prefixed frames
+//!   over per-peer TCP streams, one runtime node per OS process (or a
+//!   loopback mesh inside one process for CI). This is the backend that
+//!   escapes the single process.
+//!
+//! # Contract
+//!
+//! A `Transport` connects one node to a fixed-size cluster of `nodes()`
+//! peers addressed `0..nodes()` (the node's own id included; self-sends
+//! loop back through the inbox). The guarantees the upper layers rely on:
+//!
+//! * **Per-link FIFO**: packets between a given (source, destination)
+//!   pair that *are* delivered arrive in send order. The reliability
+//!   layer's cumulative acks assume this.
+//! * **No delivery guarantee**: `send` returning `Ok` means the packet
+//!   was accepted, not that it will arrive. Loss, duplication and delay
+//!   are legal (the sim injects them deliberately; TCP loses whole tails
+//!   on connection death). `Err` is advisory — a failed send may still
+//!   be retried by the caller's retransmit machinery.
+//! * **Payload ownership**: `send` consumes the [`Payload`]; its drop —
+//!   wherever it happens (receiver, failed send, shutdown drain) —
+//!   returns any pooled buffer to its pool exactly once.
+//!
+//! # Shutdown/drain semantics
+//!
+//! [`Transport::shutdown`] must be **idempotent** and **bounded-time**:
+//! it stops any background receive machinery (joining threads it owns),
+//! after which `send` returns [`NetError::Closed`]. Packets already
+//! queued in the inbox remain receivable via `try_recv` so a caller can
+//! drain them; packets still buffered *below* the inbox (a wire thread's
+//! heap, a socket buffer) are either delivered to the inbox or dropped —
+//! and a drop must release any pooled buffer. Dropping a transport
+//! mid-traffic must therefore neither hang nor leak pooled buffers;
+//! `buffer_pools_whole_after_shutdown` (gmt-core) checks exactly this
+//! over both backends.
+//!
+//! What the sim guarantees **beyond** the contract (and TCP does not):
+//! deterministic seeded fault injection, instant or cost-modeled
+//! delivery, observable node kills ([`Transport::observed_kill`]), and
+//! loss only when a fault plan asks for it. Code must not rely on any of
+//! these outside sim-pinned tests.
+
+use crate::fabric::{Endpoint, NetError, Packet, Tag};
+use crate::stats::TrafficStats;
+use crate::NodeId;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One node's attachment to an interconnect backend. Object-safe so the
+/// runtime can hold `Arc<dyn Transport>` and run unchanged over the
+/// simulated fabric or real sockets.
+pub trait Transport: Send + Sync {
+    /// This node's id (MPI rank).
+    fn node(&self) -> NodeId;
+
+    /// Number of nodes in the cluster.
+    fn nodes(&self) -> usize;
+
+    /// Non-blocking send; consumes the payload (pooled buffers return to
+    /// their pool when the last handle drops). Per-link FIFO for
+    /// delivered packets; no delivery guarantee (see module docs).
+    fn send(&self, dst: NodeId, tag: Tag, payload: crate::Payload) -> Result<(), NetError>;
+
+    /// Non-blocking receive from this node's inbox.
+    fn try_recv(&self) -> Option<Packet>;
+
+    /// Blocking receive with timeout.
+    fn recv_timeout(&self, timeout: Duration) -> Option<Packet>;
+
+    /// Packets currently queued in the inbox.
+    fn pending(&self) -> usize;
+
+    /// Whether the backend can observe that `node` was explicitly killed
+    /// (the sim's stand-in for a fabric link-down notification). Backends
+    /// without such a signal return `false`; the failure detector then
+    /// relies on retry exhaustion and heartbeat silence alone.
+    fn observed_kill(&self, _node: NodeId) -> bool {
+        false
+    }
+
+    /// Traffic counters. For the sim every endpoint shares the fabric's
+    /// table; a TCP transport only maintains its own node's row (plus
+    /// loopback-mesh siblings sharing one table in-process).
+    fn stats(&self) -> &TrafficStats;
+
+    /// Shared handle to the traffic counters (outlives the transport).
+    fn stats_arc(&self) -> Arc<TrafficStats>;
+
+    /// Stops receive machinery and closes links. Idempotent, bounded-time
+    /// (joins only threads the transport owns), releases pooled buffers
+    /// it still holds; subsequent sends return [`NetError::Closed`] and
+    /// already-queued inbox packets stay receivable. The sim endpoint is
+    /// a no-op here — its drain runs in [`Fabric`](crate::Fabric)'s
+    /// `Drop`, which honors the same contract.
+    fn shutdown(&self) {}
+}
+
+impl Transport for Endpoint {
+    fn node(&self) -> NodeId {
+        Endpoint::node(self)
+    }
+
+    fn nodes(&self) -> usize {
+        Endpoint::nodes(self)
+    }
+
+    fn send(&self, dst: NodeId, tag: Tag, payload: crate::Payload) -> Result<(), NetError> {
+        Endpoint::send(self, dst, tag, payload)
+    }
+
+    fn try_recv(&self) -> Option<Packet> {
+        Endpoint::try_recv(self)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Option<Packet> {
+        Endpoint::recv_timeout(self, timeout)
+    }
+
+    fn pending(&self) -> usize {
+        Endpoint::pending(self)
+    }
+
+    fn observed_kill(&self, node: NodeId) -> bool {
+        Endpoint::observed_kill(self, node)
+    }
+
+    fn stats(&self) -> &TrafficStats {
+        Endpoint::stats(self)
+    }
+
+    fn stats_arc(&self) -> Arc<TrafficStats> {
+        Endpoint::stats_arc(self)
+    }
+}
+
+/// Which backend a runtime should attach to, resolved from the
+/// `GMT_TRANSPORT` environment variable (the CI transport matrix knob).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportSelect {
+    /// The in-process simulated fabric (default).
+    Sim,
+    /// A TCP mesh over 127.0.0.1, one stream per directed peer pair.
+    TcpLoopback,
+}
+
+impl TransportSelect {
+    /// Reads `GMT_TRANSPORT`: unset/empty/`sim` → [`Sim`]; `tcp` or
+    /// `tcp-loopback` → [`TcpLoopback`]; anything else is an error (a
+    /// typo in a CI matrix must fail loudly, not silently run sim).
+    ///
+    /// [`Sim`]: TransportSelect::Sim
+    /// [`TcpLoopback`]: TransportSelect::TcpLoopback
+    pub fn from_env() -> Result<TransportSelect, String> {
+        match std::env::var("GMT_TRANSPORT") {
+            Err(_) => Ok(TransportSelect::Sim),
+            Ok(v) => match v.as_str() {
+                "" | "sim" => Ok(TransportSelect::Sim),
+                "tcp" | "tcp-loopback" => Ok(TransportSelect::TcpLoopback),
+                other => Err(format!(
+                    "GMT_TRANSPORT={other:?} is not a transport (expected sim, tcp or \
+                     tcp-loopback)"
+                )),
+            },
+        }
+    }
+}
