@@ -176,7 +176,7 @@ fn print_rates(snap: &MetricsSnapshot, elapsed_s: f64) {
 fn print_comm(snap: &MetricsSnapshot) {
     println!(
         "  comm: {} buffers / {} B out, {} buffers / {} B in; retransmits {}, acks piggybacked \
-         {} standalone {}, dedup hits {}",
+         {} standalone {}, dedup hits {}, connections lost {}",
         snap.counter("comm.buffers_sent").unwrap_or(0),
         snap.counter("comm.bytes_sent").unwrap_or(0),
         snap.counter("comm.buffers_recv").unwrap_or(0),
@@ -185,6 +185,7 @@ fn print_comm(snap: &MetricsSnapshot) {
         snap.counter("reliable.acks_piggybacked").unwrap_or(0),
         snap.counter("reliable.acks_standalone").unwrap_or(0),
         snap.counter("reliable.dedup_hits").unwrap_or(0),
+        snap.counter("net.tcp.conn_lost").unwrap_or(0),
     );
 }
 

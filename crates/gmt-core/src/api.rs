@@ -125,9 +125,12 @@ impl<'a> TaskCtx<'a> {
     /// distribution (the paper's `gmt_alloc`). Blocks until every node has
     /// installed its segment.
     ///
-    /// Nodes already confirmed dead are skipped at issue time (their
-    /// segments are unreachable regardless); the array is collectively
-    /// installed on every survivor.
+    /// Nodes already confirmed dead are skipped entirely: they get no
+    /// message, own no blocks (the layout maps blocks over the survivors
+    /// — see [`Layout::degraded`](crate::handle::Layout::degraded)), and
+    /// the array is collectively installed on every survivor. Arrays
+    /// allocated *after* the failure detector converges are therefore
+    /// fully reachable and kernels over them complete exactly.
     ///
     /// # Panics
     ///
@@ -144,18 +147,29 @@ impl<'a> TaskCtx<'a> {
             .cluster
             .next_alloc_id
             .fetch_add(self.node.cluster.alloc_stride, Ordering::Relaxed);
-        let arr = GmtArray::new(id, nbytes, dist, me);
+        // One snapshot of the dead set places the array AND picks the
+        // recipients, so the layout and the collective agree even if a
+        // death lands mid-allocation.
+        let dead_mask = self.node.dead_mask();
+        let arr = GmtArray::new(id, nbytes, dist, me, dead_mask);
         let layout = self.layout(&arr);
         self.node.memory.alloc(id, &layout, me);
         for dst in 0..self.node.nodes {
-            if dst == me || self.node.peer_is_dead(dst) {
+            if dst == me || dead_mask >> dst & 1 == 1 {
                 continue;
             }
             self.ctl.add_pending(1);
             let token = token_from(self.ctl);
             self.emit(
                 dst,
-                &Command::Alloc { token, id, nbytes, dist: dist.to_u8(), origin: me as u32 },
+                &Command::Alloc {
+                    token,
+                    id,
+                    nbytes,
+                    dist: dist.to_u8(),
+                    origin: me as u32,
+                    dead_mask,
+                },
             );
         }
         self.wait_commands().expect("gmt_alloc: peer died during collective allocation");

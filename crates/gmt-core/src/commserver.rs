@@ -415,7 +415,16 @@ pub fn comm_main(node: Arc<NodeShared>, transport: Arc<dyn Transport>, tracer: T
                 for peer in 0..node.nodes {
                     if peer != node.node_id && !l.is_dead(peer) && transport.observed_kill(peer) {
                         if let Some(unacked) = l.confirm_death(peer) {
-                            apply_death(&node, peer, unacked, "fabric kill observed");
+                            // First-hand connection loss (TCP) and an
+                            // injected fabric kill arrive through the
+                            // same observation; attribute the death so
+                            // logs say which evidence fired.
+                            let cause = if transport.link_down(peer) {
+                                "connection loss observed"
+                            } else {
+                                "fabric kill observed"
+                            };
+                            apply_death(&node, peer, unacked, cause);
                             progressed = true;
                         }
                     }

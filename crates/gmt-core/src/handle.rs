@@ -61,11 +61,22 @@ pub struct GmtArray {
     /// Node that performed the allocation (placement anchor for
     /// `Local`/`Remote`).
     pub(crate) origin: NodeId,
+    /// Nodes already confirmed dead when this array was allocated, as a
+    /// bitmask — those nodes own no blocks (degraded layout). Captured
+    /// once at alloc time so every node resolves the same placement no
+    /// matter when its own membership view catches up.
+    pub(crate) dead_mask: u64,
 }
 
 impl GmtArray {
-    pub(crate) fn new(id: u64, nbytes: u64, dist: Distribution, origin: NodeId) -> Self {
-        GmtArray { id, nbytes, dist, origin }
+    pub(crate) fn new(
+        id: u64,
+        nbytes: u64,
+        dist: Distribution,
+        origin: NodeId,
+        dead_mask: u64,
+    ) -> Self {
+        GmtArray { id, nbytes, dist, origin, dead_mask }
     }
 
     /// Allocation id (unique within a cluster's lifetime).
@@ -89,65 +100,130 @@ impl GmtArray {
 
     /// The layout of this array on a cluster of `nodes` nodes.
     pub fn layout(&self, nodes: usize) -> Layout {
-        Layout::new(self.nbytes, self.dist, self.origin, nodes)
+        Layout::degraded(self.nbytes, self.dist, self.origin, nodes, self.dead_mask)
     }
 }
 
 /// Resolved placement of an allocation on a concrete cluster size.
+///
+/// On a degraded cluster the layout maps blocks over the *live* nodes
+/// only ([`Layout::degraded`]): nodes in the dead mask own nothing, so
+/// arrays allocated after the failure detector converges are fully
+/// reachable and kernels over them complete with exact results. Arrays
+/// allocated before a death keep their original placement — operations
+/// against the dead node's extents fail fast with `RemoteDead`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Layout {
     nbytes: u64,
     dist: Distribution,
     origin: NodeId,
     nodes: usize,
+    /// Nodes that own no blocks (confirmed dead at allocation time).
+    dead_mask: u64,
     /// Bytes per owning node (block size); 0 for empty arrays.
     block: u64,
 }
 
 impl Layout {
     pub fn new(nbytes: u64, dist: Distribution, origin: NodeId, nodes: usize) -> Self {
+        Self::degraded(nbytes, dist, origin, nodes, 0)
+    }
+
+    /// A layout that skips the nodes in `dead_mask` (bit `n` set = node
+    /// `n` owns nothing). Every node resolving an array must use the
+    /// same mask — the allocator captures it once and ships it with the
+    /// allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the origin is masked out, the mask names nodes out of
+    /// range, or a non-empty mask is used on a cluster of more than 64
+    /// nodes.
+    pub fn degraded(
+        nbytes: u64,
+        dist: Distribution,
+        origin: NodeId,
+        nodes: usize,
+        dead_mask: u64,
+    ) -> Self {
         assert!(nodes > 0);
         assert!(origin < nodes, "origin node out of range");
-        let owners = match dist {
-            Distribution::Partition => nodes as u64,
-            Distribution::Local => 1,
-            Distribution::Remote => (nodes as u64 - 1).max(1),
-        };
+        if dead_mask != 0 {
+            assert!(nodes <= 64, "degraded layouts support at most 64 nodes");
+            assert_eq!(
+                dead_mask & !(u64::MAX >> (64 - nodes)),
+                0,
+                "dead mask names nodes out of range"
+            );
+            assert_eq!(dead_mask >> origin & 1, 0, "origin node cannot be dead");
+        }
+        let mut l = Layout { nbytes, dist, origin, nodes, dead_mask, block: 0 };
         // Blocks are rounded up to 8-byte multiples so that any aligned
         // 64-bit word — the granularity of gmt_atomicAdd/CAS — lives
         // entirely on one node.
-        let block = if nbytes == 0 { 0 } else { nbytes.div_ceil(owners).next_multiple_of(8) };
-        Layout { nbytes, dist, origin, nodes, block }
+        l.block = if nbytes == 0 { 0 } else { nbytes.div_ceil(l.owners()).next_multiple_of(8) };
+        l
+    }
+
+    /// Whether `node` participates in this layout at all.
+    #[inline]
+    fn live(&self, node: NodeId) -> bool {
+        self.dead_mask == 0 || self.dead_mask >> node & 1 == 0
+    }
+
+    /// Live nodes in this layout (≥ 1: the origin is always live).
+    fn live_count(&self) -> u64 {
+        self.nodes as u64 - u64::from(self.dead_mask.count_ones())
     }
 
     /// Number of owner slots (nodes that may hold a non-empty segment).
     fn owners(&self) -> u64 {
         match self.dist {
-            Distribution::Partition => self.nodes as u64,
+            Distribution::Partition => self.live_count(),
             Distribution::Local => 1,
-            Distribution::Remote => (self.nodes as u64 - 1).max(1),
+            Distribution::Remote => (self.live_count() - 1).max(1),
         }
     }
 
-    /// Maps an owner slot index to the physical node id.
+    /// Maps an owner slot index to the physical node id: the slot-th live
+    /// node, skipping the origin for `Remote` (unless it is the only node
+    /// left, where `Remote` degenerates to `Local`).
     fn slot_to_node(&self, slot: u64) -> NodeId {
-        match self.dist {
-            Distribution::Partition => slot as NodeId,
-            Distribution::Local => self.origin,
-            Distribution::Remote => {
-                if self.nodes == 1 {
-                    self.origin
-                } else {
-                    // Skip the origin node.
-                    let n = slot as NodeId;
-                    if n >= self.origin {
-                        n + 1
-                    } else {
-                        n
-                    }
-                }
+        let skip = match self.dist {
+            Distribution::Local => return self.origin,
+            Distribution::Remote if self.live_count() == 1 => return self.origin,
+            Distribution::Remote => Some(self.origin),
+            Distribution::Partition => None,
+        };
+        let mut k = 0;
+        for n in 0..self.nodes {
+            if Some(n) == skip || !self.live(n) {
+                continue;
             }
+            if k == slot {
+                return n;
+            }
+            k += 1;
         }
+        unreachable!("owner slot {slot} out of range")
+    }
+
+    /// The owner slot `node` occupies, or `None` if it owns nothing.
+    fn slot_of(&self, node: NodeId) -> Option<u64> {
+        if node >= self.nodes || !self.live(node) {
+            return None;
+        }
+        let skip = match self.dist {
+            Distribution::Local => return (node == self.origin).then_some(0),
+            Distribution::Remote if self.live_count() == 1 => {
+                return (node == self.origin).then_some(0);
+            }
+            Distribution::Remote if node == self.origin => return None,
+            Distribution::Remote => Some(self.origin),
+            Distribution::Partition => None,
+        };
+        let slot = (0..node).filter(|&n| Some(n) != skip && self.live(n)).count() as u64;
+        Some(slot)
     }
 
     /// Size in bytes of the segment `node` must allocate for this array.
@@ -155,36 +231,7 @@ impl Layout {
         if self.nbytes == 0 {
             return 0;
         }
-        let owners = self.owners();
-        // Which slot is this node?
-        let slot = match self.dist {
-            Distribution::Partition => node as u64,
-            Distribution::Local => {
-                if node == self.origin {
-                    0
-                } else {
-                    return 0;
-                }
-            }
-            Distribution::Remote => {
-                if self.nodes == 1 {
-                    if node == self.origin {
-                        0
-                    } else {
-                        return 0;
-                    }
-                } else if node == self.origin {
-                    return 0;
-                } else if node > self.origin {
-                    node as u64 - 1
-                } else {
-                    node as u64
-                }
-            }
-        };
-        if slot >= owners {
-            return 0;
-        }
+        let Some(slot) = self.slot_of(node) else { return 0 };
         let start = slot * self.block;
         if start >= self.nbytes {
             0
@@ -321,6 +368,73 @@ mod tests {
     fn extents_reject_overflowing_range() {
         let l = Layout::new(10, Distribution::Partition, 0, 2);
         l.extents(8, 3);
+    }
+
+    #[test]
+    fn degraded_partition_covers_everything_on_survivors_only() {
+        for (nodes, dead_mask) in [(4usize, 0b0100u64), (8, 0b0100_1000), (3, 0b110), (2, 0b10)] {
+            for nbytes in [1u64, 64, 100, 1024, 4097] {
+                let l = Layout::degraded(nbytes, Distribution::Partition, 0, nodes, dead_mask);
+                let total: u64 = (0..nodes).map(|n| l.segment_size(n)).sum();
+                assert_eq!(total, nbytes, "nodes={nodes} mask={dead_mask:#b} nbytes={nbytes}");
+                for n in 0..nodes {
+                    if dead_mask >> n & 1 == 1 {
+                        assert_eq!(l.segment_size(n), 0, "dead node {n} owns bytes");
+                    }
+                }
+                for off in 0..nbytes {
+                    let (node, seg) = l.locate(off);
+                    assert_eq!(dead_mask >> node & 1, 0, "offset {off} landed on dead {node}");
+                    assert!(seg < l.segment_size(node), "off={off}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_remote_avoids_origin_and_the_dead() {
+        let l = Layout::degraded(999, Distribution::Remote, 1, 4, 0b1000);
+        assert_eq!(l.segment_size(1), 0);
+        assert_eq!(l.segment_size(3), 0);
+        let total: u64 = (0..4).map(|n| l.segment_size(n)).sum();
+        assert_eq!(total, 999);
+        for off in 0..999u64 {
+            let (node, _) = l.locate(off);
+            assert!(node == 0 || node == 2, "offset {off} on node {node}");
+        }
+    }
+
+    #[test]
+    fn degraded_remote_with_only_origin_left_degenerates_to_local() {
+        let l = Layout::degraded(64, Distribution::Remote, 0, 3, 0b110);
+        assert_eq!(l.segment_size(0), 64);
+        assert_eq!(l.locate(63), (0, 63));
+    }
+
+    #[test]
+    fn empty_mask_layout_matches_the_undegraded_one() {
+        for nodes in [1usize, 2, 5, 8] {
+            for dist in [Distribution::Partition, Distribution::Local, Distribution::Remote] {
+                let a = Layout::new(1000, dist, 0, nodes);
+                let b = Layout::degraded(1000, dist, 0, nodes, 0);
+                assert_eq!(a, b);
+                for n in 0..nodes {
+                    assert_eq!(a.segment_size(n), b.segment_size(n));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "origin node cannot be dead")]
+    fn degraded_rejects_a_dead_origin() {
+        Layout::degraded(64, Distribution::Partition, 1, 4, 0b0010);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn degraded_rejects_masks_past_the_cluster() {
+        Layout::degraded(64, Distribution::Partition, 0, 2, 0b100);
     }
 
     #[test]

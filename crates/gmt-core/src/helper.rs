@@ -177,9 +177,9 @@ fn execute_control_or_reply(
     acks: &mut Vec<u8>,
 ) {
     match *cmd {
-        Command::Alloc { token, id, nbytes, dist, origin } => {
+        Command::Alloc { token, id, nbytes, dist, origin, dead_mask } => {
             let dist = Distribution::from_u8(dist).expect("valid distribution on wire");
-            let layout = Layout::new(nbytes, dist, origin as NodeId, node.nodes);
+            let layout = Layout::degraded(nbytes, dist, origin as NodeId, node.nodes, dead_mask);
             node.memory.alloc(id, &layout, node.node_id);
             acks.extend_from_slice(&token.to_le_bytes());
         }

@@ -21,7 +21,9 @@ use crate::worker;
 use crate::{memory::NodeMemory, NodeId};
 use crossbeam::queue::SegQueue;
 use gmt_metrics::MetricsSnapshot;
-use gmt_net::{tcp, DeliveryMode, Fabric, Payload, TrafficStats, Transport, TransportSelect};
+use gmt_net::{
+    tcp, DeliveryMode, Fabric, FaultPlan, Payload, TrafficStats, Transport, TransportSelect,
+};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -281,6 +283,22 @@ impl NodeShared {
         self.membership.is_dead(node)
     }
 
+    /// The confirmed-dead set as a bitmask — the form degraded layouts
+    /// capture at allocation time.
+    ///
+    /// # Panics
+    ///
+    /// Panics past 64 nodes with deaths present (the mask cannot name
+    /// them; degraded allocation is capped there).
+    pub fn dead_mask(&self) -> u64 {
+        let dead = self.membership.dead_nodes();
+        if dead.is_empty() {
+            return 0;
+        }
+        assert!(self.nodes <= 64, "degraded allocation supports at most 64 nodes");
+        dead.iter().fold(0u64, |m, &n| m | 1 << n)
+    }
+
     /// Marks `node` dead in the membership view; `true` only on the first
     /// confirmation (the epoch bumps exactly once per death).
     pub(crate) fn mark_peer_dead(&self, node: NodeId) -> bool {
@@ -459,6 +477,7 @@ impl NodeHandle {
         snap.push_counter("net.dropped_msgs", t.dropped_msgs);
         snap.push_counter("net.duplicated_msgs", t.duplicated_msgs);
         snap.push_counter("net.retransmits", t.retransmits);
+        snap.push_counter("net.tcp.conn_lost", t.conn_lost);
         snap
     }
 
@@ -524,6 +543,10 @@ pub struct Cluster {
     /// One transport per node; explicitly shut down (drained) after the
     /// comm threads join.
     transports: Vec<Arc<dyn Transport>>,
+    /// Concrete handles to the same transports on the TCP backend (empty
+    /// on sim), kept so [`Cluster::install_faults`] can reach the
+    /// per-sender fault shims.
+    tcp: Vec<Arc<tcp::TcpTransport>>,
     /// Cluster-wide traffic counters (all transports of one in-process
     /// cluster share a single table on either backend).
     net: Arc<TrafficStats>,
@@ -613,6 +636,7 @@ fn boot_node(
     make_tracer: &dyn Fn(usize, usize) -> ThreadTracer,
 ) -> Result<NodeBoot, String> {
     let threads_per_node = config.num_workers + config.num_helpers;
+    transport.set_log_warnings(config.log_net_warnings);
     let metrics = NodeMetrics::new(config.num_workers, config.num_helpers);
     let agg = AggShared::new_in_registry(
         nodes,
@@ -728,7 +752,10 @@ impl Cluster {
                  use Cluster::start_sim"
                 .into());
         }
-        let (fabric, transports): (Option<Fabric>, Vec<Arc<dyn Transport>>) = match select {
+        // Sim keeps the owning Fabric alive; TCP keeps concrete handles
+        // for fault installation alongside the erased transports.
+        type Backend = (Option<Fabric>, Vec<Arc<dyn Transport>>, Vec<Arc<tcp::TcpTransport>>);
+        let (fabric, transports, tcp_handles): Backend = match select {
             TransportSelect::Sim => {
                 let mode = match config.network {
                     Some(model) => DeliveryMode::Throttled(model),
@@ -738,12 +765,16 @@ impl Cluster {
                 let transports = (0..nodes)
                     .map(|n| Arc::new(fabric.endpoint(n)) as Arc<dyn Transport>)
                     .collect();
-                (Some(fabric), transports)
+                (Some(fabric), transports, Vec::new())
             }
             TransportSelect::TcpLoopback => {
-                let mesh = tcp::loopback_mesh(nodes)
-                    .map_err(|e| format!("building the TCP loopback mesh: {e}"))?;
-                (None, mesh.into_iter().map(|t| Arc::new(t) as Arc<dyn Transport>).collect())
+                let mesh: Vec<Arc<tcp::TcpTransport>> = tcp::loopback_mesh(nodes)
+                    .map_err(|e| format!("building the TCP loopback mesh: {e}"))?
+                    .into_iter()
+                    .map(Arc::new)
+                    .collect();
+                let transports = mesh.iter().map(|t| Arc::clone(t) as Arc<dyn Transport>).collect();
+                (None, transports, mesh)
             }
         };
         let net = transports[0].stats_arc();
@@ -788,6 +819,7 @@ impl Cluster {
             nodes: handles,
             fabric,
             transports,
+            tcp: tcp_handles,
             net,
             threads,
             stopped: false,
@@ -820,9 +852,40 @@ impl Cluster {
     /// must pin the sim with [`Cluster::start_sim`].
     pub fn fabric(&self) -> &Fabric {
         self.fabric.as_ref().expect(
-            "this cluster runs on the TCP backend (GMT_TRANSPORT); fault injection and \
-             cost models need the sim — start it with Cluster::start_sim",
+            "this cluster runs on the TCP backend (GMT_TRANSPORT); fabric-level fault \
+             injection and cost models need the sim — start it with Cluster::start_sim \
+             (seeded FaultPlans work on either backend via Cluster::install_faults)",
         )
+    }
+
+    /// Installs a seeded [`FaultPlan`] on whichever backend this cluster
+    /// runs: the sim fabric's wire thread, or every TCP transport's
+    /// userspace frame shim. Drop/dup/flap/kill replay identically from
+    /// a seed on both; time-shaping faults (jitter, throttle, stall)
+    /// need the cost model and only act on the sim. Over TCP a kill also
+    /// severs the victim's streams (real crash semantics), which
+    /// [`Cluster::clear_faults`] cannot undo.
+    pub fn install_faults(&self, plan: FaultPlan) {
+        match &self.fabric {
+            Some(f) => f.install_faults(plan),
+            None => {
+                for t in &self.tcp {
+                    t.install_faults(plan.clone());
+                }
+            }
+        }
+    }
+
+    /// Removes any installed fault plan from every node's send path.
+    pub fn clear_faults(&self) {
+        match &self.fabric {
+            Some(f) => f.clear_faults(),
+            None => {
+                for t in &self.tcp {
+                    t.clear_faults();
+                }
+            }
+        }
     }
 
     /// Stops every node and joins all runtime threads.
@@ -848,6 +911,12 @@ impl Cluster {
         // Transport contract: bounded, idempotent, pools stay whole).
         // On the sim this is a no-op per endpoint — the fabric's own
         // `Drop` performs the wire-thread drain when `self.fabric` goes.
+        // Transports close sequentially, so a loopback sibling's reader
+        // sees EOF from already-closed peers: silence the link-down
+        // warnings first — nobody is left to act on them.
+        for t in &self.transports {
+            t.set_log_warnings(false);
+        }
         for t in &self.transports {
             t.shutdown();
         }

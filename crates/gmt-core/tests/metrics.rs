@@ -39,14 +39,18 @@ fn snapshot_is_consistent_after_shutdown() {
         let flushes = snap.counter("agg.buffers_filled").unwrap();
         let sent_buffers = snap.counter("comm.buffers_sent").unwrap();
         let sent_bytes = snap.counter("comm.bytes_sent").unwrap();
+        // Heartbeats ride the same wire: under real TCP timing a link
+        // can go idle mid-run and emit standalone heartbeat frames.
         let extra = snap.counter("reliable.acks_standalone").unwrap()
-            + snap.counter("reliable.retransmits").unwrap();
+            + snap.counter("reliable.retransmits").unwrap()
+            + snap.counter("detector.heartbeats_sent").unwrap();
         assert!(flushes > 0, "node {}: no aggregation flushes recorded", s.node_id);
         // Everything on the wire is a flushed aggregation buffer (each at
-        // most `buffer_size` bytes), a standalone ack, or a retransmit.
+        // most `buffer_size` bytes), a standalone ack, a retransmit, or a
+        // heartbeat.
         assert!(
             sent_buffers <= flushes + extra,
-            "node {}: sent {sent_buffers} buffers from {flushes} flushes + {extra} acks/rtx",
+            "node {}: sent {sent_buffers} buffers from {flushes} flushes + {extra} acks/rtx/hb",
             s.node_id
         );
         assert!(

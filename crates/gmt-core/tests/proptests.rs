@@ -50,13 +50,14 @@ fn arb_command() -> impl Strategy<Value = OwnedCommand> {
             }),
         (any::<u64>(), any::<u64>(), any::<i64>())
             .prop_map(|(token, dest, old)| OwnedCommand::AtomicReply { token, dest, old }),
-        (any::<u64>(), any::<u64>(), any::<u64>(), 0u8..3, any::<u32>()).prop_map(
-            |(token, id, nbytes, dist, origin)| OwnedCommand::Alloc {
+        (any::<u64>(), any::<u64>(), any::<u64>(), 0u8..3, any::<u32>(), any::<u64>()).prop_map(
+            |(token, id, nbytes, dist, origin, dead_mask)| OwnedCommand::Alloc {
                 token,
                 id,
                 nbytes,
                 dist,
-                origin
+                origin,
+                dead_mask
             }
         ),
         (any::<u64>(), any::<u64>()).prop_map(|(token, id)| OwnedCommand::Free { token, id }),
@@ -99,7 +100,7 @@ enum OwnedCommand {
     Add { token: u64, array: u64, offset: u64, delta: i64, dest: u64 },
     Cas { token: u64, array: u64, offset: u64, expected: i64, new: i64, dest: u64 },
     AtomicReply { token: u64, dest: u64, old: i64 },
-    Alloc { token: u64, id: u64, nbytes: u64, dist: u8, origin: u32 },
+    Alloc { token: u64, id: u64, nbytes: u64, dist: u8, origin: u32, dead_mask: u64 },
     Free { token: u64, id: u64 },
     Spawn { token: u64, body: u64, start: u64, count: u64, chunk: u32, args: Vec<u8> },
     AddN { array: u64, offset: u64, delta: i64, tokens: Vec<u8> },
@@ -141,12 +142,13 @@ impl OwnedCommand {
             OwnedCommand::AtomicReply { token, dest, old } => {
                 Command::AtomicReply { token: *token, dest: *dest, old: *old }
             }
-            OwnedCommand::Alloc { token, id, nbytes, dist, origin } => Command::Alloc {
+            OwnedCommand::Alloc { token, id, nbytes, dist, origin, dead_mask } => Command::Alloc {
                 token: *token,
                 id: *id,
                 nbytes: *nbytes,
                 dist: *dist,
                 origin: *origin,
+                dead_mask: *dead_mask,
             },
             OwnedCommand::Free { token, id } => Command::Free { token: *token, id: *id },
             OwnedCommand::Spawn { token, body, start, count, chunk, args } => Command::Spawn {

@@ -14,6 +14,7 @@
 use gmt_core::{Cluster, Config, Distribution, NodeRuntime, SpawnPolicy, Transport};
 use gmt_net::{loopback_mesh, seed_from_env, FaultPlan, TcpTransport};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Boots `n` [`NodeRuntime`]s in this process over a TCP loopback mesh,
 /// returning them plus the concrete transports (kept so tests can
@@ -83,6 +84,74 @@ fn reliability_survives_lossy_tcp() {
     }
     for rt in runtimes {
         rt.shutdown();
+    }
+}
+
+/// A peer whose process dies mid-run — its transport torn down under it,
+/// streams severed, the in-process stand-in for SIGKILL — is confirmed
+/// dead by every survivor through connection-loss evidence in detection
+/// time. The config pushes the suspicion window out to 2 s so neither
+/// retry-budget exhaustion nor heartbeat silence can fire first: only
+/// the link-down path can explain a sub-second confirmation.
+#[test]
+fn connection_loss_confirms_death_in_detection_time() {
+    let mut config = Config::small();
+    config.suspect_after_ns = 2_000_000_000;
+    config.peer_death_timeout_ns = 10_000_000_000;
+    let (runtimes, transports) = boot_tcp_nodes(3, &config);
+    // Let the mesh settle into heartbeat traffic.
+    std::thread::sleep(Duration::from_millis(50));
+
+    let t0 = Instant::now();
+    Transport::shutdown(&*transports[2]); // node 2 "crashes"
+    let deadline = t0 + Duration::from_millis(1500);
+    for survivor in [0, 1] {
+        while runtimes[survivor].node().dead_peers() != vec![2] {
+            assert!(
+                Instant::now() < deadline,
+                "survivor {survivor} did not confirm the crash within 1.5 s — the \
+                 connection-loss evidence path never fired (dead: {:?})",
+                runtimes[survivor].node().dead_peers()
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    let latency = t0.elapsed();
+    assert_eq!(runtimes[0].node().membership_epoch(), 1);
+    assert_eq!(runtimes[1].node().membership_epoch(), 1);
+    // Each survivor counted its lost connection exactly once (the mesh
+    // shares one stats table; the victim's own teardown is suppressed).
+    assert_eq!(transports[0].stats().total().conn_lost, 2, "latency was {latency:?}");
+    for rt in runtimes {
+        rt.shutdown();
+    }
+}
+
+/// Measures crash-detection latency with and without connection-loss
+/// evidence under `Config::small` — the source of the EXPERIMENTS.md
+/// numbers. Run with `--ignored --nocapture`.
+#[test]
+#[ignore = "latency measurement harness, run manually"]
+fn crash_detection_latency_report() {
+    for observe in [true, false] {
+        let mut config = Config::small();
+        config.observe_fabric_kills = observe;
+        let (runtimes, transports) = boot_tcp_nodes(2, &config);
+        std::thread::sleep(Duration::from_millis(50));
+        let t0 = Instant::now();
+        Transport::shutdown(&*transports[1]);
+        while runtimes[0].node().dead_peers() != vec![1] {
+            assert!(t0.elapsed() < Duration::from_secs(30), "no detection at all");
+            std::thread::sleep(Duration::from_micros(500));
+        }
+        println!(
+            "crash detection {} link-down evidence: {:?}",
+            if observe { "with" } else { "without" },
+            t0.elapsed()
+        );
+        for rt in runtimes {
+            rt.shutdown();
+        }
     }
 }
 

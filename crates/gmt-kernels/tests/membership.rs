@@ -11,6 +11,14 @@
 //! (`GMT_FAULT_SEED`) and prints it for replay. Tests honoring
 //! `GMT_METRICS_OUT` write one metrics snapshot per survivor there, so a
 //! CI failure ships the evidence as an artifact.
+//!
+//! The whole suite is transport-generic: clusters boot via
+//! [`Cluster::start`] (honoring `GMT_TRANSPORT`) and faults install via
+//! [`Cluster::install_faults`], which reaches the sim fabric's wire
+//! thread or every TCP transport's frame shim as appropriate. On the
+//! sim a kill blackholes the victim; over TCP it also severs the
+//! victim's streams, so the same assertions double as coverage for the
+//! connection-loss evidence path.
 
 use gmt_core::aggregation::AggShared;
 use gmt_core::collectives::GlobalBarrier;
@@ -95,8 +103,10 @@ fn write_metrics_artifacts(cluster: &Cluster, dead: &[NodeId], tag: &str) {
 }
 
 /// A detector configuration for kill tests: deaths are confirmed by
-/// observing the fabric kill (fast, deterministic); the silence timeout
-/// is pushed far out so a busy CI host cannot false-positive a survivor.
+/// observing the kill (fabric observation on the sim, plan plus
+/// connection-loss evidence over TCP — fast, deterministic); the silence
+/// timeout is pushed far out so a busy CI host cannot false-positive a
+/// survivor.
 fn kill_config() -> Config {
     Config {
         suspect_after_ns: 1_000_000_000,
@@ -117,7 +127,7 @@ fn eight_node_kill_converges_membership_and_fails_collectives() {
         "[membership] eight_node_kill_converges_membership_and_fails_collectives seed={seed}"
     );
 
-    let cluster = Cluster::start_sim(8, kill_config()).unwrap();
+    let cluster = Cluster::start(8, kill_config()).unwrap();
     let aggs = pool_handles(&cluster);
 
     // A two-party barrier with a single arrival: it can only complete if
@@ -130,10 +140,10 @@ fn eight_node_kill_converges_membership_and_fails_collectives() {
             let _ = tx.send(bar.wait(ctx));
         }),
     });
-    // Let the waiter reach its spin loop before the fabric degrades.
+    // Let the waiter reach its spin loop before the network degrades.
     std::thread::sleep(Duration::from_millis(50));
 
-    cluster.fabric().install_faults(FaultPlan::new(seed).kill(3).kill(6));
+    cluster.install_faults(FaultPlan::new(seed).kill(3).kill(6));
     let dead = vec![3usize, 6usize];
 
     let took = await_convergence(&cluster, &dead, Duration::from_secs(30), seed);
@@ -198,24 +208,39 @@ fn silent_peer_is_confirmed_dead_by_heartbeat_timeout() {
         peer_death_timeout_ns: 400_000_000,
         ..Config::small()
     };
-    let cluster = Cluster::start_sim(3, config).unwrap();
-    cluster.fabric().install_faults(FaultPlan::new(seed).kill(2));
+    let cluster = Cluster::start(3, config).unwrap();
+    // Allocated while everyone is alive: element i lives on node i.
+    let doomed = cluster.node(0).run(|ctx| ctx.alloc(3 * 8, Distribution::Partition));
+    cluster.install_faults(FaultPlan::new(seed).kill(2));
 
     let dead = vec![2usize];
     let took = await_convergence(&cluster, &dead, Duration::from_secs(20), seed);
     eprintln!("[membership] silence death confirmed in {took:?}");
 
-    // Operations against the dead peer fail fast now.
-    let err = cluster.node(0).run(|ctx| {
-        let arr = ctx.alloc(3 * 8, Distribution::Partition);
-        let r = ctx.put_value::<u64>(&arr, 2, 7);
-        ctx.free(arr);
+    // An array placed before the death keeps its layout: operations
+    // against the dead node's extent fail fast now.
+    let err = cluster.node(0).run(move |ctx| {
+        let r = ctx.put_value::<u64>(&doomed, 2, 7);
+        ctx.free(doomed);
         r
     });
     assert!(
         matches!(err, Err(GmtError::RemoteDead { node: 2, .. })),
         "op against silent-dead peer returned {err:?} (seed {seed})"
     );
+
+    // An array allocated after convergence maps blocks over the
+    // survivors only — every element is reachable and exact.
+    let sum = cluster.node(0).run(|ctx| {
+        let arr = ctx.alloc(3 * 8, Distribution::Partition);
+        for i in 0..3u64 {
+            ctx.put_value::<u64>(&arr, i, i + 10).unwrap();
+        }
+        let sum: u64 = (0..3).map(|i| ctx.get_value::<u64>(&arr, i).unwrap()).sum();
+        ctx.free(arr);
+        sum
+    });
+    assert_eq!(sum, 33, "degraded alloc lost writes (seed {seed})");
     cluster.shutdown();
 }
 
@@ -231,11 +256,11 @@ fn deadline_bounds_the_wait_when_detection_is_impossible() {
 
     // op_deadline_ns also tightens the watchdog sweep period (deadline/4).
     let config = Config { reliable: false, op_deadline_ns: 2_000_000_000, ..Config::small() };
-    let cluster = Cluster::start_sim(2, config).unwrap();
+    let cluster = Cluster::start(2, config).unwrap();
     // Elements 16..32 live on node 1 (32*8 bytes partitioned over 2).
     let arr = cluster.node(0).run(|ctx| ctx.alloc(32 * 8, Distribution::Partition));
 
-    cluster.fabric().install_faults(FaultPlan::new(seed).kill(1));
+    cluster.install_faults(FaultPlan::new(seed).kill(1));
 
     let (tx, rx) = mpsc::channel();
     cluster.node(0).shared().root_queue.push(RootTask {
@@ -292,7 +317,7 @@ fn kill_scenario(tag: &str, seed: u64, victims: &[NodeId], delay: Duration) {
     eprintln!("[membership] {tag} seed={seed} victims={victims:?} delay={delay:?}");
     assert!(!victims.contains(&0), "node 0 hosts the driver tasks");
     let budget = Duration::from_secs(60);
-    let cluster = Cluster::start_sim(8, kill_config()).unwrap();
+    let cluster = Cluster::start(8, kill_config()).unwrap();
     let aggs = pool_handles(&cluster);
 
     let bar = cluster.node(0).run(|ctx| GlobalBarrier::new(ctx, 2));
@@ -323,7 +348,7 @@ fn kill_scenario(tag: &str, seed: u64, victims: &[NodeId], delay: Duration) {
     for &v in victims {
         plan = plan.kill(v);
     }
-    cluster.fabric().install_faults(plan);
+    cluster.install_faults(plan);
 
     let mut dead: Vec<NodeId> = victims.to_vec();
     dead.sort_unstable();

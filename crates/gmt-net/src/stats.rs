@@ -30,6 +30,9 @@ struct NodeCounters {
     /// Packets from this node held up by a stall fault (throttled
     /// delivery only).
     stalled_msgs: AtomicU64,
+    /// Peer connections this node lost mid-run (EOF, ECONNRESET, write
+    /// failure — TCP backend only; the sim has no connections to lose).
+    conn_lost: AtomicU64,
 }
 
 /// Traffic counters for every node of a fabric.
@@ -55,6 +58,9 @@ pub struct NodeTraffic {
     pub throttled_msgs: u64,
     /// Packets a stall fault held up (counted at the src).
     pub stalled_msgs: u64,
+    /// Peer connections lost mid-run (TCP backend; counted at the node
+    /// that observed the loss, once per peer).
+    pub conn_lost: u64,
 }
 
 impl TrafficStats {
@@ -108,6 +114,12 @@ impl TrafficStats {
         self.nodes[node].stalled_msgs.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a peer connection `node` lost mid-run.
+    #[inline]
+    pub fn record_conn_lost(&self, node: usize) {
+        self.nodes[node].conn_lost.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Snapshot of one node's counters.
     pub fn node(&self, node: usize) -> NodeTraffic {
         let c = &self.nodes[node];
@@ -121,6 +133,7 @@ impl TrafficStats {
             retransmits: c.retransmits.load(Ordering::Relaxed),
             throttled_msgs: c.throttled_msgs.load(Ordering::Relaxed),
             stalled_msgs: c.stalled_msgs.load(Ordering::Relaxed),
+            conn_lost: c.conn_lost.load(Ordering::Relaxed),
         }
     }
 
@@ -138,6 +151,7 @@ impl TrafficStats {
             t.retransmits += n.retransmits;
             t.throttled_msgs += n.throttled_msgs;
             t.stalled_msgs += n.stalled_msgs;
+            t.conn_lost += n.conn_lost;
         }
         t
     }
@@ -169,8 +183,11 @@ mod tests {
         s.record_drop(0);
         s.record_dup(0);
         s.record_retransmit(0);
+        s.record_conn_lost(0);
         let n0 = s.node(0);
         assert_eq!((n0.dropped_msgs, n0.duplicated_msgs, n0.retransmits), (1, 1, 1));
+        assert_eq!(n0.conn_lost, 1);
+        assert_eq!(s.total().conn_lost, 1);
         assert_eq!(s.node(1), NodeTraffic::default());
         let t = s.total();
         assert_eq!(t.sent_bytes, 128);

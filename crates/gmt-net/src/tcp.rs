@@ -31,12 +31,25 @@
 //!
 //! [`TcpTransport::install_faults`] applies a [`FaultPlan`] *in
 //! userspace at the frame layer*: drop skips the write, duplicate writes
-//! the frame twice, and both fragment the header across separate writes
-//! so reassembly over partial reads is exercised deterministically.
-//! Decisions reuse `FaultPlan::decide` with the same per-link counters
-//! as the fabric, so a seed replays the same loss pattern over real
-//! sockets. Jitter/throttle/stall shapes need the cost model and stay
-//! sim-only.
+//! the frame twice, flap windows drop every frame inside the window, and
+//! any installed shim fragments headers across separate writes so
+//! reassembly over partial reads is exercised deterministically. Kill
+//! faults get real crash semantics: both directions of every stream
+//! touching a killed peer are severed, so in-flight frames are lost
+//! exactly like a process death loses them. Decisions reuse
+//! `FaultPlan::decide` with the same per-link counters as the fabric, so
+//! a seed replays the same loss pattern over real sockets.
+//! Jitter/throttle/stall shapes need the cost model and stay sim-only.
+//!
+//! # Connection-loss evidence
+//!
+//! The reader thread and the send path turn EOF, ECONNRESET and write
+//! failures into sticky per-peer link-down evidence: counted once per
+//! peer in `conn_lost`, surfaced through [`Transport::link_down`] and
+//! [`Transport::observed_kill`], and logged (when the runtime enables
+//! warnings) with the peer id and the I/O error. The failure detector
+//! treats the evidence like a fabric-observed kill, so a crashed peer
+//! process is declared dead in detection time, not retry-budget time.
 
 use crate::fabric::{NetError, Packet, Tag};
 use crate::fault::FaultPlan;
@@ -77,6 +90,46 @@ const RECV_POOL_CAP: usize = 256;
 /// accepts, hello reads) may take before giving up with an error — a
 /// crashed peer must fail the launch, not hang it.
 const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// The handshake deadline, overridable via `GMT_RDV_TIMEOUT_MS` so tests
+/// and chaos harnesses can fail a doomed launch in milliseconds instead
+/// of the default 60 s.
+fn handshake_timeout() -> Duration {
+    std::env::var("GMT_RDV_TIMEOUT_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(HANDSHAKE_TIMEOUT)
+}
+
+/// Labels an I/O error with the rendezvous stage it happened in, so a
+/// failed launch says *where* it died (e.g. "waiting for registrations
+/// (have 1 of 3)"), not just "timed out".
+fn stage_err(stage: impl std::fmt::Display, e: io::Error) -> io::Error {
+    io::Error::new(e.kind(), format!("rendezvous: {stage}: {e}"))
+}
+
+/// Dials `addr` with exponential backoff until `deadline` — the listener
+/// may not be up yet on a cold start, but a peer that never shows must
+/// fail the launch, not hang it.
+fn dial_with_retry(addr: SocketAddr, deadline: Instant) -> io::Result<TcpStream> {
+    let mut backoff = Duration::from_millis(2);
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(io::Error::new(
+                        e.kind(),
+                        format!("gave up dialing {addr} at the deadline: {e}"),
+                    ));
+                }
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_millis(100));
+            }
+        }
+    }
+}
 
 /// Pool of receive buffers. Incoming frames are copied out of the reader
 /// thread's staging area into a pooled `Vec` and delivered as a pooled
@@ -123,10 +176,40 @@ struct TcpShared {
     /// Outbound stream per peer (`None` for self and for torn-down
     /// links). Each slot's mutex also serializes frame writes.
     outbound: Vec<Mutex<Option<TcpStream>>>,
+    /// Clones of the inbound streams (the reader thread owns the
+    /// originals), kept so an injected kill or a shutdown can sever the
+    /// receive side without the reader's cooperation.
+    inbound_ctl: Vec<Mutex<Option<TcpStream>>>,
+    /// Sticky per-peer connection-loss evidence (see
+    /// [`TcpShared::note_conn_lost`]).
+    link_down: Vec<AtomicBool>,
+    /// Whether connection-loss events print a warning line; the runtime
+    /// wires its `log_net_warnings` config here at boot.
+    log_warnings: AtomicBool,
     inbox_tx: Sender<Packet>,
     stop: AtomicBool,
     shim: RwLock<Option<InstalledShim>>,
     pool: Arc<RecvPool>,
+}
+
+impl TcpShared {
+    /// Records first-hand evidence that the connection to `peer` broke:
+    /// a sticky link-down flag (feeds [`Transport::observed_kill`]), one
+    /// `conn_lost` count per peer, and a warning line when enabled.
+    /// Suppressed once this transport's own shutdown began — tearing
+    /// down our streams makes peers see EOF, not us.
+    fn note_conn_lost(&self, peer: NodeId, cause: &str) {
+        if self.stop.load(Ordering::Acquire) {
+            return;
+        }
+        if self.link_down[peer].swap(true, Ordering::AcqRel) {
+            return; // first evidence for this peer already recorded
+        }
+        self.stats.record_conn_lost(self.node);
+        if self.log_warnings.load(Ordering::Relaxed) {
+            eprintln!("[gmt-net] node {}: connection to node {peer} lost: {cause}", self.node);
+        }
+    }
 }
 
 /// One node's attachment to a TCP mesh. See the module docs; the
@@ -151,11 +234,18 @@ impl TcpTransport {
     ) -> io::Result<TcpTransport> {
         debug_assert_eq!(outbound.len(), nodes);
         let (inbox_tx, inbox_rx) = channel::unbounded();
+        let mut inbound_ctl: Vec<Option<TcpStream>> = (0..nodes).map(|_| None).collect();
+        for (src, stream) in &inbound {
+            inbound_ctl[*src] = Some(stream.try_clone()?);
+        }
         let shared = Arc::new(TcpShared {
             node,
             nodes,
             stats,
             outbound: outbound.into_iter().map(Mutex::new).collect(),
+            inbound_ctl: inbound_ctl.into_iter().map(Mutex::new).collect(),
+            link_down: (0..nodes).map(|_| AtomicBool::new(false)).collect(),
+            log_warnings: AtomicBool::new(false),
             inbox_tx,
             stop: AtomicBool::new(false),
             shim: RwLock::new(None),
@@ -171,14 +261,32 @@ impl TcpTransport {
     }
 
     /// Installs a seeded [`FaultPlan`] as a userspace shim on this
-    /// sender's frame layer (drop and duplicate; time-shaping faults are
-    /// ignored — no cost model over real sockets). Replaces any previous
-    /// plan; decisions restart from packet 0 like the fabric's
-    /// `install_faults`.
+    /// sender's frame layer (drop, duplicate, flap windows and kill;
+    /// time-shaping faults are ignored — no cost model over real
+    /// sockets). Kill faults additionally sever both directions of every
+    /// stream touching a killed peer, giving them real crash semantics:
+    /// in-flight frames are lost and the peer's reader sees the
+    /// connection die, exactly like a process death. That severing is
+    /// irreversible — [`TcpTransport::clear_faults`] cannot resurrect a
+    /// killed link, just as a real crash cannot be un-crashed. Replaces
+    /// any previous plan; decisions restart from packet 0 like the
+    /// fabric's `install_faults`.
     pub fn install_faults(&self, plan: FaultPlan) {
-        let counters = (0..self.shared.nodes).map(|_| AtomicU64::new(0)).collect();
-        *self.shared.shim.write() =
-            Some(InstalledShim { plan, installed_at: Instant::now(), counters });
+        let shared = &*self.shared;
+        let self_killed = plan.is_killed(shared.node);
+        for peer in 0..shared.nodes {
+            if peer == shared.node || !(self_killed || plan.is_killed(peer)) {
+                continue;
+            }
+            if let Some(s) = shared.outbound[peer].lock().take() {
+                s.shutdown(Shutdown::Both).ok();
+            }
+            if let Some(s) = shared.inbound_ctl[peer].lock().take() {
+                s.shutdown(Shutdown::Both).ok();
+            }
+        }
+        let counters = (0..shared.nodes).map(|_| AtomicU64::new(0)).collect();
+        *shared.shim.write() = Some(InstalledShim { plan, installed_at: Instant::now(), counters });
     }
 
     /// Removes the fault shim; the send path writes every frame again.
@@ -258,12 +366,15 @@ impl Transport for TcpTransport {
         };
         let writes = if duplicate { 2 } else { 1 };
         for _ in 0..writes {
-            if let Err(_e) = write_frame(stream, tag, bytes, fragment) {
+            if let Err(e) = write_frame(stream, tag, bytes, fragment) {
                 // The connection is gone; drop it so later sends fail
-                // fast. Recovering the peer is the reliability layer's
-                // job, not the socket's.
+                // fast, and record the loss as link-down evidence for
+                // the failure detector. Recovering the peer is the
+                // reliability layer's job, not the socket's.
                 stream.shutdown(Shutdown::Both).ok();
                 *slot = None;
+                drop(slot);
+                shared.note_conn_lost(dst, &format!("write failed: {e}"));
                 return Err(NetError::LinkDown { src: shared.node, dst });
             }
         }
@@ -283,7 +394,16 @@ impl Transport for TcpTransport {
     }
 
     fn observed_kill(&self, node: NodeId) -> bool {
-        self.shared.shim.read().as_ref().is_some_and(|s| s.plan.is_killed(node))
+        self.link_down(node)
+            || self.shared.shim.read().as_ref().is_some_and(|s| s.plan.is_killed(node))
+    }
+
+    fn link_down(&self, node: NodeId) -> bool {
+        self.shared.link_down[node].load(Ordering::Acquire)
+    }
+
+    fn set_log_warnings(&self, on: bool) {
+        self.shared.log_warnings.store(on, Ordering::Relaxed);
     }
 
     fn stats(&self) -> &TrafficStats {
@@ -299,7 +419,9 @@ impl Transport for TcpTransport {
             return; // idempotent
         }
         // Close outbound links; peers observe EOF on their reader side.
-        for slot in &self.shared.outbound {
+        // Inbound clones go too, so a peer blocked writing to us fails
+        // fast instead of filling a dead socket buffer.
+        for slot in self.shared.outbound.iter().chain(&self.shared.inbound_ctl) {
             if let Some(s) = slot.lock().take() {
                 s.shutdown(Shutdown::Both).ok();
             }
@@ -377,8 +499,10 @@ fn reader_loop(shared: Arc<TcpShared>, inbound: Vec<(NodeId, TcpStream)>) {
                 Ok(0) => {
                     // EOF: the peer closed. A partial frame left in
                     // staging is a torn tail; discard it — retransmission
-                    // is the reliability layer's problem.
+                    // is the reliability layer's problem. The loss itself
+                    // is peer-down evidence for the failure detector.
                     c.open = false;
+                    shared.note_conn_lost(c.src, "closed by peer (EOF)");
                 }
                 Ok(n) => {
                     c.staging.extend_from_slice(&chunk[..n]);
@@ -387,13 +511,15 @@ fn reader_loop(shared: Arc<TcpShared>, inbound: Vec<(NodeId, TcpStream)>) {
                         // re-synchronize, close it.
                         c.stream.shutdown(Shutdown::Both).ok();
                         c.open = false;
+                        shared.note_conn_lost(c.src, "corrupt frame length prefix");
                     }
                     progressed = true;
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => {}
                 Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                Err(_) => {
+                Err(e) => {
                     c.open = false;
+                    shared.note_conn_lost(c.src, &format!("read failed: {e}"));
                 }
             }
             any_open |= c.open;
@@ -501,7 +627,7 @@ fn accept_peer(
 ) -> io::Result<(NodeId, TcpStream)> {
     let mut stream = accept_with_deadline(listener, deadline)?;
     stream.set_nodelay(true).ok();
-    stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
+    stream.set_read_timeout(Some(handshake_timeout()))?;
     let src = read_hello(&mut stream, nodes)?;
     stream.set_read_timeout(None)?;
     Ok((src, stream))
@@ -534,7 +660,7 @@ pub fn loopback_mesh(nodes: usize) -> io::Result<Vec<TcpTransport>> {
             *slot = Some(s);
         }
     }
-    let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
+    let deadline = Instant::now() + handshake_timeout();
     let mut transports = Vec::with_capacity(nodes);
     for (node, listener) in listeners.into_iter().enumerate() {
         let mut inbound = Vec::with_capacity(nodes - 1);
@@ -586,21 +712,25 @@ impl Bootstrap {
 /// launcher uses it to signal end-of-job so peers know when to shut
 /// down (a runtime has no application-level "job finished" broadcast).
 pub enum Control {
-    /// Node 0's end: one stream per peer, indexed by registration order.
-    Coordinator(Vec<TcpStream>),
+    /// Node 0's end: one stream per peer, labeled with the peer's id so
+    /// barrier timeouts can name who went missing.
+    Coordinator(Vec<(NodeId, TcpStream)>),
     /// A peer's end: the stream to node 0.
     Peer(TcpStream),
 }
 
 impl Control {
+    fn counterparts(&mut self) -> Vec<(NodeId, &mut TcpStream)> {
+        match self {
+            Control::Coordinator(v) => v.iter_mut().map(|(id, s)| (*id, s)).collect(),
+            Control::Peer(s) => vec![(0, s)],
+        }
+    }
+
     /// Sends the done byte to the other side(s). Errors are swallowed —
     /// a peer that already exited has effectively acknowledged.
     pub fn signal_done(&mut self) {
-        let streams: &mut [TcpStream] = match self {
-            Control::Coordinator(v) => v,
-            Control::Peer(s) => std::slice::from_mut(s),
-        };
-        for s in streams {
+        for (_, s) in self.counterparts() {
             s.write_all(&[CONTROL_DONE]).ok();
             s.flush().ok();
         }
@@ -609,14 +739,41 @@ impl Control {
     /// Blocks until the other side(s) send the done byte or hang up
     /// (process exit counts as done — EOF is an acknowledgement).
     pub fn wait_done(&mut self) {
-        let streams: &mut [TcpStream] = match self {
-            Control::Coordinator(v) => v,
-            Control::Peer(s) => std::slice::from_mut(s),
-        };
-        for s in streams {
+        for (_, s) in self.counterparts() {
             s.set_read_timeout(None).ok();
             let mut byte = [0u8; 1];
             let _ = s.read(&mut byte);
+        }
+    }
+
+    /// Like [`Control::wait_done`] but bounded: waits at most `timeout`
+    /// in total, and returns the ids of nodes that neither signalled
+    /// done nor hung up — the barrier reports *who* went missing instead
+    /// of hanging the launcher. EOF and connection errors count as done
+    /// (the peer is gone; it cannot be waited on).
+    pub fn wait_done_timeout(&mut self, timeout: Duration) -> Result<(), Vec<NodeId>> {
+        let deadline = Instant::now() + timeout;
+        let mut missing = Vec::new();
+        for (id, s) in self.counterparts() {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                missing.push(id);
+                continue;
+            }
+            s.set_read_timeout(Some(left)).ok();
+            let mut byte = [0u8; 1];
+            match s.read(&mut byte) {
+                Ok(_) => {}
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    missing.push(id);
+                }
+                Err(_) => {} // connection died: the peer is gone, counts as done
+            }
+        }
+        if missing.is_empty() {
+            Ok(())
+        } else {
+            Err(missing)
         }
     }
 }
@@ -654,7 +811,9 @@ fn read_addr(stream: &mut TcpStream) -> io::Result<SocketAddr> {
 fn publish_addr(path: &Path, addr: &SocketAddr) -> io::Result<()> {
     let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
     std::fs::write(&tmp, addr.to_string())?;
-    std::fs::rename(&tmp, path)
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        std::fs::remove_file(&tmp).ok();
+    })
 }
 
 /// Polls the bootstrap file until node 0 publishes its address.
@@ -693,79 +852,63 @@ fn poll_addr(path: &Path, deadline: Instant) -> io::Result<SocketAddr> {
 ///    identifies the dialer) and accepts from every lower-numbered one,
 ///    completing the full mesh.
 ///
-/// Every blocking step carries a ~60 s deadline so one crashed process
-/// fails the whole launch instead of wedging it.
+/// Every blocking step carries a bounded deadline ([`handshake_timeout`],
+/// 60 s default, `GMT_RDV_TIMEOUT_MS` to override) plus retry/backoff on
+/// dials, so one crashed process fails the whole launch with a
+/// stage-attributed error instead of wedging it. Node 0 deletes a
+/// [`Bootstrap::File`] once every peer has registered (the launcher also
+/// cleans it up on its own exit paths).
 pub fn rendezvous(
     node: NodeId,
     nodes: usize,
     bootstrap: &Bootstrap,
 ) -> io::Result<(TcpTransport, Control)> {
     assert!(nodes > 0 && node < nodes, "node {node} out of range for {nodes} nodes");
-    let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
-    let data_listener = TcpListener::bind("127.0.0.1:0")?;
+    let deadline = Instant::now() + handshake_timeout();
+    let data_listener =
+        TcpListener::bind("127.0.0.1:0").map_err(|e| stage_err("binding data listener", e))?;
     let data_addr = data_listener.local_addr()?;
 
     // Phase 1: learn the full address map through node 0.
     let (addrs, control) = if node == 0 {
         let rdv = match bootstrap {
-            Bootstrap::Addr(a) => TcpListener::bind(a)?,
+            Bootstrap::Addr(a) => TcpListener::bind(a)
+                .map_err(|e| stage_err(format_args!("binding rendezvous listener at {a}"), e))?,
             Bootstrap::File(path) => {
-                let l = TcpListener::bind("127.0.0.1:0")?;
-                publish_addr(path, &l.local_addr()?)?;
+                let l = TcpListener::bind("127.0.0.1:0")
+                    .map_err(|e| stage_err("binding rendezvous listener", e))?;
+                publish_addr(path, &l.local_addr()?).map_err(|e| {
+                    stage_err(format_args!("publishing bootstrap file {}", path.display()), e)
+                })?;
                 l
             }
         };
-        let mut addrs: Vec<Option<SocketAddr>> = vec![None; nodes];
-        addrs[0] = Some(data_addr);
-        let mut regs: Vec<(NodeId, TcpStream)> = Vec::with_capacity(nodes - 1);
-        for _ in 0..nodes - 1 {
-            let mut s = accept_with_deadline(&rdv, deadline)?;
-            s.set_nodelay(true).ok();
-            s.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
-            let peer = read_hello(&mut s, nodes)?;
-            let addr = read_addr(&mut s)?;
-            if addrs[peer].replace(addr).is_some() {
-                return Err(io::Error::new(
-                    ErrorKind::InvalidData,
-                    format!("node {peer} registered twice"),
-                ));
-            }
-            regs.push((peer, s));
+        let result = coordinate_registration(&rdv, nodes, data_addr, deadline);
+        if let Bootstrap::File(path) = bootstrap {
+            // Every peer has read the file by now (or the launch failed);
+            // either way it must not outlive the rendezvous.
+            std::fs::remove_file(path).ok();
         }
-        let addrs: Vec<SocketAddr> =
-            addrs.into_iter().map(|a| a.expect("all slots filled")).collect();
-        // Broadcast the map.
-        for (_, s) in regs.iter_mut() {
-            for a in &addrs {
-                let text = a.to_string();
-                s.write_all(&(text.len() as u16).to_le_bytes())?;
-                s.write_all(text.as_bytes())?;
-            }
-            s.flush()?;
-        }
-        (addrs, Control::Coordinator(regs.into_iter().map(|(_, s)| s).collect()))
+        result?
     } else {
         let rdv_addr = match bootstrap {
             Bootstrap::Addr(a) => *a,
-            Bootstrap::File(path) => poll_addr(path, deadline)?,
+            Bootstrap::File(path) => poll_addr(path, deadline).map_err(|e| {
+                stage_err(format_args!("polling bootstrap file {}", path.display()), e)
+            })?,
         };
-        // Node 0 may not be listening yet; retry until the deadline.
-        let mut s = loop {
-            match TcpStream::connect(rdv_addr) {
-                Ok(s) => break s,
-                Err(e) => {
-                    if Instant::now() >= deadline {
-                        return Err(e);
-                    }
-                    std::thread::sleep(Duration::from_millis(5));
-                }
-            }
-        };
+        // Node 0 may not be listening yet; retry with backoff until the
+        // deadline.
+        let mut s = dial_with_retry(rdv_addr, deadline)
+            .map_err(|e| stage_err("dialing node 0's rendezvous listener", e))?;
         s.set_nodelay(true).ok();
-        write_registration(&mut s, node, nodes, &data_addr)?;
-        s.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
-        let addrs: Vec<SocketAddr> =
-            (0..nodes).map(|_| read_addr(&mut s)).collect::<io::Result<_>>()?;
+        write_registration(&mut s, node, nodes, &data_addr)
+            .map_err(|e| stage_err("registering with node 0", e))?;
+        s.set_read_timeout(Some(handshake_timeout()))?;
+        let addrs: Vec<SocketAddr> = (0..nodes)
+            .map(|_| read_addr(&mut s))
+            .collect::<io::Result<_>>()
+            .map_err(|e| stage_err("reading the address map from node 0", e))?;
         s.set_read_timeout(None)?;
         (addrs, Control::Peer(s))
     };
@@ -778,24 +921,18 @@ pub fn rendezvous(
     let mut outbound: Vec<Option<TcpStream>> = (0..nodes).map(|_| None).collect();
     let mut inbound = Vec::with_capacity(nodes - 1);
     for dst in node + 1..nodes {
-        let mut s = loop {
-            match TcpStream::connect(addrs[dst]) {
-                Ok(s) => break s,
-                Err(e) => {
-                    if Instant::now() >= deadline {
-                        return Err(e);
-                    }
-                    std::thread::sleep(Duration::from_millis(5));
-                }
-            }
-        };
+        let mut s = dial_with_retry(addrs[dst], deadline)
+            .map_err(|e| stage_err(format_args!("dialing node {dst}'s data listener"), e))?;
         s.set_nodelay(true).ok();
-        write_hello(&mut s, node, nodes)?;
+        write_hello(&mut s, node, nodes)
+            .map_err(|e| stage_err(format_args!("greeting node {dst}"), e))?;
         inbound.push((dst, s.try_clone()?));
         outbound[dst] = Some(s);
     }
-    for _ in 0..node {
-        let (src, stream) = accept_peer(&data_listener, nodes, deadline)?;
+    for accepted in 0..node {
+        let (src, stream) = accept_peer(&data_listener, nodes, deadline).map_err(|e| {
+            stage_err(format_args!("accepting data connections (have {accepted} of {node})"), e)
+        })?;
         outbound[src] = Some(stream.try_clone()?);
         inbound.push((src, stream));
     }
@@ -803,6 +940,57 @@ pub fn rendezvous(
     let stats = Arc::new(TrafficStats::new(nodes));
     let transport = TcpTransport::assemble(node, nodes, inbound, outbound, stats)?;
     Ok((transport, control))
+}
+
+/// Node 0's half of rendezvous phase 1: accept every peer's
+/// registration, then broadcast the complete address map. Split out so
+/// the caller can clean up the bootstrap file on success *and* failure.
+fn coordinate_registration(
+    rdv: &TcpListener,
+    nodes: usize,
+    data_addr: SocketAddr,
+    deadline: Instant,
+) -> io::Result<(Vec<SocketAddr>, Control)> {
+    let mut addrs: Vec<Option<SocketAddr>> = vec![None; nodes];
+    addrs[0] = Some(data_addr);
+    let mut regs: Vec<(NodeId, TcpStream)> = Vec::with_capacity(nodes - 1);
+    for have in 0..nodes - 1 {
+        let missing = || {
+            let waiting: Vec<NodeId> =
+                (1..nodes).filter(|n| !regs.iter().any(|(id, _)| id == n)).collect();
+            format_args!(
+                "waiting for registrations (have {have} of {}; missing {waiting:?})",
+                nodes - 1
+            )
+            .to_string()
+        };
+        let mut s = accept_with_deadline(rdv, deadline).map_err(|e| stage_err(missing(), e))?;
+        s.set_nodelay(true).ok();
+        s.set_read_timeout(Some(handshake_timeout()))?;
+        let peer = read_hello(&mut s, nodes).map_err(|e| stage_err(missing(), e))?;
+        let addr = read_addr(&mut s)
+            .map_err(|e| stage_err(format_args!("reading node {peer}'s data address"), e))?;
+        if addrs[peer].replace(addr).is_some() {
+            return Err(io::Error::new(
+                ErrorKind::InvalidData,
+                format!("node {peer} registered twice"),
+            ));
+        }
+        regs.push((peer, s));
+    }
+    let addrs: Vec<SocketAddr> = addrs.into_iter().map(|a| a.expect("all slots filled")).collect();
+    // Broadcast the map over the registration connections — which then
+    // stay open as the control channel, labeled by peer id.
+    for (peer, s) in regs.iter_mut() {
+        let broadcast = |e| stage_err(format_args!("broadcasting address map to node {peer}"), e);
+        for a in &addrs {
+            let text = a.to_string();
+            s.write_all(&(text.len() as u16).to_le_bytes()).map_err(broadcast)?;
+            s.write_all(text.as_bytes()).map_err(broadcast)?;
+        }
+        s.flush().map_err(broadcast)?;
+    }
+    Ok((addrs, Control::Coordinator(regs)))
 }
 
 #[cfg(test)]
@@ -926,6 +1114,93 @@ mod tests {
         while b.try_recv().is_some() {}
         drop(b); // peer sees EOF (if it had not already hit LinkDown)
         sender.join().expect("sender thread");
+    }
+
+    /// Polls until `cond` holds, failing the test at the deadline.
+    fn poll_until(what: &str, mut cond: impl FnMut() -> bool) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !cond() {
+            assert!(Instant::now() < deadline, "timed out waiting for {what}");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    #[test]
+    fn lost_peer_becomes_link_down_evidence_and_is_counted_once() {
+        let mesh = loopback_mesh(2).expect("mesh");
+        let mut it = mesh.into_iter();
+        let a = it.next().unwrap();
+        let b = it.next().unwrap();
+        assert!(!a.link_down(1) && !a.observed_kill(1), "no evidence before the loss");
+
+        // b dies (shutdown closes its streams like a process exit would).
+        Transport::shutdown(&b);
+        poll_until("reader EOF to become link-down evidence", || a.link_down(1));
+        assert!(a.observed_kill(1), "observed_kill must reflect link-down evidence");
+        assert!(!a.link_down(0), "a node never loses the connection to itself");
+
+        // The send path hits the dead stream too; the loss stays counted
+        // once per peer no matter how many paths observe it.
+        loop {
+            match a.send(1, 0, Payload::from(vec![7u8; 64])) {
+                Ok(()) => std::thread::sleep(Duration::from_millis(1)),
+                Err(NetError::LinkDown { src: 0, dst: 1 }) => break,
+                Err(e) => panic!("unexpected send error: {e:?}"),
+            }
+        }
+        assert_eq!(a.stats().node(0).conn_lost, 1);
+        Transport::shutdown(&a);
+        // a's own shutdown must not count as losing its peers.
+        assert_eq!(a.stats().node(0).conn_lost, 1);
+    }
+
+    #[test]
+    fn kill_fault_severs_streams_and_surviving_side_observes_it() {
+        let mesh = loopback_mesh(2).expect("mesh");
+        mesh[0].install_faults(FaultPlan::new(1).kill(1));
+        // The killer's view: blackholed sends still succeed, the kill is
+        // observed through the plan.
+        assert!(mesh[0].observed_kill(1));
+        mesh[0].send(1, 1, Payload::from(vec![1])).expect("blackholed send succeeds");
+        assert!(mesh[1].recv_timeout(Duration::from_millis(200)).is_none());
+        // The victim's view: both streams died under it — exactly what a
+        // real crash of node 0 would look like — and that loss is
+        // first-hand evidence, with no fault plan installed on its side.
+        poll_until("victim to observe the severed streams", || mesh[1].link_down(0));
+        assert!(mesh[1].observed_kill(0));
+        assert!(mesh[1].stats().node(1).conn_lost >= 1);
+    }
+
+    #[test]
+    fn flap_window_drops_frames_then_recovers() {
+        let mesh = loopback_mesh(2).expect("mesh");
+        // Link 0->1 is down for the first 200 ms after install.
+        mesh[0].install_faults(FaultPlan::new(3).flap(0, 1, 0, 200_000_000));
+        mesh[0].send(1, 5, Payload::from(vec![2u8; 16])).expect("flapped send succeeds");
+        assert_eq!(mesh[0].stats().node(0).dropped_msgs, 1, "in-window frame must drop");
+        assert!(mesh[1].recv_timeout(Duration::from_millis(100)).is_none());
+        std::thread::sleep(Duration::from_millis(150));
+        mesh[0].send(1, 6, Payload::from(vec![3u8; 16])).expect("send");
+        let got = mesh[1].recv_timeout(Duration::from_secs(10)).expect("post-window frame");
+        assert_eq!(got.tag, 6, "the dropped frame must not reappear");
+        assert!(!mesh[0].observed_kill(1), "a flap is not a kill");
+    }
+
+    #[test]
+    fn done_barrier_timeout_names_the_missing_node() {
+        // A coordinator whose peer registered but never signals done:
+        // the bounded wait must name node 2 instead of hanging.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().unwrap();
+        let silent = TcpStream::connect(addr).expect("dial");
+        let (accepted, _) = listener.accept().expect("accept");
+        let mut control = Control::Coordinator(vec![(2, accepted)]);
+        let t0 = Instant::now();
+        assert_eq!(control.wait_done_timeout(Duration::from_millis(100)), Err(vec![2]));
+        assert!(t0.elapsed() < Duration::from_secs(5));
+        // Once the peer hangs up, EOF counts as done.
+        drop(silent);
+        assert_eq!(control.wait_done_timeout(Duration::from_secs(5)), Ok(()));
     }
 
     #[test]

@@ -80,13 +80,32 @@ pub trait Transport: Send + Sync {
     /// Packets currently queued in the inbox.
     fn pending(&self) -> usize;
 
-    /// Whether the backend can observe that `node` was explicitly killed
-    /// (the sim's stand-in for a fabric link-down notification). Backends
-    /// without such a signal return `false`; the failure detector then
-    /// relies on retry exhaustion and heartbeat silence alone.
+    /// Whether the backend can observe that `node` is gone: an explicitly
+    /// killed node (the sim's stand-in for a fabric link-down
+    /// notification) or, on TCP, first-hand connection-loss evidence
+    /// ([`Transport::link_down`]). Backends without such a signal return
+    /// `false`; the failure detector then relies on retry exhaustion and
+    /// heartbeat silence alone.
     fn observed_kill(&self, _node: NodeId) -> bool {
         false
     }
+
+    /// Whether this transport has first-hand evidence that the link to
+    /// `node` broke mid-run — on TCP: EOF, ECONNRESET or a write failure
+    /// on the peer's stream. Distinct from [`Transport::observed_kill`]
+    /// (which it implies on backends that report it) so the failure
+    /// detector can attribute a death to connection loss rather than an
+    /// injected kill. Sticky: once set it stays set. Default `false` for
+    /// backends with no connections to lose.
+    fn link_down(&self, _node: NodeId) -> bool {
+        false
+    }
+
+    /// Enables or disables the transport's own warning log lines (e.g.
+    /// TCP connection-loss reports naming the peer and the I/O error).
+    /// The runtime forwards its `log_net_warnings` config here at boot;
+    /// backends with nothing to log ignore it. Default no-op.
+    fn set_log_warnings(&self, _on: bool) {}
 
     /// Traffic counters. For the sim every endpoint shares the fabric's
     /// table; a TCP transport only maintains its own node's row (plus
