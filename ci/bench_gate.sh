@@ -51,9 +51,11 @@ if [ -z "$pairs" ]; then
     exit 1
 fi
 
-# The benches honor GMT_TRANSPORT (sim fabric vs TCP loopback). Tag every
-# id with a non-default transport so runs against different backends can
-# never be mistaken for one another in artifacts or baselines.
+# The benches honor GMT_TRANSPORT (sim fabric, TCP loopback or shm
+# rings). Tag every id with a non-default transport so runs against
+# different backends can never be mistaken for one another in artifacts
+# or baselines — shm-tagged ids ride the same record-without-gating path
+# as tcp ones.
 TRANSPORT=${GMT_TRANSPORT:-sim}
 if [ "$TRANSPORT" != "sim" ] && [ -n "$TRANSPORT" ]; then
     pairs=$(printf '%s\n' "$pairs" | awk -v t="$TRANSPORT" '{ printf "%s/%s %s\n", t, $1, $2 }')
@@ -65,6 +67,27 @@ fi
 echo
 echo "== per-benchmark medians =="
 printf '%s\n' "$pairs" | awk '{ printf "  %-55s %14.1f ns\n", $1, $2 }'
+
+# Same-host transport comparison: storms with explicit /tcp_loopback and
+# /shm variants measure the same workload over all three wires in one
+# run — one line per id present on all three.
+echo
+echo "== sim vs tcp-loopback vs shm (same host) =="
+printf '%s\n' "$pairs" | awk '
+    { ns[$1] = $2 }
+    END {
+        found = 0
+        for (id in ns) {
+            if (id !~ /\/tcp_loopback$/) continue
+            base = substr(id, 1, length(id) - length("/tcp_loopback"))
+            shm = base "/shm"
+            if (!(base in ns) || !(shm in ns)) continue
+            printf "  %-35s sim %11.1f ns | tcp %11.1f ns (%.1fx) | shm %11.1f ns (%.1fx; %.1fx vs tcp)\n",
+                base, ns[base], ns[id], ns[id] / ns[base], ns[shm], ns[shm] / ns[base], ns[id] / ns[shm]
+            found = 1
+        }
+        if (!found) print "  (no benchmark ran on all three transports in this run)"
+    }'
 
 # Render "<id> <ns>" pairs as the JSON artifact (one entry per line, the
 # same shape the baseline is committed in).
@@ -79,8 +102,12 @@ write_json() {
 
 if [ "${1:-}" = "baseline" ]; then
     mkdir -p "$(dirname "$BASELINE")"
-    printf '%s\n' "$pairs" | write_json > "$BASELINE"
-    echo "bench gate: baseline written to $BASELINE"
+    # The committed baseline stays sim-only: the real-wire variants
+    # (…/tcp_loopback, …/shm) are recorded in every artifact and
+    # compared in the table above, but too noisy to gate at the
+    # threshold — EXPERIMENTS.md tracks those numbers instead.
+    printf '%s\n' "$pairs" | awk '$1 !~ /\/(tcp_loopback|shm)$/' | write_json > "$BASELINE"
+    echo "bench gate: baseline written to $BASELINE (sim ids only)"
     exit 0
 fi
 

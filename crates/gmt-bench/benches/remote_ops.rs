@@ -195,6 +195,22 @@ fn bench_remote_ops(c: &mut Criterion) {
         b.iter(|| atomic_add_storm(&cluster));
         cluster.shutdown();
     });
+    // And over the shared-memory rings: the same real framing with zero
+    // syscalls on the hot path — the number that prices exactly the
+    // loopback syscall/copy/wakeup tax the rows above pay. Recorded,
+    // not gated, like every non-sim tag.
+    g.throughput(Throughput::Elements(ELEMS));
+    g.bench_function("put_storm/shm", |b| {
+        let cluster = Cluster::start_shm(2, Config::small()).unwrap();
+        b.iter(|| put_storm(&cluster));
+        cluster.shutdown();
+    });
+    g.throughput(Throughput::Elements(STORM_ADDS));
+    g.bench_function("atomic_add_storm/shm", |b| {
+        let cluster = Cluster::start_shm(2, Config::small()).unwrap();
+        b.iter(|| atomic_add_storm(&cluster));
+        cluster.shutdown();
+    });
     g.finish();
 }
 

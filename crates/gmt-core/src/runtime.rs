@@ -22,7 +22,7 @@ use crate::{memory::NodeMemory, NodeId};
 use crossbeam::queue::SegQueue;
 use gmt_metrics::MetricsSnapshot;
 use gmt_net::{
-    tcp, DeliveryMode, Fabric, FaultPlan, Payload, TrafficStats, Transport, TransportSelect,
+    shm, tcp, DeliveryMode, Fabric, FaultPlan, Payload, TrafficStats, Transport, TransportSelect,
 };
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -249,6 +249,10 @@ pub struct NodeShared {
     /// Shared view of the fabric's traffic counters, folded into
     /// [`NodeHandle::metrics_snapshot`] as `net.*`.
     pub net: Arc<TrafficStats>,
+    /// The transport this node is attached to, kept so
+    /// [`NodeHandle::metrics_snapshot`] can fold backend-specific
+    /// counters (`net.shm.*`) in alongside the shared `net.*` schema.
+    pub transport: Arc<dyn Transport>,
     /// This node's membership view: per-peer death flags plus the epoch,
     /// maintained by the communication server's failure detector.
     pub membership: Membership,
@@ -478,6 +482,9 @@ impl NodeHandle {
         snap.push_counter("net.duplicated_msgs", t.duplicated_msgs);
         snap.push_counter("net.retransmits", t.retransmits);
         snap.push_counter("net.tcp.conn_lost", t.conn_lost);
+        for (name, value) in self.shared.transport.backend_counters() {
+            snap.push_counter(&name, value);
+        }
         snap
     }
 
@@ -547,6 +554,9 @@ pub struct Cluster {
     /// on sim), kept so [`Cluster::install_faults`] can reach the
     /// per-sender fault shims.
     tcp: Vec<Arc<tcp::TcpTransport>>,
+    /// Concrete handles on the shared-memory backend (empty otherwise),
+    /// for the same fault-shim access.
+    shm: Vec<Arc<shm::ShmTransport>>,
     /// Cluster-wide traffic counters (all transports of one in-process
     /// cluster share a single table on either backend).
     net: Arc<TrafficStats>,
@@ -664,6 +674,7 @@ fn boot_node(
         cluster: Arc::clone(cluster_shared),
         metrics,
         net: transport.stats_arc(),
+        transport: Arc::clone(&transport),
         membership: Membership::new(nodes),
         watch: Mutex::new(Vec::new()),
         flow_waiters: SegQueue::new(),
@@ -707,7 +718,7 @@ fn boot_node(
 impl Cluster {
     /// Starts `nodes` GMT node instances with the given per-node config,
     /// on the backend the `GMT_TRANSPORT` environment variable selects
-    /// (`sim`, the default, or `tcp-loopback` — the CI transport
+    /// (`sim`, the default, `tcp-loopback`, or `shm` — the CI transport
     /// matrix). A config with a network cost model always runs on the
     /// sim: throttled delivery is what enforces the model.
     ///
@@ -738,6 +749,14 @@ impl Cluster {
         Self::start_with(nodes, config, TransportSelect::TcpLoopback)
     }
 
+    /// Starts a cluster pinned to the shared-memory ring mesh: real
+    /// frames through lock-free SPSC rings with a futex doorbell, one
+    /// process. The comm stack runs unchanged; seeded [`FaultPlan`]s
+    /// work via the frame shim, cost models do not.
+    pub fn start_shm(nodes: usize, config: Config) -> Result<Cluster, String> {
+        Self::start_with(nodes, config, TransportSelect::Shm)
+    }
+
     fn start_with(
         nodes: usize,
         config: Config,
@@ -747,15 +766,20 @@ impl Cluster {
             return Err("a cluster needs at least one node".into());
         }
         config.validate()?;
-        if select == TransportSelect::TcpLoopback && config.network.is_some() {
+        if select != TransportSelect::Sim && config.network.is_some() {
             return Err("a network cost model needs the sim backend (throttled delivery); \
                  use Cluster::start_sim"
                 .into());
         }
-        // Sim keeps the owning Fabric alive; TCP keeps concrete handles
-        // for fault installation alongside the erased transports.
-        type Backend = (Option<Fabric>, Vec<Arc<dyn Transport>>, Vec<Arc<tcp::TcpTransport>>);
-        let (fabric, transports, tcp_handles): Backend = match select {
+        // Sim keeps the owning Fabric alive; TCP and shm keep concrete
+        // handles for fault installation alongside the erased transports.
+        type Backend = (
+            Option<Fabric>,
+            Vec<Arc<dyn Transport>>,
+            Vec<Arc<tcp::TcpTransport>>,
+            Vec<Arc<shm::ShmTransport>>,
+        );
+        let (fabric, transports, tcp_handles, shm_handles): Backend = match select {
             TransportSelect::Sim => {
                 let mode = match config.network {
                     Some(model) => DeliveryMode::Throttled(model),
@@ -765,7 +789,7 @@ impl Cluster {
                 let transports = (0..nodes)
                     .map(|n| Arc::new(fabric.endpoint(n)) as Arc<dyn Transport>)
                     .collect();
-                (Some(fabric), transports, Vec::new())
+                (Some(fabric), transports, Vec::new(), Vec::new())
             }
             TransportSelect::TcpLoopback => {
                 let mesh: Vec<Arc<tcp::TcpTransport>> = tcp::loopback_mesh(nodes)
@@ -774,7 +798,16 @@ impl Cluster {
                     .map(Arc::new)
                     .collect();
                 let transports = mesh.iter().map(|t| Arc::clone(t) as Arc<dyn Transport>).collect();
-                (None, transports, mesh)
+                (None, transports, mesh, Vec::new())
+            }
+            TransportSelect::Shm => {
+                let mesh: Vec<Arc<shm::ShmTransport>> = shm::shm_mesh(nodes)
+                    .map_err(|e| format!("building the shared-memory ring mesh: {e}"))?
+                    .into_iter()
+                    .map(Arc::new)
+                    .collect();
+                let transports = mesh.iter().map(|t| Arc::clone(t) as Arc<dyn Transport>).collect();
+                (None, transports, Vec::new(), mesh)
             }
         };
         let net = transports[0].stats_arc();
@@ -820,6 +853,7 @@ impl Cluster {
             fabric,
             transports,
             tcp: tcp_handles,
+            shm: shm_handles,
             net,
             threads,
             stopped: false,
@@ -848,28 +882,32 @@ impl Cluster {
     ///
     /// # Panics
     ///
-    /// If the cluster runs on the TCP backend — fault-injecting tests
-    /// must pin the sim with [`Cluster::start_sim`].
+    /// If the cluster runs on the TCP or shm backend — fault-injecting
+    /// tests must pin the sim with [`Cluster::start_sim`].
     pub fn fabric(&self) -> &Fabric {
         self.fabric.as_ref().expect(
-            "this cluster runs on the TCP backend (GMT_TRANSPORT); fabric-level fault \
-             injection and cost models need the sim — start it with Cluster::start_sim \
-             (seeded FaultPlans work on either backend via Cluster::install_faults)",
+            "this cluster runs on a real transport backend (GMT_TRANSPORT); fabric-level \
+             fault injection and cost models need the sim — start it with Cluster::start_sim \
+             (seeded FaultPlans work on every backend via Cluster::install_faults)",
         )
     }
 
     /// Installs a seeded [`FaultPlan`] on whichever backend this cluster
-    /// runs: the sim fabric's wire thread, or every TCP transport's
+    /// runs: the sim fabric's wire thread, or every TCP/shm transport's
     /// userspace frame shim. Drop/dup/flap/kill replay identically from
-    /// a seed on both; time-shaping faults (jitter, throttle, stall)
-    /// need the cost model and only act on the sim. Over TCP a kill also
-    /// severs the victim's streams (real crash semantics), which
-    /// [`Cluster::clear_faults`] cannot undo.
+    /// a seed on all three; time-shaping faults (jitter, throttle,
+    /// stall) need the cost model and only act on the sim. Over TCP a
+    /// kill also severs the victim's streams, and over shm its rings
+    /// (real crash semantics), which [`Cluster::clear_faults`] cannot
+    /// undo.
     pub fn install_faults(&self, plan: FaultPlan) {
         match &self.fabric {
             Some(f) => f.install_faults(plan),
             None => {
                 for t in &self.tcp {
+                    t.install_faults(plan.clone());
+                }
+                for t in &self.shm {
                     t.install_faults(plan.clone());
                 }
             }
@@ -882,6 +920,9 @@ impl Cluster {
             Some(f) => f.clear_faults(),
             None => {
                 for t in &self.tcp {
+                    t.clear_faults();
+                }
+                for t in &self.shm {
                     t.clear_faults();
                 }
             }

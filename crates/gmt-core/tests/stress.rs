@@ -132,9 +132,10 @@ fn deeply_nested_parfor() {
 /// shutdown, every aggregation buffer has flowed out through the comm
 /// server and back into its pool via `Payload` drop — nothing leaked in
 /// flight, nothing double-released. This is the transport shutdown/drain
-/// contract (see `gmt_net::transport`), so it runs against **both**
-/// backends: the sim fabric's wire-thread drain and the TCP transport's
-/// socket teardown mid-traffic must each keep the pools whole.
+/// contract (see `gmt_net::transport`), so it runs against **every**
+/// backend: the sim fabric's wire-thread drain, the TCP transport's
+/// socket teardown and the shm transport's ring abandonment mid-traffic
+/// must each keep the pools whole.
 fn pools_whole_after_shutdown(
     start: impl FnOnce(usize, Config) -> Result<Cluster, String>,
     backend: &str,
@@ -175,6 +176,11 @@ fn buffer_pools_whole_after_shutdown() {
 #[test]
 fn buffer_pools_whole_after_shutdown_tcp() {
     pools_whole_after_shutdown(Cluster::start_tcp_loopback, "tcp-loopback");
+}
+
+#[test]
+fn buffer_pools_whole_after_shutdown_shm() {
+    pools_whole_after_shutdown(Cluster::start_shm, "shm");
 }
 
 /// Soak: repeated cluster lifecycles must not leak OS threads or wedge.

@@ -1,18 +1,20 @@
-//! The runtime over the real TCP backend.
+//! The runtime over the real transport backends (TCP and shm).
 //!
 //! These tests prove the two properties ISSUE/DESIGN promise for the
 //! transport abstraction:
 //!
 //! 1. the reliability layer (19-byte header, seq/ack/retransmit, credit
 //!    windows) survives *real* framing — length-prefixed frames, partial
-//!    reads, seeded drops and duplicates injected at the TCP frame layer
-//!    by the userspace fault shim — not just the sim fabric's in-memory
-//!    queues;
+//!    reads, seeded drops and duplicates injected at the frame layer by
+//!    the userspace fault shim — not just the sim fabric's in-memory
+//!    queues. The same suite runs over TCP loopback streams and over
+//!    the shared-memory rings, which share the shim;
 //! 2. a workload computes bit-identical results whether the nodes share
-//!    a process over the sim fabric or talk TCP over loopback.
+//!    a process over the sim fabric, talk TCP over loopback, or pass
+//!    frames through shared-memory rings.
 
 use gmt_core::{Cluster, Config, Distribution, NodeRuntime, SpawnPolicy, Transport};
-use gmt_net::{loopback_mesh, seed_from_env, FaultPlan, TcpTransport};
+use gmt_net::{loopback_mesh, seed_from_env, shm_mesh, FaultPlan, ShmTransport, TcpTransport};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -32,6 +34,20 @@ fn boot_tcp_nodes(n: usize, config: &Config) -> (Vec<NodeRuntime>, Vec<Arc<TcpTr
     (runtimes, transports)
 }
 
+/// [`boot_tcp_nodes`], but the mesh is shared-memory rings.
+fn boot_shm_nodes(n: usize, config: &Config) -> (Vec<NodeRuntime>, Vec<Arc<ShmTransport>>) {
+    let transports: Vec<Arc<ShmTransport>> =
+        shm_mesh(n).expect("shm mesh").into_iter().map(Arc::new).collect();
+    let runtimes = transports
+        .iter()
+        .map(|t| {
+            let dyn_t: Arc<dyn Transport> = Arc::clone(t) as Arc<dyn Transport>;
+            NodeRuntime::start(dyn_t, config.clone()).expect("node boots")
+        })
+        .collect();
+    (runtimes, transports)
+}
+
 /// Remote puts, gets and atomic adds complete correctly while the fault
 /// shim drops ~10% and duplicates ~10% of data frames on every link —
 /// and fragments every frame mid-header to force partial-read
@@ -40,12 +56,41 @@ fn boot_tcp_nodes(n: usize, config: &Config) -> (Vec<NodeRuntime>, Vec<Arc<TcpTr
 /// applied twice).
 #[test]
 fn reliability_survives_lossy_tcp() {
-    let seed = seed_from_env(0xC0FF_EE01);
     let (runtimes, transports) = boot_tcp_nodes(3, &Config::small());
+    lossy_reliability_body(
+        runtimes,
+        seed_from_env(0xC0FF_EE01),
+        |p| transports.iter().for_each(|t| t.install_faults(p.clone())),
+        || transports.iter().for_each(|t| t.clear_faults()),
+        || transports[0].stats().total(),
+    );
+}
+
+/// The same lossy-link workload over the shared-memory rings: the frame
+/// shim sits above the ring write, so seeded drops and duplicates replay
+/// there exactly as they do on TCP — this is what lets the PR 2/4/9
+/// fault suites run unmodified on shm.
+#[test]
+fn reliability_survives_lossy_shm() {
+    let (runtimes, transports) = boot_shm_nodes(3, &Config::small());
+    lossy_reliability_body(
+        runtimes,
+        seed_from_env(0xC0FF_EE02),
+        |p| transports.iter().for_each(|t| t.install_faults(p.clone())),
+        || transports.iter().for_each(|t| t.clear_faults()),
+        || transports[0].stats().total(),
+    );
+}
+
+fn lossy_reliability_body(
+    runtimes: Vec<NodeRuntime>,
+    seed: u64,
+    install: impl Fn(&FaultPlan),
+    clear: impl Fn(),
+    total: impl Fn() -> gmt_net::stats::NodeTraffic,
+) {
     let plan = FaultPlan::new(seed).drop_all(0.10).dup_all(0.10);
-    for t in &transports {
-        t.install_faults(plan.clone());
-    }
+    install(&plan);
 
     let sum = runtimes[0].node().run(|ctx| {
         let arr = ctx.alloc(512 * 8, Distribution::Remote);
@@ -71,7 +116,7 @@ fn reliability_survives_lossy_tcp() {
     assert_eq!(sum, (1..=512u64).sum::<u64>() + 256, "seed {seed}");
 
     // The mesh shares one TrafficStats, so node 0's view covers every link.
-    let total = transports[0].stats().total();
+    let total = total();
     assert!(total.dropped_msgs > 0, "shim never dropped a frame (seed {seed})");
     assert!(total.duplicated_msgs > 0, "shim never duplicated a frame (seed {seed})");
     assert!(total.retransmits > 0, "drops happened but nothing was retransmitted (seed {seed})");
@@ -79,9 +124,7 @@ fn reliability_survives_lossy_tcp() {
     // Lift the faults before teardown so the shutdown drain itself is
     // exercised on a clean link (lossy-drain liveness is the failure
     // detector's job, covered by fault_tolerance.rs on the sim).
-    for t in &transports {
-        t.clear_faults();
-    }
+    clear();
     for rt in runtimes {
         rt.shutdown();
     }
@@ -121,6 +164,44 @@ fn connection_loss_confirms_death_in_detection_time() {
     assert_eq!(runtimes[1].node().membership_epoch(), 1);
     // Each survivor counted its lost connection exactly once (the mesh
     // shares one stats table; the victim's own teardown is suppressed).
+    assert_eq!(transports[0].stats().total().conn_lost, 2, "latency was {latency:?}");
+    for rt in runtimes {
+        rt.shutdown();
+    }
+}
+
+/// The shm analogue of the test above: a peer whose transport is torn
+/// down under it publishes `GONE` in its segment slot, which each
+/// survivor's monitor turns into first-hand peer-loss evidence — the
+/// same sub-second confirmation TCP gets from reader EOF. (A true
+/// SIGKILL, where even `GONE` is never written and only the pid check
+/// can tell, is exercised cross-process by the gmt-launch --kill CI
+/// job.)
+#[test]
+fn peer_loss_evidence_confirms_death_on_shm() {
+    let mut config = Config::small();
+    config.suspect_after_ns = 2_000_000_000;
+    config.peer_death_timeout_ns = 10_000_000_000;
+    let (runtimes, transports) = boot_shm_nodes(3, &config);
+    std::thread::sleep(Duration::from_millis(50));
+
+    let t0 = Instant::now();
+    Transport::shutdown(&*transports[2]); // node 2 "crashes"
+    let deadline = t0 + Duration::from_millis(1500);
+    for survivor in [0, 1] {
+        while runtimes[survivor].node().dead_peers() != vec![2] {
+            assert!(
+                Instant::now() < deadline,
+                "survivor {survivor} did not confirm the crash within 1.5 s — the \
+                 peer-loss evidence path never fired (dead: {:?})",
+                runtimes[survivor].node().dead_peers()
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    let latency = t0.elapsed();
+    assert_eq!(runtimes[0].node().membership_epoch(), 1);
+    assert_eq!(runtimes[1].node().membership_epoch(), 1);
     assert_eq!(transports[0].stats().total().conn_lost, 2, "latency was {latency:?}");
     for rt in runtimes {
         rt.shutdown();
@@ -172,11 +253,12 @@ fn deterministic_workload(cluster: &Cluster) -> Vec<u64> {
     })
 }
 
-/// The same workload over the sim fabric and over real TCP sockets must
-/// produce bit-identical memory contents — the transport may reorder
-/// across links and retime everything, but never change results.
+/// The same workload over the sim fabric, real TCP sockets and
+/// shared-memory rings must produce bit-identical memory contents — a
+/// transport may reorder across links and retime everything, but never
+/// change results.
 #[test]
-fn sim_and_tcp_loopback_agree_bit_identically() {
+fn sim_tcp_and_shm_agree_bit_identically() {
     let sim = Cluster::start_sim(3, Config::small()).unwrap();
     let via_sim = deterministic_workload(&sim);
     sim.shutdown();
@@ -185,5 +267,10 @@ fn sim_and_tcp_loopback_agree_bit_identically() {
     let via_tcp = deterministic_workload(&tcp);
     tcp.shutdown();
 
+    let shm = Cluster::start_shm(3, Config::small()).unwrap();
+    let via_shm = deterministic_workload(&shm);
+    shm.shutdown();
+
     assert_eq!(via_sim, via_tcp);
+    assert_eq!(via_sim, via_shm);
 }

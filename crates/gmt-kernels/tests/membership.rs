@@ -15,10 +15,13 @@
 //! The whole suite is transport-generic: clusters boot via
 //! [`Cluster::start`] (honoring `GMT_TRANSPORT`) and faults install via
 //! [`Cluster::install_faults`], which reaches the sim fabric's wire
-//! thread or every TCP transport's frame shim as appropriate. On the
-//! sim a kill blackholes the victim; over TCP it also severs the
-//! victim's streams, so the same assertions double as coverage for the
-//! connection-loss evidence path.
+//! thread or every TCP/shm transport's frame shim as appropriate. On
+//! the sim a kill blackholes the victim; over TCP it also severs the
+//! victim's streams, and over shm its rings, so the same assertions
+//! double as coverage for the connection-loss evidence path. (The
+//! remaining shm evidence source — a SIGKILLed *process* detected via
+//! its pid — is cross-process by nature and covered by the gmt-launch
+//! `--kill` CI job.)
 
 use gmt_core::aggregation::AggShared;
 use gmt_core::collectives::GlobalBarrier;

@@ -1,14 +1,19 @@
 //! # gmt-launch — multi-process GMT
 //!
-//! Boots a GMT cluster as **N OS processes** talking TCP — the shape the
-//! paper's runtime actually deploys as (one process per cluster node) —
-//! and runs a named workload on it. The same binary is both the parent
-//! (spawns children, waits) and the child (rendezvous → [`NodeRuntime`] →
-//! serve or drive the workload), selected by the `GMT_NODE_ID` env var.
+//! Boots a GMT cluster as **N OS processes** — the shape the paper's
+//! runtime actually deploys as (one process per cluster node) — and runs
+//! a named workload on it. The same binary is both the parent (spawns
+//! children, waits) and the child (rendezvous → [`NodeRuntime`] → serve
+//! or drive the workload), selected by the `GMT_NODE_ID` env var. The
+//! wire is TCP by default; `GMT_TRANSPORT=shm` swaps in the shared-
+//! memory ring transport (an `shm:` bootstrap naming the segment file),
+//! and both the multi-process and `--single` legs honor the variable so
+//! the bit-identity diff compares like with like.
 //!
 //! ```text
 //! gmt-launch -n 4 --bin bfs            # 4 processes over loopback TCP
 //! gmt-launch -n 4 --bin bfs --single   # same nodes, one process, sim fabric
+//! GMT_TRANSPORT=shm gmt-launch -n 4 --bin bfs   # 4 processes, shm rings
 //! ```
 //!
 //! Workload results go to **stdout** as `RESULT …` lines printed only by
@@ -37,13 +42,15 @@
 //! a genuine crash.
 //!
 //! If `GMT_METRICS_OUT` names a directory, every node process drops a
-//! metrics snapshot there (`<bin>-node<i>.json`) before exiting.
+//! metrics snapshot there (`<bin>-<transport>-node<i>.json`) before
+//! exiting.
 
 use gmt_core::{Cluster, Config, NodeRuntime, Transport};
 use gmt_graph::{uniform_random, DistGraph, GraphSpec};
 use gmt_kernels::bfs::gmt_bfs;
 use gmt_kernels::chma::{fnv1a, gmt_chma_access, gmt_chma_populate, ChmaConfig, GmtHashMap};
-use gmt_net::{rendezvous, Bootstrap};
+use gmt_net::transport::TransportSelect;
+use gmt_net::{rendezvous, Bootstrap, Control, ShmControl};
 use std::path::PathBuf;
 use std::process::{Child, Command, ExitCode, ExitStatus};
 use std::sync::Arc;
@@ -70,7 +77,7 @@ struct Opts {
 }
 
 const USAGE: &str = "\
-gmt-launch — run a GMT workload across N node processes over TCP
+gmt-launch — run a GMT workload across N node processes (TCP or shm)
 
 USAGE:
     gmt-launch -n <nodes> --bin <bfs|chma> [options]
@@ -78,14 +85,19 @@ USAGE:
 OPTIONS:
     -n, --nodes <N>       node processes to spawn [default: 2]
         --bin <NAME>      workload: bfs | chma (required)
-        --single          run all nodes in ONE process over the sim
-                          fabric instead; prints identical RESULT lines
+        --single          run all nodes in ONE process instead (over the
+                          sim fabric, or the backend GMT_TRANSPORT
+                          names); prints identical RESULT lines
         --vertices <V>    bfs: graph vertices [default: 512]
         --degree <D>      bfs: average out-degree [default: 8]
         --seed <S>        bfs: graph seed [default: 42]
         --source <V>      bfs: source vertex [default: 0]
-        --bootstrap <B>   rendezvous point: 'file:<path>' or '<ip:port>'
-                          [default: file:<tmp>/gmt-launch-<pid>.addr]
+        --bootstrap <B>   rendezvous point: 'file:<path>', '<ip:port>',
+                          or 'shm:<path>' (a shared-memory segment file;
+                          implies the shm transport)
+                          [default: file:<tmp>/gmt-launch-<pid>.addr, or
+                          shm:<tmp>/gmt-launch-<pid>.seg under
+                          GMT_TRANSPORT=shm]
         --kill <N>@<MS>   chaos: SIGKILL node N (never 0) MS milliseconds
                           after node 0 reports the mesh up; repeatable.
                           Survivors must confirm the death before the
@@ -96,7 +108,11 @@ OPTIONS:
 
 ENVIRONMENT:
     GMT_NODE_ID, GMT_NODES, GMT_BOOTSTRAP, GMT_READY   set by the parent
+    GMT_TRANSPORT     wire for both the multi-process and --single legs:
+                      tcp-loopback (default) or shm; --single also
+                      accepts sim (its default)
     GMT_METRICS_OUT   directory for per-node metrics snapshots
+                      (<bin>-<transport>-node<i>.json)
     GMT_EPOCH_OUT     directory for per-survivor membership epoch files
                       (chaos runs; CI diffs them identical)
 ";
@@ -250,21 +266,41 @@ struct Supervised {
 /// they happen, delivering scheduled `--kill`s once the mesh is up, and
 /// killing whatever is still running at the `--timeout` deadline.
 fn parent(opts: &Opts) -> Result<(), String> {
+    let select = TransportSelect::from_env()?;
     let bootstrap = match &opts.bootstrap {
         Some(b) => b.clone(),
         None => {
             let mut p = std::env::temp_dir();
-            p.push(format!("gmt-launch-{}.addr", std::process::id()));
-            format!("file:{}", p.display())
+            if select == TransportSelect::Shm {
+                p.push(format!("gmt-launch-{}.seg", std::process::id()));
+                format!("shm:{}", p.display())
+            } else {
+                p.push(format!("gmt-launch-{}.addr", std::process::id()));
+                format!("file:{}", p.display())
+            }
         }
     };
-    // Validate now so a typo fails in the parent, not in N children.
-    Bootstrap::parse(&bootstrap)?;
+    // Validate now so a typo fails in the parent, not in N children —
+    // and catch a transport/bootstrap mismatch the same way: the
+    // bootstrap form is what the children obey.
+    let parsed = Bootstrap::parse(&bootstrap)?;
+    let shm_bootstrap = matches!(parsed, Bootstrap::Shm(_));
+    if select == TransportSelect::Shm && !shm_bootstrap {
+        return Err(format!("GMT_TRANSPORT=shm needs an shm:<path> bootstrap, got '{bootstrap}'"));
+    }
+    if select == TransportSelect::TcpLoopback && shm_bootstrap {
+        return Err(format!(
+            "GMT_TRANSPORT={} contradicts the shm bootstrap '{bootstrap}'",
+            std::env::var("GMT_TRANSPORT").unwrap_or_default()
+        ));
+    }
 
     let ready_path = std::env::temp_dir().join(format!("gmt-launch-{}.ready", std::process::id()));
     let _ = std::fs::remove_file(&ready_path);
     let mut cleanup = TempFiles(vec![ready_path.clone()]);
-    if let Some(path) = bootstrap.strip_prefix("file:") {
+    // Backstop unlink for both bootstrap forms: node 0 removes the file
+    // itself once the mesh is up; this covers runs that die earlier.
+    if let Some(path) = bootstrap.strip_prefix("file:").or(bootstrap.strip_prefix("shm:")) {
         cleanup.0.push(path.into());
     }
 
@@ -422,6 +458,30 @@ fn describe_exit(c: &Supervised) -> (String, bool) {
     }
 }
 
+/// The child side of whichever control channel the bootstrap form chose:
+/// TCP rendezvous streams or the shm segment's done words. Same
+/// done-barrier semantics either way.
+enum AnyControl {
+    Tcp(Control),
+    Shm(ShmControl),
+}
+
+impl AnyControl {
+    fn signal_done(&mut self) {
+        match self {
+            AnyControl::Tcp(c) => c.signal_done(),
+            AnyControl::Shm(c) => c.signal_done(),
+        }
+    }
+
+    fn wait_done_timeout(&mut self, timeout: Duration) -> Result<(), Vec<usize>> {
+        match self {
+            AnyControl::Tcp(c) => c.wait_done_timeout(timeout),
+            AnyControl::Shm(c) => c.wait_done_timeout(timeout),
+        }
+    }
+}
+
 /// Child: join the mesh, boot this process's node, then either drive the
 /// workload (node 0) or serve until node 0 signals done, ack, and leave.
 fn child(opts: &Opts, id: &str) -> Result<(), String> {
@@ -434,10 +494,21 @@ fn child(opts: &Opts, id: &str) -> Result<(), String> {
         Bootstrap::parse(&std::env::var("GMT_BOOTSTRAP").map_err(|_| "GMT_BOOTSTRAP not set")?)?;
 
     let t0 = Instant::now();
-    let (transport, mut control) =
-        rendezvous(node, nodes, &bootstrap).map_err(|e| format!("rendezvous: {e}"))?;
+    // The bootstrap form picks the wire: shm:<path> attaches the
+    // shared-memory segment, anything else runs the TCP rendezvous.
+    let (transport, mut control, wire): (Arc<dyn Transport>, AnyControl, &str) = match &bootstrap {
+        Bootstrap::Shm(path) => {
+            let (t, c) =
+                gmt_net::shm::attach(node, nodes, path).map_err(|e| format!("shm attach: {e}"))?;
+            (Arc::new(t), AnyControl::Shm(c), "shm")
+        }
+        other => {
+            let (t, c) = rendezvous(node, nodes, other).map_err(|e| format!("rendezvous: {e}"))?;
+            (Arc::new(t), AnyControl::Tcp(c), "tcp")
+        }
+    };
     eprintln!(
-        "[gmt-launch] node {node}/{nodes} meshed in {:.0?} (pid {})",
+        "[gmt-launch] node {node}/{nodes} meshed over {wire} in {:.0?} (pid {})",
         t0.elapsed(),
         std::process::id()
     );
@@ -453,7 +524,7 @@ fn child(opts: &Opts, id: &str) -> Result<(), String> {
     } else {
         Config::small()
     };
-    let runtime = NodeRuntime::start(Arc::new(transport) as Arc<dyn Transport>, config)?;
+    let runtime = NodeRuntime::start(transport, config)?;
     eprintln!("[gmt-launch] node {node} runtime up");
 
     if node == 0 {
@@ -468,14 +539,14 @@ fn child(opts: &Opts, id: &str) -> Result<(), String> {
             // completes exactly — over the converged survivor set.
             await_victims_dead(runtime.node(), &opts.kill, node)?;
         }
-        run_workload(opts, runtime.node(), "tcp");
+        run_workload(opts, runtime.node(), wire);
         if chaos {
             let mut dead = runtime.node().dead_peers();
             dead.sort_unstable();
             println!("RESULT membership epoch={} dead={dead:?}", runtime.node().membership_epoch());
         }
         write_epoch(runtime.node(), node);
-        write_metrics(&opts.bin, runtime.node(), node);
+        write_metrics(&opts.bin, wire, runtime.node(), node);
         control.signal_done();
         // Wait for every survivor's ack so our links stay up while they
         // finish converging and writing artifacts. EOF counts as an ack
@@ -504,7 +575,7 @@ fn child(opts: &Opts, id: &str) -> Result<(), String> {
             await_victims_dead(runtime.node(), &opts.kill, node)?;
         }
         write_epoch(runtime.node(), node);
-        write_metrics(&opts.bin, runtime.node(), node);
+        write_metrics(&opts.bin, wire, runtime.node(), node);
         control.signal_done();
     }
     runtime.shutdown();
@@ -563,13 +634,21 @@ fn write_epoch(node: &gmt_core::NodeHandle, id: usize) {
     }
 }
 
-/// `--single`: the same nodes and workload in one process over the sim
-/// fabric — the reference run the TCP output is diffed against.
+/// `--single`: the same nodes and workload in one process — the
+/// reference run the multi-process output is diffed against. Defaults
+/// to the sim fabric; an explicit `GMT_TRANSPORT` pins the in-process
+/// leg to the same wire as the multi-process one.
 fn single_process(opts: &Opts) -> Result<(), String> {
-    let cluster = Cluster::start_sim(opts.nodes, Config::small())?;
-    run_workload(opts, cluster.node(0), "sim");
+    let (cluster, label) = match TransportSelect::from_env()? {
+        TransportSelect::Sim => (Cluster::start_sim(opts.nodes, Config::small())?, "sim"),
+        TransportSelect::TcpLoopback => {
+            (Cluster::start_tcp_loopback(opts.nodes, Config::small())?, "tcp")
+        }
+        TransportSelect::Shm => (Cluster::start_shm(opts.nodes, Config::small())?, "shm"),
+    };
+    run_workload(opts, cluster.node(0), label);
     for node in 0..opts.nodes {
-        write_metrics(&opts.bin, cluster.node(node), node);
+        write_metrics(&opts.bin, label, cluster.node(node), node);
     }
     cluster.shutdown();
     Ok(())
@@ -646,14 +725,16 @@ fn run_chma(driver: &gmt_core::NodeHandle) {
 }
 
 /// Honors `GMT_METRICS_OUT`: one JSON snapshot per node, same layout the
-/// fault-injection CI jobs upload as failure artifacts.
-fn write_metrics(bin: &str, node: &gmt_core::NodeHandle, id: usize) {
+/// fault-injection CI jobs upload as failure artifacts. The transport
+/// label is part of the file name so a diff artifact says which wire
+/// produced it (RESULT lines on stdout stay transport-free by design).
+fn write_metrics(bin: &str, transport: &str, node: &gmt_core::NodeHandle, id: usize) {
     let Ok(dir) = std::env::var("GMT_METRICS_OUT") else { return };
     if dir.is_empty() {
         return;
     }
     let _ = std::fs::create_dir_all(&dir);
-    let path = format!("{dir}/{bin}-node{id}.json");
+    let path = format!("{dir}/{bin}-{transport}-node{id}.json");
     if let Err(e) = std::fs::write(&path, node.metrics_snapshot().to_json()) {
         eprintln!("[gmt-launch] could not write {path}: {e}");
     }

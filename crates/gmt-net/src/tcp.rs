@@ -94,7 +94,7 @@ const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(60);
 /// The handshake deadline, overridable via `GMT_RDV_TIMEOUT_MS` so tests
 /// and chaos harnesses can fail a doomed launch in milliseconds instead
 /// of the default 60 s.
-fn handshake_timeout() -> Duration {
+pub(crate) fn handshake_timeout() -> Duration {
     std::env::var("GMT_RDV_TIMEOUT_MS")
         .ok()
         .and_then(|v| v.parse::<u64>().ok())
@@ -134,17 +134,18 @@ fn dial_with_retry(addr: SocketAddr, deadline: Instant) -> io::Result<TcpStream>
 /// Pool of receive buffers. Incoming frames are copied out of the reader
 /// thread's staging area into a pooled `Vec` and delivered as a pooled
 /// [`Payload`], so the receive side recycles buffers exactly like the
-/// sim's channel pools do.
-struct RecvPool {
+/// sim's channel pools do. Shared with the shm backend, whose receive
+/// side pools identically.
+pub(crate) struct RecvPool {
     bufs: SegQueue<Vec<u8>>,
 }
 
 impl RecvPool {
-    fn new() -> Arc<Self> {
+    pub(crate) fn new() -> Arc<Self> {
         Arc::new(RecvPool { bufs: SegQueue::new() })
     }
 
-    fn get(&self) -> Vec<u8> {
+    pub(crate) fn get(&self) -> Vec<u8> {
         self.bufs.pop().unwrap_or_default()
     }
 }
@@ -160,13 +161,14 @@ impl BufRelease for RecvPool {
 
 /// A [`FaultPlan`] installed on the send side, with the fabric's
 /// per-directed-link counters so the n-th packet on a link always gets
-/// the n-th decision.
-struct InstalledShim {
-    plan: FaultPlan,
-    installed_at: Instant,
+/// the n-th decision. Shared with the shm backend — one shim, every
+/// real transport.
+pub(crate) struct InstalledShim {
+    pub(crate) plan: FaultPlan,
+    pub(crate) installed_at: Instant,
     /// Indexed by destination; this transport only ever sends from its
     /// own node.
-    counters: Vec<AtomicU64>,
+    pub(crate) counters: Vec<AtomicU64>,
 }
 
 struct TcpShared {
@@ -688,17 +690,26 @@ pub enum Bootstrap {
     /// file (written to a temp name, then renamed, so readers never see
     /// a partial write); peers poll the file until it appears.
     File(PathBuf),
+    /// A shared-memory segment file for the same-host `shm` transport
+    /// (see [`crate::shm::attach`]): node 0 creates it `O_EXCL`, peers
+    /// map it. Not a TCP rendezvous at all — [`rendezvous`] rejects it.
+    Shm(PathBuf),
 }
 
 impl Bootstrap {
-    /// Parses the `GMT_BOOTSTRAP` syntax: `file:<path>` or a literal
-    /// `ip:port`.
+    /// Parses the `GMT_BOOTSTRAP` syntax: `file:<path>`, `shm:<path>` or
+    /// a literal `ip:port`.
     pub fn parse(s: &str) -> Result<Bootstrap, String> {
         if let Some(path) = s.strip_prefix("file:") {
             if path.is_empty() {
                 return Err("empty bootstrap file path".into());
             }
             Ok(Bootstrap::File(PathBuf::from(path)))
+        } else if let Some(path) = s.strip_prefix("shm:") {
+            if path.is_empty() {
+                return Err("empty shm segment path".into());
+            }
+            Ok(Bootstrap::Shm(PathBuf::from(path)))
         } else {
             s.parse::<SocketAddr>()
                 .map(Bootstrap::Addr)
@@ -864,6 +875,16 @@ pub fn rendezvous(
     bootstrap: &Bootstrap,
 ) -> io::Result<(TcpTransport, Control)> {
     assert!(nodes > 0 && node < nodes, "node {node} out of range for {nodes} nodes");
+    if let Bootstrap::Shm(path) = bootstrap {
+        return Err(io::Error::new(
+            ErrorKind::InvalidInput,
+            format!(
+                "bootstrap shm:{} is a shared-memory segment, not a TCP rendezvous; \
+                 attach with GMT_TRANSPORT=shm (gmt_net::shm::attach)",
+                path.display()
+            ),
+        ));
+    }
     let deadline = Instant::now() + handshake_timeout();
     let data_listener =
         TcpListener::bind("127.0.0.1:0").map_err(|e| stage_err("binding data listener", e))?;
@@ -882,6 +903,7 @@ pub fn rendezvous(
                 })?;
                 l
             }
+            Bootstrap::Shm(_) => unreachable!("rejected at entry"),
         };
         let result = coordinate_registration(&rdv, nodes, data_addr, deadline);
         if let Bootstrap::File(path) = bootstrap {
@@ -896,6 +918,7 @@ pub fn rendezvous(
             Bootstrap::File(path) => poll_addr(path, deadline).map_err(|e| {
                 stage_err(format_args!("polling bootstrap file {}", path.display()), e)
             })?,
+            Bootstrap::Shm(_) => unreachable!("rejected at entry"),
         };
         // Node 0 may not be listening yet; retry with backoff until the
         // deadline.
@@ -1007,8 +1030,21 @@ mod tests {
             Ok(Bootstrap::Addr(a)) => assert_eq!(a.port(), 9000),
             other => panic!("unexpected: {other:?}"),
         }
+        match Bootstrap::parse("shm:/dev/shm/x.seg") {
+            Ok(Bootstrap::Shm(p)) => assert_eq!(p, PathBuf::from("/dev/shm/x.seg")),
+            other => panic!("unexpected: {other:?}"),
+        }
         assert!(Bootstrap::parse("file:").is_err());
+        assert!(Bootstrap::parse("shm:").is_err());
         assert!(Bootstrap::parse("not-an-addr").is_err());
+    }
+
+    #[test]
+    fn rendezvous_rejects_an_shm_bootstrap() {
+        match rendezvous(0, 2, &Bootstrap::Shm(PathBuf::from("/tmp/x.seg"))) {
+            Err(e) => assert_eq!(e.kind(), ErrorKind::InvalidInput),
+            Ok(_) => panic!("shm bootstrap must not rendezvous over TCP"),
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! Everything above the wire — the reliability layer, the failure
 //! detector, flow control, the aggregation datapath — talks to the
-//! network through the object-safe [`Transport`] trait. Two backends
+//! network through the object-safe [`Transport`] trait. Three backends
 //! implement it:
 //!
 //! * the in-process simulated fabric ([`Endpoint`]) — deterministic,
@@ -12,6 +12,10 @@
 //!   over per-peer TCP streams, one runtime node per OS process (or a
 //!   loopback mesh inside one process for CI). This is the backend that
 //!   escapes the single process.
+//! * [`ShmTransport`](crate::shm::ShmTransport) — same-host frames
+//!   through lock-free SPSC rings in one shared-memory segment with a
+//!   futex doorbell: zero syscalls on the hot path, for deployments
+//!   where the TCP loopback syscall tax dominates.
 //!
 //! # Contract
 //!
@@ -115,6 +119,14 @@ pub trait Transport: Send + Sync {
     /// Shared handle to the traffic counters (outlives the transport).
     fn stats_arc(&self) -> Arc<TrafficStats>;
 
+    /// Backend-specific counters beyond the shared [`TrafficStats`]
+    /// schema, as `(metric name, value)` pairs — e.g. the shm backend's
+    /// `net.shm.*` doorbell and ring-occupancy counters. The runtime
+    /// folds them into metrics snapshots verbatim. Default: none.
+    fn backend_counters(&self) -> Vec<(String, u64)> {
+        Vec::new()
+    }
+
     /// Stops receive machinery and closes links. Idempotent, bounded-time
     /// (joins only threads the transport owns), releases pooled buffers
     /// it still holds; subsequent sends return [`NetError::Closed`] and
@@ -170,24 +182,29 @@ pub enum TransportSelect {
     Sim,
     /// A TCP mesh over 127.0.0.1, one stream per directed peer pair.
     TcpLoopback,
+    /// Same-host shared-memory rings with a futex doorbell.
+    Shm,
 }
 
 impl TransportSelect {
     /// Reads `GMT_TRANSPORT`: unset/empty/`sim` → [`Sim`]; `tcp` or
-    /// `tcp-loopback` → [`TcpLoopback`]; anything else is an error (a
-    /// typo in a CI matrix must fail loudly, not silently run sim).
+    /// `tcp-loopback` → [`TcpLoopback`]; `shm` → [`Shm`]; anything else
+    /// is an error (a typo in a CI matrix must fail loudly, not
+    /// silently run sim).
     ///
     /// [`Sim`]: TransportSelect::Sim
     /// [`TcpLoopback`]: TransportSelect::TcpLoopback
+    /// [`Shm`]: TransportSelect::Shm
     pub fn from_env() -> Result<TransportSelect, String> {
         match std::env::var("GMT_TRANSPORT") {
             Err(_) => Ok(TransportSelect::Sim),
             Ok(v) => match v.as_str() {
                 "" | "sim" => Ok(TransportSelect::Sim),
                 "tcp" | "tcp-loopback" => Ok(TransportSelect::TcpLoopback),
+                "shm" => Ok(TransportSelect::Shm),
                 other => Err(format!(
-                    "GMT_TRANSPORT={other:?} is not a transport (expected sim, tcp or \
-                     tcp-loopback)"
+                    "GMT_TRANSPORT={other:?} is not a transport (expected sim, tcp, \
+                     tcp-loopback or shm)"
                 )),
             },
         }
